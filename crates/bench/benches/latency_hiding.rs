@@ -1,0 +1,72 @@
+//! T7 as a Criterion bench: scoreboard micro-simulation across task
+//! counts, machine-level disk hiding, and the multi-write copy model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use blog_machine::machine::{simulate, MachineConfig};
+use blog_machine::multiwrite::{copy_multi_write, copy_single_write, MemoryCosts};
+use blog_machine::scoreboard::{simulate_scoreboard, ScoreboardConfig};
+use blog_machine::tree::{planted_tree, PlantedTreeParams, WeightModel};
+
+fn bench_scoreboard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scoreboard");
+    group.sample_size(20);
+    for m in [1u32, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("tasks", m), &m, |b, &m| {
+            b.iter(|| {
+                black_box(simulate_scoreboard(&ScoreboardConfig {
+                    n_tasks: m,
+                    n_expansions: 1_000,
+                    ..ScoreboardConfig::default()
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_disk_hiding(c: &mut Criterion) {
+    let tree = planted_tree(&PlantedTreeParams {
+        depth: 7,
+        branching: 3,
+        n_solution_paths: 4,
+        weights: WeightModel::Uniform(1),
+        work_min: 80,
+        work_max: 160,
+        seed: 7,
+    });
+    let mut group = c.benchmark_group("disk_hiding");
+    group.sample_size(20);
+    for m in [1u32, 8] {
+        group.bench_with_input(BenchmarkId::new("tasks_per_proc", m), &m, |b, &m| {
+            b.iter(|| {
+                black_box(simulate(
+                    &tree,
+                    &MachineConfig {
+                        n_processors: 2,
+                        tasks_per_processor: m,
+                        disk_latency: 1_000,
+                        ..MachineConfig::default()
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_multiwrite(c: &mut Criterion) {
+    let costs = MemoryCosts::default();
+    let mut group = c.benchmark_group("multiwrite_model");
+    group.bench_function("single_write_16x256", |b| {
+        b.iter(|| black_box(copy_single_write(&costs, 16, 256)))
+    });
+    group.bench_function("multi_write_16x256", |b| {
+        b.iter(|| black_box(copy_multi_write(&costs, 16, 256)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scoreboard, bench_disk_hiding, bench_multiwrite);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! T1 as a Criterion bench: wall-clock of each strategy to the first
+//! solution, on the family and queens workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use blog_core::engine::{best_first, BestFirstConfig};
+use blog_core::weight::{WeightParams, WeightStore, WeightView};
+use blog_logic::{bfs_all, dfs_all, Program, SolveConfig};
+use blog_workloads::{family_program, queens_program, FamilyParams, QueensParams};
+
+fn workloads() -> Vec<(String, Program)> {
+    let (fam, _) = family_program(&FamilyParams {
+        generations: 4,
+        branching: 3,
+        tree_mother_density: 0.15,
+        external_mother_density: 0.4,
+        seed: 11,
+        ..FamilyParams::default()
+    });
+    let (q, _) = queens_program(&QueensParams { n: 5 });
+    vec![("family".into(), fam), ("queens5".into(), q)]
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("first_solution");
+    group.sample_size(20);
+    for (name, program) in workloads() {
+        let db = &program.db;
+        let query = &program.queries[0];
+        group.bench_with_input(BenchmarkId::new("dfs", &name), &(), |b, ()| {
+            b.iter(|| black_box(dfs_all(db, query, &SolveConfig::first())))
+        });
+        group.bench_with_input(BenchmarkId::new("bfs", &name), &(), |b, ()| {
+            b.iter(|| black_box(bfs_all(db, query, &SolveConfig::first())))
+        });
+        group.bench_with_input(BenchmarkId::new("blog_cold", &name), &(), |b, ()| {
+            let store = WeightStore::new(WeightParams::default());
+            b.iter(|| {
+                let mut overlay = std::collections::HashMap::new();
+                let mut view = WeightView::new(&mut overlay, &store);
+                black_box(best_first(
+                    db,
+                    query,
+                    &mut view,
+                    &BestFirstConfig::first_solution(),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("blog_trained", &name), &(), |b, ()| {
+            // Train once outside the measured loop.
+            let store = WeightStore::new(WeightParams::default());
+            let mut overlay = std::collections::HashMap::new();
+            {
+                let mut view = WeightView::new(&mut overlay, &store);
+                best_first(db, query, &mut view, &BestFirstConfig::default());
+            }
+            b.iter(|| {
+                let mut trained = overlay.clone();
+                let mut view = WeightView::new(&mut trained, &store);
+                black_box(best_first(
+                    db,
+                    query,
+                    &mut view,
+                    &BestFirstConfig::first_solution(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

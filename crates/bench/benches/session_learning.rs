@@ -1,0 +1,104 @@
+//! T2/T3 as a Criterion bench: the cost of a whole session at different
+//! drift levels, and the cost of a merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use blog_core::engine::{BestFirstConfig, PruneMode};
+use blog_core::session::{MergePolicy, SessionManager};
+use blog_core::weight::{Weight, WeightParams};
+use blog_workloads::{family_program, session_queries, FamilyParams, SessionSpec};
+
+fn bench_sessions(c: &mut Criterion) {
+    let (mut program, meta) = family_program(&FamilyParams {
+        generations: 4,
+        branching: 3,
+        tree_mother_density: 0.1,
+        external_mother_density: 0.5,
+        seed: 23,
+        ..FamilyParams::default()
+    });
+    let subjects: Vec<String> = meta
+        .grandparents()
+        .iter()
+        .take(4)
+        .map(|s| s.to_string())
+        .collect();
+    let refs: Vec<&str> = subjects.iter().map(String::as_str).collect();
+    let cfg = BestFirstConfig {
+        prune: PruneMode::Incumbent {
+            slack: Weight::from_bits_int(48),
+        },
+        ..BestFirstConfig::default()
+    };
+
+    let mut group = c.benchmark_group("session");
+    group.sample_size(20);
+    for drift in [0.0f64, 0.5] {
+        let (queries, _) = session_queries(
+            &mut program.db,
+            &refs,
+            &SessionSpec {
+                n_queries: 8,
+                drift,
+                seed: 5,
+                ..SessionSpec::default()
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("run8", format!("drift{drift}")),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    let mgr = SessionManager::new(WeightParams::default());
+                    let mut session = mgr.begin_session();
+                    for q in queries {
+                        black_box(mgr.query(&mut session, &program.db, q, &cfg));
+                    }
+                    session
+                })
+            },
+        );
+    }
+    // Merge cost: run a session once, then time the conservative merge.
+    let (queries, _) = session_queries(
+        &mut program.db,
+        &refs,
+        &SessionSpec {
+            n_queries: 8,
+            drift: 0.5,
+            seed: 5,
+                ..SessionSpec::default()
+        },
+    );
+    group.bench_function("merge_conservative", |b| {
+        b.iter_batched(
+            || {
+                let mut mgr = SessionManager::new(WeightParams::default());
+                let mut session = mgr.begin_session();
+                for q in &queries {
+                    mgr.query(&mut session, &program.db, q, &cfg);
+                }
+                // Pre-populate the global store so the merge does steps,
+                // not just inserts.
+                let seed_session = {
+                    let mut s = mgr.begin_session();
+                    for q in &queries {
+                        mgr.query(&mut s, &program.db, q, &cfg);
+                    }
+                    s
+                };
+                mgr.end_session(seed_session, MergePolicy::Overwrite);
+                (mgr, session)
+            },
+            |(mut mgr, session)| {
+                black_box(mgr.end_session(session, MergePolicy::conservative_half()))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sessions);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! T6 as a Criterion bench: semantic-page requests and trace replay at
+//! different page distances and SP modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use blog_bench::spd_exp::traced_workload;
+use blog_logic::ClauseId;
+use blog_spd::{build_spd_from_db, CostModel, Geometry, PageRequest, Pager, SpMode};
+
+fn bench_spd(c: &mut Criterion) {
+    let (program, trained, trace) = traced_workload();
+    let geometry = Geometry {
+        n_sps: 4,
+        n_cylinders: 32,
+        blocks_per_track: 4,
+    };
+
+    let mut group = c.benchmark_group("spd");
+    group.sample_size(20);
+    for mode in [SpMode::Simd, SpMode::Mimd] {
+        for distance in [1u32, 3] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("page_{mode:?}"), distance),
+                &distance,
+                |b, &distance| {
+                    b.iter_batched(
+                        || {
+                            build_spd_from_db(
+                                &program.db,
+                                &trained,
+                                geometry,
+                                CostModel::default(),
+                                mode,
+                            )
+                        },
+                        |(mut spd, layout)| {
+                            black_box(spd.semantic_page(&PageRequest {
+                                roots: vec![layout.block_of(ClauseId(0))],
+                                distance,
+                                name: None,
+                                weight_max: None,
+                            }))
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.bench_function("replay_trace_d2", |b| {
+        b.iter_batched(
+            || {
+                build_spd_from_db(
+                    &program.db,
+                    &trained,
+                    geometry,
+                    CostModel::default(),
+                    SpMode::Simd,
+                )
+            },
+            |(mut spd, layout)| {
+                let mut pager = Pager::new(&mut spd, &layout, 2);
+                black_box(pager.replay(&trace))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spd);
+criterion_main!(benches);

@@ -1,0 +1,207 @@
+//! T6: semantic paging — hit rate and I/O time vs page distance, SP mode,
+//! and the weight filter.
+
+use blog_core::engine::{best_first, BestFirstConfig};
+use blog_core::weight::{WeightParams, WeightStore, WeightView};
+use blog_logic::{ClauseId, Program};
+use blog_spd::{build_spd_from_db, CostModel, Geometry, Pager, PagerStats, SpMode};
+use blog_workloads::{family_program, FamilyParams};
+
+use crate::report::{pct, Table};
+
+/// Build the family program, a trained weight store, and the clause-
+/// access trace of a best-first run over it.
+pub fn traced_workload() -> (Program, WeightStore, Vec<ClauseId>) {
+    let (program, _) = family_program(&FamilyParams {
+        generations: 4,
+        branching: 3,
+        tree_mother_density: 0.15,
+        external_mother_density: 0.4,
+        seed: 31,
+        ..FamilyParams::default()
+    });
+    let store = WeightStore::new(WeightParams::default());
+    let mut overlay = std::collections::HashMap::new();
+    // Train once, then trace the second (weight-guided) run.
+    {
+        let mut view = WeightView::new(&mut overlay, &store);
+        best_first(
+            &program.db,
+            &program.queries[0],
+            &mut view,
+            &BestFirstConfig::default(),
+        );
+    }
+    let trace = {
+        let mut view = WeightView::new(&mut overlay, &store);
+        let cfg = BestFirstConfig {
+            record_trace: true,
+            learn: false,
+            ..BestFirstConfig::default()
+        };
+        best_first(&program.db, &program.queries[0], &mut view, &cfg)
+            .trace
+            .iter()
+            .map(|k| k.target)
+            .collect()
+    };
+    // Fold the learned overlay into a store so the SPD layout carries the
+    // trained weights.
+    let mut trained = WeightStore::new(WeightParams::default());
+    for (k, v) in overlay {
+        trained.set(k, v);
+    }
+    (program, trained, trace)
+}
+
+/// One T6 measurement.
+#[derive(Clone, Debug)]
+pub struct SpdRow {
+    /// SP cooperation mode.
+    pub mode: SpMode,
+    /// Semantic page distance.
+    pub distance: u32,
+    /// Whether the weight filter was applied.
+    pub filtered: bool,
+    /// Pager statistics.
+    pub stats: PagerStats,
+}
+
+/// T6: replay the trace at several page distances, in both SP modes,
+/// with and without the weight filter.
+pub fn run_t6() -> Vec<SpdRow> {
+    let (program, trained, trace) = traced_workload();
+    let geometry = Geometry {
+        n_sps: 4,
+        n_cylinders: 32,
+        blocks_per_track: 4,
+    };
+    let params = trained.params();
+    // Filter ceiling: anything above the unknown coding (i.e. only
+    // learned-good pointers) is skipped during prefetch.
+    let ceiling = params.unknown_weight().0;
+
+    let mut rows = Vec::new();
+    println!("T6 — semantic paging (trace of a trained best-first family query):");
+    let mut t = Table::new(&[
+        "mode", "distance", "filter", "hit-rate", "faults", "blocks-paged", "fault-ticks",
+    ]);
+    for mode in [SpMode::Simd, SpMode::Mimd] {
+        for distance in [0u32, 1, 2, 3] {
+            for filtered in [false, true] {
+                let (mut spd, layout) = build_spd_from_db(
+                    &program.db,
+                    &trained,
+                    geometry,
+                    CostModel::default(),
+                    mode,
+                );
+                let mut pager = Pager::new(&mut spd, &layout, distance);
+                if filtered {
+                    pager.weight_max = Some(ceiling);
+                }
+                let stats = pager.replay(&trace);
+                t.row(vec![
+                    format!("{mode:?}"),
+                    distance.to_string(),
+                    if filtered { "on" } else { "off" }.into(),
+                    pct(stats.hit_rate()),
+                    stats.faults.to_string(),
+                    stats.blocks_paged.to_string(),
+                    stats.fault_ticks.to_string(),
+                ]);
+                rows.push(SpdRow {
+                    mode,
+                    distance,
+                    filtered,
+                    stats,
+                });
+            }
+        }
+    }
+    t.print();
+    println!(
+        "expected shape: hit rate rises with page distance (semantic prefetch);\n\
+         the weight filter cuts blocks paged at equal hit rates on the hot path;\n\
+         SIMD needs fewer fault ticks than MIMD when pages span SPs.\n"
+    );
+    rows
+}
+
+/// Census helper so tests can check the trained store actually has
+/// learned weights (otherwise the filter measures nothing).
+pub fn trained_census() -> (usize, usize) {
+    let (_, trained, _) = traced_workload();
+    let c = trained.census();
+    (c.known, c.infinite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_nonempty_and_weights_trained() {
+        let (_, trained, trace) = traced_workload();
+        assert!(trace.len() >= 4, "trace too short: {}", trace.len());
+        let c = trained.census();
+        assert!(c.known > 0);
+    }
+
+    #[test]
+    fn t6_hit_rate_rises_with_distance() {
+        let rows = run_t6();
+        let get = |mode: SpMode, d: u32| {
+            rows.iter()
+                .find(|r| r.mode == mode && r.distance == d && !r.filtered)
+                .map(|r| r.stats.hit_rate())
+                .expect("row present")
+        };
+        assert!(get(SpMode::Simd, 2) >= get(SpMode::Simd, 0));
+    }
+
+    #[test]
+    fn t6_filter_reduces_blocks_paged() {
+        let rows = run_t6();
+        let blocks = |filtered: bool| {
+            rows.iter()
+                .find(|r| r.mode == SpMode::Simd && r.distance == 2 && r.filtered == filtered)
+                .map(|r| r.stats.blocks_paged)
+                .expect("row present")
+        };
+        assert!(
+            blocks(true) <= blocks(false),
+            "filter paged more blocks ({} > {})",
+            blocks(true),
+            blocks(false)
+        );
+    }
+
+    #[test]
+    fn weight_state_is_visible_in_layout() {
+        // Sanity: at least one pointer weight in the SPD differs from the
+        // unknown coding after training.
+        let (program, trained, _) = traced_workload();
+        let params = trained.params();
+        let (spd, _) = build_spd_from_db(
+            &program.db,
+            &trained,
+            Geometry {
+                n_sps: 4,
+                n_cylinders: 32,
+                blocks_per_track: 4,
+            },
+            CostModel::default(),
+            SpMode::Simd,
+        );
+        let mut seen_known = false;
+        for i in 0..spd.len() {
+            for p in &spd.block(blog_spd::BlockId(i as u32)).pointers {
+                if p.weight != params.unknown_weight().0 {
+                    seen_known = true;
+                }
+            }
+        }
+        assert!(seen_known);
+    }
+}

@@ -1,0 +1,220 @@
+//! Variable bindings and the undo trail.
+//!
+//! A [`Bindings`] store maps variable indices to optional terms. The
+//! depth-first engine binds through a [`Trail`] and undoes on backtracking
+//! (the classic Prolog discipline); the frontier-based engines (breadth-
+//! first and B-LOG best-first) instead clone the store per child node,
+//! which is the software analogue of the "copying when chains are
+//! sprouted" cost the paper discusses in section 6.
+
+use crate::term::{Term, VarId};
+
+/// A growable map from variable index to its binding.
+#[derive(Clone, Default, Debug)]
+pub struct Bindings {
+    slots: Vec<Option<Term>>,
+}
+
+impl Bindings {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A store pre-sized for `n` variables.
+    pub fn with_capacity(n: usize) -> Self {
+        Bindings {
+            slots: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of variable slots allocated.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no slots exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Ensure slots exist for variables `0..n`.
+    pub fn ensure(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize(n, None);
+        }
+    }
+
+    /// The raw binding of `v`, without dereferencing chains.
+    #[inline]
+    pub fn get(&self, v: VarId) -> Option<&Term> {
+        self.slots.get(v.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Bind `v := t`, recording the write on `trail` for undo.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `v` is already bound (rebinding without
+    /// undoing is always a bug in SLD resolution).
+    pub fn bind(&mut self, trail: &mut Trail, v: VarId, t: Term) {
+        self.ensure(v.index() + 1);
+        debug_assert!(
+            self.slots[v.index()].is_none(),
+            "variable {v:?} bound twice"
+        );
+        self.slots[v.index()] = Some(t);
+        trail.push(v);
+    }
+
+    /// Dereference `t` through binding chains until an unbound variable or
+    /// a non-variable term is reached. Does not descend into structures.
+    pub fn walk<'a>(&'a self, mut t: &'a Term) -> &'a Term {
+        while let Term::Var(v) = t {
+            match self.get(*v) {
+                Some(next) => t = next,
+                None => break,
+            }
+        }
+        t
+    }
+
+    /// Fully apply the bindings to `t`, producing a term whose remaining
+    /// variables are all unbound.
+    pub fn resolve(&self, t: &Term) -> Term {
+        let w = self.walk(t);
+        match w {
+            Term::Var(_) | Term::Atom(_) | Term::Int(_) => w.clone(),
+            Term::Struct(f, args) => {
+                if w.is_ground() {
+                    return w.clone();
+                }
+                let new_args: Vec<Term> = args.iter().map(|a| self.resolve(a)).collect();
+                Term::Struct(*f, new_args.into())
+            }
+        }
+    }
+
+    /// Undo every binding recorded at or after `mark`.
+    pub fn undo_to(&mut self, trail: &mut Trail, mark: TrailMark) {
+        while trail.entries.len() > mark.0 {
+            let v = trail.entries.pop().expect("trail length checked");
+            self.slots[v.index()] = None;
+        }
+    }
+}
+
+/// A record of variable writes, enabling O(1)-per-binding undo.
+#[derive(Default, Debug)]
+pub struct Trail {
+    entries: Vec<VarId>,
+}
+
+/// A saved position in a [`Trail`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TrailMark(usize);
+
+impl Trail {
+    /// An empty trail.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the current position, to pass to [`Bindings::undo_to`].
+    pub fn mark(&self) -> TrailMark {
+        TrailMark(self.entries.len())
+    }
+
+    /// Record one variable write.
+    #[inline]
+    pub fn push(&mut self, v: VarId) {
+        self.entries.push(v);
+    }
+
+    /// Number of writes recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no writes are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Sym;
+
+    fn atom(i: u32) -> Term {
+        Term::Atom(Sym(i))
+    }
+
+    #[test]
+    fn bind_and_walk_chain() {
+        let mut b = Bindings::new();
+        let mut tr = Trail::new();
+        // v0 -> v1 -> atom
+        b.bind(&mut tr, VarId(0), Term::Var(VarId(1)));
+        b.bind(&mut tr, VarId(1), atom(7));
+        let t = Term::Var(VarId(0));
+        assert_eq!(b.walk(&t), &atom(7));
+    }
+
+    #[test]
+    fn walk_stops_at_unbound() {
+        let mut b = Bindings::new();
+        let mut tr = Trail::new();
+        b.bind(&mut tr, VarId(0), Term::Var(VarId(5)));
+        let t = Term::Var(VarId(0));
+        assert_eq!(b.walk(&t), &Term::Var(VarId(5)));
+    }
+
+    #[test]
+    fn resolve_descends_into_structs() {
+        let mut b = Bindings::new();
+        let mut tr = Trail::new();
+        b.bind(&mut tr, VarId(0), atom(1));
+        let t = Term::app(Sym(9), vec![Term::Var(VarId(0)), Term::Var(VarId(2))]);
+        let r = b.resolve(&t);
+        assert_eq!(r, Term::app(Sym(9), vec![atom(1), Term::Var(VarId(2))]));
+    }
+
+    #[test]
+    fn undo_restores_unbound_state() {
+        let mut b = Bindings::new();
+        let mut tr = Trail::new();
+        b.bind(&mut tr, VarId(0), atom(1));
+        let mark = tr.mark();
+        b.bind(&mut tr, VarId(1), atom(2));
+        b.bind(&mut tr, VarId(2), atom(3));
+        b.undo_to(&mut tr, mark);
+        assert!(b.get(VarId(1)).is_none());
+        assert!(b.get(VarId(2)).is_none());
+        assert_eq!(b.get(VarId(0)), Some(&atom(1)));
+        assert_eq!(tr.len(), 1);
+    }
+
+    #[test]
+    fn undo_to_start_empties_trail() {
+        let mut b = Bindings::new();
+        let mut tr = Trail::new();
+        let mark = tr.mark();
+        b.bind(&mut tr, VarId(0), atom(1));
+        b.undo_to(&mut tr, mark);
+        assert!(tr.is_empty());
+        assert!(b.get(VarId(0)).is_none());
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut b = Bindings::new();
+        let mut tr = Trail::new();
+        b.bind(&mut tr, VarId(0), atom(1));
+        let mut c = b.clone();
+        let mut tr2 = Trail::new();
+        c.bind(&mut tr2, VarId(1), atom(2));
+        assert!(b.get(VarId(1)).is_none());
+        assert_eq!(c.get(VarId(0)), Some(&atom(1)));
+    }
+}

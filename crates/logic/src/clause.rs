@@ -1,0 +1,92 @@
+//! Horn clauses.
+//!
+//! A clause is stored with its variables normalized to `0..n_vars` so that
+//! renaming-apart at resolution time is a single offset (see
+//! [`Term::offset_vars`]).
+
+use crate::term::Term;
+
+/// Index of a clause inside its [`ClauseDb`](crate::ClauseDb).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ClauseId(pub u32);
+
+impl ClauseId {
+    /// Index into the database's clause vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A Horn clause `head :- body[0], …, body[k-1]` (a fact when the body is
+/// empty), with variables normalized to the range `0..n_vars`.
+#[derive(Clone, Debug)]
+pub struct Clause {
+    /// The clause head.
+    pub head: Term,
+    /// Body goals, in textual order (Prolog's left-to-right selection).
+    pub body: Vec<Term>,
+    /// Number of distinct variables; variable indices are `0..n_vars`.
+    pub n_vars: u32,
+}
+
+impl Clause {
+    /// Construct a clause, computing `n_vars` from the terms.
+    ///
+    /// The caller must already have normalized variables to a dense
+    /// `0..n` range (the parser and the workload generators both do).
+    pub fn new(head: Term, body: Vec<Term>) -> Clause {
+        let max = std::iter::once(&head)
+            .chain(body.iter())
+            .filter_map(Term::max_var)
+            .max();
+        let n_vars = max.map(|v| v.0 + 1).unwrap_or(0);
+        Clause { head, body, n_vars }
+    }
+
+    /// A fact (empty body).
+    pub fn fact(head: Term) -> Clause {
+        Clause::new(head, Vec::new())
+    }
+
+    /// Whether the clause is a fact.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Head functor and arity. All stored clauses have a functor head
+    /// (enforced by [`ClauseDb::add_clause`](crate::ClauseDb::add_clause)).
+    pub fn head_pred(&self) -> (crate::Sym, u32) {
+        self.head
+            .functor()
+            .expect("clause heads are callable terms")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Sym;
+    use crate::term::VarId;
+
+    #[test]
+    fn n_vars_counts_head_and_body() {
+        let head = Term::app(Sym(0), vec![Term::Var(VarId(0)), Term::Var(VarId(2))]);
+        let body = vec![Term::app(Sym(1), vec![Term::Var(VarId(1))])];
+        let c = Clause::new(head, body);
+        assert_eq!(c.n_vars, 3);
+    }
+
+    #[test]
+    fn ground_fact_has_no_vars() {
+        let c = Clause::fact(Term::app(Sym(0), vec![Term::Atom(Sym(1))]));
+        assert_eq!(c.n_vars, 0);
+        assert!(c.is_fact());
+    }
+
+    #[test]
+    fn head_pred_reports_functor_arity() {
+        let c = Clause::fact(Term::app(Sym(7), vec![Term::Int(1), Term::Int(2)]));
+        assert_eq!(c.head_pred(), (Sym(7), 2));
+    }
+}

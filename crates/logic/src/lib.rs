@@ -1,0 +1,63 @@
+//! # blog-logic — the logic-programming substrate for B-LOG
+//!
+//! This crate implements everything the B-LOG paper (Lipovski &
+//! Hermenegildo, ICPP 1985) assumes as given: a Horn-clause database with
+//! the weighted-pointer ("inverted file") layout of the paper's figure 4, a
+//! unification engine, a small Prolog-ish parser, and the *baseline* search
+//! strategies B-LOG is compared against — Prolog's depth-first SLD
+//! resolution, breadth-first search, and iterative deepening.
+//!
+//! The B-LOG contribution itself (weights, bounds, best-first
+//! branch-and-bound, sessions) lives in the `blog-core` crate and drives
+//! search through the [`expand`](node::expand) primitive defined here, so
+//! every strategy — baseline or best-first — resolves goals through exactly
+//! the same unification and clause-indexing code.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use blog_logic::{parse_program, solve::{dfs_all, SolveConfig}};
+//!
+//! let src = "
+//!     gf(X,Z) :- f(X,Y), f(Y,Z).
+//!     gf(X,Z) :- f(X,Y), m(Y,Z).
+//!     f(curt,elain).  f(sam,larry).
+//!     f(dan,pat).     f(larry,den).
+//!     f(pat,john).    f(larry,doug).
+//!     m(elain,john).  m(marian,elain).
+//!     m(peg,den).     m(peg,doug).
+//!     ?- gf(sam,G).
+//! ";
+//! let program = parse_program(src).unwrap();
+//! let query = &program.queries[0];
+//! let result = dfs_all(&program.db, query, &SolveConfig::default());
+//! let names: Vec<String> = result
+//!     .solutions
+//!     .iter()
+//!     .map(|s| s.binding_text(&program.db, "G").unwrap())
+//!     .collect();
+//! assert_eq!(names, vec!["den", "doug"]);
+//! ```
+
+pub mod bindings;
+pub mod clause;
+pub mod node;
+pub mod parser;
+pub mod pretty;
+pub mod solve;
+pub mod store;
+pub mod symbol;
+pub mod term;
+pub mod unify;
+
+pub use bindings::{Bindings, Trail};
+pub use clause::{Clause, ClauseId};
+pub use node::{expand, Caller, Expansion, Goal, PointerKey, SearchNode};
+pub use parser::{parse_program, parse_query, ParseError, Program, Query};
+pub use solve::{
+    bfs_all, dfs_all, iterative_deepening, SearchStats, Solution, SolveConfig, SolveResult,
+};
+pub use store::{ClauseDb, IndexMode};
+pub use symbol::{Sym, SymbolTable};
+pub use term::{Term, VarId};
+pub use unify::unify;

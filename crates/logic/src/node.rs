@@ -1,0 +1,321 @@
+//! OR-tree nodes and the single resolution-step primitive.
+//!
+//! The paper's figure 3 draws execution as an OR-tree: each node carries a
+//! goal to search for, and each arc below it is one way of resolving that
+//! goal against the database. [`SearchNode`] is one node of that tree
+//! (goal list + bindings), [`expand`] produces its children, and
+//! [`PointerKey`] names the arc that led to each child — the identity that
+//! the B-LOG weight store keys on.
+//!
+//! AND-composition is linearized into the goal list exactly as the paper's
+//! simplified model prescribes ("we consider AND-trees now only in a
+//! sequential way, in very much the same way Prolog does").
+
+use crate::bindings::{Bindings, Trail};
+use crate::clause::ClauseId;
+use crate::store::ClauseDb;
+use crate::term::Term;
+use crate::unify::unify;
+
+/// Where a goal came from: the query itself or the body of a clause.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Caller {
+    /// A goal of the top-level query.
+    Query,
+    /// A body goal of the given clause.
+    Clause(ClauseId),
+}
+
+/// A goal to be resolved, together with its provenance (which clause body,
+/// and which position in it, the goal came from). Provenance is what lets
+/// us name the figure-4 pointer being followed when the goal is resolved.
+#[derive(Clone, Debug)]
+pub struct Goal {
+    /// The goal term (not yet dereferenced).
+    pub term: Term,
+    /// The clause whose body contributed this goal.
+    pub caller: Caller,
+    /// Position of this goal within the caller's body (or within the
+    /// query's conjunction).
+    pub goal_idx: u16,
+}
+
+/// Identity of one weighted pointer of figure 4: caller block, pointer
+/// position within the block, and target block.
+///
+/// Weights attached to these keys are shared by *every occurrence* of the
+/// arc in any search tree, which is requirement 1 of the paper's section 4
+/// ("if an arc appears twice in a tree … they have the same probability.
+/// This is required if these probabilities are to be stored in a database
+/// that is common to all queries").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PointerKey {
+    /// Block containing the pointer.
+    pub caller: Caller,
+    /// Goal position within the caller block.
+    pub goal_idx: u16,
+    /// Block the pointer targets.
+    pub target: ClauseId,
+}
+
+/// One node of the OR-tree: the remaining conjunction of goals plus the
+/// bindings accumulated on the chain from the root.
+#[derive(Clone, Debug)]
+pub struct SearchNode {
+    /// Remaining goals, leftmost first (Prolog selection rule).
+    pub goals: Vec<Goal>,
+    /// Bindings accumulated along the chain from the root.
+    pub bindings: Bindings,
+    /// Next fresh variable index for renaming clauses apart.
+    pub next_var: u32,
+    /// Number of arcs from the root (chain length).
+    pub depth: u32,
+}
+
+impl SearchNode {
+    /// The root node for a query conjunction.
+    ///
+    /// Query variables must be normalized to `0..n`; they stay at those
+    /// indices for the whole search so solutions can be read back out.
+    pub fn root(query_goals: &[Term]) -> SearchNode {
+        let n_vars = query_goals
+            .iter()
+            .filter_map(Term::max_var)
+            .map(|v| v.0 + 1)
+            .max()
+            .unwrap_or(0);
+        let goals = query_goals
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Goal {
+                term: t.clone(),
+                caller: Caller::Query,
+                goal_idx: i as u16,
+            })
+            .collect();
+        SearchNode {
+            goals,
+            bindings: Bindings::new(),
+            next_var: n_vars,
+            depth: 0,
+        }
+    }
+
+    /// Whether every goal has been resolved — a solution leaf.
+    pub fn is_solution(&self) -> bool {
+        self.goals.is_empty()
+    }
+}
+
+/// One child produced by [`expand`].
+#[derive(Clone, Debug)]
+pub struct Expansion {
+    /// The figure-4 pointer followed to produce this child.
+    pub arc: PointerKey,
+    /// The child node.
+    pub node: SearchNode,
+}
+
+/// Counters shared by all engines; see [`crate::solve::SearchStats`].
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ExpandStats {
+    /// Unification attempts (head matches tried).
+    pub unify_attempts: u64,
+    /// Successful unifications (children actually produced).
+    pub unify_successes: u64,
+}
+
+/// Resolve the first goal of `node` against every candidate clause,
+/// returning the surviving children in clause (program) order.
+///
+/// This is the single resolution-step primitive every engine in the
+/// workspace uses — depth-first, breadth-first, iterative deepening, the
+/// B-LOG best-first engine and the parallel executors all call it, so
+/// "nodes expanded" counts are directly comparable across strategies.
+///
+/// Returns an empty vector if the node is a solution (nothing to expand)
+/// or if every candidate fails to unify (the node is a *failure* leaf).
+pub fn expand(db: &ClauseDb, node: &SearchNode, stats: &mut ExpandStats) -> Vec<Expansion> {
+    let Some(goal) = node.goals.first() else {
+        return Vec::new();
+    };
+    // Dereference the goal far enough to know its functor: the goal term
+    // as stored may be a variable bound to a structure by an earlier step.
+    let goal_term = node.bindings.walk(&goal.term).clone();
+    let candidates = db.candidates_for_resolved(&goal_term, &node.bindings);
+    let mut out = Vec::with_capacity(candidates.len());
+    for &cid in candidates.iter() {
+        stats.unify_attempts += 1;
+        let clause = db.clause(cid);
+        let base = node.next_var;
+        let renamed_head = clause.head.offset_vars(base);
+
+        // Child state: clone bindings, try the head match.
+        let mut bindings = node.bindings.clone();
+        let mut trail = Trail::new();
+        bindings.ensure((base + clause.n_vars) as usize);
+        if !unify(&mut bindings, &mut trail, &goal_term, &renamed_head, false) {
+            continue;
+        }
+        stats.unify_successes += 1;
+
+        // New goal list: renamed body goals, then the rest of the old list.
+        let mut goals = Vec::with_capacity(clause.body.len() + node.goals.len() - 1);
+        for (i, b) in clause.body.iter().enumerate() {
+            goals.push(Goal {
+                term: b.offset_vars(base),
+                caller: Caller::Clause(cid),
+                goal_idx: i as u16,
+            });
+        }
+        goals.extend_from_slice(&node.goals[1..]);
+
+        out.push(Expansion {
+            arc: PointerKey {
+                caller: goal.caller,
+                goal_idx: goal.goal_idx,
+                target: cid,
+            },
+            node: SearchNode {
+                goals,
+                bindings,
+                next_var: base + clause.n_vars,
+                depth: node.depth + 1,
+            },
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clause::Clause;
+    use crate::term::VarId;
+
+    /// The paper's figure-1 program.
+    pub(crate) fn family() -> (ClauseDb, Vec<Term>) {
+        let mut db = ClauseDb::new();
+        let f = db.intern("f");
+        let m = db.intern("m");
+        let gf = db.intern("gf");
+        let v = |i| Term::Var(VarId(i));
+        // gf(X,Z) :- f(X,Y), f(Y,Z).
+        db.add_clause(Clause::new(
+            Term::app(gf, vec![v(0), v(2)]),
+            vec![Term::app(f, vec![v(0), v(1)]), Term::app(f, vec![v(1), v(2)])],
+        ))
+        .unwrap();
+        // gf(X,Z) :- f(X,Y), m(Y,Z).
+        db.add_clause(Clause::new(
+            Term::app(gf, vec![v(0), v(2)]),
+            vec![Term::app(f, vec![v(0), v(1)]), Term::app(m, vec![v(1), v(2)])],
+        ))
+        .unwrap();
+        let names = [
+            ("f", "curt", "elain"),
+            ("f", "sam", "larry"),
+            ("f", "dan", "pat"),
+            ("f", "larry", "den"),
+            ("f", "pat", "john"),
+            ("f", "larry", "doug"),
+            ("m", "elain", "john"),
+            ("m", "marian", "elain"),
+            ("m", "peg", "den"),
+            ("m", "peg", "doug"),
+        ];
+        for (p, a, b) in names {
+            let ps = db.intern(p);
+            let aa = db.intern(a);
+            let bb = db.intern(b);
+            db.add_fact(Term::app(ps, vec![Term::Atom(aa), Term::Atom(bb)]))
+                .unwrap();
+        }
+        db.build_pointers();
+        let sam = db.sym("sam").unwrap();
+        let query = vec![Term::app(gf, vec![Term::Atom(sam), Term::Var(VarId(0))])];
+        (db, query)
+    }
+
+    #[test]
+    fn root_counts_query_vars() {
+        let (_, query) = family();
+        let root = SearchNode::root(&query);
+        assert_eq!(root.next_var, 1);
+        assert_eq!(root.goals.len(), 1);
+        assert_eq!(root.depth, 0);
+        assert!(!root.is_solution());
+    }
+
+    #[test]
+    fn expanding_root_matches_both_rules() {
+        let (db, query) = family();
+        let root = SearchNode::root(&query);
+        let mut st = ExpandStats::default();
+        let kids = expand(&db, &root, &mut st);
+        // gf(sam,G) matches exactly the two gf rules.
+        assert_eq!(kids.len(), 2);
+        assert_eq!(kids[0].arc.target, ClauseId(0));
+        assert_eq!(kids[1].arc.target, ClauseId(1));
+        assert_eq!(st.unify_attempts, 2);
+        assert_eq!(st.unify_successes, 2);
+        // Each child now has the two body goals queued.
+        assert_eq!(kids[0].node.goals.len(), 2);
+        assert_eq!(kids[0].node.depth, 1);
+    }
+
+    #[test]
+    fn failing_candidates_are_filtered() {
+        let (db, _) = family();
+        // f(sam, X): only f(sam,larry) among six f-facts unifies.
+        let f = db.sym("f").unwrap();
+        let sam = db.sym("sam").unwrap();
+        let q = vec![Term::app(f, vec![Term::Atom(sam), Term::Var(VarId(0))])];
+        let root = SearchNode::root(&q);
+        let mut st = ExpandStats::default();
+        let kids = expand(&db, &root, &mut st);
+        assert_eq!(kids.len(), 1);
+        assert_eq!(st.unify_attempts, 6);
+        assert_eq!(st.unify_successes, 1);
+        assert!(kids[0].node.is_solution());
+    }
+
+    #[test]
+    fn arc_keys_record_provenance() {
+        let (db, query) = family();
+        let root = SearchNode::root(&query);
+        let mut st = ExpandStats::default();
+        let kids = expand(&db, &root, &mut st);
+        assert_eq!(kids[0].arc.caller, Caller::Query);
+        assert_eq!(kids[0].arc.goal_idx, 0);
+        // Expand one level further: goal now comes from clause 0's body.
+        let grandkids = expand(&db, &kids[0].node, &mut st);
+        assert!(!grandkids.is_empty());
+        assert_eq!(grandkids[0].arc.caller, Caller::Clause(ClauseId(0)));
+        assert_eq!(grandkids[0].arc.goal_idx, 0);
+    }
+
+    #[test]
+    fn expansion_renames_clause_vars_apart() {
+        let (db, query) = family();
+        let root = SearchNode::root(&query);
+        let mut st = ExpandStats::default();
+        let kids = expand(&db, &root, &mut st);
+        // Clause 0 has 3 vars; child must have advanced next_var past them.
+        assert_eq!(kids[0].node.next_var, root.next_var + 3);
+    }
+
+    #[test]
+    fn solution_node_expands_to_nothing() {
+        let (db, _) = family();
+        let node = SearchNode {
+            goals: vec![],
+            bindings: Bindings::new(),
+            next_var: 0,
+            depth: 3,
+        };
+        let mut st = ExpandStats::default();
+        assert!(expand(&db, &node, &mut st).is_empty());
+        assert_eq!(st.unify_attempts, 0);
+    }
+}

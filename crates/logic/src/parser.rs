@@ -1,0 +1,575 @@
+//! A small Prolog-ish reader.
+//!
+//! Supports exactly the language the paper uses (facts, rules, queries —
+//! figure 1) plus integers and lists, which the workload generators use:
+//!
+//! ```text
+//! gf(X,Z) :- f(X,Y), f(Y,Z).      % a rule
+//! f(curt, elain).                 % a fact
+//! ?- gf(sam, G).                  % a query
+//! ```
+//!
+//! Variables start with an uppercase letter or `_`; atoms start lowercase
+//! or are quoted (`'Like This'`); `%` starts a line comment. Lists use the
+//! usual `[a, b | Tail]` sugar desugared onto `'.'/2` and `[]`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::clause::Clause;
+use crate::store::ClauseDb;
+use crate::term::{Term, VarId};
+
+/// A parsed query: conjunction of goals plus the user's variable names
+/// (query variable `i` is named `var_names[i]`).
+#[derive(Clone, Debug)]
+pub struct Query {
+    /// The conjunction, in textual order.
+    pub goals: Vec<Term>,
+    /// Original source names of query variables, indexed by [`VarId`].
+    pub var_names: Vec<String>,
+}
+
+impl Query {
+    /// The variable id for source name `name`, if it appears in the query.
+    pub fn var(&self, name: &str) -> Option<VarId> {
+        self.var_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| VarId(i as u32))
+    }
+}
+
+/// A parsed program: the clause database plus its queries.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// The clause store, with pointer lists already built.
+    pub db: ClauseDb,
+    /// Queries in source order.
+    pub queries: Vec<Query>,
+}
+
+/// Parse failure with 1-based line/column.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, PartialEq, Debug)]
+enum Tok {
+    Atom(String),
+    Var(String),
+    Int(i64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Pipe,
+    Comma,
+    Dot,
+    ColonDash,
+    QueryDash,
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+struct Spanned {
+    tok: Tok,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<Spanned, ParseError> {
+        self.skip_ws();
+        let (line, col) = (self.line, self.col);
+        let mk = |tok| Spanned { tok, line, col };
+        let Some(c) = self.peek() else {
+            return Ok(mk(Tok::Eof));
+        };
+        match c {
+            b'(' => {
+                self.bump();
+                Ok(mk(Tok::LParen))
+            }
+            b')' => {
+                self.bump();
+                Ok(mk(Tok::RParen))
+            }
+            b'[' => {
+                self.bump();
+                Ok(mk(Tok::LBracket))
+            }
+            b']' => {
+                self.bump();
+                Ok(mk(Tok::RBracket))
+            }
+            b'|' => {
+                self.bump();
+                Ok(mk(Tok::Pipe))
+            }
+            b',' => {
+                self.bump();
+                Ok(mk(Tok::Comma))
+            }
+            b'.' => {
+                self.bump();
+                Ok(mk(Tok::Dot))
+            }
+            b':' => {
+                self.bump();
+                if self.peek() == Some(b'-') {
+                    self.bump();
+                    Ok(mk(Tok::ColonDash))
+                } else {
+                    Err(self.err("expected '-' after ':'"))
+                }
+            }
+            b'?' => {
+                self.bump();
+                if self.peek() == Some(b'-') {
+                    self.bump();
+                    Ok(mk(Tok::QueryDash))
+                } else {
+                    Err(self.err("expected '-' after '?'"))
+                }
+            }
+            b'\'' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'\'') => break,
+                        Some(ch) => s.push(ch as char),
+                        None => return Err(self.err("unterminated quoted atom")),
+                    }
+                }
+                Ok(mk(Tok::Atom(s)))
+            }
+            b'-' if self.peek2().is_some_and(|d| d.is_ascii_digit()) => {
+                self.bump();
+                let n = self.lex_int()?;
+                Ok(mk(Tok::Int(-n)))
+            }
+            c if c.is_ascii_digit() => {
+                let n = self.lex_int()?;
+                Ok(mk(Tok::Int(n)))
+            }
+            c if c.is_ascii_lowercase() => {
+                let s = self.lex_ident();
+                Ok(mk(Tok::Atom(s)))
+            }
+            c if c.is_ascii_uppercase() || c == b'_' => {
+                let s = self.lex_ident();
+                Ok(mk(Tok::Var(s)))
+            }
+            c => Err(self.err(format!("unexpected character '{}'", c as char))),
+        }
+    }
+
+    fn lex_int(&mut self) -> Result<i64, ParseError> {
+        let mut n: i64 = 0;
+        while let Some(c) = self.peek() {
+            if !c.is_ascii_digit() {
+                break;
+            }
+            self.bump();
+            n = n
+                .checked_mul(10)
+                .and_then(|m| m.checked_add((c - b'0') as i64))
+                .ok_or_else(|| self.err("integer literal overflows i64"))?;
+        }
+        Ok(n)
+    }
+
+    fn lex_ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                s.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    lookahead: Spanned,
+    db: ClauseDb,
+    /// Variable name → index, reset per clause/query.
+    vars: HashMap<String, VarId>,
+    var_names: Vec<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Result<Self, ParseError> {
+        let mut lexer = Lexer::new(src);
+        let lookahead = lexer.next_tok()?;
+        Ok(Parser {
+            lexer,
+            lookahead,
+            db: ClauseDb::new(),
+            vars: HashMap::new(),
+            var_names: Vec::new(),
+        })
+    }
+
+    fn advance(&mut self) -> Result<Spanned, ParseError> {
+        let next = self.lexer.next_tok()?;
+        Ok(std::mem::replace(&mut self.lookahead, next))
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self.lookahead.line,
+            col: self.lookahead.col,
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), ParseError> {
+        if self.lookahead.tok == tok {
+            self.advance()?;
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {what}")))
+        }
+    }
+
+    fn fresh_clause_scope(&mut self) {
+        self.vars.clear();
+        self.var_names.clear();
+    }
+
+    fn var_id(&mut self, name: String) -> VarId {
+        // An `_` on its own is always a fresh anonymous variable.
+        if name == "_" {
+            let id = VarId(self.var_names.len() as u32);
+            self.var_names.push(format!("_G{}", id.0));
+            return id;
+        }
+        if let Some(&id) = self.vars.get(&name) {
+            return id;
+        }
+        let id = VarId(self.var_names.len() as u32);
+        self.vars.insert(name.clone(), id);
+        self.var_names.push(name);
+        id
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        match self.advance()?.tok {
+            Tok::Int(n) => Ok(Term::Int(n)),
+            Tok::Var(name) => Ok(Term::Var(self.var_id(name))),
+            Tok::Atom(name) => {
+                if self.lookahead.tok == Tok::LParen {
+                    self.advance()?;
+                    let mut args = vec![self.parse_term()?];
+                    while self.lookahead.tok == Tok::Comma {
+                        self.advance()?;
+                        args.push(self.parse_term()?);
+                    }
+                    self.expect(Tok::RParen, "')' closing argument list")?;
+                    let f = self.db.intern(&name);
+                    Ok(Term::app(f, args))
+                } else {
+                    Ok(Term::Atom(self.db.intern(&name)))
+                }
+            }
+            Tok::LBracket => self.parse_list(),
+            other => Err(self.err_here(format!("expected a term, found {other:?}"))),
+        }
+    }
+
+    fn parse_list(&mut self) -> Result<Term, ParseError> {
+        let nil = Term::Atom(self.db.intern("[]"));
+        if self.lookahead.tok == Tok::RBracket {
+            self.advance()?;
+            return Ok(nil);
+        }
+        let mut items = vec![self.parse_term()?];
+        while self.lookahead.tok == Tok::Comma {
+            self.advance()?;
+            items.push(self.parse_term()?);
+        }
+        let tail = if self.lookahead.tok == Tok::Pipe {
+            self.advance()?;
+            self.parse_term()?
+        } else {
+            nil
+        };
+        self.expect(Tok::RBracket, "']' closing list")?;
+        let cons = self.db.intern(".");
+        Ok(items
+            .into_iter()
+            .rev()
+            .fold(tail, |acc, item| Term::app(cons, vec![item, acc])))
+    }
+
+    fn parse_goals(&mut self) -> Result<Vec<Term>, ParseError> {
+        let mut goals = vec![self.parse_term()?];
+        while self.lookahead.tok == Tok::Comma {
+            self.advance()?;
+            goals.push(self.parse_term()?);
+        }
+        Ok(goals)
+    }
+
+    fn parse_program(mut self) -> Result<Program, ParseError> {
+        let mut queries = Vec::new();
+        loop {
+            match self.lookahead.tok {
+                Tok::Eof => break,
+                Tok::QueryDash => {
+                    self.advance()?;
+                    self.fresh_clause_scope();
+                    let goals = self.parse_goals()?;
+                    self.expect(Tok::Dot, "'.' ending query")?;
+                    queries.push(Query {
+                        goals,
+                        var_names: std::mem::take(&mut self.var_names),
+                    });
+                }
+                _ => {
+                    self.fresh_clause_scope();
+                    let head = self.parse_term()?;
+                    let body = if self.lookahead.tok == Tok::ColonDash {
+                        self.advance()?;
+                        self.parse_goals()?
+                    } else {
+                        Vec::new()
+                    };
+                    self.expect(Tok::Dot, "'.' ending clause")?;
+                    self.db
+                        .add_clause(Clause::new(head, body))
+                        .map_err(|e| self.err_here(e.to_string()))?;
+                }
+            }
+        }
+        self.db.build_pointers();
+        Ok(Program {
+            db: self.db,
+            queries,
+        })
+    }
+}
+
+/// Parse a full program (clauses and `?-` queries).
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    Parser::new(src)?.parse_program()
+}
+
+/// Parse a single query body (no leading `?-`, no trailing `.` required)
+/// against an existing database, so sessions can pose new queries without
+/// re-reading the program.
+pub fn parse_query(db: &mut ClauseDb, src: &str) -> Result<Query, ParseError> {
+    let mut p = Parser::new(src)?;
+    // Reuse the existing database's symbol table by swapping it in.
+    std::mem::swap(&mut p.db, db);
+    let res = (|| {
+        if p.lookahead.tok == Tok::QueryDash {
+            p.advance()?;
+        }
+        let goals = p.parse_goals()?;
+        if p.lookahead.tok == Tok::Dot {
+            p.advance()?;
+        }
+        if p.lookahead.tok != Tok::Eof {
+            return Err(p.err_here("trailing input after query"));
+        }
+        Ok(goals)
+    })();
+    std::mem::swap(&mut p.db, db);
+    let goals = res?;
+    Ok(Query {
+        goals,
+        var_names: p.var_names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::VarId;
+
+    #[test]
+    fn parses_figure_1_program() {
+        let src = "
+            gf(X,Z) :- f(X,Y), f(Y,Z).
+            gf(X,Z) :- f(X,Y), m(Y,Z).
+            f(curt,elain). f(sam,larry). f(dan,pat). f(larry,den).
+            f(pat,john). f(larry,doug).
+            m(elain,john). m(marian,elain). m(peg,den). m(peg,doug).
+            ?- gf(sam,G).
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.db.len(), 12);
+        assert_eq!(p.queries.len(), 1);
+        let q = &p.queries[0];
+        assert_eq!(q.var_names, vec!["G"]);
+        assert_eq!(q.var("G"), Some(VarId(0)));
+    }
+
+    #[test]
+    fn clause_vars_are_scoped_per_clause() {
+        let p = parse_program("p(X) :- q(X). r(X).").unwrap();
+        // Both clauses see their X as var 0.
+        assert_eq!(p.db.clause(crate::ClauseId(0)).n_vars, 1);
+        assert_eq!(p.db.clause(crate::ClauseId(1)).n_vars, 1);
+    }
+
+    #[test]
+    fn anonymous_vars_are_fresh() {
+        let p = parse_program("p(_, _).").unwrap();
+        assert_eq!(p.db.clause(crate::ClauseId(0)).n_vars, 2);
+    }
+
+    #[test]
+    fn integers_and_negatives() {
+        let p = parse_program("age(sam, 70). delta(-3).").unwrap();
+        assert_eq!(p.db.len(), 2);
+    }
+
+    #[test]
+    fn quoted_atoms() {
+        let p = parse_program("likes('Sam Smith', jazz).").unwrap();
+        assert!(p.db.sym("Sam Smith").is_some());
+    }
+
+    #[test]
+    fn lists_desugar_to_cons() {
+        let p = parse_program("l([a, b]). e([]). t([H|T]).").unwrap();
+        let c = p.db.clause(crate::ClauseId(0));
+        // l('.'(a, '.'(b, [])))
+        match &c.head {
+            Term::Struct(_, args) => match &args[0] {
+                Term::Struct(cons, inner) => {
+                    assert_eq!(p.db.symbols().name(*cons), ".");
+                    assert_eq!(inner.len(), 2);
+                }
+                other => panic!("expected cons cell, got {other:?}"),
+            },
+            other => panic!("expected struct head, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = parse_program("% a comment\np(a). % another\n").unwrap();
+        assert_eq!(p.db.len(), 1);
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_program("p(a)\nq(b).").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn missing_dot_is_an_error() {
+        assert!(parse_program("p(a)").is_err());
+    }
+
+    #[test]
+    fn parse_query_reuses_db_symbols() {
+        let mut p = parse_program("f(a,b).").unwrap();
+        let before = p.db.symbols().len();
+        let q = parse_query(&mut p.db, "f(a, X)").unwrap();
+        assert_eq!(q.goals.len(), 1);
+        assert_eq!(q.var_names, vec!["X"]);
+        // 'f' and 'a' were already interned.
+        assert_eq!(p.db.symbols().len(), before);
+    }
+
+    #[test]
+    fn parse_query_rejects_trailing_garbage() {
+        let mut p = parse_program("f(a,b).").unwrap();
+        assert!(parse_query(&mut p.db, "f(a,X). oops").is_err());
+    }
+
+    #[test]
+    fn multi_goal_query() {
+        let mut p = parse_program("f(a,b). g(b,c).").unwrap();
+        let q = parse_query(&mut p.db, "f(a,X), g(X,Y)").unwrap();
+        assert_eq!(q.goals.len(), 2);
+        assert_eq!(q.var_names, vec!["X", "Y"]);
+    }
+}

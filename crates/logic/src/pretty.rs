@@ -1,0 +1,106 @@
+//! Rendering terms back to Prolog-ish text.
+
+use crate::bindings::Bindings;
+use crate::store::ClauseDb;
+use crate::term::Term;
+
+/// Render `t` using the database's symbol table. Unbound variables print
+/// as `_Gn`. List cells built on `'.'/2` print with bracket sugar.
+pub fn term_to_string(db: &ClauseDb, t: &Term) -> String {
+    let mut s = String::new();
+    write_term(db, t, &mut s);
+    s
+}
+
+/// Render `t` after applying `bindings`.
+pub fn resolved_to_string(db: &ClauseDb, bindings: &Bindings, t: &Term) -> String {
+    term_to_string(db, &bindings.resolve(t))
+}
+
+fn write_term(db: &ClauseDb, t: &Term, out: &mut String) {
+    match t {
+        Term::Var(v) => {
+            out.push_str("_G");
+            out.push_str(&v.0.to_string());
+        }
+        Term::Int(n) => out.push_str(&n.to_string()),
+        Term::Atom(s) => out.push_str(db.symbols().name(*s)),
+        Term::Struct(f, args) => {
+            let fname = db.symbols().name(*f);
+            if fname == "." && args.len() == 2 {
+                write_list(db, t, out);
+                return;
+            }
+            out.push_str(fname);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_term(db, a, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn write_list(db: &ClauseDb, t: &Term, out: &mut String) {
+    out.push('[');
+    let mut cur = t;
+    let mut first = true;
+    loop {
+        match cur {
+            Term::Struct(f, args)
+                if args.len() == 2 && db.symbols().name(*f) == "." =>
+            {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                write_term(db, &args[0], out);
+                cur = &args[1];
+            }
+            Term::Atom(s) if db.symbols().name(*s) == "[]" => break,
+            other => {
+                out.push('|');
+                write_term(db, other, out);
+                break;
+            }
+        }
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn atoms_vars_ints() {
+        let p = parse_program("p(a, 3, X).").unwrap();
+        let c = p.db.clause(crate::ClauseId(0));
+        assert_eq!(term_to_string(&p.db, &c.head), "p(a,3,_G0)");
+    }
+
+    #[test]
+    fn proper_list_sugar() {
+        let p = parse_program("l([a,b,c]).").unwrap();
+        let c = p.db.clause(crate::ClauseId(0));
+        assert_eq!(term_to_string(&p.db, &c.head), "l([a,b,c])");
+    }
+
+    #[test]
+    fn improper_list_tail() {
+        let p = parse_program("l([a|T]).").unwrap();
+        let c = p.db.clause(crate::ClauseId(0));
+        assert_eq!(term_to_string(&p.db, &c.head), "l([a|_G0])");
+    }
+
+    #[test]
+    fn empty_list() {
+        let p = parse_program("l([]).").unwrap();
+        let c = p.db.clause(crate::ClauseId(0));
+        assert_eq!(term_to_string(&p.db, &c.head), "l([])");
+    }
+}

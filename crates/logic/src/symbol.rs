@@ -1,0 +1,124 @@
+//! Interned symbols.
+//!
+//! Every functor and constant name in a program is interned once into a
+//! [`SymbolTable`]; the rest of the system only ever compares the 32-bit
+//! [`Sym`] handles. The table is owned by the clause database and is
+//! read-only during search, so a database wrapped in `Arc` can be shared
+//! freely across worker threads.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to an interned string.
+///
+/// `Sym` values are only meaningful relative to the [`SymbolTable`] that
+/// produced them; two tables intern independently.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// Index into the owning table's storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only string interner.
+#[derive(Default, Clone)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    lookup: HashMap<String, Sym>,
+}
+
+impl SymbolTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning the existing handle if already present.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&sym) = self.lookup.get(name) {
+            return sym;
+        }
+        let sym = Sym(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.lookup.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Look up a handle without interning. Returns `None` if `name` was
+    /// never interned.
+    pub fn get(&self, name: &str) -> Option<Sym> {
+        self.lookup.get(name).copied()
+    }
+
+    /// The string for `sym`.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this table.
+    pub fn name(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct symbols interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl fmt::Debug for SymbolTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SymbolTable")
+            .field("len", &self.names.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("foo");
+        let b = t.intern("foo");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_distinct_syms() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("foo");
+        let b = t.intern("bar");
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), "foo");
+        assert_eq!(t.name(b), "bar");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert!(t.get("x").is_none());
+        let s = t.intern("x");
+        assert_eq!(t.get("x"), Some(s));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut t = SymbolTable::new();
+        assert!(t.is_empty());
+        t.intern("a");
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+}

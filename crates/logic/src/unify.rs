@@ -1,0 +1,236 @@
+//! Robinson unification over the binding store.
+//!
+//! Implemented iteratively with an explicit work stack so that deep terms
+//! cannot overflow the call stack. The occurs check is optional and off by
+//! default, matching the DEC-10 Prolog the paper takes as its baseline;
+//! the B-LOG engines run with whatever the caller configures, so baseline
+//! and best-first searches always unify identically.
+
+use crate::bindings::{Bindings, Trail};
+use crate::term::{Term, VarId};
+
+/// Attempt to unify `a` and `b` under `bindings`.
+///
+/// On success, returns `true` with the new bindings recorded on `trail`.
+/// On failure, returns `false` — the caller must undo to its own trail
+/// mark (bindings made before the failure point are *not* rolled back
+/// here, exactly like a WAM-style engine).
+pub fn unify(
+    bindings: &mut Bindings,
+    trail: &mut Trail,
+    a: &Term,
+    b: &Term,
+    occurs_check: bool,
+) -> bool {
+    let mut stack: Vec<(Term, Term)> = vec![(a.clone(), b.clone())];
+    while let Some((x, y)) = stack.pop() {
+        let x = bindings.walk(&x).clone();
+        let y = bindings.walk(&y).clone();
+        match (x, y) {
+            (Term::Var(v), Term::Var(w)) if v == w => {}
+            (Term::Var(v), t) | (t, Term::Var(v)) => {
+                if occurs_check && occurs(bindings, v, &t) {
+                    return false;
+                }
+                bindings.bind(trail, v, t);
+            }
+            (Term::Atom(p), Term::Atom(q)) => {
+                if p != q {
+                    return false;
+                }
+            }
+            (Term::Int(p), Term::Int(q)) => {
+                if p != q {
+                    return false;
+                }
+            }
+            (Term::Struct(f, xs), Term::Struct(g, ys)) => {
+                if f != g || xs.len() != ys.len() {
+                    return false;
+                }
+                for (xa, ya) in xs.iter().zip(ys.iter()) {
+                    stack.push((xa.clone(), ya.clone()));
+                }
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Whether variable `v` occurs in `t` after dereferencing through
+/// `bindings`.
+pub fn occurs(bindings: &Bindings, v: VarId, t: &Term) -> bool {
+    let mut stack: Vec<Term> = vec![t.clone()];
+    while let Some(u) = stack.pop() {
+        match bindings.walk(&u) {
+            Term::Var(w) => {
+                if *w == v {
+                    return true;
+                }
+            }
+            Term::Atom(_) | Term::Int(_) => {}
+            Term::Struct(_, args) => {
+                for a in args.iter() {
+                    stack.push(a.clone());
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Sym;
+
+    fn atom(i: u32) -> Term {
+        Term::Atom(Sym(i))
+    }
+    fn var(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+    fn app(f: u32, args: Vec<Term>) -> Term {
+        Term::app(Sym(f), args)
+    }
+
+    fn fresh() -> (Bindings, Trail) {
+        (Bindings::new(), Trail::new())
+    }
+
+    #[test]
+    fn atoms_unify_iff_equal() {
+        let (mut b, mut t) = fresh();
+        assert!(unify(&mut b, &mut t, &atom(1), &atom(1), false));
+        assert!(!unify(&mut b, &mut t, &atom(1), &atom(2), false));
+    }
+
+    #[test]
+    fn ints_unify_iff_equal() {
+        let (mut b, mut t) = fresh();
+        assert!(unify(&mut b, &mut t, &Term::Int(5), &Term::Int(5), false));
+        assert!(!unify(&mut b, &mut t, &Term::Int(5), &Term::Int(6), false));
+    }
+
+    #[test]
+    fn var_binds_to_term() {
+        let (mut b, mut t) = fresh();
+        assert!(unify(&mut b, &mut t, &var(0), &atom(3), false));
+        assert_eq!(b.walk(&var(0)), &atom(3));
+    }
+
+    #[test]
+    fn structs_unify_argwise() {
+        let (mut b, mut t) = fresh();
+        let lhs = app(0, vec![var(0), atom(2)]);
+        let rhs = app(0, vec![atom(1), var(1)]);
+        assert!(unify(&mut b, &mut t, &lhs, &rhs, false));
+        assert_eq!(b.walk(&var(0)), &atom(1));
+        assert_eq!(b.walk(&var(1)), &atom(2));
+    }
+
+    #[test]
+    fn functor_mismatch_fails() {
+        let (mut b, mut t) = fresh();
+        assert!(!unify(
+            &mut b,
+            &mut t,
+            &app(0, vec![atom(1)]),
+            &app(1, vec![atom(1)]),
+            false
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_fails() {
+        let (mut b, mut t) = fresh();
+        assert!(!unify(
+            &mut b,
+            &mut t,
+            &app(0, vec![atom(1)]),
+            &app(0, vec![atom(1), atom(2)]),
+            false
+        ));
+    }
+
+    #[test]
+    fn atom_vs_struct_fails() {
+        let (mut b, mut t) = fresh();
+        assert!(!unify(&mut b, &mut t, &atom(0), &app(0, vec![atom(1)]), false));
+    }
+
+    #[test]
+    fn same_var_unifies_without_binding() {
+        let (mut b, mut t) = fresh();
+        assert!(unify(&mut b, &mut t, &var(4), &var(4), false));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn var_var_aliasing() {
+        let (mut b, mut t) = fresh();
+        assert!(unify(&mut b, &mut t, &var(0), &var(1), false));
+        assert!(unify(&mut b, &mut t, &var(1), &atom(9), false));
+        assert_eq!(b.walk(&var(0)), &atom(9));
+    }
+
+    #[test]
+    fn occurs_check_rejects_cyclic() {
+        let (mut b, mut t) = fresh();
+        let cyc = app(0, vec![var(0)]);
+        assert!(!unify(&mut b, &mut t, &var(0), &cyc, true));
+    }
+
+    #[test]
+    fn without_occurs_check_cyclic_binds() {
+        // DEC-10 Prolog behaviour: X = f(X) silently succeeds.
+        let (mut b, mut t) = fresh();
+        let cyc = app(0, vec![var(1)]);
+        assert!(unify(&mut b, &mut t, &var(0), &cyc, false));
+    }
+
+    #[test]
+    fn occurs_dereferences_chains() {
+        let (mut b, mut tr) = fresh();
+        // v1 := f(v2); does v2 occur in v1?
+        assert!(unify(&mut b, &mut tr, &var(1), &app(0, vec![var(2)]), false));
+        assert!(occurs(&b, VarId(2), &var(1)));
+        assert!(!occurs(&b, VarId(3), &var(1)));
+    }
+
+    #[test]
+    fn deep_terms_do_not_overflow() {
+        // A term nested 100_000 deep would kill a recursive unifier; our
+        // explicit work stack handles it. The nested term's *Drop* is
+        // recursive in debug builds, so run on a thread with a large
+        // stack — unify itself must succeed well within it.
+        std::thread::Builder::new()
+            .stack_size(256 * 1024 * 1024)
+            .spawn(|| {
+                let mut t1 = atom(0);
+                let mut t2 = atom(0);
+                for _ in 0..100_000 {
+                    t1 = app(1, vec![t1]);
+                    t2 = app(1, vec![t2]);
+                }
+                let (mut b, mut tr) = fresh();
+                assert!(unify(&mut b, &mut tr, &t1, &t2, false));
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+    }
+
+    #[test]
+    fn failed_unification_leaves_partial_bindings_on_trail() {
+        // Callers are responsible for undoing; verify the contract.
+        let (mut b, mut tr) = fresh();
+        let mark = tr.mark();
+        let lhs = app(0, vec![var(0), atom(1)]);
+        let rhs = app(0, vec![atom(5), atom(2)]);
+        assert!(!unify(&mut b, &mut tr, &lhs, &rhs, false));
+        b.undo_to(&mut tr, mark);
+        assert!(b.get(VarId(0)).is_none());
+    }
+}

@@ -1,0 +1,95 @@
+//! The multi-write copying memory, as a cost model.
+//!
+//! "A multitasked processor will spend a lot of time copying data … as
+//! new chains in the search tree are sprouted. … Using a shift register
+//! inside the memory, along side the address decoder, … by setting
+//! several bits in the shift register (using the decoder), we can write
+//! the contents of all words that have a 1 in the shift register. We
+//! could then shift the whole bit pattern down one location so that we
+//! can write the next word of each copy in one memory access." (§6)
+//!
+//! So: a conventional memory copies `k` sprouted chains of `b` words in
+//! `k·b` accesses; the multi-write memory sets `k` shift-register bits
+//! once and then streams the `b` words, each access writing all `k`
+//! copies at once.
+
+use serde::Serialize;
+
+/// Access costs of the processor memory.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MemoryCosts {
+    /// One ordinary word write.
+    pub word_write: u64,
+    /// Setting one bit of the shift register (through the decoder).
+    pub set_bit: u64,
+    /// Shifting the whole register down one position.
+    pub shift: u64,
+}
+
+impl Default for MemoryCosts {
+    fn default() -> Self {
+        MemoryCosts {
+            word_write: 4,
+            set_bit: 1,
+            shift: 1,
+        }
+    }
+}
+
+/// Cycles to copy one `words`-word block to `k_copies` destinations with
+/// ordinary single writes.
+pub fn copy_single_write(costs: &MemoryCosts, k_copies: u64, words: u64) -> u64 {
+    k_copies * words * costs.word_write
+}
+
+/// Cycles to do the same with the multi-write shift-register memory.
+pub fn copy_multi_write(costs: &MemoryCosts, k_copies: u64, words: u64) -> u64 {
+    // Set k bits, then per word: one (broadcast) write plus one shift.
+    k_copies * costs.set_bit + words * (costs.word_write + costs.shift)
+}
+
+/// Speedup of multi-write over single-write for a given sprout shape.
+pub fn multiwrite_speedup(costs: &MemoryCosts, k_copies: u64, words: u64) -> f64 {
+    copy_single_write(costs, k_copies, words) as f64
+        / copy_multi_write(costs, k_copies, words).max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_copy_multiwrite_is_not_worse_than_2x() {
+        let c = MemoryCosts::default();
+        // k = 1: multi-write pays the shift overhead; bounded slowdown.
+        let s = copy_single_write(&c, 1, 64);
+        let m = copy_multi_write(&c, 1, 64);
+        assert!(m <= 2 * s, "multi {m} vs single {s}");
+    }
+
+    #[test]
+    fn speedup_approaches_k_for_wide_sprouts() {
+        let c = MemoryCosts::default();
+        let sp = multiwrite_speedup(&c, 16, 1024);
+        // Ideal is 16 × (4 / 5) = 12.8 with these costs.
+        assert!(sp > 10.0, "speedup {sp}");
+        assert!(sp <= 16.0);
+    }
+
+    #[test]
+    fn speedup_grows_with_k() {
+        let c = MemoryCosts::default();
+        let s2 = multiwrite_speedup(&c, 2, 256);
+        let s8 = multiwrite_speedup(&c, 8, 256);
+        assert!(s8 > s2);
+    }
+
+    #[test]
+    fn costs_are_linear_in_words() {
+        let c = MemoryCosts::default();
+        assert_eq!(
+            copy_multi_write(&c, 4, 200),
+            copy_multi_write(&c, 4, 100) * 2 - 4 * c.set_bit
+        );
+    }
+}

@@ -1,0 +1,344 @@
+//! The shared weighted frontier.
+//!
+//! Per-worker chain pools with a minimum-seeking acquisition rule: a free
+//! worker compares its own cheapest chain against the cheapest chain on
+//! any other worker and takes the remote one only when it is more than
+//! `D` cheaper — §6's arbitration, with a mutex-protected scan playing
+//! the comparator tree's role.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use blog_core::chain::Chain;
+use blog_core::weight::Bound;
+use parking_lot::{Condvar, Mutex};
+
+/// How workers share chains.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrontierPolicy {
+    /// One global pool: every acquisition takes the global minimum
+    /// (idealized best-first, the "sorting network" design of §3).
+    SharedHeap,
+    /// Per-worker pools with the §6 D-threshold arbitration.
+    LocalPools {
+        /// The communication threshold `D`, in bound units.
+        d: u64,
+    },
+}
+
+struct Item {
+    key: (u64, u64), // (bound, seq)
+    chain: Chain,
+}
+
+impl PartialEq for Item {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Item {}
+impl PartialOrd for Item {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Item {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+struct State {
+    pools: Vec<BinaryHeap<Reverse<Item>>>,
+    /// Chains popped and still being expanded.
+    active: usize,
+    /// Monotone sequence for deterministic per-pool tie-breaks.
+    seq: u64,
+    /// Set when the search is complete or aborted.
+    done: bool,
+    /// Remote acquisitions (chains taken from another worker's pool).
+    steals: u64,
+    /// Local acquisitions.
+    local: u64,
+    /// Largest total frontier size observed.
+    max_len: usize,
+}
+
+/// Outcome counters returned by [`Frontier::counters`].
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FrontierCounters {
+    /// Chains taken from another worker's pool.
+    pub steals: u64,
+    /// Chains taken from the worker's own pool.
+    pub local: u64,
+    /// Peak total frontier size.
+    pub max_len: usize,
+}
+
+/// The shared frontier (one per parallel query).
+pub struct Frontier {
+    policy: FrontierPolicy,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Frontier {
+    /// A frontier for `n_workers` workers, seeded with the root chain in
+    /// worker 0's pool (the paper: "initially, one processor is given the
+    /// initial query").
+    pub fn new(n_workers: usize, policy: FrontierPolicy, root: Chain) -> Frontier {
+        assert!(n_workers >= 1);
+        let n_pools = match policy {
+            FrontierPolicy::SharedHeap => 1,
+            FrontierPolicy::LocalPools { .. } => n_workers,
+        };
+        let mut pools: Vec<BinaryHeap<Reverse<Item>>> =
+            (0..n_pools).map(|_| BinaryHeap::new()).collect();
+        pools[0].push(Reverse(Item {
+            key: (root.bound.0, 0),
+            chain: root,
+        }));
+        Frontier {
+            policy,
+            state: Mutex::new(State {
+                pools,
+                active: 0,
+                seq: 1,
+                done: false,
+                steals: 0,
+                local: 0,
+                max_len: 1,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn pool_of(&self, worker: usize) -> usize {
+        match self.policy {
+            FrontierPolicy::SharedHeap => 0,
+            FrontierPolicy::LocalPools { .. } => worker,
+        }
+    }
+
+    /// Push freshly sprouted chains from `worker`.
+    pub fn push_children(&self, worker: usize, children: Vec<Chain>) {
+        if children.is_empty() {
+            return;
+        }
+        let mut st = self.state.lock();
+        let pool = self.pool_of(worker);
+        let n = children.len();
+        for chain in children {
+            st.seq += 1;
+            let key = (chain.bound.0, st.seq);
+            st.pools[pool].push(Reverse(Item { key, chain }));
+        }
+        let total: usize = st.pools.iter().map(BinaryHeap::len).sum();
+        st.max_len = st.max_len.max(total);
+        drop(st);
+        for _ in 0..n {
+            self.cv.notify_one();
+        }
+    }
+
+    /// Acquire the next chain for `worker`, blocking while the frontier
+    /// is temporarily empty but other workers are still expanding.
+    /// Returns `None` when the search is complete (or aborted).
+    pub fn acquire(&self, worker: usize) -> Option<Chain> {
+        let mut st = self.state.lock();
+        loop {
+            if st.done {
+                return None;
+            }
+            let my_pool = self.pool_of(worker);
+            let chosen = self.choose_pool(&st, my_pool);
+            if let Some(pool) = chosen {
+                let Reverse(item) = st.pools[pool].pop().expect("chosen pool non-empty");
+                st.active += 1;
+                if pool == my_pool {
+                    st.local += 1;
+                } else {
+                    st.steals += 1;
+                }
+                return Some(item.chain);
+            }
+            if st.active == 0 {
+                // Nothing in flight and nothing queued: search over.
+                st.done = true;
+                self.cv.notify_all();
+                return None;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Pick the pool to pop from, honoring the D-threshold.
+    fn choose_pool(&self, st: &State, my_pool: usize) -> Option<usize> {
+        let min_of = |p: usize| st.pools[p].peek().map(|Reverse(i)| i.key.0);
+        match self.policy {
+            FrontierPolicy::SharedHeap => min_of(0).map(|_| 0),
+            FrontierPolicy::LocalPools { d } => {
+                let local = min_of(my_pool);
+                let mut best_remote: Option<(usize, u64)> = None;
+                for p in 0..st.pools.len() {
+                    if p == my_pool {
+                        continue;
+                    }
+                    if let Some(b) = min_of(p) {
+                        if best_remote.is_none_or(|(_, bb)| b < bb) {
+                            best_remote = Some((p, b));
+                        }
+                    }
+                }
+                match (local, best_remote) {
+                    (None, None) => None,
+                    (Some(_), None) => Some(my_pool),
+                    (None, Some((p, _))) => Some(p),
+                    (Some(lb), Some((p, rb))) => {
+                        if rb.saturating_add(d) < lb {
+                            Some(p)
+                        } else {
+                            Some(my_pool)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mark one acquired chain as fully processed. Must be called exactly
+    /// once per successful [`acquire`](Self::acquire).
+    pub fn finish(&self, _worker: usize) {
+        let mut st = self.state.lock();
+        st.active -= 1;
+        if st.active == 0 && st.pools.iter().all(BinaryHeap::is_empty) {
+            st.done = true;
+            self.cv.notify_all();
+        } else if st.active == 0 {
+            // Waiters may now be able to pick up the remaining work.
+            self.cv.notify_all();
+        }
+    }
+
+    /// Abort the search: wake everyone, acquire returns `None`.
+    pub fn abort(&self) {
+        let mut st = self.state.lock();
+        st.done = true;
+        self.cv.notify_all();
+    }
+
+    /// The globally cheapest queued bound, if any (for tests/monitoring).
+    pub fn global_min(&self) -> Option<Bound> {
+        let st = self.state.lock();
+        st.pools
+            .iter()
+            .filter_map(|p| p.peek().map(|Reverse(i)| i.key.0))
+            .min()
+            .map(Bound)
+    }
+
+    /// Steal/local counters.
+    pub fn counters(&self) -> FrontierCounters {
+        let st = self.state.lock();
+        FrontierCounters {
+            steals: st.steals,
+            local: st.local,
+            max_len: st.max_len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blog_logic::SearchNode;
+
+    fn chain(bound: u64) -> Chain {
+        let mut c = Chain::root(SearchNode::root(&[]));
+        c.bound = Bound(bound);
+        c
+    }
+
+    #[test]
+    fn seeded_root_is_acquired_first() {
+        let f = Frontier::new(2, FrontierPolicy::SharedHeap, chain(7));
+        let c = f.acquire(0).unwrap();
+        assert_eq!(c.bound, Bound(7));
+        f.finish(0);
+        assert!(f.acquire(0).is_none());
+    }
+
+    #[test]
+    fn shared_heap_pops_global_minimum() {
+        let f = Frontier::new(2, FrontierPolicy::SharedHeap, chain(5));
+        let first = f.acquire(0).unwrap();
+        assert_eq!(first.bound, Bound(5));
+        f.push_children(0, vec![chain(9), chain(3), chain(6)]);
+        let next = f.acquire(1).unwrap();
+        assert_eq!(next.bound, Bound(3));
+        f.abort();
+    }
+
+    #[test]
+    fn local_pools_respect_d() {
+        // Worker 0 holds bounds {10}; worker 1 holds {13}. With D=5 the
+        // remote 10 is not 5 cheaper than 13, so worker 1 stays local.
+        let f = Frontier::new(2, FrontierPolicy::LocalPools { d: 5 }, chain(10));
+        // Seed worker 1's pool by pushing from worker 1.
+        f.push_children(1, vec![chain(13)]);
+        let got = f.acquire(1).unwrap();
+        assert_eq!(got.bound, Bound(13), "D gate keeps worker 1 local");
+        // With D=1, worker 1 steals the 10.
+        let f2 = Frontier::new(2, FrontierPolicy::LocalPools { d: 1 }, chain(10));
+        f2.push_children(1, vec![chain(13)]);
+        let got2 = f2.acquire(1).unwrap();
+        assert_eq!(got2.bound, Bound(10));
+        assert_eq!(f2.counters().steals, 1);
+        f.abort();
+        f2.abort();
+    }
+
+    #[test]
+    fn empty_local_pool_always_steals() {
+        let f = Frontier::new(2, FrontierPolicy::LocalPools { d: 1_000 }, chain(42));
+        let got = f.acquire(1).unwrap();
+        assert_eq!(got.bound, Bound(42));
+        assert_eq!(f.counters().steals, 1);
+        f.abort();
+    }
+
+    #[test]
+    fn finish_without_work_terminates_all() {
+        let f = Frontier::new(1, FrontierPolicy::SharedHeap, chain(1));
+        let _c = f.acquire(0).unwrap();
+        f.finish(0); // no children pushed → done
+        assert!(f.acquire(0).is_none());
+    }
+
+    #[test]
+    fn blocking_acquire_wakes_on_push() {
+        use std::sync::Arc;
+        let f = Arc::new(Frontier::new(2, FrontierPolicy::SharedHeap, chain(1)));
+        let c = f.acquire(0).unwrap();
+        assert_eq!(c.bound, Bound(1));
+        let f2 = Arc::clone(&f);
+        let handle = std::thread::spawn(move || f2.acquire(1).map(|c| c.bound));
+        // The spawned worker blocks (active == 1, pool empty); pushing
+        // work must wake it.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        f.push_children(0, vec![chain(8)]);
+        f.finish(0);
+        let got = handle.join().unwrap();
+        assert_eq!(got, Some(Bound(8)));
+        f.abort();
+    }
+
+    #[test]
+    fn max_len_tracks_peak() {
+        let f = Frontier::new(1, FrontierPolicy::SharedHeap, chain(1));
+        let _ = f.acquire(0).unwrap();
+        f.push_children(0, vec![chain(2), chain(3), chain(4)]);
+        assert_eq!(f.counters().max_len, 3);
+        f.abort();
+    }
+}

@@ -1,0 +1,38 @@
+//! # blog-parallel — B-LOG on real threads
+//!
+//! The `blog-machine` crate *simulates* the paper's MIMD computer; this
+//! crate *runs* the same scheduling policy on actual OS threads, which is
+//! the closest a 2020s machine gets to the architecture the authors
+//! sketched in 1985:
+//!
+//! - [`frontier`] — the shared weighted frontier: per-worker chain pools,
+//!   a minimum-seeking scan standing in for the comparator-tree network,
+//!   and the communication threshold **D** gating remote acquisition.
+//! - [`orparallel`] — OR-parallel best-first search: workers expand the
+//!   globally cheapest chains concurrently, with incumbent-bound pruning
+//!   shared through an atomic.
+//! - [`andparallel`] — the §7 extensions: variable-sharing independence
+//!   analysis, fork-join evaluation of independent goal groups, and the
+//!   semi-join strategy for goals that do share variables.
+//!
+//! ## Weight-update semantics under parallelism
+//!
+//! Within one parallel query the weight database is frozen (workers read
+//! an immutable snapshot); solved and failed chains are logged and the §5
+//! updates are applied when the query completes. The paper itself keeps
+//! strong updates in a session-local database and only consults weights
+//! to *guide* the search, so deferring the writes to the query boundary
+//! preserves the methodology while keeping workers lock-free on the hot
+//! path. (The simulator in `blog-machine` has no such relaxation — its
+//! single-threaded event loop updates mid-search like the paper's
+//! machine.)
+
+pub mod andparallel;
+pub mod frontier;
+pub mod orparallel;
+
+pub use andparallel::{
+    and_parallel_solve, independent_groups, semijoin_conjunction, SemiJoinStats,
+};
+pub use frontier::{Frontier, FrontierPolicy};
+pub use orparallel::{par_best_first, ParallelConfig, ParallelResult};

@@ -1,0 +1,511 @@
+//! OR-parallel best-first execution on real threads.
+//!
+//! "Parallel searching is possible in a branch-and-bound problem …
+//! Each processor works on the chains with the lowest bounds" (§3).
+//! Workers are OS threads; the frontier is [`Frontier`]; pruning shares
+//! the incumbent bound through an atomic; weight learning is applied at
+//! the query boundary (see the crate docs for why).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use blog_core::chain::Chain;
+use blog_core::engine::{BoundedSolution, PruneMode};
+use blog_core::update::{failure_update, success_update, InfinityPlacement};
+use blog_core::util::SplitMix64;
+use blog_core::weight::{Bound, WeightState, WeightStore, WeightView};
+use blog_logic::node::ExpandStats;
+use blog_logic::{
+    expand, ClauseDb, PointerKey, Query, SearchNode, SearchStats, Solution, SolveConfig, Term,
+    VarId,
+};
+use parking_lot::Mutex;
+
+use crate::frontier::{Frontier, FrontierCounters, FrontierPolicy};
+
+/// Configuration for [`par_best_first`].
+#[derive(Clone, Debug)]
+pub struct ParallelConfig {
+    /// Worker threads (the paper's processors).
+    pub n_workers: usize,
+    /// Frontier sharing policy.
+    pub policy: FrontierPolicy,
+    /// Incumbent pruning mode.
+    pub prune: PruneMode,
+    /// Limits shared with the sequential engines.
+    pub solve: SolveConfig,
+    /// Apply the §5 weight updates (at query end) and return the overlay.
+    pub learn: bool,
+    /// Failure-infinity placement for learning.
+    pub infinity_placement: InfinityPlacement,
+    /// Seed for the `Random` placement ablation.
+    pub seed: u64,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            n_workers: 4,
+            policy: FrontierPolicy::LocalPools { d: 512 },
+            prune: PruneMode::None,
+            solve: SolveConfig::all(),
+            learn: true,
+            infinity_placement: InfinityPlacement::NearestLeaf,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Result of a parallel run.
+#[derive(Debug)]
+pub struct ParallelResult {
+    /// Solutions in discovery order (non-deterministic across runs; the
+    /// *set* is deterministic when pruning is off).
+    pub solutions: Vec<BoundedSolution>,
+    /// Merged work counters.
+    pub stats: SearchStats,
+    /// Chains discarded by incumbent pruning.
+    pub pruned: u64,
+    /// Frontier counters (steals, local acquisitions, peak size).
+    pub counters: FrontierCounters,
+    /// Nodes expanded by each worker (the load-balance picture).
+    pub per_worker_expanded: Vec<u64>,
+    /// The weight overlay learned from this query (empty when
+    /// `learn == false`); merge it into a session or store as desired.
+    pub learned: HashMap<PointerKey, WeightState>,
+}
+
+struct SharedCtx<'a> {
+    db: &'a ClauseDb,
+    weights: &'a WeightStore,
+    frontier: Frontier,
+    config: &'a ParallelConfig,
+    incumbent: AtomicU64,
+    nodes: AtomicU64,
+    solutions: Mutex<Vec<BoundedSolution>>,
+    chain_log: Mutex<Vec<(Vec<PointerKey>, bool)>>,
+    var_names: Arc<Vec<String>>,
+    n_query_vars: u32,
+}
+
+/// Per-worker outcome.
+#[derive(Default)]
+struct WorkerStats {
+    stats: SearchStats,
+    pruned: u64,
+}
+
+fn worker_loop(ctx: &SharedCtx<'_>, w: usize) -> WorkerStats {
+    let mut out = WorkerStats::default();
+    let params = ctx.weights.params();
+    while let Some(chain) = ctx.frontier.acquire(w) {
+        // Incumbent pruning.
+        if let PruneMode::Incumbent { slack } = ctx.config.prune {
+            let best = ctx.incumbent.load(Ordering::Acquire);
+            if best != u64::MAX && chain.bound.0 > best.saturating_add(slack.0 as u64) {
+                out.pruned += 1;
+                ctx.frontier.finish(w);
+                continue;
+            }
+        }
+
+        if chain.node.is_solution() {
+            let terms = (0..ctx.n_query_vars)
+                .map(|i| chain.node.bindings.resolve(&Term::Var(VarId(i))))
+                .collect();
+            let bounded = BoundedSolution {
+                solution: Solution {
+                    var_names: Arc::clone(&ctx.var_names),
+                    terms,
+                    depth: chain.node.depth,
+                },
+                bound: chain.bound,
+            };
+            out.stats.solutions += 1;
+            ctx.incumbent.fetch_min(chain.bound.0, Ordering::AcqRel);
+            if ctx.config.learn {
+                ctx.chain_log
+                    .lock()
+                    .push((chain.arcs_root_to_leaf(), true));
+            }
+            let mut sols = ctx.solutions.lock();
+            sols.push(bounded);
+            let enough = ctx
+                .config
+                .solve
+                .max_solutions
+                .is_some_and(|m| sols.len() >= m);
+            drop(sols);
+            ctx.frontier.finish(w);
+            if enough {
+                ctx.frontier.abort();
+            }
+            continue;
+        }
+
+        if let Some(limit) = ctx.config.solve.max_depth {
+            if chain.node.depth >= limit {
+                out.stats.depth_cutoff = true;
+                ctx.frontier.finish(w);
+                continue;
+            }
+        }
+        if let Some(budget) = ctx.config.solve.max_nodes {
+            if ctx.nodes.fetch_add(1, Ordering::Relaxed) >= budget {
+                out.stats.truncated = true;
+                ctx.frontier.finish(w);
+                ctx.frontier.abort();
+                continue;
+            }
+        } else {
+            ctx.nodes.fetch_add(1, Ordering::Relaxed);
+        }
+
+        out.stats.nodes_expanded += 1;
+        let mut est = ExpandStats::default();
+        let children = expand(ctx.db, &chain.node, &mut est);
+        out.stats.unify_attempts += est.unify_attempts;
+        out.stats.unify_successes += est.unify_successes;
+
+        if children.is_empty() {
+            out.stats.failures += 1;
+            if ctx.config.learn {
+                ctx.chain_log
+                    .lock()
+                    .push((chain.arcs_root_to_leaf(), false));
+            }
+            ctx.frontier.finish(w);
+            continue;
+        }
+        let sprouted: Vec<Chain> = children
+            .into_iter()
+            .map(|c| {
+                let wgt = ctx.weights.get(c.arc).effective(params);
+                chain.extend(c.arc, wgt, c.node)
+            })
+            .collect();
+        ctx.frontier.push_children(w, sprouted);
+        ctx.frontier.finish(w);
+    }
+    out
+}
+
+/// Run OR-parallel best-first search with `config.n_workers` threads,
+/// reading weights from the frozen `weights` snapshot.
+pub fn par_best_first(
+    db: &ClauseDb,
+    query: &Query,
+    weights: &WeightStore,
+    config: &ParallelConfig,
+) -> ParallelResult {
+    assert!(config.n_workers >= 1);
+    let root = Chain::root(SearchNode::root(&query.goals));
+    let ctx = SharedCtx {
+        db,
+        weights,
+        frontier: Frontier::new(config.n_workers, config.policy, root),
+        config,
+        incumbent: AtomicU64::new(u64::MAX),
+        nodes: AtomicU64::new(0),
+        solutions: Mutex::new(Vec::new()),
+        chain_log: Mutex::new(Vec::new()),
+        var_names: Arc::new(query.var_names.clone()),
+        n_query_vars: query.var_names.len() as u32,
+    };
+
+    let mut per_worker: Vec<WorkerStats> = Vec::with_capacity(config.n_workers);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..config.n_workers)
+            .map(|w| {
+                let ctx_ref = &ctx;
+                scope.spawn(move |_| worker_loop(ctx_ref, w))
+            })
+            .collect();
+        for h in handles {
+            per_worker.push(h.join().expect("worker thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    let mut stats = SearchStats::default();
+    let mut pruned = 0;
+    let mut per_worker_expanded = Vec::with_capacity(per_worker.len());
+    for w in &per_worker {
+        stats.merge(&w.stats);
+        pruned += w.pruned;
+        per_worker_expanded.push(w.stats.nodes_expanded);
+    }
+    let counters = ctx.frontier.counters();
+    stats.max_frontier = counters.max_len;
+
+    // Apply the deferred §5 updates in completion-log order.
+    let mut learned: HashMap<PointerKey, WeightState> = HashMap::new();
+    if config.learn {
+        let mut rng = SplitMix64::new(config.seed);
+        let mut view = WeightView::new(&mut learned, weights);
+        for (arcs, success) in ctx.chain_log.into_inner() {
+            if success {
+                success_update(&mut view, &arcs);
+            } else {
+                failure_update(&mut view, &arcs, config.infinity_placement, &mut rng);
+            }
+        }
+    }
+
+    let solutions = ctx.solutions.into_inner();
+    stats.solutions = solutions.len() as u64;
+    ParallelResult {
+        solutions,
+        stats,
+        pruned,
+        counters,
+        per_worker_expanded,
+        learned,
+    }
+}
+
+/// Convenience: the incumbent bound as a [`Bound`], if any solution was
+/// found.
+pub fn best_bound(result: &ParallelResult) -> Option<Bound> {
+    result.solutions.iter().map(|s| s.bound).min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blog_core::weight::WeightParams;
+    use blog_logic::{dfs_all, parse_program};
+
+    const FAMILY: &str = "
+        gf(X,Z) :- f(X,Y), f(Y,Z).
+        gf(X,Z) :- f(X,Y), m(Y,Z).
+        f(curt,elain). f(sam,larry). f(dan,pat). f(larry,den).
+        f(pat,john). f(larry,doug).
+        m(elain,john). m(marian,elain). m(peg,den). m(peg,doug).
+        ?- gf(sam,G).
+    ";
+
+    fn sorted_texts(db: &ClauseDb, r: &ParallelResult) -> Vec<String> {
+        let mut v: Vec<String> = r
+            .solutions
+            .iter()
+            .map(|s| s.solution.to_text(db))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn family_solution_set_matches_dfs() {
+        let p = parse_program(FAMILY).unwrap();
+        let weights = WeightStore::new(WeightParams::default());
+        let r = par_best_first(&p.db, &p.queries[0], &weights, &ParallelConfig::default());
+        let d = dfs_all(&p.db, &p.queries[0], &SolveConfig::all());
+        let mut expect: Vec<String> =
+            d.solutions.iter().map(|s| s.to_text(&p.db)).collect();
+        expect.sort();
+        assert_eq!(sorted_texts(&p.db, &r), expect);
+    }
+
+    #[test]
+    fn single_worker_matches_multi_worker_set() {
+        let p = parse_program(FAMILY).unwrap();
+        let weights = WeightStore::new(WeightParams::default());
+        let one = par_best_first(
+            &p.db,
+            &p.queries[0],
+            &weights,
+            &ParallelConfig {
+                n_workers: 1,
+                ..ParallelConfig::default()
+            },
+        );
+        let eight = par_best_first(
+            &p.db,
+            &p.queries[0],
+            &weights,
+            &ParallelConfig {
+                n_workers: 8,
+                ..ParallelConfig::default()
+            },
+        );
+        assert_eq!(sorted_texts(&p.db, &one), sorted_texts(&p.db, &eight));
+        assert_eq!(
+            one.stats.nodes_expanded, eight.stats.nodes_expanded,
+            "without pruning, total work is the whole tree either way"
+        );
+    }
+
+    #[test]
+    fn max_solutions_stops_early() {
+        let p = parse_program(FAMILY).unwrap();
+        let weights = WeightStore::new(WeightParams::default());
+        let r = par_best_first(
+            &p.db,
+            &p.queries[0],
+            &weights,
+            &ParallelConfig {
+                solve: SolveConfig::first(),
+                ..ParallelConfig::default()
+            },
+        );
+        assert!(!r.solutions.is_empty());
+    }
+
+    #[test]
+    fn learning_produces_overlay() {
+        let p = parse_program(FAMILY).unwrap();
+        let weights = WeightStore::new(WeightParams::default());
+        let r = par_best_first(&p.db, &p.queries[0], &weights, &ParallelConfig::default());
+        assert!(!r.learned.is_empty());
+        let known = r
+            .learned
+            .values()
+            .filter(|s| matches!(s, WeightState::Known(_)))
+            .count();
+        let infinite = r
+            .learned
+            .values()
+            .filter(|s| matches!(s, WeightState::Infinite))
+            .count();
+        assert!(known >= 3, "solution chains become known");
+        assert!(infinite >= 1, "the m dead-end is marked");
+    }
+
+    #[test]
+    fn learn_false_returns_empty_overlay() {
+        let p = parse_program(FAMILY).unwrap();
+        let weights = WeightStore::new(WeightParams::default());
+        let r = par_best_first(
+            &p.db,
+            &p.queries[0],
+            &weights,
+            &ParallelConfig {
+                learn: false,
+                ..ParallelConfig::default()
+            },
+        );
+        assert!(r.learned.is_empty());
+    }
+
+    #[test]
+    fn shared_heap_policy_works() {
+        let p = parse_program(FAMILY).unwrap();
+        let weights = WeightStore::new(WeightParams::default());
+        let r = par_best_first(
+            &p.db,
+            &p.queries[0],
+            &weights,
+            &ParallelConfig {
+                policy: FrontierPolicy::SharedHeap,
+                ..ParallelConfig::default()
+            },
+        );
+        assert_eq!(r.solutions.len(), 2);
+    }
+
+    #[test]
+    fn trained_weights_plus_pruning_skip_dead_branches() {
+        let p = parse_program(FAMILY).unwrap();
+        // Train sequentially first.
+        let mut mgr = blog_core::session::SessionManager::new(WeightParams::default());
+        let mut session = mgr.begin_session();
+        mgr.query(
+            &mut session,
+            &p.db,
+            &p.queries[0],
+            &blog_core::engine::BestFirstConfig::default(),
+        );
+        mgr.end_session(session, blog_core::session::MergePolicy::Overwrite);
+        // Parallel re-run with pruning: the infinite m-branch dies.
+        let r = par_best_first(
+            &p.db,
+            &p.queries[0],
+            mgr.global(),
+            &ParallelConfig {
+                prune: PruneMode::Incumbent {
+                    slack: blog_core::weight::Weight::from_bits_int(2),
+                },
+                ..ParallelConfig::default()
+            },
+        );
+        assert_eq!(r.solutions.len(), 2, "pruning keeps all real solutions");
+        assert!(r.pruned > 0, "the dead branch must be pruned");
+    }
+
+    #[test]
+    fn node_budget_truncates() {
+        let p = parse_program(
+            "
+            edge(a,b). edge(b,a).
+            path(X,Y) :- edge(X,Y).
+            path(X,Z) :- edge(X,Y), path(Y,Z).
+            ?- path(a,b).
+        ",
+        )
+        .unwrap();
+        let weights = WeightStore::new(WeightParams::default());
+        let r = par_best_first(
+            &p.db,
+            &p.queries[0],
+            &weights,
+            &ParallelConfig {
+                solve: SolveConfig {
+                    max_nodes: Some(500),
+                    ..SolveConfig::all()
+                },
+                ..ParallelConfig::default()
+            },
+        );
+        assert!(r.stats.truncated);
+    }
+
+    #[test]
+    fn queens_parallel_matches_sequential_count() {
+        // A bigger nondeterministic workload exercises real contention.
+        let src = {
+            // Inline 4-queens via the dom/ok encoding.
+            let mut s = String::new();
+            for c in 1..=4 {
+                s.push_str(&format!("dom({c}).\n"));
+            }
+            for d in 1..4i64 {
+                for c1 in 1..=4i64 {
+                    for c2 in 1..=4i64 {
+                        let dc = c1 - c2;
+                        if dc != 0 && dc.abs() != d {
+                            s.push_str(&format!("ok({d},{c1},{c2}).\n"));
+                        }
+                    }
+                }
+            }
+            s.push_str(
+                "q(Q1,Q2,Q3,Q4) :- dom(Q1), dom(Q2), ok(1,Q1,Q2), dom(Q3), \
+                 ok(2,Q1,Q3), ok(1,Q2,Q3), dom(Q4), ok(3,Q1,Q4), ok(2,Q2,Q4), \
+                 ok(1,Q3,Q4).\n?- q(Q1,Q2,Q3,Q4).\n",
+            );
+            s
+        };
+        let p = parse_program(&src).unwrap();
+        let weights = WeightStore::new(WeightParams::default());
+        let r = par_best_first(
+            &p.db,
+            &p.queries[0],
+            &weights,
+            &ParallelConfig {
+                n_workers: 8,
+                ..ParallelConfig::default()
+            },
+        );
+        assert_eq!(r.solutions.len(), 2, "4-queens has two solutions");
+        // Per-worker counters account for all the work. (Whether work
+        // actually spreads across workers depends on the host's core
+        // count and scheduling; on a single-core CI box one worker can
+        // drain the whole frontier.)
+        assert_eq!(
+            r.per_worker_expanded.iter().sum::<u64>(),
+            r.stats.nodes_expanded
+        );
+    }
+}

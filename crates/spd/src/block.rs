@@ -1,0 +1,103 @@
+//! SPD blocks: variable-length records with named, weighted pointers.
+//!
+//! "The blocks of the linked list are stored in variable length records …
+//! The contents of a block contain some data (possibly ASCII characters)
+//! and named and weighted pointers (name, pointer to another block,
+//! weight)" (§6, figure 6).
+
+use serde::Serialize;
+
+/// Identity of a block across the whole SPD array.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Index into the array's block vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A (name, pointer, weight) triple stored inside a block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub struct NamedPointer {
+    /// Pointer name (for B-LOG databases: the body-goal index).
+    pub name: u32,
+    /// Target block.
+    pub target: BlockId,
+    /// The weight stored *with the pointer* — readable without fetching
+    /// the target block, which is the point of the layout (§5).
+    pub weight: u32,
+}
+
+/// A variable-length record.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Payload size in words (data content; affects transfer cost only).
+    pub payload_words: u32,
+    /// The named weighted pointers.
+    pub pointers: Vec<NamedPointer>,
+}
+
+impl Block {
+    /// A block with payload only.
+    pub fn new(payload_words: u32) -> Block {
+        Block {
+            payload_words,
+            pointers: Vec::new(),
+        }
+    }
+
+    /// Add a pointer; returns its index within the block.
+    pub fn push_pointer(&mut self, name: u32, target: BlockId, weight: u32) -> usize {
+        self.pointers.push(NamedPointer {
+            name,
+            target,
+            weight,
+        });
+        self.pointers.len() - 1
+    }
+
+    /// Total size in words: payload plus 3 words per pointer triple.
+    pub fn size_words(&self) -> u32 {
+        self.payload_words + 3 * self.pointers.len() as u32
+    }
+
+    /// Pointers with the given name (or all, if `name` is `None`).
+    pub fn pointers_named(&self, name: Option<u32>) -> impl Iterator<Item = &NamedPointer> {
+        self.pointers
+            .iter()
+            .filter(move |p| name.is_none_or(|n| p.name == n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_counts_pointer_triples() {
+        let mut b = Block::new(10);
+        b.push_pointer(0, BlockId(1), 5);
+        b.push_pointer(1, BlockId(2), 7);
+        assert_eq!(b.size_words(), 10 + 6);
+    }
+
+    #[test]
+    fn pointers_named_filters() {
+        let mut b = Block::new(0);
+        b.push_pointer(0, BlockId(1), 0);
+        b.push_pointer(1, BlockId(2), 0);
+        b.push_pointer(1, BlockId(3), 0);
+        assert_eq!(b.pointers_named(Some(1)).count(), 2);
+        assert_eq!(b.pointers_named(None).count(), 3);
+    }
+
+    #[test]
+    fn push_pointer_returns_index() {
+        let mut b = Block::new(0);
+        assert_eq!(b.push_pointer(0, BlockId(1), 0), 0);
+        assert_eq!(b.push_pointer(0, BlockId(2), 0), 1);
+    }
+}

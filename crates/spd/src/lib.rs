@@ -1,0 +1,39 @@
+//! # blog-spd — the Semantic Paging Disk (SPD) simulator
+//!
+//! Section 6 of the B-LOG paper stores the clause/fact graph on "semantic
+//! paging disks": moving-head disks whose per-track search processors
+//! (SPs) can, against a track cached in RAM,
+//!
+//! 1. *search the data in a block associatively and mark the blocks*,
+//! 2. *follow all pointers, or only pointers with specified names, from
+//!    marked blocks to other blocks and mark them* — applied `N` times
+//!    this pages in the subgraph within Hamming distance `N`, and
+//! 3. *output, replace, insert and delete words in a marked block*.
+//!
+//! That hardware never existed, so this crate simulates it at the level
+//! the paper argues about: operation counts and a tick-based cost model
+//! (seeks, track loads into cache, associative operations, pointer
+//! follows, word transfers). Multiple SPs run in **MIMD** mode (each on
+//! its own track, cross-track pointers deferred) or **SIMD** mode (all
+//! SPs on one cylinder, global block numbers resolved between SPs
+//! immediately, as described in the paper).
+//!
+//! The [`bridge`] module lays a [`ClauseDb`](blog_logic::ClauseDb) out as
+//! SPD blocks — one block per Horn clause, one *named weighted pointer*
+//! per figure-4 candidate arc — and [`pager`] replays clause-access
+//! traces against the disk, measuring hit rates and I/O time as the
+//! semantic page distance and the weight-filter threshold vary (the
+//! paper's "we can decide whether we wish to retrieve another block by
+//! examining these weights, before we access the block").
+
+pub mod block;
+pub mod bridge;
+pub mod pager;
+pub mod spd;
+pub mod timing;
+
+pub use block::{Block, BlockId, NamedPointer};
+pub use bridge::{build_spd_from_db, DbLayout};
+pub use pager::{Pager, PagerStats};
+pub use spd::{GcReport, PageRequest, PageResult, SpMode, SpdArray, SpdStats, TrackFull};
+pub use timing::{CostModel, Geometry};

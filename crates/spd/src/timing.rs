@@ -1,0 +1,101 @@
+//! Disk geometry and the tick-based cost model.
+
+use serde::Serialize;
+
+/// Physical layout of the SPD array.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Geometry {
+    /// Number of search processors (one surface each).
+    pub n_sps: u32,
+    /// Cylinders per surface.
+    pub n_cylinders: u32,
+    /// Block slots per track (placement granularity; capacity check).
+    pub blocks_per_track: u32,
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Geometry {
+            n_sps: 4,
+            n_cylinders: 64,
+            blocks_per_track: 32,
+        }
+    }
+}
+
+impl Geometry {
+    /// Total block capacity of the array.
+    pub fn capacity(&self) -> u32 {
+        self.n_sps * self.n_cylinders * self.blocks_per_track
+    }
+}
+
+/// Where a block lives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub struct BlockAddr {
+    /// Cylinder index.
+    pub cylinder: u32,
+    /// Search processor (surface) index.
+    pub sp: u32,
+    /// Slot within the track.
+    pub slot: u32,
+}
+
+/// Tick costs of the SPD's primitive actions. The absolute values are
+/// arbitrary; their *ratios* encode the 1985 reality the paper leans on —
+/// disk mechanics (seek, rotation) are many orders of magnitude slower
+/// than cache logic.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct CostModel {
+    /// Per-cylinder head movement.
+    pub seek_per_cylinder: u64,
+    /// Fixed seek settle time.
+    pub seek_settle: u64,
+    /// One full rotation: loading a track into its SP cache.
+    pub track_load: u64,
+    /// One associative search pass over a cached track.
+    pub associative_op: u64,
+    /// Following one pointer within cache.
+    pub pointer_follow: u64,
+    /// Transferring one word out of the SPD to a processor.
+    pub word_transfer: u64,
+    /// Updating one word in a marked cached block (write-through).
+    pub word_update: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            seek_per_cylinder: 100,
+            seek_settle: 500,
+            track_load: 1_000,
+            associative_op: 10,
+            pointer_follow: 1,
+            word_transfer: 2,
+            word_update: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_product() {
+        let g = Geometry {
+            n_sps: 2,
+            n_cylinders: 3,
+            blocks_per_track: 4,
+        };
+        assert_eq!(g.capacity(), 24);
+    }
+
+    #[test]
+    fn default_costs_order_disk_above_cache() {
+        let c = CostModel::default();
+        assert!(c.track_load > c.associative_op);
+        assert!(c.seek_settle > c.associative_op);
+        assert!(c.associative_op >= c.pointer_follow);
+    }
+}

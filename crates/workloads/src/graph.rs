@@ -1,0 +1,150 @@
+//! DAG reachability workloads.
+//!
+//! `path/2` over `edge/2` with the textbook two rules. Graphs are layered
+//! DAGs so plain depth-first search terminates; the number of distinct
+//! proofs (paths) grows combinatorially with width and density, which is
+//! what stresses the search strategies differently.
+
+use std::fmt::Write as _;
+
+use blog_logic::{parse_program, Program};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`dag_reach_program`].
+#[derive(Clone, Copy, Debug)]
+pub struct DagParams {
+    /// Number of layers (path length from source to sink is `layers`).
+    pub layers: u32,
+    /// Nodes per layer.
+    pub width: u32,
+    /// Probability of an edge between consecutive-layer node pairs (edges
+    /// from node `u` in layer `i` to node `v` in layer `i+1`).
+    pub density: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DagParams {
+    fn default() -> Self {
+        DagParams {
+            layers: 6,
+            width: 4,
+            density: 0.5,
+            seed: 1,
+        }
+    }
+}
+
+/// Metadata about a generated DAG.
+#[derive(Clone, Debug)]
+pub struct DagMeta {
+    /// Edge count.
+    pub edges: usize,
+    /// Source node name.
+    pub source: String,
+    /// Sink node name.
+    pub sink: String,
+}
+
+/// Generate a layered-DAG reachability program with query
+/// `?- path(<source>, <sink>)`.
+///
+/// A guaranteed backbone path source → … → sink is always included so the
+/// query succeeds regardless of the random draws.
+pub fn dag_reach_program(params: &DagParams) -> (Program, DagMeta) {
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut src = String::new();
+    src.push_str("path(X,Y) :- edge(X,Y).\n");
+    src.push_str("path(X,Z) :- edge(X,Y), path(Y,Z).\n");
+
+    let name = |layer: u32, i: u32| format!("n{layer}_{i}");
+    let mut edges = 0usize;
+    // Source connects into layer 1.
+    let source = "src".to_owned();
+    let sink = "snk".to_owned();
+    for i in 0..params.width {
+        if i == 0 || rng.gen::<f64>() < params.density {
+            writeln!(src, "edge({source},{}).", name(1, i)).expect("write");
+            edges += 1;
+        }
+    }
+    for layer in 1..params.layers {
+        for u in 0..params.width {
+            for v in 0..params.width {
+                // Backbone: node 0 of each layer links to node 0 of the next.
+                let backbone = u == 0 && v == 0;
+                if backbone || rng.gen::<f64>() < params.density {
+                    writeln!(src, "edge({},{}).", name(layer, u), name(layer + 1, v))
+                        .expect("write");
+                    edges += 1;
+                }
+            }
+        }
+    }
+    for u in 0..params.width {
+        if u == 0 || rng.gen::<f64>() < params.density {
+            writeln!(src, "edge({},{sink}).", name(params.layers, u)).expect("write");
+            edges += 1;
+        }
+    }
+    writeln!(src, "?- path({source},{sink}).").expect("write");
+    let program = parse_program(&src).expect("generated DAG program parses");
+    (
+        program,
+        DagMeta {
+            edges,
+            source,
+            sink,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blog_logic::{dfs_all, SolveConfig};
+
+    #[test]
+    fn backbone_guarantees_a_solution() {
+        let params = DagParams {
+            density: 0.0,
+            ..DagParams::default()
+        };
+        let (p, meta) = dag_reach_program(&params);
+        // Density 0: only the backbone, exactly one path.
+        assert_eq!(meta.edges as u32, params.layers + 1);
+        let r = dfs_all(&p.db, &p.queries[0], &SolveConfig::all());
+        assert_eq!(r.solutions.len(), 1);
+    }
+
+    #[test]
+    fn denser_graphs_have_more_proofs() {
+        let sparse = dag_reach_program(&DagParams {
+            density: 0.1,
+            ..DagParams::default()
+        });
+        let dense = dag_reach_program(&DagParams {
+            density: 0.9,
+            ..DagParams::default()
+        });
+        let rs = dfs_all(&sparse.0.db, &sparse.0.queries[0], &SolveConfig::all());
+        let rd = dfs_all(&dense.0.db, &dense.0.queries[0], &SolveConfig::all());
+        assert!(rd.solutions.len() > rs.solutions.len());
+    }
+
+    #[test]
+    fn dfs_terminates_on_dag() {
+        let (p, _) = dag_reach_program(&DagParams::default());
+        let r = dfs_all(&p.db, &p.queries[0], &SolveConfig::all());
+        assert!(!r.stats.truncated);
+        assert!(!r.solutions.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = dag_reach_program(&DagParams::default());
+        let b = dag_reach_program(&DagParams::default());
+        assert_eq!(a.1.edges, b.1.edges);
+    }
+}

@@ -1,0 +1,151 @@
+//! N-queens as a pure Horn program.
+//!
+//! The classic non-deterministic benchmark for OR-parallel Prolog systems
+//! (Aurora and Muse both report it), encoded without arithmetic builtins:
+//! column-domain facts `dom/1` plus pre-tabled no-attack facts
+//! `ok(D, C1, C2)` asserting that queens in columns `C1`, `C2` of rows
+//! `D` apart do not attack each other. One rule places the queens row by
+//! row, checking each new queen against all previous ones immediately —
+//! the standard constraint-interleaved ordering, so failed placements
+//! prune early.
+
+use std::fmt::Write as _;
+
+use blog_logic::{parse_program, Program};
+
+/// Parameters for [`queens_program`].
+#[derive(Clone, Copy, Debug)]
+pub struct QueensParams {
+    /// Board size (n queens on an n×n board). Kept small (≤ 8) because
+    /// the pure-Horn search tree grows as n^n.
+    pub n: u32,
+}
+
+impl Default for QueensParams {
+    fn default() -> Self {
+        QueensParams { n: 6 }
+    }
+}
+
+/// Metadata about a generated instance.
+#[derive(Clone, Copy, Debug)]
+pub struct QueensMeta {
+    /// Number of `ok/3` facts emitted.
+    pub ok_facts: usize,
+}
+
+/// Generate the N-queens program with query `?- q(Q1, …, Qn)`.
+pub fn queens_program(params: &QueensParams) -> (Program, QueensMeta) {
+    let n = params.n;
+    assert!((2..=10).contains(&n), "n-queens generator supports 2..=10");
+    let mut src = String::new();
+    for c in 1..=n {
+        writeln!(src, "dom({c}).").expect("write");
+    }
+    let mut ok_facts = 0usize;
+    for d in 1..n {
+        for c1 in 1..=n {
+            for c2 in 1..=n {
+                let dc = c1 as i64 - c2 as i64;
+                if dc != 0 && dc.unsigned_abs() as u32 != d {
+                    writeln!(src, "ok({d},{c1},{c2}).").expect("write");
+                    ok_facts += 1;
+                }
+            }
+        }
+    }
+    // q(Q1,…,Qn) :- dom(Q1), dom(Q2), ok(1,Q1,Q2), dom(Q3), ok(2,Q1,Q3),
+    //               ok(1,Q2,Q3), …
+    let vars: Vec<String> = (1..=n).map(|i| format!("Q{i}")).collect();
+    let mut body: Vec<String> = Vec::new();
+    for (i, v) in vars.iter().enumerate() {
+        body.push(format!("dom({v})"));
+        for (j, u) in vars.iter().enumerate().take(i) {
+            let d = i - j;
+            body.push(format!("ok({d},{u},{v})"));
+        }
+    }
+    writeln!(src, "q({}) :- {}.", vars.join(","), body.join(", ")).expect("write");
+    writeln!(src, "?- q({}).", vars.join(",")).expect("write");
+    let program = parse_program(&src).expect("generated queens program parses");
+    (program, QueensMeta { ok_facts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blog_logic::{dfs_all, SolveConfig};
+
+    /// Known solution counts for small n.
+    const COUNTS: [(u32, usize); 5] = [(4, 2), (5, 10), (6, 4), (7, 40), (8, 92)];
+
+    #[test]
+    fn four_queens_has_two_solutions() {
+        let (p, _) = queens_program(&QueensParams { n: 4 });
+        let r = dfs_all(&p.db, &p.queries[0], &SolveConfig::all());
+        assert_eq!(r.solutions.len(), 2);
+    }
+
+    #[test]
+    fn six_queens_has_four_solutions() {
+        let (p, _) = queens_program(&QueensParams { n: 6 });
+        let r = dfs_all(&p.db, &p.queries[0], &SolveConfig::all());
+        assert_eq!(r.solutions.len(), 4);
+    }
+
+    #[test]
+    fn five_queens_has_ten_solutions() {
+        let (p, _) = queens_program(&QueensParams { n: 5 });
+        let r = dfs_all(&p.db, &p.queries[0], &SolveConfig::all());
+        assert_eq!(r.solutions.len(), 10);
+    }
+
+    #[test]
+    fn solution_counts_table() {
+        for (n, expected) in COUNTS.iter().take(3).copied() {
+            let (p, _) = queens_program(&QueensParams { n });
+            let r = dfs_all(&p.db, &p.queries[0], &SolveConfig::all());
+            assert_eq!(r.solutions.len(), expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn solutions_are_valid_placements() {
+        let (p, _) = queens_program(&QueensParams { n: 5 });
+        let r = dfs_all(&p.db, &p.queries[0], &SolveConfig::all());
+        for s in &r.solutions {
+            let cols: Vec<i64> = (1..=5)
+                .map(|i| {
+                    s.binding_text(&p.db, &format!("Q{i}"))
+                        .unwrap()
+                        .parse()
+                        .unwrap()
+                })
+                .collect();
+            for i in 0..cols.len() {
+                for j in (i + 1)..cols.len() {
+                    assert_ne!(cols[i], cols[j], "column clash in {cols:?}");
+                    assert_ne!(
+                        (cols[i] - cols[j]).unsigned_abs() as usize,
+                        j - i,
+                        "diagonal clash in {cols:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ok_fact_count_formula() {
+        // For each of the n-1 distances: n^2 pairs minus n equal-column
+        // minus the diagonal pairs at that distance.
+        let n = 5u32;
+        let (_, meta) = queens_program(&QueensParams { n });
+        let mut expect = 0usize;
+        for d in 1..n {
+            let diag = 2 * (n - d); // c1-c2 = ±d
+            expect += (n * n - n - diag) as usize;
+        }
+        assert_eq!(meta.ok_facts, expect);
+    }
+}

@@ -1,0 +1,134 @@
+//! Session workloads: sequences of similar queries.
+//!
+//! "Especially where a user tries a second and third query that is
+//! similar to the first one with some minor changes, later searches
+//! should become more efficient" (§5). A [`SessionSpec`] produces exactly
+//! that shape: a random walk over query subjects where each step repeats
+//! the previous subject with probability `1 - drift` and jumps to a fresh
+//! one with probability `drift`.
+
+use blog_logic::{parse_query, ClauseDb, Query};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`session_queries`].
+#[derive(Clone, Debug)]
+pub struct SessionSpec {
+    /// Number of queries in the session.
+    pub n_queries: usize,
+    /// Probability that a query switches to a new random subject
+    /// (0 = the same query repeated, 1 = unrelated queries every time).
+    pub drift: f64,
+    /// The queried predicate (`gf` for grandfather queries, `ggf` for the
+    /// deep-rule great-grandfather queries).
+    pub predicate: &'static str,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SessionSpec {
+    fn default() -> Self {
+        SessionSpec {
+            n_queries: 16,
+            drift: 0.2,
+            predicate: "gf",
+            seed: 1,
+        }
+    }
+}
+
+/// Generate a session of `gf(<subject>, G)` queries over `subjects`
+/// (typically [`FamilyMeta::grandparents`](crate::family::FamilyMeta::grandparents)).
+///
+/// Returns the parsed queries plus the index of the subject used by each
+/// (so experiments can correlate cost with repetition).
+pub fn session_queries(
+    db: &mut ClauseDb,
+    subjects: &[&str],
+    spec: &SessionSpec,
+) -> (Vec<Query>, Vec<usize>) {
+    assert!(!subjects.is_empty(), "need at least one query subject");
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut queries = Vec::with_capacity(spec.n_queries);
+    let mut subject_trace = Vec::with_capacity(spec.n_queries);
+    let mut current = rng.gen_range(0..subjects.len());
+    for _ in 0..spec.n_queries {
+        if rng.gen::<f64>() < spec.drift {
+            current = rng.gen_range(0..subjects.len());
+        }
+        let text = format!("{}({}, G)", spec.predicate, subjects[current]);
+        let q = parse_query(db, &text).expect("generated session query parses");
+        queries.push(q);
+        subject_trace.push(current);
+    }
+    (queries, subject_trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::{family_program, FamilyParams};
+
+    fn db_and_subjects() -> (blog_logic::Program, Vec<String>) {
+        let (p, meta) = family_program(&FamilyParams {
+            generations: 3,
+            branching: 2,
+            ..FamilyParams::default()
+        });
+        let subjects: Vec<String> =
+            meta.grandparents().iter().map(|s| s.to_string()).collect();
+        (p, subjects)
+    }
+
+    #[test]
+    fn zero_drift_repeats_one_subject() {
+        let (mut p, subjects) = db_and_subjects();
+        let refs: Vec<&str> = subjects.iter().map(String::as_str).collect();
+        let spec = SessionSpec {
+            n_queries: 8,
+            drift: 0.0,
+            seed: 5,
+                ..SessionSpec::default()
+        };
+        let (queries, trace) = session_queries(&mut p.db, &refs, &spec);
+        assert_eq!(queries.len(), 8);
+        assert!(trace.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn full_drift_changes_subjects() {
+        let (mut p, subjects) = db_and_subjects();
+        let refs: Vec<&str> = subjects.iter().map(String::as_str).collect();
+        let spec = SessionSpec {
+            n_queries: 32,
+            drift: 1.0,
+            seed: 5,
+                ..SessionSpec::default()
+        };
+        let (_, trace) = session_queries(&mut p.db, &refs, &spec);
+        // With 3 subjects and 32 fully-random draws, at least one switch.
+        assert!(trace.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn queries_are_runnable() {
+        let (mut p, subjects) = db_and_subjects();
+        let refs: Vec<&str> = subjects.iter().map(String::as_str).collect();
+        let (queries, _) = session_queries(&mut p.db, &refs, &SessionSpec::default());
+        for q in &queries {
+            let r = blog_logic::dfs_all(&p.db, q, &blog_logic::SolveConfig::all());
+            // Grandparent subjects always have at least one grandchild.
+            assert!(r.stats.nodes_expanded > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (mut p, subjects) = db_and_subjects();
+        let refs: Vec<&str> = subjects.iter().map(String::as_str).collect();
+        let spec = SessionSpec::default();
+        let (_, t1) = session_queries(&mut p.db, &refs, &spec);
+        let (_, t2) = session_queries(&mut p.db, &refs, &spec);
+        assert_eq!(t1, t2);
+    }
+}

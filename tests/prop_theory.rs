@@ -1,0 +1,107 @@
+//! Property tests for the §4 theoretical model on random programs: the
+//! solver must satisfy the paper's three requirements whenever the
+//! instance is not pathological, and the enumeration must agree with the
+//! search engines on solution counts.
+
+use b_log::core::theory::{
+    enumerate_chains, solve_weights, target_bits_for, validate_assignment, ArcIdentity,
+};
+use b_log::logic::{dfs_all, parse_program, SolveConfig};
+use proptest::prelude::*;
+
+/// Random recursion-free two-layer programs (same family as
+/// `prop_engine`, kept independent so the suites evolve separately).
+fn arb_program() -> impl Strategy<Value = String> {
+    (
+        prop::collection::btree_set((0u32..4, 0u32..4), 1..8),
+        prop::collection::btree_set((0u32..4, 0u32..4), 1..8),
+    )
+        .prop_map(|(a_facts, b_facts)| {
+            let mut src = String::new();
+            src.push_str("top(X,Z) :- a(X,Y), b(Y,Z).\n");
+            for (x, y) in &a_facts {
+                src.push_str(&format!("a(c{x},c{y}).\n"));
+            }
+            for (x, y) in &b_facts {
+                src.push_str(&format!("b(c{x},c{y}).\n"));
+            }
+            src.push_str("?- top(X,Z).\n");
+            src
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn enumeration_agrees_with_search(src in arb_program()) {
+        let p = parse_program(&src).expect("generated program parses");
+        let dfs = dfs_all(&p.db, &p.queries[0], &SolveConfig::all());
+        for identity in [ArcIdentity::PointerExact, ArcIdentity::SharedGoal] {
+            let chains =
+                enumerate_chains(&p.db, &p.queries[0], &SolveConfig::all(), identity);
+            prop_assert_eq!(chains.n_solutions as u64, dfs.stats.solutions);
+            prop_assert!(!chains.truncated);
+        }
+    }
+
+    #[test]
+    fn solver_satisfies_the_three_requirements(src in arb_program()) {
+        let p = parse_program(&src).expect("generated program parses");
+        let chains = enumerate_chains(
+            &p.db,
+            &p.queries[0],
+            &SolveConfig::all(),
+            ArcIdentity::PointerExact,
+        );
+        let n = target_bits_for(chains.n_solutions);
+        let w = solve_weights(&chains, n, 500);
+        if w.pathological {
+            // Legitimately unsolvable instance; nothing further to check.
+            return Ok(());
+        }
+        // Requirement 2 (equal success bounds): residual near zero.
+        prop_assert!(w.max_residual < 1e-6, "residual {}", w.max_residual);
+        // Requirements 1–3 via the validator.
+        let (residual, failures_dead) =
+            validate_assignment(&chains, &w.finite, &w.infinite, n);
+        prop_assert!(residual < 1e-6);
+        if chains.n_failures > 0 {
+            prop_assert!(failures_dead, "a failing chain kept probability > 0");
+        }
+        // Weights are non-negative (probabilities <= 1).
+        for (&arc, &bits) in &w.finite {
+            prop_assert!(bits >= -1e-12, "negative weight {bits} on {arc:?}");
+        }
+        // Success-chain probabilities sum to 1 (they are each 1/k).
+        if chains.n_solutions > 0 {
+            let total: f64 = chains
+                .chains
+                .iter()
+                .filter(|c| c.success)
+                .map(|c| w.chain_probability(c))
+                .sum();
+            prop_assert!((total - 1.0).abs() < 1e-4, "probability mass {total}");
+        }
+    }
+
+    #[test]
+    fn shared_identity_never_has_more_arcs_than_exact(src in arb_program()) {
+        let p = parse_program(&src).expect("generated program parses");
+        let exact = enumerate_chains(
+            &p.db,
+            &p.queries[0],
+            &SolveConfig::all(),
+            ArcIdentity::PointerExact,
+        )
+        .arc_set();
+        let shared = enumerate_chains(
+            &p.db,
+            &p.queries[0],
+            &SolveConfig::all(),
+            ArcIdentity::SharedGoal,
+        )
+        .arc_set();
+        prop_assert!(shared.len() <= exact.len());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for terms, bindings and unification.
+
+use b_log::logic::{unify, Bindings, Sym, Term, Trail, VarId};
+use proptest::prelude::*;
+
+/// Strategy: arbitrary terms over a small symbol/variable alphabet.
+fn arb_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (0u32..6).prop_map(|v| Term::Var(VarId(v))),
+        (0u32..4).prop_map(|s| Term::Atom(Sym(s))),
+        (-3i64..4).prop_map(Term::Int),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        ((0u32..3), prop::collection::vec(inner, 1..4))
+            .prop_map(|(f, args)| Term::app(Sym(f), args))
+    })
+}
+
+proptest! {
+    #[test]
+    fn unify_is_reflexive(t in arb_term()) {
+        let mut b = Bindings::new();
+        let mut tr = Trail::new();
+        prop_assert!(unify(&mut b, &mut tr, &t, &t, false));
+    }
+
+    #[test]
+    fn unify_is_symmetric(a in arb_term(), c in arb_term()) {
+        let run = |x: &Term, y: &Term| {
+            let mut b = Bindings::new();
+            let mut tr = Trail::new();
+            unify(&mut b, &mut tr, x, y, true)
+        };
+        prop_assert_eq!(run(&a, &c), run(&c, &a));
+    }
+
+    #[test]
+    fn successful_unification_equalizes_resolved_terms(a in arb_term(), c in arb_term()) {
+        let mut b = Bindings::new();
+        let mut tr = Trail::new();
+        // Occurs check on: resolved terms are then finite and comparable.
+        if unify(&mut b, &mut tr, &a, &c, true) {
+            prop_assert_eq!(b.resolve(&a), b.resolve(&c));
+        }
+    }
+
+    #[test]
+    fn undo_restores_cleanliness(a in arb_term(), c in arb_term()) {
+        let mut b = Bindings::new();
+        let mut tr = Trail::new();
+        let mark = tr.mark();
+        let _ = unify(&mut b, &mut tr, &a, &c, false);
+        b.undo_to(&mut tr, mark);
+        prop_assert!(tr.is_empty());
+        for v in 0..8 {
+            prop_assert!(b.get(VarId(v)).is_none());
+        }
+    }
+
+    #[test]
+    fn resolve_is_idempotent(a in arb_term(), c in arb_term()) {
+        let mut b = Bindings::new();
+        let mut tr = Trail::new();
+        if unify(&mut b, &mut tr, &a, &c, true) {
+            let once = b.resolve(&a);
+            let twice = b.resolve(&once);
+            prop_assert_eq!(once, twice);
+        }
+    }
+
+    #[test]
+    fn offset_vars_shifts_max_var(t in arb_term(), base in 0u32..100) {
+        let shifted = t.offset_vars(base);
+        match (t.max_var(), shifted.max_var()) {
+            (Some(v), Some(w)) => prop_assert_eq!(w.0, v.0 + base),
+            (None, None) => {}
+            other => prop_assert!(false, "mismatched var presence: {:?}", other),
+        }
+        prop_assert_eq!(t.size(), shifted.size());
+        prop_assert_eq!(t.depth(), shifted.depth());
+    }
+
+    #[test]
+    fn ground_terms_unify_iff_equal(a in arb_term(), c in arb_term()) {
+        if a.is_ground() && c.is_ground() {
+            let mut b = Bindings::new();
+            let mut tr = Trail::new();
+            let unified = unify(&mut b, &mut tr, &a, &c, false);
+            prop_assert_eq!(unified, a == c);
+            // Ground unification never binds anything.
+            prop_assert!(tr.is_empty() || !unified);
+        }
+    }
+
+    #[test]
+    fn occurs_check_never_creates_cycles(a in arb_term(), c in arb_term()) {
+        // With occurs check on, every binding must resolve to a finite
+        // term; recursion through resolve would hang/overflow otherwise.
+        let mut b = Bindings::new();
+        let mut tr = Trail::new();
+        if unify(&mut b, &mut tr, &a, &c, true) {
+            // Just resolving both terms proves finiteness.
+            let _ = b.resolve(&a);
+            let _ = b.resolve(&c);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests for the §5 weight-update rules and the session merge.
+
+use std::collections::HashMap;
+
+use b_log::core::update::{failure_update, success_update, InfinityPlacement};
+use b_log::core::util::SplitMix64;
+use b_log::core::weight::{Weight, WeightParams, WeightState, WeightStore, WeightView};
+use b_log::core::{MergePolicy, SessionManager};
+use b_log::logic::{Caller, ClauseId, PointerKey};
+use proptest::prelude::*;
+
+fn key(i: u32) -> PointerKey {
+    PointerKey {
+        caller: Caller::Query,
+        goal_idx: 0,
+        target: ClauseId(i),
+    }
+}
+
+/// Strategy: an arbitrary prior weight state.
+fn arb_state() -> impl Strategy<Value = WeightState> {
+    prop_oneof![
+        Just(WeightState::Unknown),
+        (0u32..3000).prop_map(|w| WeightState::Known(Weight(w))),
+        Just(WeightState::Infinite),
+    ]
+}
+
+/// Strategy: a chain of 1..8 distinct arcs with arbitrary prior states.
+fn arb_chain() -> impl Strategy<Value = Vec<(PointerKey, WeightState)>> {
+    prop::collection::vec(arb_state(), 1..8).prop_map(|states| {
+        states
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (key(i as u32), s))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn success_update_closes_chain_at_n_or_flags_anomaly(chain in arb_chain()) {
+        let store = WeightStore::new(WeightParams::default());
+        let mut local = HashMap::new();
+        let mut view = WeightView::new(&mut local, &store);
+        for (k, s) in &chain {
+            view.set(*k, *s);
+        }
+        let arcs: Vec<PointerKey> = chain.iter().map(|(k, _)| *k).collect();
+        let out = success_update(&mut view, &arcs);
+        let n = view.params().target.0 as u64;
+        let total: u64 = arcs.iter().map(|&a| view.effective_weight(a).0 as u64).sum();
+        if !out.anomaly {
+            prop_assert_eq!(total, n, "chain bound must become exactly N");
+        }
+        // Every arc of a solved chain is Known afterwards (unless the
+        // chain was fully known already).
+        if out.changed > 0 {
+            for &a in &arcs {
+                prop_assert!(view.get(a).is_known());
+            }
+        }
+    }
+
+    #[test]
+    fn failure_update_adds_at_most_one_infinity(
+        chain in arb_chain(),
+        placement in prop_oneof![
+            Just(InfinityPlacement::NearestLeaf),
+            Just(InfinityPlacement::NearestRoot),
+            Just(InfinityPlacement::Random),
+        ],
+        seed in any::<u64>(),
+    ) {
+        let store = WeightStore::new(WeightParams::default());
+        let mut local = HashMap::new();
+        let mut view = WeightView::new(&mut local, &store);
+        for (k, s) in &chain {
+            view.set(*k, *s);
+        }
+        let arcs: Vec<PointerKey> = chain.iter().map(|(k, _)| *k).collect();
+        let before: usize = arcs
+            .iter()
+            .filter(|&&a| view.get(a) == WeightState::Infinite)
+            .count();
+        let mut rng = SplitMix64::new(seed);
+        let out = failure_update(&mut view, &arcs, placement, &mut rng);
+        let after: usize = arcs
+            .iter()
+            .filter(|&&a| view.get(a) == WeightState::Infinite)
+            .count();
+        prop_assert!(out.changed <= 1);
+        prop_assert!(after <= before + 1);
+        // A failing chain carries an infinity afterwards unless anomalous.
+        if !out.anomaly {
+            prop_assert!(after >= 1);
+        }
+        // Known weights are never clobbered by failure.
+        for (k, s) in &chain {
+            if let WeightState::Known(w) = s {
+                prop_assert_eq!(view.get(*k), WeightState::Known(*w));
+            }
+        }
+    }
+
+    #[test]
+    fn conservative_merge_respects_the_paper_rules(
+        locals in prop::collection::vec(arb_state(), 1..12),
+        globals in prop::collection::vec(arb_state(), 1..12),
+    ) {
+        let params = WeightParams::default();
+        let mut mgr = SessionManager::new(params);
+        // Install the global priors via an overwrite session.
+        let mut seed = mgr.begin_session();
+        for (i, g) in globals.iter().enumerate() {
+            if *g != WeightState::Unknown {
+                seed.local.insert(key(i as u32), *g);
+            }
+        }
+        mgr.end_session(seed, MergePolicy::Overwrite);
+
+        let mut session = mgr.begin_session();
+        for (i, l) in locals.iter().enumerate() {
+            if *l != WeightState::Unknown {
+                session.local.insert(key(i as u32), *l);
+            }
+        }
+        mgr.end_session(session, MergePolicy::conservative_half());
+
+        for i in 0..locals.len().max(globals.len()) {
+            let l = locals.get(i).copied().unwrap_or(WeightState::Unknown);
+            let g = globals.get(i).copied().unwrap_or(WeightState::Unknown);
+            let merged = mgr.global().get(key(i as u32));
+            match (l, g) {
+                // Rule: "no infinities will override previous non-infinite
+                // weights".
+                (WeightState::Infinite, WeightState::Known(w)) => {
+                    prop_assert_eq!(merged, WeightState::Known(w));
+                }
+                // Local evidence of success clears a global infinity.
+                (WeightState::Known(w), WeightState::Infinite) => {
+                    prop_assert_eq!(merged, WeightState::Known(w));
+                }
+                // Stepping lands between the old effective value and the
+                // session value.
+                (WeightState::Known(w), g_state) => {
+                    let from = g_state.effective(params).0 as i64;
+                    let to = w.0 as i64;
+                    match merged {
+                        WeightState::Known(m) => {
+                            let m = m.0 as i64;
+                            let (lo, hi) = if from <= to { (from, to) } else { (to, from) };
+                            prop_assert!(m >= lo && m <= hi, "step {m} outside [{lo},{hi}]");
+                        }
+                        other => prop_assert!(false, "expected Known, got {other:?}"),
+                    }
+                }
+                // Untouched arcs keep the global state.
+                (WeightState::Unknown, g_state) => {
+                    prop_assert_eq!(merged, g_state);
+                }
+                (WeightState::Infinite, WeightState::Unknown | WeightState::Infinite) => {
+                    prop_assert_eq!(merged, WeightState::Infinite);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_success_updates_are_stable(chain in arb_chain()) {
+        // Once a chain closes at N, further success updates change
+        // nothing (fixed point).
+        let store = WeightStore::new(WeightParams::default());
+        let mut local = HashMap::new();
+        let mut view = WeightView::new(&mut local, &store);
+        for (k, s) in &chain {
+            view.set(*k, *s);
+        }
+        let arcs: Vec<PointerKey> = chain.iter().map(|(k, _)| *k).collect();
+        let first = success_update(&mut view, &arcs);
+        let snapshot: Vec<WeightState> = arcs.iter().map(|&a| view.get(a)).collect();
+        let second = success_update(&mut view, &arcs);
+        let after: Vec<WeightState> = arcs.iter().map(|&a| view.get(a)).collect();
+        if !first.anomaly {
+            prop_assert_eq!(second.changed, 0);
+            prop_assert_eq!(snapshot, after);
+        }
+    }
+}
