@@ -59,6 +59,7 @@ fn main() {
     });
     section("t6", "semantic paging disks", &mut || {
         spd_exp::run_t6();
+        spd_exp::run_t6b();
     });
     section("t7", "latency hiding: tasks, scoreboard, multi-write", &mut || {
         machine_exp::run_t7_machine();

@@ -1,7 +1,7 @@
 //! The best-first branch-and-bound engine — B-LOG proper.
 //!
 //! "An approach based on a branch-and-bound algorithm seems more
-//! appropriate[,] using best-first search guided by a bound. … Each
+//! appropriate\[,\] using best-first search guided by a bound. … Each
 //! processor works on the chains with the lowest bounds" (§3). This module
 //! is the single-processor engine; `blog-machine` simulates, and
 //! `blog-parallel` actually runs, the multi-processor version around the
@@ -20,8 +20,8 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use blog_logic::node::ExpandStats;
-use blog_logic::{expand, Query, SearchNode, SearchStats, SolveConfig, Solution};
-use blog_logic::{ClauseDb, Term, VarId};
+use blog_logic::{expand_via, Query, SearchNode, SearchStats, SolveConfig, Solution};
+use blog_logic::{ClauseDb, ClauseSource, Term, VarId};
 use serde::Serialize;
 
 use crate::chain::Chain;
@@ -198,6 +198,23 @@ pub fn best_first(
     view: &mut WeightView<'_>,
     config: &BestFirstConfig,
 ) -> BlogResult {
+    best_first_with(db, query, view, config)
+}
+
+/// [`best_first`], generalized over any [`ClauseSource`].
+///
+/// This is how the engine searches a *paged* clause database: pass
+/// `blog-spd`'s `PagedClauseStore` and every clause the search touches is
+/// routed through its LRU page cache, producing real hit/miss/eviction
+/// statistics for the access pattern the bound policy actually generates.
+/// Results are identical to running over the backing [`ClauseDb`]
+/// directly — paging is semantically transparent.
+pub fn best_first_with<S: ClauseSource + ?Sized>(
+    source: &S,
+    query: &Query,
+    view: &mut WeightView<'_>,
+    config: &BestFirstConfig,
+) -> BlogResult {
     let var_names = Arc::new(query.var_names.clone());
     let n_query_vars = query.var_names.len() as u32;
     let mut stats = SearchStats::default();
@@ -282,7 +299,7 @@ pub fn best_first(
 
         stats.nodes_expanded += 1;
         let mut est = ExpandStats::default();
-        let children = expand(db, &chain.node, &mut est);
+        let children = expand_via(source, &chain.node, &mut est);
         stats.unify_attempts += est.unify_attempts;
         stats.unify_successes += est.unify_successes;
 

@@ -56,7 +56,9 @@ pub mod util;
 pub mod weight;
 
 pub use chain::{Chain, ChainLink};
-pub use engine::{best_first, BestFirstConfig, BlogResult, BlogStats, BoundPolicy, PruneMode};
+pub use engine::{
+    best_first, best_first_with, BestFirstConfig, BlogResult, BlogStats, BoundPolicy, PruneMode,
+};
 pub use session::{MergePolicy, MergeReport, Session, SessionManager};
 pub use update::{failure_update, success_update, InfinityPlacement, UpdateOutcome};
 pub use weight::{Bound, Weight, WeightParams, WeightState, WeightStore, WeightView};

@@ -3,7 +3,7 @@
 //! "Let p(k) be the (unnormalized) probability that arc k is in a
 //! successful solution … the probability of each chain representing a
 //! successful solution must be equal to 1/(the number of successful
-//! solutions) [and] the probability of each chain representing an
+//! solutions) \[and\] the probability of each chain representing an
 //! unsuccessful search must be 0. … If N is the number of both complete
 //! solutions and unsuccessful solutions, and M arcs are used in them, we
 //! have N equations in M unknowns to solve" (§4).

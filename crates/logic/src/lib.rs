@@ -9,7 +9,7 @@
 //!
 //! The B-LOG contribution itself (weights, bounds, best-first
 //! branch-and-bound, sessions) lives in the `blog-core` crate and drives
-//! search through the [`expand`](node::expand) primitive defined here, so
+//! search through the [`expand`] primitive defined here, so
 //! every strategy — baseline or best-first — resolves goals through exactly
 //! the same unification and clause-indexing code.
 //!
@@ -45,6 +45,7 @@ pub mod node;
 pub mod parser;
 pub mod pretty;
 pub mod solve;
+pub mod source;
 pub mod store;
 pub mod symbol;
 pub mod term;
@@ -52,7 +53,8 @@ pub mod unify;
 
 pub use bindings::{Bindings, Trail};
 pub use clause::{Clause, ClauseId};
-pub use node::{expand, Caller, Expansion, Goal, PointerKey, SearchNode};
+pub use node::{expand, expand_via, Caller, Expansion, Goal, PointerKey, SearchNode};
+pub use source::ClauseSource;
 pub use parser::{parse_program, parse_query, ParseError, Program, Query};
 pub use solve::{
     bfs_all, dfs_all, iterative_deepening, SearchStats, Solution, SolveConfig, SolveResult,

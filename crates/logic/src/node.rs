@@ -13,6 +13,7 @@
 
 use crate::bindings::{Bindings, Trail};
 use crate::clause::ClauseId;
+use crate::source::ClauseSource;
 use crate::store::ClauseDb;
 use crate::term::Term;
 use crate::unify::unify;
@@ -136,17 +137,31 @@ pub struct ExpandStats {
 /// Returns an empty vector if the node is a solution (nothing to expand)
 /// or if every candidate fails to unify (the node is a *failure* leaf).
 pub fn expand(db: &ClauseDb, node: &SearchNode, stats: &mut ExpandStats) -> Vec<Expansion> {
+    expand_via(db, node, stats)
+}
+
+/// [`expand`], generalized over any [`ClauseSource`].
+///
+/// Every clause touched during candidate matching is fetched through the
+/// source, so a paged backend observes the search's true block-access
+/// stream — one [`fetch_clause`](ClauseSource::fetch_clause) per
+/// unification attempt.
+pub fn expand_via<S: ClauseSource + ?Sized>(
+    source: &S,
+    node: &SearchNode,
+    stats: &mut ExpandStats,
+) -> Vec<Expansion> {
     let Some(goal) = node.goals.first() else {
         return Vec::new();
     };
     // Dereference the goal far enough to know its functor: the goal term
     // as stored may be a variable bound to a structure by an earlier step.
     let goal_term = node.bindings.walk(&goal.term).clone();
-    let candidates = db.candidates_for_resolved(&goal_term, &node.bindings);
+    let candidates = source.candidate_clauses(&goal_term, &node.bindings);
     let mut out = Vec::with_capacity(candidates.len());
     for &cid in candidates.iter() {
         stats.unify_attempts += 1;
-        let clause = db.clause(cid);
+        let clause = source.fetch_clause(cid);
         let base = node.next_var;
         let renamed_head = clause.head.offset_vars(base);
 

@@ -2,7 +2,7 @@
 //!
 //! These are the comparators the paper positions B-LOG against in section
 //! 3: Prolog's **depth-first** search ("useful in single processor
-//! implementations, [but] does not lend itself easily to parallel
+//! implementations, \[but\] does not lend itself easily to parallel
 //! processing"), **breadth-first** search ("tends to work near the root of
 //! the tree, doing extra work before a solution is found"), and — as the
 //! standard completeness fix for depth-first — iterative deepening.

@@ -1,0 +1,81 @@
+//! The clause-resolution abstraction every engine searches through.
+//!
+//! The paper's machine does not hold the whole program in processor
+//! memory: clauses live on Semantic Paging Disks and are faulted in as the
+//! search touches them (§6). [`ClauseSource`] is the software seam for
+//! that: [`expand_via`](crate::node::expand_via) resolves goals through
+//! this trait, so the same engine runs against the in-memory
+//! [`ClauseDb`] or against a paged backend (see
+//! `blog-spd`'s `PagedClauseStore`) that counts cache hits, misses, and
+//! evictions as the search streams over it.
+//!
+//! Implementations must be *semantically transparent*: the clauses and
+//! candidate lists returned must be identical to the backing database's,
+//! whatever bookkeeping happens underneath. The property tests in
+//! `blog-spd` assert exactly that.
+
+use std::borrow::Cow;
+
+use crate::bindings::Bindings;
+use crate::clause::{Clause, ClauseId};
+use crate::store::ClauseDb;
+use crate::term::Term;
+
+/// A source of clauses and figure-4 candidate lists.
+///
+/// Methods take `&self`: backends that track access statistics (page
+/// caches, tracers) use interior mutability, which keeps every search
+/// engine oblivious to the bookkeeping.
+pub trait ClauseSource {
+    /// Fetch a clause block. For paged backends this is *the* accounted
+    /// access: one call is one block touch.
+    fn fetch_clause(&self, id: ClauseId) -> &Clause;
+
+    /// Candidate resolvers for a goal under the backend's index mode,
+    /// dereferencing through `bindings` (see
+    /// [`ClauseDb::candidates_for_resolved`]).
+    fn candidate_clauses<'a>(&'a self, goal: &Term, bindings: &Bindings) -> Cow<'a, [ClauseId]>;
+
+    /// Number of clause blocks in the source.
+    fn clause_count(&self) -> usize;
+}
+
+impl ClauseSource for ClauseDb {
+    #[inline]
+    fn fetch_clause(&self, id: ClauseId) -> &Clause {
+        self.clause(id)
+    }
+
+    #[inline]
+    fn candidate_clauses<'a>(&'a self, goal: &Term, bindings: &Bindings) -> Cow<'a, [ClauseId]> {
+        self.candidates_for_resolved(goal, bindings)
+    }
+
+    #[inline]
+    fn clause_count(&self) -> usize {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn clause_db_is_a_transparent_source() {
+        let p = parse_program("p(a). p(b). q(X) :- p(X).").unwrap();
+        let db = &p.db;
+        assert_eq!(db.clause_count(), db.len());
+        for i in 0..db.len() {
+            let id = ClauseId(i as u32);
+            assert_eq!(db.fetch_clause(id).head, db.clause(id).head);
+        }
+        let q_goal = p.db.clause(ClauseId(2)).body[0].clone();
+        let b = Bindings::new();
+        assert_eq!(
+            db.candidate_clauses(&q_goal, &b).as_ref(),
+            db.candidates_for_resolved(&q_goal, &b).as_ref()
+        );
+    }
+}

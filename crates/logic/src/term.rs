@@ -62,7 +62,8 @@ impl Term {
     }
 
     /// Whether `v` occurs anywhere in the term (syntactically, without
-    /// walking bindings — see [`crate::unify`] for the bound version).
+    /// walking bindings — see [`unify`](crate::unify::unify) for the
+    /// bound version).
     pub fn contains_var(&self, v: VarId) -> bool {
         match self {
             Term::Var(w) => *w == v,

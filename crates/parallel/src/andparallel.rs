@@ -104,7 +104,7 @@ pub fn and_parallel_solve(db: &ClauseDb, query: &Query, config: &SolveConfig) ->
     }
 
     // Solve groups concurrently.
-    let group_results: Vec<SolveResult> = crossbeam::scope(|scope| {
+    let group_results: Vec<SolveResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = groups
             .iter()
             .map(|idxs| {
@@ -119,15 +119,14 @@ pub fn and_parallel_solve(db: &ClauseDb, query: &Query, config: &SolveConfig) ->
                     max_solutions: None,
                     ..config.clone()
                 };
-                scope.spawn(move |_| dfs_all(db, &sub, &cfg))
+                scope.spawn(move || dfs_all(db, &sub, &cfg))
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("group solver panicked"))
             .collect()
-    })
-    .expect("crossbeam scope");
+    });
 
     // Which variables each group binds.
     let group_vars: Vec<HashSet<VarId>> = groups

@@ -215,18 +215,17 @@ pub fn par_best_first(
     };
 
     let mut per_worker: Vec<WorkerStats> = Vec::with_capacity(config.n_workers);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.n_workers)
             .map(|w| {
                 let ctx_ref = &ctx;
-                scope.spawn(move |_| worker_loop(ctx_ref, w))
+                scope.spawn(move || worker_loop(ctx_ref, w))
             })
             .collect();
         for h in handles {
             per_worker.push(h.join().expect("worker thread panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
 
     let mut stats = SearchStats::default();
     let mut pruned = 0;

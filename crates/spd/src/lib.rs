@@ -25,15 +25,26 @@
 //! semantic page distance and the weight-filter threshold vary (the
 //! paper's "we can decide whether we wish to retrieve another block by
 //! examining these weights, before we access the block").
+//!
+//! Beyond the trace-replay simulator, [`paged`] turns the layout into a
+//! *live storage backend*: [`PagedClauseStore`] implements
+//! [`ClauseSource`](blog_logic::ClauseSource) over an [`lru`] track cache,
+//! so the `blog-core` best-first engine resolves clauses through the
+//! cache and the paging statistics reflect the search's real access
+//! stream rather than a canned trace.
 
 pub mod block;
 pub mod bridge;
+pub mod lru;
+pub mod paged;
 pub mod pager;
 pub mod spd;
 pub mod timing;
 
 pub use block::{Block, BlockId, NamedPointer};
 pub use bridge::{build_spd_from_db, DbLayout};
+pub use lru::{LruSet, Touch};
+pub use paged::{PagedClauseStore, PagedStoreConfig, PagedStoreStats, TrackId};
 pub use pager::{Pager, PagerStats};
 pub use spd::{GcReport, PageRequest, PageResult, SpMode, SpdArray, SpdStats, TrackFull};
 pub use timing::{CostModel, Geometry};

@@ -1,0 +1,357 @@
+//! A paged clause-store backend: `ClauseDb` behind an LRU track cache.
+//!
+//! The [`Pager`](crate::pager::Pager) replays *recorded* traces against the
+//! simulated disk; this module closes the loop. [`PagedClauseStore`] lays a
+//! [`ClauseDb`] out across SPD tracks (same placement rule as
+//! [`SpdArray`](crate::spd::SpdArray): one block per clause, round-robin
+//! over slots, SPs, and cylinders) and implements [`ClauseSource`], so
+//! the best-first engine in
+//! `blog-core` — or any engine built on
+//! [`expand_via`](blog_logic::expand_via) — resolves candidates *through*
+//! the cache. Every unification attempt touches the candidate clause's
+//! track: a resident track is a **hit**; a miss charges the cost model for
+//! the seek and track load and may **evict** the least-recently-used track.
+//!
+//! Clause data itself always lives in the backing [`ClauseDb`] (the
+//! "disk"), so paging is semantically transparent: searches return exactly
+//! the solutions the in-memory database yields, while the store reports
+//! the hit/miss/eviction behavior of the access pattern the search
+//! actually generated. The integration tests in `tests/paged_store.rs`
+//! assert both halves of that claim.
+
+use std::borrow::Cow;
+use std::sync::Mutex;
+
+use blog_logic::{Bindings, Clause, ClauseDb, ClauseId, ClauseSource, Term};
+use serde::Serialize;
+
+use crate::lru::{LruSet, Touch};
+use crate::timing::{BlockAddr, CostModel, Geometry};
+
+/// Identity of one track: the unit of caching (and of disk transfer).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize)]
+pub struct TrackId {
+    /// Search processor (surface) index.
+    pub sp: u32,
+    /// Cylinder index.
+    pub cylinder: u32,
+}
+
+/// Configuration for a [`PagedClauseStore`].
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PagedStoreConfig {
+    /// Disk layout; `blocks_per_track` is the page size in clauses.
+    pub geometry: Geometry,
+    /// Tick costs charged on track faults.
+    pub cost: CostModel,
+    /// Cache capacity in resident tracks.
+    pub capacity_tracks: usize,
+}
+
+impl Default for PagedStoreConfig {
+    fn default() -> Self {
+        PagedStoreConfig {
+            geometry: Geometry::default(),
+            cost: CostModel::default(),
+            capacity_tracks: 8,
+        }
+    }
+}
+
+/// Counters for one store's lifetime (or since the last reset).
+#[derive(Clone, Copy, Default, Debug, Serialize)]
+pub struct PagedStoreStats {
+    /// Clause fetches routed through the cache.
+    pub accesses: u64,
+    /// Fetches whose track was resident.
+    pub hits: u64,
+    /// Fetches that faulted a track in.
+    pub misses: u64,
+    /// Tracks evicted to make room.
+    pub evictions: u64,
+    /// Simulated ticks spent on faults (seeks plus track loads).
+    pub fault_ticks: u64,
+}
+
+impl PagedStoreStats {
+    /// Hit rate in `[0, 1]` (zero when nothing was accessed).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.accesses as f64
+    }
+}
+
+/// Mutable cache state, behind one mutex so the store can implement
+/// [`ClauseSource`]'s `&self` methods (and be shared across threads).
+#[derive(Debug)]
+struct CacheState {
+    lru: LruSet<TrackId>,
+    /// Per-SP head position, for seek cost.
+    heads: Vec<u32>,
+    stats: PagedStoreStats,
+}
+
+/// A [`ClauseDb`] served through an LRU track cache with SPD cost
+/// accounting. See the module docs for the model.
+#[derive(Debug)]
+pub struct PagedClauseStore<'a> {
+    db: &'a ClauseDb,
+    geometry: Geometry,
+    cost: CostModel,
+    inner: Mutex<CacheState>,
+}
+
+impl<'a> PagedClauseStore<'a> {
+    /// Wrap `db` in a paged view.
+    ///
+    /// # Panics
+    /// Panics if the geometry cannot hold one block per clause, or if the
+    /// track capacity is zero.
+    pub fn new(db: &'a ClauseDb, config: PagedStoreConfig) -> PagedClauseStore<'a> {
+        assert!(
+            config.geometry.capacity() as usize >= db.len(),
+            "SPD geometry too small: capacity {} < {} clauses",
+            config.geometry.capacity(),
+            db.len()
+        );
+        PagedClauseStore {
+            db,
+            geometry: config.geometry,
+            cost: config.cost,
+            inner: Mutex::new(CacheState {
+                lru: LruSet::new(config.capacity_tracks),
+                heads: vec![0; config.geometry.n_sps as usize],
+                stats: PagedStoreStats::default(),
+            }),
+        }
+    }
+
+    /// The backing database.
+    pub fn db(&self) -> &'a ClauseDb {
+        self.db
+    }
+
+    /// Where clause `cid` lives — the same round-robin placement
+    /// [`SpdArray::add_block`](crate::spd::SpdArray::add_block) uses
+    /// (both call [`Geometry::addr_of_index`]), so a store and a
+    /// simulator built over the same database agree block by block.
+    pub fn addr_of(&self, cid: ClauseId) -> BlockAddr {
+        self.geometry.addr_of_index(cid.0)
+    }
+
+    /// The track (cache page) holding clause `cid`.
+    pub fn track_of(&self, cid: ClauseId) -> TrackId {
+        let addr = self.addr_of(cid);
+        TrackId {
+            sp: addr.sp,
+            cylinder: addr.cylinder,
+        }
+    }
+
+    /// Touch one clause through the cache; returns whether it hit.
+    ///
+    /// This is the accounting primitive behind
+    /// [`fetch_clause`](ClauseSource::fetch_clause); trace replays can
+    /// call it directly.
+    pub fn touch_clause(&self, cid: ClauseId) -> bool {
+        let track = self.track_of(cid);
+        let mut state = self.inner.lock().unwrap();
+        state.stats.accesses += 1;
+        match state.lru.touch(track) {
+            Touch::Hit => {
+                state.stats.hits += 1;
+                true
+            }
+            Touch::Miss { evicted } => {
+                state.stats.misses += 1;
+                state.stats.evictions += u64::from(evicted.is_some());
+                // Seek the SP's head to the faulting cylinder, then load
+                // the track. Evictions are free: the database is
+                // read-only, so every cached track is clean.
+                let head = state.heads[track.sp as usize];
+                if head != track.cylinder {
+                    let distance = head.abs_diff(track.cylinder) as u64;
+                    state.stats.fault_ticks +=
+                        self.cost.seek_settle + distance * self.cost.seek_per_cylinder;
+                    state.heads[track.sp as usize] = track.cylinder;
+                }
+                state.stats.fault_ticks += self.cost.track_load;
+                false
+            }
+        }
+    }
+
+    /// Replay a clause-access trace; returns the cumulative stats.
+    pub fn replay(&self, trace: &[ClauseId]) -> PagedStoreStats {
+        for &cid in trace {
+            self.touch_clause(cid);
+        }
+        self.stats()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> PagedStoreStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Reset counters; resident tracks and head positions persist (use
+    /// [`clear`](Self::clear) to also drop the cache).
+    pub fn reset_stats(&self) {
+        self.inner.lock().unwrap().stats = PagedStoreStats::default();
+    }
+
+    /// Drop every resident track, park the heads, and reset counters.
+    pub fn clear(&self) {
+        let mut state = self.inner.lock().unwrap();
+        state.lru.clear();
+        state.heads.fill(0);
+        state.stats = PagedStoreStats::default();
+    }
+
+    /// Number of resident tracks.
+    pub fn resident_tracks(&self) -> usize {
+        self.inner.lock().unwrap().lru.len()
+    }
+
+    /// Whether clause `cid`'s track is resident (no recency effect).
+    pub fn is_resident(&self, cid: ClauseId) -> bool {
+        let track = self.track_of(cid);
+        self.inner.lock().unwrap().lru.contains(&track)
+    }
+}
+
+impl ClauseSource for PagedClauseStore<'_> {
+    fn fetch_clause(&self, id: ClauseId) -> &Clause {
+        self.touch_clause(id);
+        self.db.clause(id)
+    }
+
+    fn candidate_clauses<'a>(&'a self, goal: &Term, bindings: &Bindings) -> Cow<'a, [ClauseId]> {
+        // Candidate lists are the figure-4 pointers stored *in the
+        // caller's block*, which the search touched when it fetched the
+        // caller; reading them costs no extra fault.
+        self.db.candidates_for_resolved(goal, bindings)
+    }
+
+    fn clause_count(&self) -> usize {
+        self.db.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blog_logic::parse_program;
+
+    const FAMILY: &str = "
+        gf(X,Z) :- f(X,Y), f(Y,Z).
+        gf(X,Z) :- f(X,Y), m(Y,Z).
+        f(curt,elain). f(sam,larry). f(dan,pat). f(larry,den).
+        f(pat,john). f(larry,doug).
+        m(elain,john). m(marian,elain). m(peg,den). m(peg,doug).
+        ?- gf(sam,G).
+    ";
+
+    fn small_config(capacity_tracks: usize) -> PagedStoreConfig {
+        PagedStoreConfig {
+            geometry: Geometry {
+                n_sps: 2,
+                n_cylinders: 8,
+                blocks_per_track: 2,
+            },
+            cost: CostModel::default(),
+            capacity_tracks,
+        }
+    }
+
+    #[test]
+    fn placement_matches_spd_array() {
+        let p = parse_program(FAMILY).unwrap();
+        let cfg = small_config(4);
+        let store = PagedClauseStore::new(&p.db, cfg);
+        let weights =
+            blog_core::weight::WeightStore::new(blog_core::weight::WeightParams::default());
+        let (spd, layout) = crate::bridge::build_spd_from_db(
+            &p.db,
+            &weights,
+            cfg.geometry,
+            cfg.cost,
+            crate::spd::SpMode::Simd,
+        );
+        for i in 0..p.db.len() {
+            let cid = ClauseId(i as u32);
+            assert_eq!(store.addr_of(cid), spd.addr(layout.block_of(cid)));
+        }
+    }
+
+    #[test]
+    fn same_track_hits_other_track_faults() {
+        let p = parse_program(FAMILY).unwrap();
+        let store = PagedClauseStore::new(&p.db, small_config(4));
+        // Clauses 0 and 1 share track (sp 0, cyl 0) with blocks_per_track=2.
+        assert!(!store.touch_clause(ClauseId(0)));
+        assert!(store.touch_clause(ClauseId(1)));
+        assert!(!store.touch_clause(ClauseId(2)));
+        let s = store.stats();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.evictions, 0);
+        assert!(s.fault_ticks >= 2 * CostModel::default().track_load);
+    }
+
+    #[test]
+    fn capacity_bounds_residency_and_counts_evictions() {
+        let p = parse_program(FAMILY).unwrap();
+        let store = PagedClauseStore::new(&p.db, small_config(1));
+        for i in 0..p.db.len() {
+            store.touch_clause(ClauseId(i as u32));
+        }
+        assert_eq!(store.resident_tracks(), 1);
+        let s = store.stats();
+        assert!(s.evictions > 0, "single-track cache must evict: {s:?}");
+    }
+
+    #[test]
+    fn fetch_returns_backing_clause() {
+        let p = parse_program(FAMILY).unwrap();
+        let store = PagedClauseStore::new(&p.db, small_config(2));
+        for i in 0..p.db.len() {
+            let cid = ClauseId(i as u32);
+            assert_eq!(store.fetch_clause(cid).head, p.db.clause(cid).head);
+        }
+        assert_eq!(store.stats().accesses, p.db.len() as u64);
+    }
+
+    #[test]
+    fn clear_and_reset_behave() {
+        let p = parse_program(FAMILY).unwrap();
+        let store = PagedClauseStore::new(&p.db, small_config(2));
+        store.touch_clause(ClauseId(0));
+        store.reset_stats();
+        assert_eq!(store.stats().accesses, 0);
+        assert!(store.is_resident(ClauseId(0)), "reset keeps residency");
+        store.clear();
+        assert!(!store.is_resident(ClauseId(0)));
+        assert_eq!(store.resident_tracks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn undersized_geometry_rejected() {
+        let p = parse_program(FAMILY).unwrap();
+        let _ = PagedClauseStore::new(
+            &p.db,
+            PagedStoreConfig {
+                geometry: Geometry {
+                    n_sps: 1,
+                    n_cylinders: 1,
+                    blocks_per_track: 2,
+                },
+                ..PagedStoreConfig::default()
+            },
+        );
+    }
+}

@@ -187,12 +187,7 @@ impl SpdArray {
             "SPD capacity {} exceeded",
             self.geometry.capacity()
         );
-        let per_cyl = self.geometry.n_sps * self.geometry.blocks_per_track;
-        let addr = BlockAddr {
-            cylinder: i / per_cyl,
-            sp: (i % per_cyl) / self.geometry.blocks_per_track,
-            slot: i % self.geometry.blocks_per_track,
-        };
+        let addr = self.geometry.addr_of_index(i);
         self.blocks.push(block);
         self.addrs.push(addr);
         self.marks.push(false);

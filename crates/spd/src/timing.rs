@@ -28,6 +28,18 @@ impl Geometry {
     pub fn capacity(&self) -> u32 {
         self.n_sps * self.n_cylinders * self.blocks_per_track
     }
+
+    /// Round-robin placement of the `i`-th block (over slots, then SPs,
+    /// then cylinders) — the single source of truth shared by
+    /// `SpdArray::add_block` and the paged clause store.
+    pub fn addr_of_index(&self, i: u32) -> BlockAddr {
+        let per_cyl = self.n_sps * self.blocks_per_track;
+        BlockAddr {
+            cylinder: i / per_cyl,
+            sp: (i % per_cyl) / self.blocks_per_track,
+            slot: i % self.blocks_per_track,
+        }
+    }
 }
 
 /// Where a block lives.

@@ -1,0 +1,272 @@
+//! Offline mini-`criterion`: the benchmarking API surface this workspace's
+//! benches use, timed with `std::time::Instant` and reported as plain text.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! provides [`Criterion`], [`BenchmarkGroup`], [`Bencher`] (`iter` and
+//! `iter_batched`), [`BenchmarkId`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. There is no statistical
+//! analysis, HTML report, or outlier rejection — each benchmark runs
+//! `sample_size` samples and prints the per-iteration mean and min. That is
+//! enough to compare configurations locally and to keep `cargo bench`
+//! compiling and runnable; swap in the real criterion by editing one
+//! manifest line when a registry is available.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Controls how `iter_batched` amortises setup cost. All variants behave
+/// identically here: setup is always run per batch, untimed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// A two-part benchmark identifier, `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to benchmark closures; times the measurement routine.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `routine` directly, once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.results.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Time `routine` on a fresh input from `setup` each sample; `setup`
+    /// itself is untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.results.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`], but the routine borrows the input.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let start = Instant::now();
+            let out = routine(&mut input);
+            self.results.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.results.is_empty() {
+            println!("{label:<48} (no samples)");
+            return;
+        }
+        let total: Duration = self.results.iter().sum();
+        let mean = total / self.results.len() as u32;
+        let min = self.results.iter().min().copied().unwrap_or_default();
+        println!(
+            "{label:<48} mean {mean:>12.3?}   min {min:>12.3?}   samples {}",
+            self.results.len()
+        );
+    }
+}
+
+/// A named collection of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher::new(self.sample_size.min(self.criterion.max_samples));
+        f(&mut bencher);
+        bencher.report(&label);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher::new(self.sample_size.min(self.criterion.max_samples));
+        f(&mut bencher, input);
+        bencher.report(&label);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput hint; accepted and ignored.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    max_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CRITERION_STUB_SAMPLES caps work per benchmark so `cargo bench`
+        // finishes quickly in CI; the real criterion ignores this variable.
+        let max_samples = std::env::var("CRITERION_STUB_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Self { max_samples }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        let sample_size = self.max_samples;
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.max_samples);
+        f(&mut bencher);
+        bencher.report(&id.to_string());
+        self
+    }
+}
+
+/// Re-exported for benches that use `criterion::black_box`; the standard
+/// library hint is the real implementation.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher::new(3);
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 3);
+        assert_eq!(b.results.len(), 3);
+
+        let mut b = Bencher::new(4);
+        b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.results.len(), 4);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        let mut runs = 0;
+        group.bench_function("inner", |b| {
+            b.iter(|| 1 + 1);
+            runs += 1;
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+}

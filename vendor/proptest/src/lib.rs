@@ -1,0 +1,777 @@
+//! Offline mini-`proptest`: the subset of the proptest API this workspace's
+//! property tests use, implemented as plain seeded random generation.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! provides API-compatible stand-ins for:
+//!
+//! - [`Strategy`] with `prop_map`, `prop_flat_map`, `prop_recursive`, `boxed`
+//! - strategies for integer ranges, tuples, `&str` character-class patterns,
+//!   [`Just`], [`any`], and `prop::collection::{vec, btree_set, btree_map}`
+//! - the [`proptest!`], [`prop_oneof!`], and `prop_assert*` macros
+//! - [`ProptestConfig`] (only `cases` is honoured)
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case reports the case number and seed; the
+//!   run is deterministic, so failures reproduce exactly.
+//! - **Fixed seed per test.** Case `i` of a test derives from a fixed base
+//!   seed, so CI runs are reproducible.
+//! - **`&str` strategies support a character-class subset of regex** —
+//!   sequences of literals and `[...]` classes with `{m,n}`, `?`, `*`, `+`
+//!   quantifiers — which covers every pattern in this workspace's tests.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic splitmix64 RNG driving all generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// The fixed base RNG used by the [`proptest!`] harness.
+    pub fn deterministic() -> Self {
+        Self::from_seed(0xb10c_5eed_0000_0001)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A generator of random values. Unlike real proptest there is no value
+/// tree and no shrinking: a strategy is just a seeded sampler.
+pub trait Strategy {
+    type Value;
+
+    fn gen(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            f,
+            reason,
+        }
+    }
+
+    /// Bounded recursive strategies. `depth` limits nesting; the size hints
+    /// are accepted for API compatibility but unused.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let branch = f(current).boxed();
+            current = Union::new(vec![leaf.clone(), branch]).boxed();
+        }
+        current
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.gen(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+// -- combinators ------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn gen(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.gen(rng))
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn gen(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.gen(rng)).gen(rng)
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    base: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn gen(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.base.gen(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({}) rejected 1000 candidates", self.reason);
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives; backs [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Self {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].gen(rng)
+    }
+}
+
+// -- scalar strategies ------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn gen(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// -- `any` ------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy, mirroring `Arbitrary`.
+pub trait ArbitraryLite {
+    fn generate(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryLite for $t {
+            fn generate(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryLite for bool {
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryLite for f64 {
+    fn generate(rng: &mut TestRng) -> Self {
+        // Finite values only; keeps arithmetic-heavy properties meaningful.
+        (rng.next_u64() as f64 / u64::MAX as f64) * 2e6 - 1e6
+    }
+}
+
+/// Full-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: ArbitraryLite>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[derive(Clone, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: ArbitraryLite> Strategy for Any<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        T::generate(rng)
+    }
+}
+
+// -- string strategies ------------------------------------------------------
+
+/// `&str` patterns act as strategies producing matching `String`s.
+///
+/// Supported syntax: literal characters, `[...]` classes (with ranges and
+/// leading-`^` negation over printable ASCII), and `{n}`, `{m,n}`, `?`, `*`,
+/// `+` quantifiers (`*`/`+` capped at 8 repeats).
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen(&self, rng: &mut TestRng) -> String {
+        gen_from_pattern(self, rng)
+    }
+}
+
+fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let (choices, next) = parse_atom(&chars, i, pattern);
+        let (lo, hi, after) = parse_quantifier(&chars, next, pattern);
+        let reps = if lo == hi {
+            lo
+        } else {
+            lo + rng.below((hi - lo + 1) as u64) as usize
+        };
+        for _ in 0..reps {
+            let k = rng.below(choices.len() as u64) as usize;
+            out.push(choices[k]);
+        }
+        i = after;
+    }
+    out
+}
+
+/// Parse one atom (a literal or a `[...]` class) starting at `i`; return the
+/// candidate characters and the index just past the atom.
+fn parse_atom(chars: &[char], i: usize, pattern: &str) -> (Vec<char>, usize) {
+    if chars[i] != '[' {
+        let c = if chars[i] == '\\' { chars[i + 1] } else { chars[i] };
+        let skip = if chars[i] == '\\' { 2 } else { 1 };
+        return (vec![c], i + skip);
+    }
+    let mut j = i + 1;
+    let negate = chars.get(j) == Some(&'^');
+    if negate {
+        j += 1;
+    }
+    let mut set = Vec::new();
+    while j < chars.len() && chars[j] != ']' {
+        if j + 2 < chars.len() && chars[j + 1] == '-' && chars[j + 2] != ']' {
+            let (lo, hi) = (chars[j], chars[j + 2]);
+            assert!(lo <= hi, "bad class range in pattern {pattern:?}");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            j += 3;
+        } else {
+            set.push(chars[j]);
+            j += 1;
+        }
+    }
+    assert!(j < chars.len(), "unterminated [class] in pattern {pattern:?}");
+    if negate {
+        set = (' '..='~').filter(|c| !set.contains(c)).collect();
+    }
+    assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+    (set, j + 1)
+}
+
+/// Parse an optional quantifier at `i`; return `(min, max, next_index)`.
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated {{}} in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (lo, hi) = match body.split_once(',') {
+                Some((l, h)) => (
+                    l.trim().parse().expect("bad {m,n} quantifier"),
+                    h.trim().parse().expect("bad {m,n} quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad {n} quantifier");
+                    (n, n)
+                }
+            };
+            (lo, hi, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+// -- collections ------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::Range;
+
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: a vector whose length is drawn from
+    /// `size` and whose elements come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = sample_size(&self.size, rng);
+            (0..n).map(|_| self.elem.gen(rng)).collect()
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::btree_set`: at most `size.end - 1` draws are
+    /// inserted; duplicates collapse, so the set may be smaller than drawn.
+    pub fn btree_set<S: Strategy>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn gen(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = sample_size(&self.size, rng);
+            (0..n).map(|_| self.elem.gen(rng)).collect()
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::btree_map`; duplicate keys collapse.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn gen(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = sample_size(&self.size, rng);
+            (0..n)
+                .map(|_| (self.key.gen(rng), self.value.gen(rng)))
+                .collect()
+        }
+    }
+
+    fn sample_size(size: &Range<usize>, rng: &mut TestRng) -> usize {
+        assert!(size.start < size.end, "empty collection size range");
+        size.start + rng.below((size.end - size.start) as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Harness plumbing
+// ---------------------------------------------------------------------------
+
+/// Subset of `proptest::test_runner::Config`: only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Failure payload carried out of a property body by `prop_assert*`.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+thread_local! {
+    static CURRENT_CASE: RefCell<u32> = const { RefCell::new(0) };
+}
+
+/// Internal: record the running case index so failures can report it.
+pub fn set_current_case(case: u32) {
+    CURRENT_CASE.with(|c| *c.borrow_mut() = case);
+}
+
+/// Internal: the case index a failure occurred at.
+pub fn current_case() -> u32 {
+    CURRENT_CASE.with(|c| *c.borrow())
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config $cfg; $($rest)*);
+    };
+    (@with_config $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic();
+            for case in 0..config.cases {
+                $crate::set_current_case(case);
+                $(let $arg = $crate::Strategy::gen(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| {
+                        $body;
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )+};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert!({}) failed at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert!({}) failed at {}:{}: {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq! failed at {}:{}\n  left: {:?}\n right: {:?}",
+                file!(),
+                line!(),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq! failed at {}:{}: {}\n  left: {:?}\n right: {:?}",
+                file!(),
+                line!(),
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if *left == *right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_ne! failed at {}:{}: both sides equal {:?}",
+                file!(),
+                line!(),
+                left
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any,
+        ArbitraryLite, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+        Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::deterministic();
+        let strat = (0u32..5, 10i64..=20, any::<bool>());
+        for _ in 0..200 {
+            let (a, b, _c) = Strategy::gen(&strat, &mut rng);
+            assert!(a < 5);
+            assert!((10..=20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_matches_class_syntax() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..200 {
+            let s = Strategy::gen(&"[a-d][a-d0-9_]{0,5}", &mut rng);
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            assert!(('a'..='d').contains(&first), "bad first char in {s:?}");
+            assert!(s.len() <= 6);
+            for c in chars {
+                assert!(
+                    ('a'..='d').contains(&c) || c.is_ascii_digit() || c == '_',
+                    "bad char {c:?} in {s:?}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn harness_runs_and_asserts(v in prop::collection::vec(0u32..100, 1..20)) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn oneof_and_recursive_compose(x in prop_oneof![Just(1u32), 2u32..10]) {
+            prop_assert!(x >= 1 && x < 10);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The workspace derives `Serialize` on its stats/report structs so a future
+//! PR can emit JSON once a real serializer is available, but no code path
+//! serializes anything yet. This stub keeps those derives compiling without
+//! crates.io access: the derive macro (from the stub `serde_derive`) expands
+//! to nothing, and a blanket impl satisfies any `T: Serialize` bound.
+//!
+//! Replacing this with the real `serde` later is a one-line manifest change;
+//! no workspace source needs to change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
