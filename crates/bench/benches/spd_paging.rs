@@ -11,7 +11,7 @@ use blog_bench::spd_exp::{engine_run_through, t6b_geometry, t6b_total_tracks, tr
 use blog_logic::ClauseId;
 use blog_spd::{
     build_spd_from_db, CostModel, Geometry, PageRequest, PagedClauseStore, PagedStoreConfig,
-    Pager, SpMode,
+    Pager, PolicyKind, SpMode,
 };
 
 fn bench_spd(c: &mut Criterion) {
@@ -96,6 +96,7 @@ fn bench_paged_store(c: &mut Criterion) {
             geometry,
             cost: CostModel::default(),
             capacity_tracks,
+            policy: PolicyKind::Lru,
         };
         group.bench_with_input(
             BenchmarkId::new("engine_through_cache", capacity_tracks),
@@ -131,6 +132,7 @@ fn bench_paged_store(c: &mut Criterion) {
                 geometry,
                 cost: CostModel::default(),
                 capacity_tracks,
+                policy: PolicyKind::Lru,
             },
         );
         let (_, _, s) = engine_run_through(&paged, &program);

@@ -3,15 +3,39 @@
 //! ```text
 //! cargo run --release -p blog-bench --bin experiments            # everything
 //! cargo run --release -p blog-bench --bin experiments -- t1 t5   # a subset
+//! cargo run --release -p blog-bench --bin experiments -- t6 --policy=2q
 //! ```
 //!
 //! Experiment ids match DESIGN.md's index: f1 f3 f4 w1 t1 t2 t3 t4 t5 t6
-//! t7 t8 a1 a2 a3.
+//! t7 t8 a1 a2 a3. `--policy=<lru|2q|clock|fifo>` restricts the T6c
+//! replacement-policy sweep (every `blog-workloads` generator runs
+//! through the paged clause store) to one policy; given without
+//! experiment ids it implies `t6`.
 
 use blog_bench::{andp_exp, figures, machine_exp, sessions_exp, spd_exp, strategies, threads_exp};
+use blog_spd::PolicyKind;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut policy: Option<PolicyKind> = None;
+    let mut args: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if let Some(spec) = arg.strip_prefix("--policy=") {
+            match PolicyKind::parse(spec) {
+                Some(kind) => policy = Some(kind),
+                None => {
+                    eprintln!("unknown policy {spec:?}; known: lru 2q clock fifo");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            args.push(arg);
+        }
+    }
+    // `--policy` targets the T6c sweep: given alone, run the t6 section
+    // rather than every experiment.
+    if args.is_empty() && policy.is_some() {
+        args.push("t6".to_string());
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |id: &str| all || args.iter().any(|a| a == id);
     let mut ran = 0;
@@ -60,6 +84,7 @@ fn main() {
     section("t6", "semantic paging disks", &mut || {
         spd_exp::run_t6();
         spd_exp::run_t6b();
+        spd_exp::run_t6c(policy);
     });
     section("t7", "latency hiding: tasks, scoreboard, multi-write", &mut || {
         machine_exp::run_t7_machine();
@@ -85,7 +110,7 @@ fn main() {
 
     if ran == 0 {
         eprintln!(
-            "unknown experiment id(s): {:?}\nknown: f1 f3 f4 w1 w2 t1 t2 t3 t4 t5 t6 t7 t8 a1 a2 a3 a4 (or no args for all)",
+            "unknown experiment id(s): {:?}\nknown: f1 f3 f4 w1 w2 t1 t2 t3 t4 t5 t6 t7 t8 a1 a2 a3 a4 (or no args for all)\nflags: --policy=<lru|2q|clock|fifo> (restricts the T6c sweep)",
             args
         );
         std::process::exit(2);

@@ -1,14 +1,17 @@
 //! T6: semantic paging — hit rate and I/O time vs page distance, SP mode,
 //! and the weight filter. T6b drives the *live* paged clause store: the
 //! best-first engine resolves through an LRU track cache, so hit rates
-//! come from the search's real access stream, not a canned trace.
+//! come from the search's real access stream, not a canned trace. T6c
+//! sweeps the same live path across every replacement policy and every
+//! workload generator, reading results through the backend-agnostic
+//! [`ClauseSource`] stats surface.
 
 use blog_core::engine::{best_first, best_first_with, BestFirstConfig};
 use blog_core::weight::{WeightParams, WeightStore, WeightView};
-use blog_logic::{ClauseId, Program};
+use blog_logic::{ClauseId, ClauseSource, Program, SourceStats};
 use blog_spd::{
     build_spd_from_db, CostModel, Geometry, PagedClauseStore, PagedStoreConfig, PagedStoreStats,
-    Pager, PagerStats, SpMode,
+    Pager, PagerStats, PolicyKind, SpMode,
 };
 use blog_workloads::{family_program, FamilyParams};
 
@@ -222,6 +225,7 @@ pub fn run_t6b() -> Vec<PagedRow> {
                 geometry,
                 cost: CostModel::default(),
                 capacity_tracks,
+                policy: PolicyKind::Lru,
             },
         );
         let (nodes_expanded, solutions, stats) = engine_run_through(&paged, &program);
@@ -248,7 +252,132 @@ pub fn run_t6b() -> Vec<PagedRow> {
          cache never changes the search). Best-first scans the candidate space\n\
          between revisits, so LRU shows a *cliff*: sub-working-set capacities\n\
          hit only on within-expansion runs, and the rate jumps once every track\n\
-         fits. A scan-resistant policy is an open item for a future PR.\n"
+         fits. T6c sweeps the scan-resistant policies over the same path.\n"
+    );
+    rows
+}
+
+/// One T6c measurement: a live engine run through the paged store under
+/// one `(workload, policy, capacity)` combination.
+#[derive(Clone, Debug)]
+pub struct PolicyRow {
+    /// Workload label (matches [`crate::strategies::t1_workloads`]).
+    pub workload: String,
+    /// Replacement policy under test.
+    pub policy: PolicyKind,
+    /// Cache capacity in tracks.
+    pub capacity_tracks: usize,
+    /// Tracks the workload's clause database spreads over.
+    pub total_tracks: usize,
+    /// Counters read through the [`ClauseSource`] stats surface.
+    pub stats: SourceStats,
+    /// Nodes the engine expanded (policy-invariant by transparency).
+    pub nodes_expanded: u64,
+    /// Solutions found (ditto).
+    pub solutions: usize,
+}
+
+/// The capacity grid T6c sweeps for a database spread over `total`
+/// tracks: the degenerate single track, the mid-range where the LRU
+/// cliff lives, the exact working set, and one beyond it.
+pub fn t6c_capacities(total: usize) -> Vec<usize> {
+    let mut caps: Vec<usize> = [
+        1,
+        total / 4,
+        3 * total / 8,
+        total / 2,
+        5 * total / 8,
+        3 * total / 4,
+        7 * total / 8,
+        total,
+        total + total / 4,
+    ]
+    .into_iter()
+    .map(|c| c.max(1))
+    .collect();
+    caps.sort_unstable();
+    caps.dedup();
+    caps
+}
+
+/// T6c: sweep every replacement policy across every workload generator's
+/// benchmark instance, running the real engine through the paged store.
+/// `only` restricts the sweep to one policy (the experiments binary's
+/// `--policy` flag).
+pub fn run_t6c(only: Option<PolicyKind>) -> Vec<PolicyRow> {
+    // A requested policy is honored even when it is not part of the
+    // default sweep (e.g. `--policy=fifo` measures the pager's queue
+    // policy on the clause-cache path).
+    let policies: Vec<PolicyKind> = match only {
+        Some(p) => vec![p],
+        None => PolicyKind::CACHE_SWEEP.to_vec(),
+    };
+    let mut rows = Vec::new();
+    println!(
+        "T6c — replacement-policy sweep over the live paged store (policies: {}):",
+        policies
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for (workload, program) in crate::strategies::t1_workloads() {
+        let geometry = t6b_geometry(program.db.len());
+        let total_tracks = t6b_total_tracks(program.db.len());
+        println!(
+            "  {workload}: {} clauses over {} tracks",
+            program.db.len(),
+            total_tracks
+        );
+        let mut t = Table::new(&[
+            "policy", "capacity", "accesses", "hit-rate", "evictions", "nodes", "sols",
+        ]);
+        for capacity_tracks in t6c_capacities(total_tracks) {
+            for &policy in &policies {
+                let paged = PagedClauseStore::new(
+                    &program.db,
+                    PagedStoreConfig {
+                        geometry,
+                        cost: CostModel::default(),
+                        capacity_tracks,
+                        policy,
+                    },
+                );
+                let (nodes_expanded, solutions, _) = engine_run_through(&paged, &program);
+                // Read the counters back through the trait seam: the
+                // table must not care what backend served the search.
+                let source: &dyn ClauseSource = &paged;
+                let stats = source
+                    .source_stats()
+                    .expect("paged store exposes source stats");
+                t.row(vec![
+                    source.backend_name(),
+                    capacity_tracks.to_string(),
+                    stats.accesses.to_string(),
+                    pct(stats.hit_rate()),
+                    stats.evictions.to_string(),
+                    nodes_expanded.to_string(),
+                    solutions.to_string(),
+                ]);
+                rows.push(PolicyRow {
+                    workload: workload.clone(),
+                    policy,
+                    capacity_tracks,
+                    total_tracks,
+                    stats,
+                    nodes_expanded,
+                    solutions,
+                });
+            }
+        }
+        t.print();
+    }
+    println!(
+        "expected shape: per workload, every policy expands identical nodes and\n\
+         finds identical solutions (transparency). LRU and CLOCK keep the T6b\n\
+         cliff: no gain until the working set fits. 2Q flattens it — the ghost\n\
+         window promotes re-referenced tracks into Am, so mid-range capacities\n\
+         finally buy hit rate on scan-heavy searches.\n"
     );
     rows
 }
@@ -316,6 +445,68 @@ mod tests {
             last_hits = row.stats.hits;
         }
         assert!(last_hits > 0, "largest capacity should produce hits");
+    }
+
+    #[test]
+    fn t6c_two_q_dominates_lru_and_flattens_the_cliff() {
+        let rows = run_t6c(None);
+        // Every (workload, capacity) pair: transparency means identical
+        // nodes, solutions, and access streams across policies.
+        for pair in rows.chunks(PolicyKind::CACHE_SWEEP.len()) {
+            for r in &pair[1..] {
+                assert_eq!(r.nodes_expanded, pair[0].nodes_expanded, "{r:?}");
+                assert_eq!(r.solutions, pair[0].solutions, "{r:?}");
+                assert_eq!(r.stats.accesses, pair[0].stats.accesses, "{r:?}");
+            }
+        }
+        let hits = |workload: &str, policy: PolicyKind| -> Vec<(usize, u64, u64)> {
+            rows.iter()
+                .filter(|r| r.workload == workload && r.policy == policy)
+                .map(|r| (r.capacity_tracks, r.stats.hits, r.stats.accesses))
+                .collect()
+        };
+        // The acceptance criterion: 2Q >= LRU at every capacity point on
+        // the family workload...
+        let family_lru = hits("family(4,3)", PolicyKind::Lru);
+        let family_2q = hits("family(4,3)", PolicyKind::TwoQ);
+        assert_eq!(family_lru.len(), family_2q.len());
+        let mut flattened = false;
+        for ((cap, lru, accesses), (_, twoq, _)) in family_lru.iter().zip(&family_2q) {
+            assert!(
+                twoq >= lru,
+                "2Q lost to LRU on family at capacity {cap}: {twoq} < {lru}"
+            );
+            // ...with the mid-range cliff measurably flattened: at least
+            // one sub-working-set capacity where 2Q is >= 5 points ahead.
+            if (*twoq as f64 - *lru as f64) / *accesses as f64 >= 0.05 {
+                flattened = true;
+            }
+        }
+        assert!(flattened, "2Q never pulled >= 5 points ahead of LRU on family");
+        // ...and 2Q never loses on queens or mapcolor.
+        for workload in ["queens(6)", "mapcolor(3x3,3)"] {
+            let lru = hits(workload, PolicyKind::Lru);
+            let twoq = hits(workload, PolicyKind::TwoQ);
+            for ((cap, l, _), (_, q, _)) in lru.iter().zip(&twoq) {
+                assert!(q >= l, "2Q lost to LRU on {workload} at capacity {cap}: {q} < {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn t6c_policy_filter_restricts_the_sweep() {
+        let rows = run_t6c(Some(PolicyKind::Clock));
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| r.policy == PolicyKind::Clock));
+    }
+
+    #[test]
+    fn t6c_capacity_grid_is_sane() {
+        assert_eq!(t6c_capacities(1), vec![1]);
+        let caps = t6c_capacities(47);
+        assert_eq!(caps.first(), Some(&1));
+        assert!(caps.contains(&47), "working set always swept");
+        assert!(caps.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod unify;
 pub use bindings::{Bindings, Trail};
 pub use clause::{Clause, ClauseId};
 pub use node::{expand, expand_via, Caller, Expansion, Goal, PointerKey, SearchNode};
-pub use source::ClauseSource;
+pub use source::{ClauseSource, SourceStats};
 pub use parser::{parse_program, parse_query, ParseError, Program, Query};
 pub use solve::{
     bfs_all, dfs_all, iterative_deepening, SearchStats, Solution, SolveConfig, SolveResult,

@@ -21,6 +21,34 @@ use crate::clause::{Clause, ClauseId};
 use crate::store::ClauseDb;
 use crate::term::Term;
 
+/// Backend-agnostic access counters a [`ClauseSource`] may expose.
+///
+/// Cache-backed sources (the paged clause store, with any of its
+/// replacement policies) report their clause-fetch behavior here so
+/// experiment harnesses can read hit rates through the trait without
+/// knowing the backend type. Plain in-memory sources report nothing.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct SourceStats {
+    /// Clause fetches routed through the source.
+    pub accesses: u64,
+    /// Fetches served without touching the backing store.
+    pub hits: u64,
+    /// Fetches that had to fault data in.
+    pub misses: u64,
+    /// Cached units evicted to make room.
+    pub evictions: u64,
+}
+
+impl SourceStats {
+    /// Hit rate in `[0, 1]` (zero when nothing was accessed).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.accesses as f64
+    }
+}
+
 /// A source of clauses and figure-4 candidate lists.
 ///
 /// Methods take `&self`: backends that track access statistics (page
@@ -38,6 +66,18 @@ pub trait ClauseSource {
 
     /// Number of clause blocks in the source.
     fn clause_count(&self) -> usize;
+
+    /// Short description of the backend serving fetches, for experiment
+    /// tables — e.g. `"clause-db"` or `"paged/2q"`.
+    fn backend_name(&self) -> String {
+        "clause-db".to_string()
+    }
+
+    /// Access counters, for backends that meter fetches (`None` for
+    /// plain in-memory sources).
+    fn source_stats(&self) -> Option<SourceStats> {
+        None
+    }
 }
 
 impl ClauseSource for ClauseDb {
@@ -77,5 +117,24 @@ mod tests {
             db.candidate_clauses(&q_goal, &b).as_ref(),
             db.candidates_for_resolved(&q_goal, &b).as_ref()
         );
+    }
+
+    #[test]
+    fn in_memory_source_reports_no_stats() {
+        let p = parse_program("p(a).").unwrap();
+        assert_eq!(p.db.backend_name(), "clause-db");
+        assert_eq!(p.db.source_stats(), None);
+    }
+
+    #[test]
+    fn source_stats_hit_rate() {
+        let s = SourceStats {
+            accesses: 8,
+            hits: 6,
+            misses: 2,
+            evictions: 1,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(SourceStats::default().hit_rate(), 0.0);
     }
 }

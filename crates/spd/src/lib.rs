@@ -28,16 +28,19 @@
 //!
 //! Beyond the trace-replay simulator, [`paged`] turns the layout into a
 //! *live storage backend*: [`PagedClauseStore`] implements
-//! [`ClauseSource`](blog_logic::ClauseSource) over an [`lru`] track cache,
-//! so the `blog-core` best-first engine resolves clauses through the
-//! cache and the paging statistics reflect the search's real access
-//! stream rather than a canned trace.
+//! [`ClauseSource`](blog_logic::ClauseSource) over a track cache whose
+//! replacement algorithm is a [`policy`] seam — exact [`lru`],
+//! scan-resistant 2Q, CLOCK, or FIFO, selected by [`PolicyKind`] — so
+//! the `blog-core` best-first engine resolves clauses through the cache
+//! and the paging statistics reflect the search's real access stream
+//! rather than a canned trace.
 
 pub mod block;
 pub mod bridge;
 pub mod lru;
 pub mod paged;
 pub mod pager;
+pub mod policy;
 pub mod spd;
 pub mod timing;
 
@@ -46,5 +49,6 @@ pub use bridge::{build_spd_from_db, DbLayout};
 pub use lru::{LruSet, Touch};
 pub use paged::{PagedClauseStore, PagedStoreConfig, PagedStoreStats, TrackId};
 pub use pager::{Pager, PagerStats};
+pub use policy::{Clock, Fifo, Lru, PolicyKind, PolicyStats, ReplacementPolicy, TwoQ};
 pub use spd::{GcReport, PageRequest, PageResult, SpMode, SpdArray, SpdStats, TrackFull};
 pub use timing::{CostModel, Geometry};

@@ -96,21 +96,44 @@ impl<K: Eq + Hash + Copy> LruSet<K> {
     /// Touch `key`: a resident key becomes most-recently used; an absent
     /// key is inserted, evicting the least-recently used key when full.
     pub fn touch(&mut self, key: K) -> Touch<K> {
-        if let Some(&slot) = self.map.get(&key) {
-            self.unlink(slot);
-            self.push_front(slot);
+        if self.promote(&key) {
             return Touch::Hit;
         }
         let evicted = if self.map.len() == self.capacity {
-            let lru = self.tail;
-            let victim = self.slots[lru].key;
-            self.unlink(lru);
-            self.map.remove(&victim);
-            self.free.push(lru);
-            Some(victim)
+            self.pop_lru()
         } else {
             None
         };
+        self.insert_mru(key);
+        Touch::Miss { evicted }
+    }
+
+    /// Move a resident `key` to most-recently used; `false` if absent.
+    ///
+    /// This is the hit half of [`touch`](Self::touch), split out so
+    /// replacement policies (see [`crate::policy`]) can drive the list
+    /// step by step instead of through `touch`'s all-in-one transition.
+    pub fn promote(&mut self, key: &K) -> bool {
+        match self.map.get(key) {
+            Some(&slot) => {
+                self.unlink(slot);
+                self.push_front(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Insert an absent `key` at the most-recently-used position without
+    /// evicting anything.
+    ///
+    /// # Panics
+    /// Panics if `key` is already resident or the set is at capacity —
+    /// callers split insertion from eviction (via
+    /// [`pop_lru`](Self::pop_lru)) and must make room first.
+    pub fn insert_mru(&mut self, key: K) {
+        assert!(!self.map.contains_key(&key), "insert_mru: key resident");
+        assert!(self.map.len() < self.capacity, "insert_mru: set full");
         let slot = match self.free.pop() {
             Some(s) => {
                 self.slots[s] = Slot {
@@ -131,7 +154,19 @@ impl<K: Eq + Hash + Copy> LruSet<K> {
         };
         self.map.insert(key, slot);
         self.push_front(slot);
-        Touch::Miss { evicted }
+    }
+
+    /// Remove and return the least-recently-used key, if any.
+    pub fn pop_lru(&mut self) -> Option<K> {
+        if self.tail == NIL {
+            return None;
+        }
+        let lru = self.tail;
+        let victim = self.slots[lru].key;
+        self.unlink(lru);
+        self.map.remove(&victim);
+        self.free.push(lru);
+        Some(victim)
     }
 
     /// Drop every resident key.
@@ -259,5 +294,52 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_capacity_rejected() {
         let _ = LruSet::<u32>::new(0);
+    }
+
+    #[test]
+    fn split_primitives_compose_to_touch() {
+        // promote / pop_lru / insert_mru must reproduce touch's behavior
+        // when sequenced the way the Lru policy sequences them.
+        let mut whole = LruSet::new(2);
+        let mut split = LruSet::new(2);
+        for k in [1u32, 2, 1, 3, 2, 3, 1] {
+            let expected = whole.touch(k);
+            let got = if split.promote(&k) {
+                Touch::Hit
+            } else {
+                let evicted = if split.len() == split.capacity() {
+                    split.pop_lru()
+                } else {
+                    None
+                };
+                split.insert_mru(k);
+                Touch::Miss { evicted }
+            };
+            assert_eq!(expected, got, "diverged at key {k}");
+        }
+        let a: Vec<u32> = whole.iter_mru().copied().collect();
+        let b: Vec<u32> = split.iter_mru().copied().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pop_lru_empties_in_reverse_recency() {
+        let mut lru = LruSet::new(3);
+        for k in [1, 2, 3] {
+            lru.touch(k);
+        }
+        lru.promote(&1); // order: 1, 3, 2
+        assert_eq!(lru.pop_lru(), Some(2));
+        assert_eq!(lru.pop_lru(), Some(3));
+        assert_eq!(lru.pop_lru(), Some(1));
+        assert_eq!(lru.pop_lru(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "set full")]
+    fn insert_mru_rejects_overflow() {
+        let mut lru = LruSet::new(1);
+        lru.insert_mru(1);
+        lru.insert_mru(2);
     }
 }

@@ -1,4 +1,5 @@
-//! A paged clause-store backend: `ClauseDb` behind an LRU track cache.
+//! A paged clause-store backend: `ClauseDb` behind a policy-driven track
+//! cache.
 //!
 //! The [`Pager`](crate::pager::Pager) replays *recorded* traces against the
 //! simulated disk; this module closes the loop. [`PagedClauseStore`] lays a
@@ -10,7 +11,9 @@
 //! [`expand_via`](blog_logic::expand_via) — resolves candidates *through*
 //! the cache. Every unification attempt touches the candidate clause's
 //! track: a resident track is a **hit**; a miss charges the cost model for
-//! the seek and track load and may **evict** the least-recently-used track.
+//! the seek and track load and may **evict** a resident track, chosen by
+//! the configured [`ReplacementPolicy`] (LRU by default; see
+//! [`PolicyKind`] for the scan-resistant 2Q and the CLOCK approximation).
 //!
 //! Clause data itself always lives in the backing [`ClauseDb`] (the
 //! "disk"), so paging is semantically transparent: searches return exactly
@@ -22,10 +25,11 @@
 use std::borrow::Cow;
 use std::sync::Mutex;
 
-use blog_logic::{Bindings, Clause, ClauseDb, ClauseId, ClauseSource, Term};
+use blog_logic::{Bindings, Clause, ClauseDb, ClauseId, ClauseSource, SourceStats, Term};
 use serde::Serialize;
 
-use crate::lru::{LruSet, Touch};
+use crate::lru::Touch;
+use crate::policy::{PolicyKind, PolicyStats, ReplacementPolicy};
 use crate::timing::{BlockAddr, CostModel, Geometry};
 
 /// Identity of one track: the unit of caching (and of disk transfer).
@@ -46,6 +50,8 @@ pub struct PagedStoreConfig {
     pub cost: CostModel,
     /// Cache capacity in resident tracks.
     pub capacity_tracks: usize,
+    /// Replacement algorithm deciding which track a fault evicts.
+    pub policy: PolicyKind,
 }
 
 impl Default for PagedStoreConfig {
@@ -54,7 +60,15 @@ impl Default for PagedStoreConfig {
             geometry: Geometry::default(),
             cost: CostModel::default(),
             capacity_tracks: 8,
+            policy: PolicyKind::Lru,
         }
+    }
+}
+
+impl PagedStoreConfig {
+    /// This configuration with a different replacement policy.
+    pub fn with_policy(self, policy: PolicyKind) -> Self {
+        PagedStoreConfig { policy, ..self }
     }
 }
 
@@ -87,19 +101,20 @@ impl PagedStoreStats {
 /// [`ClauseSource`]'s `&self` methods (and be shared across threads).
 #[derive(Debug)]
 struct CacheState {
-    lru: LruSet<TrackId>,
+    policy: Box<dyn ReplacementPolicy<TrackId>>,
     /// Per-SP head position, for seek cost.
     heads: Vec<u32>,
     stats: PagedStoreStats,
 }
 
-/// A [`ClauseDb`] served through an LRU track cache with SPD cost
-/// accounting. See the module docs for the model.
+/// A [`ClauseDb`] served through a policy-driven track cache with SPD
+/// cost accounting. See the module docs for the model.
 #[derive(Debug)]
 pub struct PagedClauseStore<'a> {
     db: &'a ClauseDb,
     geometry: Geometry,
     cost: CostModel,
+    policy_kind: PolicyKind,
     inner: Mutex<CacheState>,
 }
 
@@ -120,12 +135,24 @@ impl<'a> PagedClauseStore<'a> {
             db,
             geometry: config.geometry,
             cost: config.cost,
+            policy_kind: config.policy,
             inner: Mutex::new(CacheState {
-                lru: LruSet::new(config.capacity_tracks),
+                policy: config.policy.build(config.capacity_tracks),
                 heads: vec![0; config.geometry.n_sps as usize],
                 stats: PagedStoreStats::default(),
             }),
         }
+    }
+
+    /// Which replacement algorithm this store runs.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy_kind
+    }
+
+    /// The policy's own counters (a second view over the same accesses
+    /// [`stats`](Self::stats) meters, minus the cost-model fields).
+    pub fn policy_stats(&self) -> PolicyStats {
+        self.inner.lock().unwrap().policy.stats()
     }
 
     /// The backing database.
@@ -159,7 +186,7 @@ impl<'a> PagedClauseStore<'a> {
         let track = self.track_of(cid);
         let mut state = self.inner.lock().unwrap();
         state.stats.accesses += 1;
-        match state.lru.touch(track) {
+        match state.policy.access(track) {
             Touch::Hit => {
                 state.stats.hits += 1;
                 true
@@ -196,29 +223,32 @@ impl<'a> PagedClauseStore<'a> {
         self.inner.lock().unwrap().stats
     }
 
-    /// Reset counters; resident tracks and head positions persist (use
-    /// [`clear`](Self::clear) to also drop the cache).
+    /// Reset counters — the store's and the policy's, which stay two
+    /// views over the same accesses; resident tracks and head positions
+    /// persist (use [`clear`](Self::clear) to also drop the cache).
     pub fn reset_stats(&self) {
-        self.inner.lock().unwrap().stats = PagedStoreStats::default();
+        let mut state = self.inner.lock().unwrap();
+        state.stats = PagedStoreStats::default();
+        *state.policy.stats_mut() = PolicyStats::default();
     }
 
     /// Drop every resident track, park the heads, and reset counters.
     pub fn clear(&self) {
         let mut state = self.inner.lock().unwrap();
-        state.lru.clear();
+        state.policy.clear();
         state.heads.fill(0);
         state.stats = PagedStoreStats::default();
     }
 
     /// Number of resident tracks.
     pub fn resident_tracks(&self) -> usize {
-        self.inner.lock().unwrap().lru.len()
+        self.inner.lock().unwrap().policy.len()
     }
 
     /// Whether clause `cid`'s track is resident (no recency effect).
     pub fn is_resident(&self, cid: ClauseId) -> bool {
         let track = self.track_of(cid);
-        self.inner.lock().unwrap().lru.contains(&track)
+        self.inner.lock().unwrap().policy.contains(&track)
     }
 }
 
@@ -237,6 +267,20 @@ impl ClauseSource for PagedClauseStore<'_> {
 
     fn clause_count(&self) -> usize {
         self.db.len()
+    }
+
+    fn backend_name(&self) -> String {
+        format!("paged/{}", self.policy_kind.name())
+    }
+
+    fn source_stats(&self) -> Option<SourceStats> {
+        let s = self.stats();
+        Some(SourceStats {
+            accesses: s.accesses,
+            hits: s.hits,
+            misses: s.misses,
+            evictions: s.evictions,
+        })
     }
 }
 
@@ -263,6 +307,7 @@ mod tests {
             },
             cost: CostModel::default(),
             capacity_tracks,
+            policy: PolicyKind::Lru,
         }
     }
 
@@ -332,10 +377,51 @@ mod tests {
         store.touch_clause(ClauseId(0));
         store.reset_stats();
         assert_eq!(store.stats().accesses, 0);
+        assert_eq!(store.policy_stats().touches, 0, "policy counters reset too");
         assert!(store.is_resident(ClauseId(0)), "reset keeps residency");
         store.clear();
         assert!(!store.is_resident(ClauseId(0)));
         assert_eq!(store.resident_tracks(), 0);
+    }
+
+    #[test]
+    fn every_policy_bounds_residency_and_meters_accesses() {
+        let p = parse_program(FAMILY).unwrap();
+        for policy in PolicyKind::ALL {
+            let store = PagedClauseStore::new(&p.db, small_config(2).with_policy(policy));
+            assert_eq!(store.policy_kind(), policy);
+            for _ in 0..3 {
+                for i in 0..p.db.len() {
+                    store.touch_clause(ClauseId(i as u32));
+                }
+            }
+            assert!(store.resident_tracks() <= 2, "{policy}");
+            let s = store.stats();
+            assert_eq!(s.accesses, 3 * p.db.len() as u64, "{policy}");
+            assert_eq!(s.hits + s.misses, s.accesses, "{policy}");
+            // The policy's own counters and the store's must agree.
+            let ps = store.policy_stats();
+            assert_eq!(ps.touches, s.accesses, "{policy}");
+            assert_eq!(ps.hits, s.hits, "{policy}");
+            assert_eq!(ps.evictions, s.evictions, "{policy}");
+        }
+    }
+
+    #[test]
+    fn source_stats_surface_matches_store_stats() {
+        let p = parse_program(FAMILY).unwrap();
+        let store = PagedClauseStore::new(&p.db, small_config(2).with_policy(PolicyKind::TwoQ));
+        assert_eq!(ClauseSource::backend_name(&store), "paged/2q");
+        for i in 0..p.db.len() {
+            store.fetch_clause(ClauseId(i as u32));
+        }
+        let s = store.stats();
+        let src = store.source_stats().expect("paged store meters fetches");
+        assert_eq!(src.accesses, s.accesses);
+        assert_eq!(src.hits, s.hits);
+        assert_eq!(src.misses, s.misses);
+        assert_eq!(src.evictions, s.evictions);
+        assert_eq!(src.hit_rate(), s.hit_rate());
     }
 
     #[test]

@@ -1,0 +1,825 @@
+//! Pluggable page-replacement policies for the SPD caches.
+//!
+//! PR 1's T6b capacity sweep showed why replacement must be a seam, not a
+//! hard-coded list: best-first expansion streams over most of the clause
+//! database between revisits of any one track, and against that scan
+//! pattern pure LRU gets *no* benefit from extra capacity until the whole
+//! database fits (hit-rate cliff at the working-set boundary).
+//! [`ReplacementPolicy`] abstracts the residency decision so
+//! [`PagedClauseStore`](crate::paged::PagedClauseStore) and
+//! [`Pager`](crate::pager::Pager) can swap algorithms per workload:
+//!
+//! | Policy | Structure | Strength |
+//! |---|---|---|
+//! | [`Lru`] | recency list | general-purpose; exact stack algorithm |
+//! | [`TwoQ`] | A1in FIFO + A1out ghosts + Am LRU | scan-resistant: one-touch pages die in A1in, re-referenced pages earn Am |
+//! | [`Clock`] | ring of reference bits | LRU approximation at O(1) space overhead per frame |
+//! | [`Fifo`] | queue | cheapest possible; the pager's historical prefetch behavior |
+//!
+//! The trait splits the cache transition into `touch` (hit bookkeeping),
+//! `evict_candidate` (victim selection) and `admit` (insertion), with a
+//! provided [`access`](ReplacementPolicy::access) that sequences them and
+//! keeps the [`PolicyStats`] counters. The property suite in
+//! `tests/policy_props.rs` checks every implementation against a
+//! brute-force reference model on arbitrary traces.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
+use serde::Serialize;
+
+use crate::lru::{LruSet, Touch};
+
+/// Access counters every policy maintains through
+/// [`ReplacementPolicy::access`].
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq, Serialize)]
+pub struct PolicyStats {
+    /// Accesses routed through the policy.
+    pub touches: u64,
+    /// Accesses that found the key resident.
+    pub hits: u64,
+    /// Accesses that admitted the key.
+    pub misses: u64,
+    /// Keys evicted to make room.
+    pub evictions: u64,
+}
+
+impl PolicyStats {
+    /// Hit rate in `[0, 1]` (zero when nothing was touched).
+    pub fn hit_rate(&self) -> f64 {
+        if self.touches == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.touches as f64
+    }
+}
+
+/// A fixed-capacity residency set with a replacement algorithm.
+///
+/// The contract, checked by `tests/policy_props.rs`:
+///
+/// - at most [`capacity`](Self::capacity) keys are resident at any time;
+/// - [`touch`](Self::touch) updates recency state for a *resident* key and
+///   reports whether it was resident — it never admits. On a miss it may
+///   record admission-routing state *keyed to that key* (2Q's ghost
+///   promotion), consumed by a later `admit` of the same key; admitting
+///   other keys in between is safe;
+/// - [`evict_candidate`](Self::evict_candidate) removes and returns a
+///   victim **only** when the set is full (so that one `admit` fits), and
+///   the victim was resident immediately before the call;
+/// - [`admit`](Self::admit) inserts an absent key; callers make room
+///   first. [`access`](Self::access) is the canonical sequencing.
+pub trait ReplacementPolicy<K: Eq + Hash + Copy>: fmt::Debug + Send {
+    /// Short machine-readable algorithm name (`"lru"`, `"2q"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Maximum number of resident keys.
+    fn capacity(&self) -> usize;
+
+    /// Number of resident keys.
+    fn len(&self) -> usize;
+
+    /// Whether no keys are resident.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `key` is resident (must not affect recency state).
+    fn contains(&self, key: &K) -> bool;
+
+    /// Record an access to `key`; returns `true` (a hit) iff it was
+    /// resident, updating whatever recency state the algorithm keeps.
+    fn touch(&mut self, key: K) -> bool;
+
+    /// If the set is full, remove and return the key the algorithm
+    /// sacrifices to make room for one admission; `None` while below
+    /// capacity.
+    fn evict_candidate(&mut self) -> Option<K>;
+
+    /// Insert the absent `key` as resident.
+    ///
+    /// # Panics
+    /// Implementations may panic if `key` is already resident or the set
+    /// is full (both are caller bugs — see [`access`](Self::access)).
+    fn admit(&mut self, key: K);
+
+    /// Drop all resident keys, ghost state, and counters.
+    fn clear(&mut self);
+
+    /// The resident keys, in unspecified order (diagnostic/testing aid).
+    fn resident_keys(&self) -> Vec<K>;
+
+    /// Counters so far.
+    fn stats(&self) -> PolicyStats;
+
+    /// Mutable counters — exists so [`access`](Self::access) can be a
+    /// provided method; callers should treat stats as read-only.
+    fn stats_mut(&mut self) -> &mut PolicyStats;
+
+    /// One full cache transition: touch, then on a miss evict-if-full and
+    /// admit. Keeps the [`PolicyStats`] counters; the paged stores call
+    /// this and nothing else.
+    fn access(&mut self, key: K) -> Touch<K> {
+        self.stats_mut().touches += 1;
+        if self.touch(key) {
+            self.stats_mut().hits += 1;
+            return Touch::Hit;
+        }
+        let evicted = self.evict_candidate();
+        self.admit(key);
+        let stats = self.stats_mut();
+        stats.misses += 1;
+        stats.evictions += u64::from(evicted.is_some());
+        Touch::Miss { evicted }
+    }
+}
+
+/// Which replacement algorithm a paged store should run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize)]
+pub enum PolicyKind {
+    /// Exact least-recently-used ([`Lru`]).
+    Lru,
+    /// Scan-resistant 2Q ([`TwoQ`]).
+    TwoQ,
+    /// CLOCK / second-chance ([`Clock`]).
+    Clock,
+    /// First-in-first-out ([`Fifo`]).
+    Fifo,
+}
+
+impl PolicyKind {
+    /// Every selectable policy, in display order.
+    pub const ALL: [PolicyKind; 4] =
+        [PolicyKind::Lru, PolicyKind::TwoQ, PolicyKind::Clock, PolicyKind::Fifo];
+
+    /// The cache policies the T6c experiment sweeps (FIFO is kept for the
+    /// pager's prefetch queue, not as a clause-cache contender).
+    pub const CACHE_SWEEP: [PolicyKind; 3] =
+        [PolicyKind::Lru, PolicyKind::TwoQ, PolicyKind::Clock];
+
+    /// Short name, matching [`parse`](Self::parse).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "lru",
+            PolicyKind::TwoQ => "2q",
+            PolicyKind::Clock => "clock",
+            PolicyKind::Fifo => "fifo",
+        }
+    }
+
+    /// Parse a CLI spelling (`lru`, `2q`/`twoq`, `clock`, `fifo`),
+    /// case-insensitively.
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "lru" => Some(PolicyKind::Lru),
+            "2q" | "twoq" => Some(PolicyKind::TwoQ),
+            "clock" => Some(PolicyKind::Clock),
+            "fifo" => Some(PolicyKind::Fifo),
+            _ => None,
+        }
+    }
+
+    /// Construct a fresh policy instance of this kind.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn build<K: Eq + Hash + Copy + fmt::Debug + Send + 'static>(
+        self,
+        capacity: usize,
+    ) -> Box<dyn ReplacementPolicy<K>> {
+        match self {
+            PolicyKind::Lru => Box::new(Lru::new(capacity)),
+            PolicyKind::TwoQ => Box::new(TwoQ::new(capacity)),
+            PolicyKind::Clock => Box::new(Clock::new(capacity)),
+            PolicyKind::Fifo => Box::new(Fifo::new(capacity)),
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LRU and FIFO (one list, two hit behaviors)
+// ---------------------------------------------------------------------------
+
+/// Shared implementation of the two list-ordered policies over one
+/// [`LruSet`]: the only behavioral difference between exact LRU and FIFO
+/// is whether a hit promotes the key to the front of the list.
+/// `PROMOTE_ON_HIT` selects that at compile time so the eviction,
+/// admission, and bookkeeping plumbing exists exactly once.
+#[derive(Clone, Debug)]
+pub struct ListPolicy<K: Eq + Hash + Copy, const PROMOTE_ON_HIT: bool> {
+    set: LruSet<K>,
+    stats: PolicyStats,
+}
+
+/// Exact least-recently-used replacement: the seed behavior of
+/// [`PagedClauseStore`](crate::paged::PagedClauseStore), now trait-backed
+/// over the same [`LruSet`].
+pub type Lru<K> = ListPolicy<K, true>;
+
+/// First-in-first-out replacement: hits never refresh position, the
+/// oldest admission is always the victim. This is exactly what the
+/// [`Pager`](crate::pager::Pager) did before the policy seam existed, so
+/// it stays the pager's default.
+pub type Fifo<K> = ListPolicy<K, false>;
+
+impl<K: Eq + Hash + Copy, const PROMOTE_ON_HIT: bool> ListPolicy<K, PROMOTE_ON_HIT> {
+    /// An empty cache of `capacity` keys.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        ListPolicy {
+            set: LruSet::new(capacity),
+            stats: PolicyStats::default(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Copy + fmt::Debug + Send, const PROMOTE_ON_HIT: bool> ReplacementPolicy<K>
+    for ListPolicy<K, PROMOTE_ON_HIT>
+{
+    fn name(&self) -> &'static str {
+        if PROMOTE_ON_HIT {
+            "lru"
+        } else {
+            "fifo"
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.set.capacity()
+    }
+
+    fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.set.contains(key)
+    }
+
+    fn touch(&mut self, key: K) -> bool {
+        if PROMOTE_ON_HIT {
+            self.set.promote(&key)
+        } else {
+            self.set.contains(&key)
+        }
+    }
+
+    fn evict_candidate(&mut self) -> Option<K> {
+        if self.set.len() == self.set.capacity() {
+            self.set.pop_lru()
+        } else {
+            None
+        }
+    }
+
+    fn admit(&mut self, key: K) {
+        self.set.insert_mru(key);
+    }
+
+    fn clear(&mut self) {
+        self.set.clear();
+        self.stats = PolicyStats::default();
+    }
+
+    fn resident_keys(&self) -> Vec<K> {
+        self.set.iter_mru().copied().collect()
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut PolicyStats {
+        &mut self.stats
+    }
+}
+
+// 2Q
+// ---------------------------------------------------------------------------
+
+/// Scan-resistant 2Q replacement (Johnson & Shasha, VLDB '94, "full
+/// version").
+///
+/// Resident keys live in one of two queues whose combined size is bounded
+/// by the capacity:
+///
+/// - **A1in** — a FIFO holding first-touch admissions. A scan's
+///   once-only pages enter here, march through, and fall off without ever
+///   disturbing the hot set.
+/// - **Am** — an LRU holding keys that proved their reuse: a key enters
+///   Am only when it misses *while its ghost is still remembered in
+///   A1out*.
+///
+/// **A1out** is a bounded FIFO of evicted-from-A1in *keys only* (ghosts —
+/// they hold no data and do not count against capacity). It is the
+/// algorithm's memory of "recently seen exactly once": a re-reference
+/// within the ghost window is evidence of a reuse distance short enough
+/// to protect, which a plain LRU cannot distinguish from scan traffic.
+///
+/// Tuning: `Kin` (A1in's nominal share) is the paper's 25% of capacity;
+/// `Kout` (ghost window) is a **full capacity** of ghosts rather than the
+/// paper's 50%. Ghosts store a key and nothing else, so the cost is
+/// negligible, and the longer memory is what lets the window span the
+/// database-wide scans best-first generates between hot-track revisits
+/// (ARC makes the same trade with its ghost lists).
+#[derive(Clone, Debug)]
+pub struct TwoQ<K: Eq + Hash + Copy> {
+    capacity: usize,
+    /// Nominal A1in share; eviction drains A1in while it exceeds this.
+    kin: usize,
+    /// Ghost window length.
+    kout: usize,
+    /// First-touch FIFO (never promoted on hit).
+    a1in: LruSet<K>,
+    /// Proven-reuse LRU.
+    am: LruSet<K>,
+    /// Ghost FIFO: front = oldest. Membership mirrored in `ghost_set`.
+    a1out: VecDeque<K>,
+    ghost_set: HashSet<K>,
+    /// Set by a [`touch`](ReplacementPolicy::touch) miss that found its
+    /// key ghosted: a following `admit` of *that key* goes to Am.
+    /// Resolved at miss time because the eviction making room may slide
+    /// the ghost window past the key being admitted; keyed so an
+    /// interleaved miss or prefetch admission of a different key can
+    /// never consume another key's promotion.
+    pending_am: Option<K>,
+    stats: PolicyStats,
+}
+
+impl<K: Eq + Hash + Copy> TwoQ<K> {
+    /// An empty 2Q cache of `capacity` resident keys.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TwoQ capacity must be nonzero");
+        TwoQ {
+            capacity,
+            kin: (capacity / 4).max(1),
+            kout: capacity,
+            // Each queue is sized to the whole capacity: the *combined*
+            // occupancy is what the policy bounds, and either queue may
+            // transiently own every frame (e.g. a pure scan fills A1in).
+            a1in: LruSet::new(capacity),
+            am: LruSet::new(capacity),
+            a1out: VecDeque::new(),
+            ghost_set: HashSet::new(),
+            pending_am: None,
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// Number of ghost keys currently remembered (testing aid).
+    pub fn ghost_len(&self) -> usize {
+        self.a1out.len()
+    }
+
+    fn remember_ghost(&mut self, key: K) {
+        self.a1out.push_back(key);
+        self.ghost_set.insert(key);
+        while self.a1out.len() > self.kout {
+            let old = self.a1out.pop_front().expect("nonempty ghost queue");
+            self.ghost_set.remove(&old);
+        }
+    }
+
+    fn forget_ghost(&mut self, key: &K) {
+        if self.ghost_set.remove(key) {
+            self.a1out.retain(|k| k != key);
+        }
+    }
+}
+
+impl<K: Eq + Hash + Copy + fmt::Debug + Send> ReplacementPolicy<K> for TwoQ<K> {
+    fn name(&self) -> &'static str {
+        "2q"
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.a1in.len() + self.am.len()
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.a1in.contains(key) || self.am.contains(key)
+    }
+
+    fn touch(&mut self, key: K) -> bool {
+        // Am hit: promote. A1in hit: leave in place — promotion out of
+        // A1in happens only via the ghost path, which is what makes a
+        // single scan unable to fabricate "hotness".
+        if self.am.promote(&key) || self.a1in.contains(&key) {
+            return true;
+        }
+        // Miss: resolve the admission route *now*, while the ghost
+        // window still reflects the state at miss time.
+        if self.ghost_set.contains(&key) {
+            self.forget_ghost(&key);
+            self.pending_am = Some(key);
+        } else {
+            self.pending_am = None;
+        }
+        false
+    }
+
+    fn evict_candidate(&mut self) -> Option<K> {
+        if self.len() < self.capacity {
+            return None;
+        }
+        // Drain A1in while it holds more than its nominal share (or Am
+        // has nothing to give); evicted first-touch keys leave a ghost.
+        if !self.a1in.is_empty() && (self.a1in.len() > self.kin || self.am.is_empty()) {
+            let victim = self.a1in.pop_lru().expect("nonempty A1in");
+            self.remember_ghost(victim);
+            Some(victim)
+        } else {
+            // Am victims leave no ghost: their reuse was already proven
+            // once; if they come back they re-qualify through A1in.
+            self.am.pop_lru()
+        }
+    }
+
+    fn admit(&mut self, key: K) {
+        assert!(self.len() < self.capacity, "TwoQ::admit: set full");
+        // Route decided by the preceding `touch` miss of this same key
+        // (the `access` sequencing); admissions that skipped `touch` —
+        // e.g. the pager prefetching a semantic page's neighbors — count
+        // as first touches and land in A1in. Either way the key's ghost
+        // (already consumed on the touch path, possibly stale on the
+        // prefetch path) must go: resident and ghost sets stay disjoint.
+        if self.pending_am == Some(key) {
+            self.pending_am = None;
+            self.am.insert_mru(key);
+        } else {
+            // A pending promotion for a *different* key survives: a
+            // prefetch admission in between must not eat it.
+            self.forget_ghost(&key);
+            self.a1in.insert_mru(key);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.a1in.clear();
+        self.am.clear();
+        self.a1out.clear();
+        self.ghost_set.clear();
+        self.pending_am = None;
+        self.stats = PolicyStats::default();
+    }
+
+    fn resident_keys(&self) -> Vec<K> {
+        self.a1in
+            .iter_mru()
+            .chain(self.am.iter_mru())
+            .copied()
+            .collect()
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut PolicyStats {
+        &mut self.stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CLOCK
+// ---------------------------------------------------------------------------
+
+/// CLOCK (second-chance) replacement: resident keys sit in a ring of
+/// frames with one reference bit each. A hit sets the bit; the eviction
+/// hand sweeps the ring, clearing set bits and evicting the first frame
+/// found clear. Approximates LRU with O(1) state per frame and no list
+/// maintenance on hits — the cheap choice for high-capacity configs where
+/// the cache mostly hits.
+#[derive(Clone, Debug)]
+pub struct Clock<K: Eq + Hash + Copy> {
+    capacity: usize,
+    /// Ring frames; `None` is a free frame.
+    frames: Vec<Option<(K, bool)>>,
+    /// Key -> frame index.
+    map: HashMap<K, usize>,
+    /// Next frame the eviction hand examines.
+    hand: usize,
+    /// Free frame indices available for admission.
+    free: Vec<usize>,
+    stats: PolicyStats,
+}
+
+impl<K: Eq + Hash + Copy> Clock<K> {
+    /// An empty CLOCK cache of `capacity` frames.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "Clock capacity must be nonzero");
+        Clock {
+            capacity,
+            frames: vec![None; capacity],
+            map: HashMap::with_capacity(capacity),
+            hand: 0,
+            free: (0..capacity).rev().collect(),
+            stats: PolicyStats::default(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Copy + fmt::Debug + Send> ReplacementPolicy<K> for Clock<K> {
+    fn name(&self) -> &'static str {
+        "clock"
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    fn touch(&mut self, key: K) -> bool {
+        match self.map.get(&key) {
+            Some(&frame) => {
+                self.frames[frame]
+                    .as_mut()
+                    .expect("mapped frame occupied")
+                    .1 = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn evict_candidate(&mut self) -> Option<K> {
+        if self.map.len() < self.capacity {
+            return None;
+        }
+        // Full ring: every frame is occupied, so the sweep terminates
+        // within two revolutions (the first clears all set bits).
+        loop {
+            let frame = self.hand;
+            self.hand = (self.hand + 1) % self.capacity;
+            let (key, referenced) = self.frames[frame].expect("full ring has no free frames");
+            if referenced {
+                self.frames[frame] = Some((key, false));
+            } else {
+                self.frames[frame] = None;
+                self.map.remove(&key);
+                self.free.push(frame);
+                return Some(key);
+            }
+        }
+    }
+
+    fn admit(&mut self, key: K) {
+        assert!(!self.map.contains_key(&key), "Clock::admit: key resident");
+        let frame = self.free.pop().expect("Clock::admit: set full");
+        // Loading a page references it: the fresh frame starts with its
+        // bit set, giving every admission one full sweep of grace.
+        self.frames[frame] = Some((key, true));
+        self.map.insert(key, frame);
+    }
+
+    fn clear(&mut self) {
+        self.frames.fill(None);
+        self.map.clear();
+        self.hand = 0;
+        self.free = (0..self.capacity).rev().collect();
+        self.stats = PolicyStats::default();
+    }
+
+    fn resident_keys(&self) -> Vec<K> {
+        self.frames.iter().flatten().map(|&(k, _)| k).collect()
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut PolicyStats {
+        &mut self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Replay `trace` through a fresh policy of `kind`; returns hit flags.
+    fn hits(kind: PolicyKind, capacity: usize, trace: &[u32]) -> Vec<bool> {
+        let mut p = kind.build::<u32>(capacity);
+        trace.iter().map(|&k| p.access(k).is_hit()).collect()
+    }
+
+    #[test]
+    fn lru_policy_matches_lru_set() {
+        let trace: Vec<u32> = [1, 2, 3, 1, 4, 2, 5, 1, 2, 3, 4, 5, 1, 1, 2, 6, 3]
+            .into_iter()
+            .cycle()
+            .take(120)
+            .collect();
+        for cap in 1..6 {
+            let mut set = LruSet::new(cap);
+            let mut policy = Lru::new(cap);
+            for &k in &trace {
+                assert_eq!(set.touch(k), policy.access(k), "cap {cap} key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_policies_obey_capacity_and_counters() {
+        let trace: Vec<u32> = (0..200u32).map(|i| (i * 7 + i / 3) % 23).collect();
+        for kind in PolicyKind::ALL {
+            for cap in [1, 2, 5, 23] {
+                let mut p = kind.build::<u32>(cap);
+                for &k in &trace {
+                    p.access(k);
+                    assert!(p.len() <= cap, "{kind} exceeded capacity {cap}");
+                    assert!(p.contains(&k), "{kind}: just-accessed key absent");
+                }
+                let s = p.stats();
+                assert_eq!(s.touches, trace.len() as u64, "{kind}");
+                assert_eq!(s.hits + s.misses, s.touches, "{kind}");
+                assert_eq!(p.resident_keys().len(), p.len(), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn everything_hits_when_capacity_covers_the_keyspace() {
+        // With capacity >= distinct keys, no policy may ever evict, so
+        // every policy produces the identical (compulsory-miss-only)
+        // behavior.
+        let trace: Vec<u32> = (0..90u32).map(|i| i % 9).collect();
+        for kind in PolicyKind::ALL {
+            let h = hits(kind, 9, &trace);
+            let miss_count = h.iter().filter(|&&b| !b).count();
+            assert_eq!(miss_count, 9, "{kind}: only compulsory misses");
+            let mut p = kind.build::<u32>(9);
+            for &k in &trace {
+                p.access(k);
+            }
+            assert_eq!(p.stats().evictions, 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn two_q_survives_a_scan_lru_does_not() {
+        // Hot set {0,1} re-referenced around one-touch scan traffic.
+        // LRU at capacity 4 loses the hot pair to the scan; 2Q parks the
+        // scan in A1in and promotes the proven-hot keys to Am.
+        let mut trace = Vec::new();
+        let mut cold = 100u32;
+        for _ in 0..40 {
+            trace.push(0);
+            trace.push(1);
+            for _ in 0..6 {
+                trace.push(cold);
+                cold += 1;
+            }
+        }
+        let count_hits =
+            |kind: PolicyKind| hits(kind, 4, &trace).iter().filter(|&&b| b).count();
+        let lru = count_hits(PolicyKind::Lru);
+        let twoq = count_hits(PolicyKind::TwoQ);
+        assert!(
+            twoq > lru,
+            "2Q should beat LRU on scan+hot mix: 2q={twoq} lru={lru}"
+        );
+    }
+
+    #[test]
+    fn two_q_prefetch_admit_drops_stale_ghost() {
+        // The bounded pager admits prefetched blocks without a preceding
+        // touch. Re-admitting a key whose ghost is still remembered must
+        // drop that ghost, or the ghost queue and its membership set
+        // drift apart on the key's next eviction.
+        let mut p = TwoQ::new(4); // kin = 1
+        for k in [1u32, 2, 3, 4, 5] {
+            p.access(k); // 1 evicted to the ghosts; A1in: [5, 4, 3, 2]
+        }
+        assert!(!p.contains(&1));
+        assert_eq!(p.ghost_len(), 1);
+        // Prefetch-style re-admission of the ghosted key.
+        assert_eq!(p.evict_candidate(), Some(2)); // ghost: [1, 2]
+        p.admit(1);
+        assert!(p.contains(&1));
+        assert_eq!(p.ghost_len(), 1, "stale ghost of 1 must be dropped");
+    }
+
+    #[test]
+    fn two_q_ghost_window_is_bounded() {
+        let mut p = TwoQ::new(4); // kout = 4
+        for k in 0..50u32 {
+            p.access(k);
+        }
+        assert!(p.ghost_len() <= 4, "ghosts {} > kout", p.ghost_len());
+    }
+
+    #[test]
+    fn two_q_promotes_through_the_ghost_path() {
+        let mut p = TwoQ::new(4); // kin = 1, kout = 4
+        for k in [1u32, 2, 3, 4] {
+            p.access(k); // A1in: [4, 3, 2, 1]
+        }
+        p.access(5); // evicts 1 to the ghosts, A1in: [5, 4, 3, 2]
+        assert!(!p.contains(&1));
+        // 1 misses while ghosted: admitted straight into Am.
+        assert!(!p.access(1).is_hit());
+        assert!(p.contains(&1));
+        // Scan traffic now churns A1in but cannot dislodge 1 from Am:
+        // eviction drains A1in first while it exceeds its kin share.
+        for k in 10..20u32 {
+            p.access(k);
+        }
+        assert!(p.access(1).is_hit(), "Am key lost to scan traffic");
+    }
+
+    #[test]
+    fn clock_second_chance_spares_referenced_frames() {
+        let mut p = Clock::new(3);
+        for k in [1u32, 2, 3] {
+            p.access(k);
+        }
+        // Reference 1 and 2 so only 3's bit is stale after the sweep
+        // clears the first pass.
+        p.access(1);
+        p.access(2);
+        // Admitting 4 sweeps: clears 1, 2, 3 (all bits set on load /
+        // re-reference)... the sweep order decides; what must hold is
+        // that the victim had a clear bit when chosen and 4 is resident.
+        let evicted = match p.access(4) {
+            Touch::Miss { evicted } => evicted.expect("full clock evicts"),
+            Touch::Hit => panic!("4 cannot hit"),
+        };
+        assert!(p.contains(&4));
+        assert!(!p.contains(&evicted));
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn clock_degenerates_to_fifo_without_rereference() {
+        // With no re-references, second chance decays every bit exactly
+        // once and the eviction order is admission order.
+        let mut clock = Clock::new(3);
+        let mut fifo = Fifo::new(3);
+        for k in 0..30u32 {
+            assert_eq!(clock.access(k), fifo.access(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(PolicyKind::parse("TwoQ"), Some(PolicyKind::TwoQ));
+        assert_eq!(PolicyKind::parse("LRU"), Some(PolicyKind::Lru));
+        assert_eq!(PolicyKind::parse("arc"), None);
+    }
+
+    #[test]
+    fn clear_resets_residency_and_stats() {
+        for kind in PolicyKind::ALL {
+            let mut p = kind.build::<u32>(3);
+            for k in 0..10u32 {
+                p.access(k);
+            }
+            p.clear();
+            assert_eq!(p.len(), 0, "{kind}");
+            assert_eq!(p.stats(), PolicyStats::default(), "{kind}");
+            assert!(!p.access(0).is_hit(), "{kind}: cleared cache must miss");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn two_q_zero_capacity_rejected() {
+        let _ = TwoQ::<u32>::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn clock_zero_capacity_rejected() {
+        let _ = Clock::<u32>::new(0);
+    }
+}

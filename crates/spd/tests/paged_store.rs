@@ -1,74 +1,34 @@
 //! Integration tests for the paged clause-store backend: the best-first
 //! engine must see *exactly* the in-memory database's semantics through
-//! the cache, while the cache reports the search's real paging behavior.
+//! the cache — under every replacement policy — while the cache reports
+//! the search's real paging behavior.
+
+mod support;
 
 use std::collections::HashMap;
 
-use blog_core::engine::{best_first, best_first_with, BestFirstConfig};
+use blog_core::engine::{best_first_with, BestFirstConfig};
 use blog_core::weight::{WeightParams, WeightStore, WeightView};
-use blog_logic::{parse_program, ClauseId, Program};
-use blog_spd::{CostModel, Geometry, PagedClauseStore, PagedStoreConfig};
-use blog_workloads::{family_program, FamilyParams, PAPER_FIGURE_1};
+use blog_logic::ClauseId;
+use blog_spd::{PagedClauseStore, PolicyKind};
 
-fn paged_config(capacity_tracks: usize, blocks_per_track: u32, n_clauses: usize) -> PagedStoreConfig {
-    let tracks_needed = (n_clauses as u32).div_ceil(blocks_per_track);
-    PagedStoreConfig {
-        geometry: Geometry {
-            n_sps: 2,
-            n_cylinders: tracks_needed.div_ceil(2).max(1),
-            blocks_per_track,
-        },
-        cost: CostModel::default(),
-        capacity_tracks,
-    }
-}
-
-/// Solutions of a fresh (untrained) best-first run over the plain db.
-fn reference_solutions(program: &Program) -> Vec<String> {
-    let store = WeightStore::new(WeightParams::default());
-    let mut local = HashMap::new();
-    let mut view = WeightView::new(&mut local, &store);
-    let r = best_first(
-        &program.db,
-        &program.queries[0],
-        &mut view,
-        &BestFirstConfig::default(),
-    );
-    let mut texts = r.solution_texts(&program.db);
-    texts.sort();
-    texts
-}
-
-/// Solutions of the same run routed through a paged store, plus its stats.
-fn paged_solutions(
-    program: &Program,
-    cfg: PagedStoreConfig,
-) -> (Vec<String>, blog_spd::PagedStoreStats) {
-    let paged = PagedClauseStore::new(&program.db, cfg);
-    let store = WeightStore::new(WeightParams::default());
-    let mut local = HashMap::new();
-    let mut view = WeightView::new(&mut local, &store);
-    let r = best_first_with(
-        &paged,
-        &program.queries[0],
-        &mut view,
-        &BestFirstConfig::default(),
-    );
-    let mut texts = r.solution_texts(&program.db);
-    texts.sort();
-    (texts, paged.stats())
-}
+use support::{
+    family_workload, figure_1_program, paged_config, paged_solutions, reference_solutions,
+};
 
 #[test]
 fn figure_1_solutions_identical_with_live_cache_stats() {
-    // The ISSUE's acceptance criterion: identical solutions to the
+    // The PR-1 acceptance criterion: identical solutions to the
     // in-memory ClauseDb on the paper's figure-1 program, with nonzero
     // hit AND miss counts proving the cache actually mediated the search.
-    let program = parse_program(PAPER_FIGURE_1).unwrap();
+    let program = figure_1_program();
     let expected = reference_solutions(&program);
     assert_eq!(expected.len(), 2, "figure 1 has solutions den and doug");
 
-    let (got, stats) = paged_solutions(&program, paged_config(2, 2, program.db.len()));
+    let (got, stats) = paged_solutions(
+        &program,
+        paged_config(PolicyKind::Lru, 2, 2, program.db.len()),
+    );
     assert_eq!(got, expected);
     assert!(stats.hits > 0, "expected cache hits, got {stats:?}");
     assert!(stats.misses > 0, "expected cache misses, got {stats:?}");
@@ -76,17 +36,59 @@ fn figure_1_solutions_identical_with_live_cache_stats() {
 }
 
 #[test]
+fn every_policy_is_semantically_transparent() {
+    // This PR's acceptance criterion: whatever the replacement policy,
+    // the engine's results must be identical to the unpaged ClauseDb
+    // path — on the paper's program and on a generated workload, at a
+    // thrashing capacity and at a comfortable one.
+    for program in [figure_1_program(), family_workload()] {
+        let expected = reference_solutions(&program);
+        for policy in PolicyKind::ALL {
+            for capacity in [1, 4] {
+                let (got, stats) = paged_solutions(
+                    &program,
+                    paged_config(policy, capacity, 2, program.db.len()),
+                );
+                assert_eq!(
+                    got, expected,
+                    "policy {policy} at capacity {capacity} changed the solution set"
+                );
+                assert!(stats.accesses > 0, "{policy}: cache saw no accesses");
+            }
+        }
+    }
+}
+
+#[test]
+fn access_stream_is_policy_invariant() {
+    // Transparency has a sharper corollary: since no policy may alter
+    // the search, every policy sees the *identical* access stream — same
+    // count, same hit+miss split.
+    let program = family_workload();
+    let mut accesses = None;
+    for policy in PolicyKind::ALL {
+        let (_, stats) = paged_solutions(
+            &program,
+            paged_config(policy, 4, 2, program.db.len()),
+        );
+        assert_eq!(stats.hits + stats.misses, stats.accesses, "{policy}");
+        match accesses {
+            None => accesses = Some(stats.accesses),
+            Some(a) => assert_eq!(a, stats.accesses, "{policy} changed the stream"),
+        }
+    }
+}
+
+#[test]
 fn eviction_is_semantically_invisible() {
     // A single-track cache thrashes constantly; solutions must not change.
-    let (program, _) = family_program(&FamilyParams {
-        generations: 4,
-        branching: 3,
-        seed: 7,
-        ..FamilyParams::default()
-    });
+    let program = family_workload();
     let expected = reference_solutions(&program);
 
-    let (got, stats) = paged_solutions(&program, paged_config(1, 2, program.db.len()));
+    let (got, stats) = paged_solutions(
+        &program,
+        paged_config(PolicyKind::Lru, 1, 2, program.db.len()),
+    );
     assert_eq!(got, expected, "thrashing cache changed the solution set");
     assert!(
         stats.evictions > 0,
@@ -99,17 +101,17 @@ fn eviction_is_semantically_invisible() {
 fn hit_rate_is_monotone_in_capacity() {
     // LRU is a stack algorithm, so for the identical access stream the
     // hit count can only grow with capacity. The stream *is* identical at
-    // every capacity because paging never alters the search.
-    let (program, _) = family_program(&FamilyParams {
-        generations: 4,
-        branching: 3,
-        seed: 7,
-        ..FamilyParams::default()
-    });
+    // every capacity because paging never alters the search. (2Q and
+    // CLOCK are deliberately *not* stack algorithms — this only holds
+    // for LRU.)
+    let program = family_workload();
     let mut last_hits = 0u64;
     let mut accesses = None;
     for capacity in [1, 2, 4, 8, 16] {
-        let (_, stats) = paged_solutions(&program, paged_config(capacity, 2, program.db.len()));
+        let (_, stats) = paged_solutions(
+            &program,
+            paged_config(PolicyKind::Lru, capacity, 2, program.db.len()),
+        );
         assert!(
             stats.hits >= last_hits,
             "hits dropped from {last_hits} to {} at capacity {capacity}",
@@ -131,8 +133,8 @@ fn figure_1_trace_replay_smoke() {
     // through a fresh store: replay must see the same access count as a
     // live run at the same capacity, and a warm second replay must hit
     // more than the cold first.
-    let program = parse_program(PAPER_FIGURE_1).unwrap();
-    let cfg = paged_config(2, 2, program.db.len());
+    let program = figure_1_program();
+    let cfg = paged_config(PolicyKind::Lru, 2, 2, program.db.len());
 
     // Live run, capturing the access stream via a tracing wrapper run.
     let paged = PagedClauseStore::new(&program.db, cfg);
@@ -168,9 +170,10 @@ fn figure_1_trace_replay_smoke() {
 #[test]
 fn learning_through_the_cache_matches_learning_without() {
     // Two trained runs (learn on) must produce the same node counts and
-    // solutions whether or not the clauses come through the cache: the
-    // cache must not perturb weight updates either.
-    let program = parse_program(PAPER_FIGURE_1).unwrap();
+    // solutions whether or not the clauses come through the cache —
+    // under every policy: the cache must not perturb weight updates
+    // either.
+    let program = figure_1_program();
     let cfg = BestFirstConfig::default();
 
     let run_plain = || {
@@ -178,14 +181,18 @@ fn learning_through_the_cache_matches_learning_without() {
         let mut local = HashMap::new();
         let first = {
             let mut view = WeightView::new(&mut local, &store);
-            best_first(&program.db, &program.queries[0], &mut view, &cfg)
+            blog_core::engine::best_first(&program.db, &program.queries[0], &mut view, &cfg)
         };
         let mut view = WeightView::new(&mut local, &store);
-        let second = best_first(&program.db, &program.queries[0], &mut view, &cfg);
+        let second =
+            blog_core::engine::best_first(&program.db, &program.queries[0], &mut view, &cfg);
         (first.stats.nodes_expanded, second.stats.nodes_expanded)
     };
-    let run_paged = || {
-        let paged = PagedClauseStore::new(&program.db, paged_config(2, 2, program.db.len()));
+    let run_paged = |policy: PolicyKind| {
+        let paged = PagedClauseStore::new(
+            &program.db,
+            paged_config(policy, 2, 2, program.db.len()),
+        );
         let store = WeightStore::new(WeightParams::default());
         let mut local = HashMap::new();
         let first = {
@@ -197,5 +204,8 @@ fn learning_through_the_cache_matches_learning_without() {
         (first.stats.nodes_expanded, second.stats.nodes_expanded)
     };
 
-    assert_eq!(run_plain(), run_paged());
+    let plain = run_plain();
+    for policy in PolicyKind::ALL {
+        assert_eq!(plain, run_paged(policy), "policy {policy}");
+    }
 }

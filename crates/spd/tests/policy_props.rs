@@ -1,0 +1,373 @@
+//! Property tests for the replacement policies: every implementation is
+//! checked against the [`ReplacementPolicy`] contract and against a
+//! brute-force reference model on arbitrary small traces.
+//!
+//! The reference models are deliberately naive — flat `Vec`s, linear
+//! scans, the textbook statement of each algorithm — so a bookkeeping
+//! bug in the real implementations' intrusive lists, ghost windows, or
+//! ring hands cannot hide in shared code.
+//!
+//! Case counts honor the `PROPTEST_CASES` environment variable (the CI
+//! profile sets a reduced count; see `.github/workflows/ci.yml`).
+
+use std::collections::{BTreeSet, VecDeque};
+
+use blog_spd::{PolicyKind, Touch};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Brute-force reference models
+// ---------------------------------------------------------------------------
+
+/// What one reference-model step observed: `(hit, evicted)`.
+type Step = (bool, Option<u32>);
+
+trait Model {
+    fn access(&mut self, key: u32) -> Step;
+    fn resident(&self) -> Vec<u32>;
+}
+
+/// LRU as a flat vector, front = most recently used.
+struct LruModel {
+    cap: usize,
+    order: Vec<u32>,
+}
+
+impl LruModel {
+    fn new(cap: usize) -> Self {
+        LruModel { cap, order: Vec::new() }
+    }
+}
+
+impl Model for LruModel {
+    fn access(&mut self, key: u32) -> Step {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+            self.order.insert(0, key);
+            return (true, None);
+        }
+        let evicted = if self.order.len() == self.cap {
+            self.order.pop()
+        } else {
+            None
+        };
+        self.order.insert(0, key);
+        (false, evicted)
+    }
+
+    fn resident(&self) -> Vec<u32> {
+        self.order.clone()
+    }
+}
+
+/// FIFO as a flat vector, front = newest admission; hits do not reorder.
+struct FifoModel {
+    cap: usize,
+    order: Vec<u32>,
+}
+
+impl FifoModel {
+    fn new(cap: usize) -> Self {
+        FifoModel { cap, order: Vec::new() }
+    }
+}
+
+impl Model for FifoModel {
+    fn access(&mut self, key: u32) -> Step {
+        if self.order.contains(&key) {
+            return (true, None);
+        }
+        let evicted = if self.order.len() == self.cap {
+            self.order.pop()
+        } else {
+            None
+        };
+        self.order.insert(0, key);
+        (false, evicted)
+    }
+
+    fn resident(&self) -> Vec<u32> {
+        self.order.clone()
+    }
+}
+
+/// 2Q stated directly from the algorithm: two resident queues (A1in
+/// FIFO, Am LRU) plus a bounded ghost queue, with the same tuning the
+/// real policy uses (`kin = max(1, cap/4)`, `kout = cap`). Ghost
+/// membership is resolved at miss time, before eviction can slide the
+/// window.
+struct TwoQModel {
+    cap: usize,
+    kin: usize,
+    kout: usize,
+    /// Front = newest admission.
+    a1in: Vec<u32>,
+    /// Front = most recently used.
+    am: Vec<u32>,
+    /// Front = newest ghost.
+    ghosts: VecDeque<u32>,
+}
+
+impl TwoQModel {
+    fn new(cap: usize) -> Self {
+        TwoQModel {
+            cap,
+            kin: (cap / 4).max(1),
+            kout: cap,
+            a1in: Vec::new(),
+            am: Vec::new(),
+            ghosts: VecDeque::new(),
+        }
+    }
+
+    fn remember_ghost(&mut self, key: u32) {
+        self.ghosts.push_front(key);
+        while self.ghosts.len() > self.kout {
+            self.ghosts.pop_back();
+        }
+    }
+}
+
+impl Model for TwoQModel {
+    fn access(&mut self, key: u32) -> Step {
+        if let Some(pos) = self.am.iter().position(|&k| k == key) {
+            self.am.remove(pos);
+            self.am.insert(0, key);
+            return (true, None);
+        }
+        if self.a1in.contains(&key) {
+            return (true, None);
+        }
+        let ghosted = match self.ghosts.iter().position(|&k| k == key) {
+            Some(pos) => {
+                self.ghosts.remove(pos);
+                true
+            }
+            None => false,
+        };
+        let mut evicted = None;
+        if self.a1in.len() + self.am.len() == self.cap {
+            if !self.a1in.is_empty() && (self.a1in.len() > self.kin || self.am.is_empty()) {
+                let victim = self.a1in.pop().expect("nonempty A1in");
+                self.remember_ghost(victim);
+                evicted = Some(victim);
+            } else {
+                evicted = self.am.pop();
+            }
+        }
+        if ghosted {
+            self.am.insert(0, key);
+        } else {
+            self.a1in.insert(0, key);
+        }
+        (false, evicted)
+    }
+
+    fn resident(&self) -> Vec<u32> {
+        self.a1in.iter().chain(self.am.iter()).copied().collect()
+    }
+}
+
+/// CLOCK stated directly: a fixed ring of `(key, referenced)` frames and
+/// a sweeping hand; admissions load with the bit set.
+struct ClockModel {
+    frames: Vec<Option<(u32, bool)>>,
+    hand: usize,
+}
+
+impl ClockModel {
+    fn new(cap: usize) -> Self {
+        ClockModel {
+            frames: vec![None; cap],
+            hand: 0,
+        }
+    }
+}
+
+impl Model for ClockModel {
+    fn access(&mut self, key: u32) -> Step {
+        for frame in self.frames.iter_mut().flatten() {
+            if frame.0 == key {
+                frame.1 = true;
+                return (true, None);
+            }
+        }
+        let mut evicted = None;
+        if self.frames.iter().all(|f| f.is_some()) {
+            loop {
+                let slot = self.hand;
+                self.hand = (self.hand + 1) % self.frames.len();
+                let (k, referenced) = self.frames[slot].expect("full ring");
+                if referenced {
+                    self.frames[slot] = Some((k, false));
+                } else {
+                    self.frames[slot] = None;
+                    evicted = Some(k);
+                    break;
+                }
+            }
+        }
+        let free = self
+            .frames
+            .iter()
+            .position(|f| f.is_none())
+            .expect("a frame is free after eviction");
+        self.frames[free] = Some((key, true));
+        (false, evicted)
+    }
+
+    fn resident(&self) -> Vec<u32> {
+        self.frames.iter().flatten().map(|&(k, _)| k).collect()
+    }
+}
+
+fn model_for(kind: PolicyKind, cap: usize) -> Box<dyn Model> {
+    match kind {
+        PolicyKind::Lru => Box::new(LruModel::new(cap)),
+        PolicyKind::TwoQ => Box::new(TwoQModel::new(cap)),
+        PolicyKind::Clock => Box::new(ClockModel::new(cap)),
+        PolicyKind::Fifo => Box::new(FifoModel::new(cap)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Contract properties (all policies)
+// ---------------------------------------------------------------------------
+
+fn trace_strategy() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..12, 1..120)
+}
+
+proptest! {
+    /// Resident set is bounded by capacity after every access, the
+    /// just-accessed key is always resident, and `resident_keys` agrees
+    /// with `len` and `contains`.
+    #[test]
+    fn resident_set_never_exceeds_capacity(
+        cap in 1usize..=6,
+        trace in trace_strategy(),
+    ) {
+        for kind in PolicyKind::ALL {
+            let mut p = kind.build::<u32>(cap);
+            for &k in &trace {
+                p.access(k);
+                prop_assert!(p.len() <= cap, "{kind}: {} > {cap}", p.len());
+                prop_assert!(p.contains(&k), "{kind}: accessed key not resident");
+                let keys = p.resident_keys();
+                prop_assert_eq!(keys.len(), p.len(), "{kind}: resident_keys/len");
+                for key in &keys {
+                    prop_assert!(p.contains(key), "{kind}: listed key not contained");
+                }
+            }
+        }
+    }
+
+    /// Counter consistency: touches == accesses, hits + misses == touches,
+    /// and evictions never exceed misses.
+    #[test]
+    fn hits_plus_misses_equals_touches(
+        cap in 1usize..=6,
+        trace in trace_strategy(),
+    ) {
+        for kind in PolicyKind::ALL {
+            let mut p = kind.build::<u32>(cap);
+            let mut hits = 0u64;
+            for &k in &trace {
+                if p.access(k).is_hit() {
+                    hits += 1;
+                }
+            }
+            let s = p.stats();
+            prop_assert_eq!(s.touches, trace.len() as u64, "{kind}");
+            prop_assert_eq!(s.hits, hits, "{kind}");
+            prop_assert_eq!(s.hits + s.misses, s.touches, "{kind}");
+            prop_assert!(s.evictions <= s.misses, "{kind}: evictions > misses");
+        }
+    }
+
+    /// Driving the split primitives by hand: an eviction candidate is
+    /// only ever produced at capacity, was resident immediately before
+    /// the call, and is gone immediately after.
+    #[test]
+    fn eviction_only_returns_resident_pages(
+        cap in 1usize..=6,
+        trace in trace_strategy(),
+    ) {
+        for kind in PolicyKind::ALL {
+            let mut p = kind.build::<u32>(cap);
+            for &k in &trace {
+                let before: BTreeSet<u32> = p.resident_keys().into_iter().collect();
+                if p.touch(k) {
+                    prop_assert!(before.contains(&k), "{kind}: hit on non-resident key");
+                    continue;
+                }
+                prop_assert!(!before.contains(&k), "{kind}: miss on resident key");
+                let was_full = before.len() == cap;
+                match p.evict_candidate() {
+                    Some(victim) => {
+                        prop_assert!(was_full, "{kind}: eviction below capacity");
+                        prop_assert!(
+                            before.contains(&victim),
+                            "{kind}: evicted non-resident {victim}"
+                        );
+                        prop_assert!(
+                            !p.contains(&victim),
+                            "{kind}: victim {victim} still resident"
+                        );
+                    }
+                    None => prop_assert!(!was_full, "{kind}: full set refused to evict"),
+                }
+                p.admit(k);
+                prop_assert!(p.contains(&k), "{kind}: admitted key absent");
+            }
+        }
+    }
+
+    /// Refinement equivalence: each policy produces exactly the hit/miss
+    /// sequence, eviction sequence, and resident sets of its brute-force
+    /// reference model.
+    #[test]
+    fn policies_match_reference_models(
+        cap in 1usize..=6,
+        trace in trace_strategy(),
+    ) {
+        for kind in PolicyKind::ALL {
+            let mut real = kind.build::<u32>(cap);
+            let mut model = model_for(kind, cap);
+            for (i, &k) in trace.iter().enumerate() {
+                let (model_hit, model_evicted) = model.access(k);
+                let (real_hit, real_evicted) = match real.access(k) {
+                    Touch::Hit => (true, None),
+                    Touch::Miss { evicted } => (false, evicted),
+                };
+                prop_assert_eq!(real_hit, model_hit, "{} step {}: hit", kind, i);
+                prop_assert_eq!(
+                    real_evicted, model_evicted,
+                    "{} step {}: eviction", kind, i
+                );
+                let real_set: BTreeSet<u32> = real.resident_keys().into_iter().collect();
+                let model_set: BTreeSet<u32> = model.resident().into_iter().collect();
+                prop_assert_eq!(real_set, model_set, "{} step {}: residency", kind, i);
+            }
+        }
+    }
+
+    /// LRU keeps its stack property on arbitrary traces: every hit at
+    /// capacity `k` is a hit at capacity `k + 1`. (2Q and CLOCK are
+    /// deliberately not stack algorithms, so this is LRU-only.)
+    #[test]
+    fn lru_stack_property_on_arbitrary_traces(
+        cap in 1usize..=5,
+        trace in trace_strategy(),
+    ) {
+        let hits_at = |c: usize| -> Vec<bool> {
+            let mut p = PolicyKind::Lru.build::<u32>(c);
+            trace.iter().map(|&k| p.access(k).is_hit()).collect()
+        };
+        let small = hits_at(cap);
+        let large = hits_at(cap + 1);
+        for (i, (s, l)) in small.iter().zip(&large).enumerate() {
+            prop_assert!(!s || *l, "access {i}: hit at {cap}, miss at {}", cap + 1);
+        }
+    }
+}

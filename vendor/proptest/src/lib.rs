@@ -545,20 +545,38 @@ pub mod collection {
 // ---------------------------------------------------------------------------
 
 /// Subset of `proptest::test_runner::Config`: only `cases` is honoured.
+///
+/// The `PROPTEST_CASES` environment variable **caps** the case count,
+/// including explicit `with_cases` requests, so CI can run every
+/// property suite under a reduced profile without touching the tests.
+/// Note this is deliberately stronger than real proptest, where an
+/// explicit `with_cases` beats the environment: when swapping in the
+/// registry crate, suites that rely on the CI cap must drop their
+/// `with_cases` calls (or CI must accept their explicit counts).
 #[derive(Clone, Debug)]
 pub struct ProptestConfig {
     pub cases: u32,
 }
 
+fn env_cases() -> Option<u32> {
+    parse_cases(&std::env::var("PROPTEST_CASES").ok()?)
+}
+
+fn parse_cases(raw: &str) -> Option<u32> {
+    raw.trim().parse().ok()
+}
+
 impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
-        Self { cases }
+        Self {
+            cases: env_cases().map_or(cases, |cap| cases.min(cap)).max(1),
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        Self { cases: 64 }
+        Self::with_cases(64)
     }
 }
 
@@ -771,7 +789,21 @@ mod tests {
 
         #[test]
         fn oneof_and_recursive_compose(x in prop_oneof![Just(1u32), 2u32..10]) {
-            prop_assert!(x >= 1 && x < 10);
+            prop_assert!((1..10).contains(&x));
         }
+    }
+
+    #[test]
+    fn case_count_parsing_for_the_env_override() {
+        assert_eq!(super::parse_cases("16"), Some(16));
+        assert_eq!(super::parse_cases(" 8 "), Some(8));
+        assert_eq!(super::parse_cases("not-a-number"), None);
+        assert_eq!(super::parse_cases(""), None);
+        // with_cases: PROPTEST_CASES caps the requested count (CI sets
+        // it), and the result is clamped to at least one case — so a
+        // zero request is always one case, env or no env.
+        assert_eq!(ProptestConfig::with_cases(0).cases, 1);
+        let d = ProptestConfig::default().cases;
+        assert!((1..=64).contains(&d));
     }
 }
