@@ -1,0 +1,79 @@
+//! Search-state representation microbenchmarks: the same best-first
+//! search under copy-per-child (`Cloned`) and structure-sharing
+//! (`Shared`) state, across the T7 workloads — the wall-clock half of the
+//! §6 copying-cost argument (the bytes-copied half is the T7 experiment).
+//!
+//! A third series sweeps the frame-chain flatten threshold on the deepest
+//! workload, showing the walk-cost / copy-cost trade the threshold tunes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use blog_bench::state_exp::t7_state_workloads;
+use blog_core::engine::{best_first, BestFirstConfig};
+use blog_core::weight::{WeightParams, WeightStore, WeightView};
+use blog_logic::{SolveConfig, StateRepr};
+
+fn run(program: &blog_logic::Program, repr: StateRepr) -> u64 {
+    let store = WeightStore::new(WeightParams::default());
+    let mut overlay = std::collections::HashMap::new();
+    let mut view = WeightView::new(&mut overlay, &store);
+    let cfg = BestFirstConfig {
+        solve: SolveConfig::all()
+            .with_max_nodes(120_000)
+            .with_state_repr(repr),
+        ..BestFirstConfig::default()
+    };
+    best_first(&program.db, &program.queries[0], &mut view, &cfg)
+        .stats
+        .nodes_expanded
+}
+
+fn bench_state_repr(c: &mut Criterion) {
+    let workloads = t7_state_workloads();
+    let by_name = |wanted: &str| {
+        workloads
+            .iter()
+            .find(|(n, _)| n == wanted)
+            .unwrap_or_else(|| panic!("{wanted} is part of the T7 sweep"))
+    };
+    let mut group = c.benchmark_group("engine_state");
+    group.sample_size(10);
+    // The largest point of each workload family.
+    for wanted in ["family(5,3)", "queens(6)", "mapcolor(3x3,3)"] {
+        let (name, program) = by_name(wanted);
+        for (label, repr) in [
+            ("cloned", StateRepr::Cloned),
+            ("shared", StateRepr::shared()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, name),
+                &repr,
+                |b, &repr| b.iter(|| black_box(run(program, repr))),
+            );
+        }
+    }
+    // Flatten-threshold sweep on the deepest chains (mapcolor(3x3,3),
+    // depth 20+): low thresholds copy more, high thresholds walk more.
+    let (_, deep) = by_name("mapcolor(3x3,3)");
+    for threshold in [2u32, 8, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("flatten_threshold", threshold),
+            &threshold,
+            |b, &t| {
+                b.iter(|| {
+                    black_box(run(
+                        deep,
+                        StateRepr::Shared {
+                            flatten_threshold: t,
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_state_repr);
+criterion_main!(benches);

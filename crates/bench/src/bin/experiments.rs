@@ -10,13 +10,20 @@
 //! t7 t8 a1 a2 a3. `--policy=<lru|2q|clock|fifo>` restricts the T6c
 //! replacement-policy sweep (every `blog-workloads` generator runs
 //! through the paged clause store) to one policy; given without
-//! experiment ids it implies `t6`.
+//! experiment ids it implies `t6`. `--json[=PATH]` additionally writes
+//! the machine-readable rows of the experiments that emit them (currently
+//! the T7 state sweep) to `PATH` (default `BENCH_T7_STATE.json`), so PRs
+//! can record the perf trajectory as `BENCH_*.json` files.
 
-use blog_bench::{andp_exp, figures, machine_exp, sessions_exp, spd_exp, strategies, threads_exp};
+use blog_bench::report::Json;
+use blog_bench::{
+    andp_exp, figures, machine_exp, sessions_exp, spd_exp, state_exp, strategies, threads_exp,
+};
 use blog_spd::PolicyKind;
 
 fn main() {
     let mut policy: Option<PolicyKind> = None;
+    let mut json_path: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         if let Some(spec) = arg.strip_prefix("--policy=") {
@@ -27,14 +34,34 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if arg == "--json" {
+            json_path = Some("BENCH_T7_STATE.json".to_string());
+        } else if let Some(path) = arg.strip_prefix("--json=") {
+            json_path = Some(path.to_string());
         } else {
             args.push(arg);
         }
     }
-    // `--policy` targets the T6c sweep: given alone, run the t6 section
-    // rather than every experiment.
-    if args.is_empty() && policy.is_some() {
-        args.push("t6".to_string());
+    // Flags given without experiment ids imply their sections rather than
+    // running every experiment: `--policy` targets the T6c sweep,
+    // `--json` the (only) JSON-emitting section, t7. Together they imply
+    // both.
+    if args.is_empty() {
+        if policy.is_some() {
+            args.push("t6".to_string());
+        }
+        if json_path.is_some() {
+            args.push("t7".to_string());
+        }
+    }
+    // Fail fast on `--json` with an id list that excludes the (only)
+    // JSON-emitting section, rather than after minutes of other sweeps.
+    if json_path.is_some()
+        && !args.is_empty()
+        && !args.iter().any(|a| a == "t7" || a == "all")
+    {
+        eprintln!("--json: include t7 (the JSON-emitting experiment) in the id list");
+        std::process::exit(2);
     }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |id: &str| all || args.iter().any(|a| a == id);
@@ -86,10 +113,12 @@ fn main() {
         spd_exp::run_t6b();
         spd_exp::run_t6c(policy);
     });
-    section("t7", "latency hiding: tasks, scoreboard, multi-write", &mut || {
+    let mut t7_state_rows: Vec<state_exp::StateRow> = Vec::new();
+    section("t7", "latency hiding + §6 copying cost (search-state repr)", &mut || {
         machine_exp::run_t7_machine();
         machine_exp::run_t7_scoreboard();
         machine_exp::run_t7_multiwrite();
+        t7_state_rows = state_exp::run_t7_state();
     });
     section("t8", "AND-parallelism: fork-join and semi-join", &mut || {
         andp_exp::run_t8_forkjoin();
@@ -110,9 +139,27 @@ fn main() {
 
     if ran == 0 {
         eprintln!(
-            "unknown experiment id(s): {:?}\nknown: f1 f3 f4 w1 w2 t1 t2 t3 t4 t5 t6 t7 t8 a1 a2 a3 a4 (or no args for all)\nflags: --policy=<lru|2q|clock|fifo> (restricts the T6c sweep)",
+            "unknown experiment id(s): {:?}\nknown: f1 f3 f4 w1 w2 t1 t2 t3 t4 t5 t6 t7 t8 a1 a2 a3 a4 (or no args for all)\nflags: --policy=<lru|2q|clock|fifo> (restricts the T6c sweep), --json[=PATH] (write machine-readable rows)",
             args
         );
         std::process::exit(2);
+    }
+
+    if let Some(path) = json_path {
+        if t7_state_rows.is_empty() {
+            eprintln!("--json: no JSON-emitting experiment ran (include t7)");
+            std::process::exit(2);
+        }
+        let doc = Json::Obj(vec![(
+            "t7_state".to_string(),
+            state_exp::rows_to_json(&t7_state_rows),
+        )]);
+        let mut text = doc.render();
+        text.push('\n');
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("--json: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
     }
 }

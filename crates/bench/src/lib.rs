@@ -14,6 +14,7 @@
 //! | T4, T5, T7, A3 | [`machine_exp`] | machine speedup, D threshold, latency hiding, startup |
 //! | T4 (threads) | [`threads_exp`] | real-thread OR-parallel speedup |
 //! | T6 | [`spd_exp`] | semantic paging hit rates and I/O time |
+//! | T7 (state) | [`state_exp`] | §6 copying cost: Cloned vs Shared search state |
 //! | T8 | [`andp_exp`] | AND-parallel fork-join and semi-join |
 
 pub mod andp_exp;
@@ -22,5 +23,6 @@ pub mod machine_exp;
 pub mod report;
 pub mod sessions_exp;
 pub mod spd_exp;
+pub mod state_exp;
 pub mod strategies;
 pub mod threads_exp;

@@ -1,0 +1,410 @@
+//! T7 (state): the §6 copying-cost curve — `Cloned` vs `Shared` search
+//! state.
+//!
+//! Section 6 names "copying when chains are sprouted" as the dominant
+//! software cost of frontier search and proposes a multi-write memory to
+//! make sprouting cheap. The structure-sharing representation
+//! ([`StateRepr::Shared`]) is the software form of that proposal; this
+//! experiment measures the claim as a curve: bytes physically copied per
+//! sprout by depth bucket, across program size, for both representations,
+//! plus wall-clock nodes/sec — and asserts along the way that both
+//! representations produce *identical* engine results (solutions, bounds,
+//! work counters, pop-order traces) at every swept point.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use blog_core::engine::{best_first, BestFirstConfig};
+use blog_core::weight::{WeightParams, WeightStore, WeightView};
+use blog_logic::node::ExpandStats;
+use blog_logic::{expand, Program, SearchNode, SolveConfig, StateRepr};
+use blog_workloads::{
+    family_program, mapcolor_program, queens_program, FamilyParams, MapColorParams, QueensParams,
+};
+
+use crate::report::{f2, Json, Table};
+
+/// Chain depth past which the paper's copying argument bites hardest (the
+/// acceptance bar: ≥ 10x fewer bytes per sprout here).
+pub const DEEP_DEPTH: u32 = 20;
+
+/// Node budget per profiled run (keeps queens(6) enumeration bounded).
+const NODE_BUDGET: u64 = 120_000;
+
+/// One swept point: a workload × representation measurement.
+#[derive(Clone, Debug)]
+pub struct StateRow {
+    /// Workload label, e.g. `queens(6)`.
+    pub workload: String,
+    /// Program size (clause blocks).
+    pub clauses: usize,
+    /// Representation label (`cloned` / `shared`).
+    pub repr: &'static str,
+    /// Children actually sprouted.
+    pub sprouts: u64,
+    /// Total bytes physically copied sprouting them.
+    pub bytes_copied: u64,
+    /// Deepest chain expanded.
+    pub max_depth: u32,
+    /// Sprouts at depth ≥ [`DEEP_DEPTH`].
+    pub deep_sprouts: u64,
+    /// Bytes copied for those deep sprouts.
+    pub deep_bytes: u64,
+    /// Nodes expanded by the timed best-first run.
+    pub nodes_expanded: u64,
+    /// Solutions found.
+    pub solutions: u64,
+    /// Best wall-clock of the timed runs, in seconds.
+    pub elapsed_s: f64,
+    /// Nodes per second of the best timed run.
+    pub nodes_per_sec: f64,
+}
+
+impl StateRow {
+    /// Average bytes copied per sprout.
+    pub fn bytes_per_sprout(&self) -> f64 {
+        if self.sprouts == 0 {
+            return 0.0;
+        }
+        self.bytes_copied as f64 / self.sprouts as f64
+    }
+
+    /// Average bytes copied per sprout at depth ≥ [`DEEP_DEPTH`].
+    pub fn deep_bytes_per_sprout(&self) -> f64 {
+        if self.deep_sprouts == 0 {
+            return 0.0;
+        }
+        self.deep_bytes as f64 / self.deep_sprouts as f64
+    }
+}
+
+/// The program-size sweep: three sizes per workload family, spanning
+/// shallow (family, depth 3) to deep (queens/mapcolor, depth 20+) search.
+pub fn t7_state_workloads() -> Vec<(String, Program)> {
+    let mut out = Vec::new();
+    for (g, b) in [(3u32, 3u32), (4, 3), (5, 3)] {
+        let (p, _) = family_program(&FamilyParams {
+            generations: g,
+            branching: b,
+            tree_mother_density: 0.15,
+            external_mother_density: 0.4,
+            seed: 11,
+            ..FamilyParams::default()
+        });
+        out.push((format!("family({g},{b})"), p));
+    }
+    for n in [4u32, 5, 6] {
+        let (p, _) = queens_program(&QueensParams { n });
+        out.push((format!("queens({n})"), p));
+    }
+    for (r, c) in [(2u32, 2u32), (2, 3), (3, 3)] {
+        let (p, _) = mapcolor_program(&MapColorParams {
+            rows: r,
+            cols: c,
+            colors: 3,
+        });
+        out.push((format!("mapcolor({r}x{c},3)"), p));
+    }
+    out
+}
+
+/// Per-depth copying profile of a full (budgeted) frontier enumeration.
+struct DepthProfile {
+    /// `(sprouts, bytes)` indexed by child depth.
+    by_depth: Vec<(u64, u64)>,
+}
+
+impl DepthProfile {
+    fn totals(&self) -> (u64, u64) {
+        self.by_depth
+            .iter()
+            .fold((0, 0), |(s, b), (ds, db)| (s + ds, b + db))
+    }
+
+    fn deep_totals(&self) -> (u64, u64) {
+        self.by_depth
+            .iter()
+            .skip(DEEP_DEPTH as usize)
+            .fold((0, 0), |(s, b), (ds, db)| (s + ds, b + db))
+    }
+
+    fn max_depth(&self) -> u32 {
+        self.by_depth.len().saturating_sub(1) as u32
+    }
+}
+
+/// Enumerate the OR-tree breadth-first (budgeted), attributing each
+/// sprout's copied bytes to the *child's* depth.
+fn depth_profile(program: &Program, repr: StateRepr) -> DepthProfile {
+    let query = &program.queries[0];
+    let mut by_depth: Vec<(u64, u64)> = Vec::new();
+    let mut frontier = VecDeque::new();
+    frontier.push_back(SearchNode::root_with(&query.goals, repr));
+    let mut expanded: u64 = 0;
+    while let Some(node) = frontier.pop_front() {
+        if expanded >= NODE_BUDGET {
+            break;
+        }
+        if node.is_solution() {
+            continue;
+        }
+        expanded += 1;
+        let mut est = ExpandStats::default();
+        let children = expand(&program.db, &node, &mut est);
+        let child_depth = (node.depth + 1) as usize;
+        if by_depth.len() <= child_depth {
+            by_depth.resize(child_depth + 1, (0, 0));
+        }
+        by_depth[child_depth].0 += est.unify_successes;
+        by_depth[child_depth].1 += est.bytes_copied;
+        frontier.extend(children.into_iter().map(|e| e.node));
+    }
+    DepthProfile { by_depth }
+}
+
+/// Everything an engine run produces that must be representation-blind.
+#[derive(PartialEq, Debug)]
+struct EngineFingerprint {
+    solutions: Vec<(String, u64)>,
+    nodes_expanded: u64,
+    unify_attempts: u64,
+    unify_successes: u64,
+    failures: u64,
+    depth_cutoff: bool,
+    truncated: bool,
+    trace: Vec<blog_logic::PointerKey>,
+}
+
+/// Timed, trace-recording best-first run under `repr` (fresh weights, §5
+/// learning on — updates key on arcs, which are representation-blind).
+fn engine_run(program: &Program, repr: StateRepr) -> (EngineFingerprint, f64) {
+    let store = WeightStore::new(WeightParams::default());
+    let mut overlay = HashMap::new();
+    let mut view = WeightView::new(&mut overlay, &store);
+    let cfg = BestFirstConfig {
+        solve: SolveConfig::all()
+            .with_max_nodes(NODE_BUDGET)
+            .with_state_repr(repr),
+        record_trace: true,
+        ..BestFirstConfig::default()
+    };
+    let start = Instant::now();
+    let r = best_first(&program.db, &program.queries[0], &mut view, &cfg);
+    let elapsed = start.elapsed().as_secs_f64();
+    let fp = EngineFingerprint {
+        solutions: r
+            .solutions
+            .iter()
+            .map(|s| (s.solution.to_text(&program.db), s.bound.0))
+            .collect(),
+        nodes_expanded: r.stats.nodes_expanded,
+        unify_attempts: r.stats.unify_attempts,
+        unify_successes: r.stats.unify_successes,
+        failures: r.stats.failures,
+        depth_cutoff: r.stats.depth_cutoff,
+        truncated: r.stats.truncated,
+        trace: r.trace,
+    };
+    (fp, elapsed)
+}
+
+/// Measure one workload under one representation; `timing_runs` best-of.
+fn measure(
+    name: &str,
+    program: &Program,
+    repr: StateRepr,
+    timing_runs: usize,
+) -> (StateRow, EngineFingerprint, DepthProfile) {
+    let profile = depth_profile(program, repr);
+    let (sprouts, bytes_copied) = profile.totals();
+    let (deep_sprouts, deep_bytes) = profile.deep_totals();
+
+    let (fingerprint, mut elapsed) = engine_run(program, repr);
+    for _ in 1..timing_runs {
+        let (fp, e) = engine_run(program, repr);
+        assert_eq!(fp, fingerprint, "engine run must be deterministic");
+        elapsed = elapsed.min(e);
+    }
+    let row = StateRow {
+        workload: name.to_string(),
+        clauses: program.db.len(),
+        repr: repr.label(),
+        sprouts,
+        bytes_copied,
+        max_depth: profile.max_depth(),
+        deep_sprouts,
+        deep_bytes,
+        nodes_expanded: fingerprint.nodes_expanded,
+        solutions: fingerprint.solutions.len() as u64,
+        elapsed_s: elapsed,
+        nodes_per_sec: if elapsed > 0.0 {
+            fingerprint.nodes_expanded as f64 / elapsed
+        } else {
+            0.0
+        },
+    };
+    (row, fingerprint, profile)
+}
+
+/// Run the T7 state sweep: every workload × `{Cloned, Shared}`, asserting
+/// identical engine results at every point. Returns all rows (cloned and
+/// shared interleaved per workload).
+pub fn run_t7_state() -> Vec<StateRow> {
+    println!(
+        "T7 (state) — §6 copying cost: Cloned vs Shared search state \
+         (node budget {NODE_BUDGET}, deep = depth ≥ {DEEP_DEPTH}):"
+    );
+    let mut rows = Vec::new();
+    let mut t = Table::new(&[
+        "workload",
+        "clauses",
+        "repr",
+        "sprouts",
+        "bytes/sprout",
+        "deep-bytes/sprout",
+        "max-depth",
+        "nodes/sec",
+        "sols",
+    ]);
+    // Keep the deepest workload's profiles for the per-depth curve below.
+    const CURVE_WORKLOAD: &str = "queens(6)";
+    let mut curve_profiles: Option<(DepthProfile, DepthProfile)> = None;
+    for (name, program) in t7_state_workloads() {
+        let (cloned, fp_cloned, prof_cloned) = measure(&name, &program, StateRepr::Cloned, 3);
+        let (shared, fp_shared, prof_shared) = measure(&name, &program, StateRepr::shared(), 3);
+        assert_eq!(
+            fp_cloned, fp_shared,
+            "{name}: representations must produce identical results"
+        );
+        if name == CURVE_WORKLOAD {
+            curve_profiles = Some((prof_cloned, prof_shared));
+        }
+        for row in [&cloned, &shared] {
+            t.row(vec![
+                row.workload.clone(),
+                row.clauses.to_string(),
+                row.repr.to_string(),
+                row.sprouts.to_string(),
+                f2(row.bytes_per_sprout()),
+                if row.deep_sprouts > 0 {
+                    f2(row.deep_bytes_per_sprout())
+                } else {
+                    "-".to_string()
+                },
+                row.max_depth.to_string(),
+                format!("{:.0}", row.nodes_per_sec),
+                row.solutions.to_string(),
+            ]);
+        }
+        rows.push(cloned);
+        rows.push(shared);
+    }
+    t.print();
+    println!(
+        "  (identical solutions, bounds, stats and pop-order traces under \
+         both representations at every point — asserted above)"
+    );
+
+    // The §6 curve on the deepest workload: bytes/sprout by depth bucket,
+    // from the profiles the sweep above already computed.
+    let (prof_cloned, prof_shared) =
+        curve_profiles.expect("the curve workload is part of the sweep");
+    println!("\n  copying-cost curve, {CURVE_WORKLOAD} (bytes/sprout by chain depth):");
+    let mut curve = Table::new(&["depth", "cloned B/sprout", "shared B/sprout", "ratio"]);
+    let buckets = prof_cloned.by_depth.len().max(prof_shared.by_depth.len());
+    for lo in (0..buckets).step_by(4) {
+        let hi = (lo + 4).min(buckets);
+        let sum = |p: &DepthProfile| {
+            p.by_depth
+                .iter()
+                .take(hi)
+                .skip(lo)
+                .fold((0u64, 0u64), |(s, b), (ds, db)| (s + ds, b + db))
+        };
+        let (cs, cb) = sum(&prof_cloned);
+        let (ss, sb) = sum(&prof_shared);
+        if cs == 0 && ss == 0 {
+            continue;
+        }
+        let c = if cs > 0 { cb as f64 / cs as f64 } else { 0.0 };
+        let s = if ss > 0 { sb as f64 / ss as f64 } else { 0.0 };
+        curve.row(vec![
+            format!("{lo}-{}", hi - 1),
+            f2(c),
+            f2(s),
+            if s > 0.0 { f2(c / s) } else { "-".to_string() },
+        ]);
+    }
+    curve.print();
+    rows
+}
+
+/// Render sweep rows as a JSON array for `--json` / `BENCH_*.json`.
+pub fn rows_to_json(rows: &[StateRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("workload".into(), Json::str(&r.workload)),
+                    ("clauses".into(), Json::int(r.clauses as u64)),
+                    ("repr".into(), Json::str(r.repr)),
+                    ("sprouts".into(), Json::int(r.sprouts)),
+                    ("bytes_copied".into(), Json::int(r.bytes_copied)),
+                    ("bytes_per_sprout".into(), Json::Num(r.bytes_per_sprout())),
+                    ("max_depth".into(), Json::int(r.max_depth as u64)),
+                    ("deep_sprouts".into(), Json::int(r.deep_sprouts)),
+                    ("deep_bytes".into(), Json::int(r.deep_bytes)),
+                    (
+                        "deep_bytes_per_sprout".into(),
+                        Json::Num(r.deep_bytes_per_sprout()),
+                    ),
+                    ("nodes_expanded".into(), Json::int(r.nodes_expanded)),
+                    ("solutions".into(), Json::int(r.solutions)),
+                    ("elapsed_s".into(), Json::Num(r.elapsed_s)),
+                    ("nodes_per_sec".into(), Json::Num(r.nodes_per_sec)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The PR's acceptance bar, on the cheapest workload that reaches the
+    /// deep regime: ≥ 10x fewer bytes per sprout at depth ≥ 20, identical
+    /// engine results, and a sharing win on *total* copied bytes.
+    #[test]
+    fn t7_shared_beats_cloned_by_10x_in_the_deep_regime() {
+        let (p, _) = mapcolor_program(&MapColorParams {
+            rows: 3,
+            cols: 3,
+            colors: 3,
+        });
+        let (cloned, fp_c, _) = measure("mapcolor(3x3,3)", &p, StateRepr::Cloned, 1);
+        let (shared, fp_s, _) = measure("mapcolor(3x3,3)", &p, StateRepr::shared(), 1);
+        assert_eq!(fp_c, fp_s, "identical results under both representations");
+        assert!(cloned.max_depth >= DEEP_DEPTH, "sweep reaches the deep regime");
+        assert!(shared.deep_sprouts > 0);
+        let ratio = cloned.deep_bytes_per_sprout() / shared.deep_bytes_per_sprout();
+        assert!(
+            ratio >= 10.0,
+            "deep bytes/sprout: cloned {:.1} vs shared {:.1} (ratio {ratio:.1})",
+            cloned.deep_bytes_per_sprout(),
+            shared.deep_bytes_per_sprout()
+        );
+        assert!(shared.bytes_copied < cloned.bytes_copied);
+    }
+
+    #[test]
+    fn json_rows_render() {
+        let (p, _) = family_program(&FamilyParams::default());
+        let (row, _, _) = measure("family", &p, StateRepr::shared(), 1);
+        let json = rows_to_json(&[row]).render();
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"repr\":\"shared\""));
+        assert!(json.contains("\"bytes_per_sprout\":"));
+    }
+}

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use blog_logic::node::ExpandStats;
 use blog_logic::{expand_via, Query, SearchNode, SearchStats, SolveConfig, Solution};
-use blog_logic::{ClauseDb, ClauseSource, Term, VarId};
+use blog_logic::{ClauseDb, ClauseSource};
 use serde::Serialize;
 
 use crate::chain::Chain;
@@ -225,7 +225,7 @@ pub fn best_first_with<S: ClauseSource + ?Sized>(
     let mut incumbent: Option<Bound> = None;
 
     let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
-    let root = Chain::root(SearchNode::root(&query.goals));
+    let root = Chain::root(SearchNode::root_with(&query.goals, config.solve.state_repr));
     heap.push(Reverse(HeapEntry {
         key: priority(config.bound_policy, root.bound, 0, seq),
         chain: root,
@@ -254,8 +254,10 @@ pub fn best_first_with<S: ClauseSource + ?Sized>(
         }
 
         if chain.node.is_solution() {
+            // Solution extraction resolves through the node's state —
+            // under `Shared`, that chases the persistent frame chain.
             let terms = (0..n_query_vars)
-                .map(|i| chain.node.bindings.resolve(&Term::Var(VarId(i))))
+                .map(|i| chain.node.resolve_var(i))
                 .collect();
             solutions.push(BoundedSolution {
                 solution: Solution {
@@ -302,6 +304,7 @@ pub fn best_first_with<S: ClauseSource + ?Sized>(
         let children = expand_via(source, &chain.node, &mut est);
         stats.unify_attempts += est.unify_attempts;
         stats.unify_successes += est.unify_successes;
+        stats.bytes_copied += est.bytes_copied;
 
         if children.is_empty() {
             // A failure leaf: a goal remained but nothing resolved it.

@@ -117,7 +117,7 @@ pub fn build_ortree(db: &ClauseDb, query: &Query, limits: &SolveConfig) -> OrTre
         truncated: false,
     };
     let mut stats = ExpandStats::default();
-    let root = SearchNode::root(&query.goals);
+    let root = SearchNode::root_with(&query.goals, limits.state_repr);
     tree.nodes.push(OrNode {
         parent: None,
         arc: None,
@@ -178,9 +178,8 @@ pub fn build_ortree(db: &ClauseDb, query: &Query, limits: &SolveConfig) -> OrTre
 }
 
 fn goal_text(db: &ClauseDb, node: &SearchNode) -> Option<String> {
-    node.goals
-        .first()
-        .map(|g| term_to_string(db, &node.bindings.resolve(&g.term)))
+    node.first_goal()
+        .map(|g| term_to_string(db, &node.resolve(&g.term)))
 }
 
 #[cfg(test)]

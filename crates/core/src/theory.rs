@@ -97,7 +97,10 @@ pub fn enumerate_chains(
 ) -> EnumeratedChains {
     let mut out = EnumeratedChains::default();
     let mut queue: VecDeque<(SearchNode, Vec<ArcKey>)> = VecDeque::new();
-    queue.push_back((SearchNode::root(&query.goals), Vec::new()));
+    queue.push_back((
+        SearchNode::root_with(&query.goals, limits.state_repr),
+        Vec::new(),
+    ));
     let mut expanded: u64 = 0;
     let mut stats = ExpandStats::default();
 
@@ -122,9 +125,8 @@ pub fn enumerate_chains(
         expanded += 1;
         // The goal being resolved, for the shared identity.
         let goal_pred = node
-            .goals
-            .first()
-            .and_then(|g| node.bindings.walk(&g.term).functor());
+            .first_goal()
+            .and_then(|g| node.walk_cow(&g.term).functor());
         let children = expand(db, &node, &mut stats);
         if children.is_empty() {
             out.n_failures += 1;

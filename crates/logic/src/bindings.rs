@@ -2,12 +2,84 @@
 //!
 //! A [`Bindings`] store maps variable indices to optional terms. The
 //! depth-first engine binds through a [`Trail`] and undoes on backtracking
-//! (the classic Prolog discipline); the frontier-based engines (breadth-
-//! first and B-LOG best-first) instead clone the store per child node,
-//! which is the software analogue of the "copying when chains are
-//! sprouted" cost the paper discusses in section 6.
+//! (the classic Prolog discipline). The frontier-based engines (breadth-
+//! first, B-LOG best-first, and the parallel executors) historically
+//! *cloned* the store per child node — the software analogue of the
+//! "copying when chains are sprouted" cost the paper discusses in section
+//! 6 — and can now instead thread a persistent
+//! [`BindingFrame`](crate::frames::BindingFrame) chain through the same
+//! unification code. The [`BindingLookup`] / [`BindingWrite`] traits are
+//! the seam that lets [`unify`](crate::unify::unify) and clause indexing
+//! run over either representation.
+
+use std::borrow::Cow;
 
 use crate::term::{Term, VarId};
+
+/// Read access to a variable-binding environment.
+///
+/// Object-safe so clause indexing can dereference goals through `&dyn
+/// BindingLookup` without knowing whether the search runs over a flat
+/// [`Bindings`] store or a persistent frame chain.
+pub trait BindingLookup {
+    /// The raw binding of `v`, without dereferencing chains.
+    fn lookup(&self, v: VarId) -> Option<&Term>;
+
+    /// Dereference `t` through binding chains until an unbound variable or
+    /// a non-variable term is reached. Does not descend into structures.
+    fn walk<'a>(&'a self, mut t: &'a Term) -> &'a Term {
+        while let Term::Var(v) = t {
+            match self.lookup(*v) {
+                Some(next) => t = next,
+                None => break,
+            }
+        }
+        t
+    }
+
+    /// [`walk`](Self::walk), but with the result's lifetime tied to the
+    /// *input* term rather than the store: if the walk goes nowhere the
+    /// input is returned borrowed (no clone, no borrow of `self` kept
+    /// alive); only a walk that actually moved clones the (cheap,
+    /// `Arc`-shared) destination term.
+    ///
+    /// This is the read path for [`expand_via`](crate::node::expand_via)
+    /// and the depth-first engine, which must keep the dereferenced goal
+    /// alive while mutating the store.
+    fn walk_cow<'a>(&self, t: &'a Term) -> Cow<'a, Term> {
+        let w = self.walk(t);
+        if std::ptr::eq(w, t) {
+            Cow::Borrowed(t)
+        } else {
+            Cow::Owned(w.clone())
+        }
+    }
+
+    /// Fully apply the bindings to `t`, producing a term whose remaining
+    /// variables are all unbound.
+    fn resolve(&self, t: &Term) -> Term {
+        let w = self.walk(t);
+        match w {
+            Term::Var(_) | Term::Atom(_) | Term::Int(_) => w.clone(),
+            Term::Struct(f, args) => {
+                if w.is_ground() {
+                    return w.clone();
+                }
+                let new_args: Vec<Term> = args.iter().map(|a| self.resolve(a)).collect();
+                Term::Struct(*f, new_args.into())
+            }
+        }
+    }
+}
+
+/// Write access to a variable-binding environment, on top of
+/// [`BindingLookup`]. Implemented by [`Bindings`] (flat slots) and
+/// [`DeltaBindings`](crate::frames::DeltaBindings) (per-node frame delta),
+/// so one [`unify`](crate::unify::unify) serves both representations.
+pub trait BindingWrite: BindingLookup {
+    /// Bind `v := t`, recording the write on `trail` for undo.
+    fn bind(&mut self, trail: &mut Trail, v: VarId, t: Term);
+}
 
 /// A growable map from variable index to its binding.
 #[derive(Clone, Default, Debug)]
@@ -68,30 +140,20 @@ impl Bindings {
 
     /// Dereference `t` through binding chains until an unbound variable or
     /// a non-variable term is reached. Does not descend into structures.
-    pub fn walk<'a>(&'a self, mut t: &'a Term) -> &'a Term {
-        while let Term::Var(v) = t {
-            match self.get(*v) {
-                Some(next) => t = next,
-                None => break,
-            }
-        }
-        t
+    pub fn walk<'a>(&'a self, t: &'a Term) -> &'a Term {
+        BindingLookup::walk(self, t)
+    }
+
+    /// See [`BindingLookup::walk_cow`]: dereference without keeping a
+    /// borrow of the store alive when the walk goes nowhere.
+    pub fn walk_cow<'a>(&self, t: &'a Term) -> Cow<'a, Term> {
+        BindingLookup::walk_cow(self, t)
     }
 
     /// Fully apply the bindings to `t`, producing a term whose remaining
     /// variables are all unbound.
     pub fn resolve(&self, t: &Term) -> Term {
-        let w = self.walk(t);
-        match w {
-            Term::Var(_) | Term::Atom(_) | Term::Int(_) => w.clone(),
-            Term::Struct(f, args) => {
-                if w.is_ground() {
-                    return w.clone();
-                }
-                let new_args: Vec<Term> = args.iter().map(|a| self.resolve(a)).collect();
-                Term::Struct(*f, new_args.into())
-            }
-        }
+        BindingLookup::resolve(self, t)
     }
 
     /// Undo every binding recorded at or after `mark`.
@@ -100,6 +162,20 @@ impl Bindings {
             let v = trail.entries.pop().expect("trail length checked");
             self.slots[v.index()] = None;
         }
+    }
+}
+
+impl BindingLookup for Bindings {
+    #[inline]
+    fn lookup(&self, v: VarId) -> Option<&Term> {
+        self.slots.get(v.index()).and_then(|s| s.as_ref())
+    }
+}
+
+impl BindingWrite for Bindings {
+    #[inline]
+    fn bind(&mut self, trail: &mut Trail, v: VarId, t: Term) {
+        Bindings::bind(self, trail, v, t);
     }
 }
 
@@ -117,6 +193,21 @@ impl Trail {
     /// An empty trail.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty trail pre-sized for `n` writes, so one allocation serves a
+    /// whole expansion's worth of candidate attempts.
+    pub fn with_capacity(n: usize) -> Self {
+        Trail {
+            entries: Vec::with_capacity(n),
+        }
+    }
+
+    /// Forget every recorded write, keeping the allocation. Used between
+    /// candidate attempts when the store itself is discarded rather than
+    /// undone (the cloning and frame-delta expansion paths).
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 
     /// Record the current position, to pass to [`Bindings::undo_to`].

@@ -41,6 +41,8 @@
 
 pub mod bindings;
 pub mod clause;
+pub mod frames;
+pub mod goals;
 pub mod node;
 pub mod parser;
 pub mod pretty;
@@ -51,9 +53,13 @@ pub mod symbol;
 pub mod term;
 pub mod unify;
 
-pub use bindings::{Bindings, Trail};
+pub use bindings::{BindingLookup, BindingWrite, Bindings, Trail};
 pub use clause::{Clause, ClauseId};
-pub use node::{expand, expand_via, Caller, Expansion, Goal, PointerKey, SearchNode};
+pub use frames::{BindingFrame, DeltaBindings, DEFAULT_FLATTEN_THRESHOLD};
+pub use goals::GoalStack;
+pub use node::{
+    expand, expand_via, Caller, Expansion, Goal, NodeState, PointerKey, SearchNode, StateRepr,
+};
 pub use source::{ClauseSource, SourceStats};
 pub use parser::{parse_program, parse_query, ParseError, Program, Query};
 pub use solve::{

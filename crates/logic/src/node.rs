@@ -10,12 +10,38 @@
 //! AND-composition is linearized into the goal list exactly as the paper's
 //! simplified model prescribes ("we consider AND-trees now only in a
 //! sequential way, in very much the same way Prolog does").
+//!
+//! ## Search-state representation
+//!
+//! Sprouting a child historically *copied* the whole search state — clone
+//! the binding store, rebuild the goal vector — which is exactly the §6
+//! cost the paper's multi-write memory attacks. [`StateRepr`] picks the
+//! representation per search:
+//!
+//! - [`StateRepr::Cloned`] — the baseline: flat [`Bindings`] clone and a
+//!   rebuilt `Vec<Goal>` per child. O(state) per sprout.
+//! - [`StateRepr::Shared`] — structure sharing: each child holds an `Arc`
+//!   to its parent's [`BindingFrame`] plus only its own unification's
+//!   writes, and goals are an `Arc` cons [`GoalStack`] whose continuation
+//!   is aliased, not copied. O(delta) per sprout, with frame chains
+//!   flattened past a configurable threshold so walks stay bounded.
+//!
+//! Both representations resolve goals through the same
+//! [`unify`] and produce identical children (the
+//! `state_repr` property suite in `tests/` holds them equal on arbitrary
+//! programs); [`ExpandStats::bytes_copied`] meters the difference.
 
-use crate::bindings::{Bindings, Trail};
+use std::sync::Arc;
+
+use serde::Serialize;
+
+use crate::bindings::{BindingLookup, Bindings, Trail};
 use crate::clause::ClauseId;
+use crate::frames::{BindingFrame, DeltaBindings, FreezeStats, DEFAULT_FLATTEN_THRESHOLD};
+use crate::goals::GoalStack;
 use crate::source::ClauseSource;
 use crate::store::ClauseDb;
-use crate::term::Term;
+use crate::term::{Term, VarId};
 use crate::unify::unify;
 
 /// Where a goal came from: the query itself or the body of a clause.
@@ -59,14 +85,76 @@ pub struct PointerKey {
     pub target: ClauseId,
 }
 
+/// How search state is represented and sprouted; see the module docs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub enum StateRepr {
+    /// Copy-per-child: clone the binding store and rebuild the goal list
+    /// for every sprout (the pre-sharing baseline, kept for measurement
+    /// and equivalence testing).
+    Cloned,
+    /// Structure sharing: persistent binding frames + cons-list goals.
+    Shared {
+        /// Frame-chain length past which
+        /// [`freeze`](crate::frames::DeltaBindings::freeze) flattens.
+        flatten_threshold: u32,
+    },
+}
+
+impl StateRepr {
+    /// The sharing representation with the default flatten threshold.
+    pub fn shared() -> StateRepr {
+        StateRepr::Shared {
+            flatten_threshold: DEFAULT_FLATTEN_THRESHOLD,
+        }
+    }
+
+    /// Short label for experiment tables (`"cloned"` / `"shared"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            StateRepr::Cloned => "cloned",
+            StateRepr::Shared { .. } => "shared",
+        }
+    }
+
+}
+
+impl Default for StateRepr {
+    /// Sharing is the default: it is measured no slower sequentially and
+    /// removes the dominant cross-thread copy traffic (§6).
+    fn default() -> StateRepr {
+        StateRepr::shared()
+    }
+}
+
+/// The per-representation payload of a [`SearchNode`].
+#[derive(Clone, Debug)]
+pub enum NodeState {
+    /// Baseline copy-per-child state.
+    Cloned {
+        /// Remaining goals, leftmost first (Prolog selection rule).
+        goals: Vec<Goal>,
+        /// Bindings accumulated along the chain from the root.
+        bindings: Bindings,
+    },
+    /// Structure-shared state.
+    Shared {
+        /// Remaining goals; the continuation below the top is aliased
+        /// with the parent and every sibling.
+        goals: GoalStack,
+        /// This node's binding frame (own writes + `Arc` to the parent's).
+        frame: Arc<BindingFrame>,
+        /// Chain length past which freezing flattens.
+        flatten_threshold: u32,
+    },
+}
+
 /// One node of the OR-tree: the remaining conjunction of goals plus the
-/// bindings accumulated on the chain from the root.
+/// bindings accumulated on the chain from the root, in either
+/// representation.
 #[derive(Clone, Debug)]
 pub struct SearchNode {
-    /// Remaining goals, leftmost first (Prolog selection rule).
-    pub goals: Vec<Goal>,
-    /// Bindings accumulated along the chain from the root.
-    pub bindings: Bindings,
+    /// Goals + bindings in the representation chosen at the root.
+    pub state: NodeState,
     /// Next fresh variable index for renaming clauses apart.
     pub next_var: u32,
     /// Number of arcs from the root (chain length).
@@ -74,18 +162,24 @@ pub struct SearchNode {
 }
 
 impl SearchNode {
-    /// The root node for a query conjunction.
+    /// The root node for a query conjunction, in the default
+    /// (structure-sharing) representation.
     ///
     /// Query variables must be normalized to `0..n`; they stay at those
     /// indices for the whole search so solutions can be read back out.
     pub fn root(query_goals: &[Term]) -> SearchNode {
+        SearchNode::root_with(query_goals, StateRepr::default())
+    }
+
+    /// [`root`](Self::root) with an explicit state representation.
+    pub fn root_with(query_goals: &[Term], repr: StateRepr) -> SearchNode {
         let n_vars = query_goals
             .iter()
             .filter_map(Term::max_var)
             .map(|v| v.0 + 1)
             .max()
             .unwrap_or(0);
-        let goals = query_goals
+        let goals: Vec<Goal> = query_goals
             .iter()
             .enumerate()
             .map(|(i, t)| Goal {
@@ -94,17 +188,94 @@ impl SearchNode {
                 goal_idx: i as u16,
             })
             .collect();
+        let state = match repr {
+            StateRepr::Cloned => NodeState::Cloned {
+                goals,
+                bindings: Bindings::new(),
+            },
+            StateRepr::Shared { flatten_threshold } => NodeState::Shared {
+                goals: GoalStack::from_slice(&goals),
+                frame: BindingFrame::root(),
+                flatten_threshold,
+            },
+        };
         SearchNode {
-            goals,
-            bindings: Bindings::new(),
+            state,
             next_var: n_vars,
             depth: 0,
         }
     }
 
+    /// The representation this node (and every node sprouted from it)
+    /// uses.
+    pub fn repr(&self) -> StateRepr {
+        match &self.state {
+            NodeState::Cloned { .. } => StateRepr::Cloned,
+            NodeState::Shared {
+                flatten_threshold, ..
+            } => StateRepr::Shared {
+                flatten_threshold: *flatten_threshold,
+            },
+        }
+    }
+
     /// Whether every goal has been resolved — a solution leaf.
     pub fn is_solution(&self) -> bool {
-        self.goals.is_empty()
+        match &self.state {
+            NodeState::Cloned { goals, .. } => goals.is_empty(),
+            NodeState::Shared { goals, .. } => goals.is_empty(),
+        }
+    }
+
+    /// The goal the node is about to resolve (Prolog selection rule).
+    pub fn first_goal(&self) -> Option<&Goal> {
+        match &self.state {
+            NodeState::Cloned { goals, .. } => goals.first(),
+            NodeState::Shared { goals, .. } => goals.first(),
+        }
+    }
+
+    /// The pending goals as a cons stack: aliased under `Shared`, copied
+    /// once under `Cloned` (used by the depth-first engine, whose
+    /// backtracking goal list is the same persistent type).
+    pub fn goal_stack(&self) -> GoalStack {
+        match &self.state {
+            NodeState::Cloned { goals, .. } => GoalStack::from_slice(goals),
+            NodeState::Shared { goals, .. } => goals.clone(),
+        }
+    }
+
+    /// Number of pending goals.
+    pub fn goal_count(&self) -> usize {
+        match &self.state {
+            NodeState::Cloned { goals, .. } => goals.len(),
+            NodeState::Shared { goals, .. } => goals.len(),
+        }
+    }
+
+    /// The node's binding environment, representation-blind.
+    pub fn lookup(&self) -> &dyn BindingLookup {
+        match &self.state {
+            NodeState::Cloned { bindings, .. } => bindings,
+            NodeState::Shared { frame, .. } => frame.as_ref(),
+        }
+    }
+
+    /// Fully resolve `t` through the node's bindings (solution
+    /// extraction resolves through the frame chain in `Shared`).
+    pub fn resolve(&self, t: &Term) -> Term {
+        self.lookup().resolve(t)
+    }
+
+    /// Resolve query variable `v` (for reading solutions back out).
+    pub fn resolve_var(&self, v: u32) -> Term {
+        self.resolve(&Term::Var(VarId(v)))
+    }
+
+    /// Dereference `t` without copying when the walk goes nowhere; see
+    /// [`BindingLookup::walk_cow`].
+    pub fn walk_cow<'a>(&self, t: &'a Term) -> std::borrow::Cow<'a, Term> {
+        self.lookup().walk_cow(t)
     }
 }
 
@@ -124,6 +295,26 @@ pub struct ExpandStats {
     pub unify_attempts: u64,
     /// Successful unifications (children actually produced).
     pub unify_successes: u64,
+    /// Bytes of search state physically copied to sprout children: cloned
+    /// binding slots + rebuilt goal entries under [`StateRepr::Cloned`];
+    /// frame deltas, flatten copies + new cons cells under
+    /// [`StateRepr::Shared`]. This is the measured form of the §6
+    /// "copying when chains are sprouted" cost.
+    pub bytes_copied: u64,
+}
+
+/// Bytes physically copied to sprout one `Cloned` child.
+#[inline]
+fn cloned_sprout_bytes(binding_slots: usize, goal_entries: usize) -> u64 {
+    (binding_slots * std::mem::size_of::<Option<Term>>()
+        + goal_entries * std::mem::size_of::<Goal>()) as u64
+}
+
+/// Bytes physically copied to sprout one `Shared` child.
+#[inline]
+fn shared_sprout_bytes(fz: &FreezeStats, body_goals: usize) -> u64 {
+    ((fz.delta + fz.flattened) as usize * std::mem::size_of::<(VarId, Term)>()
+        + body_goals * GoalStack::cons_cell_bytes()) as u64
 }
 
 /// Resolve the first goal of `node` against every candidate clause,
@@ -146,58 +337,125 @@ pub fn expand(db: &ClauseDb, node: &SearchNode, stats: &mut ExpandStats) -> Vec<
 /// source, so a paged backend observes the search's true block-access
 /// stream — one [`fetch_clause`](ClauseSource::fetch_clause) per
 /// unification attempt.
+///
+/// Children inherit the node's [`StateRepr`]: under `Cloned` each child
+/// copies the store; under `Shared` each child is an `Arc` onto the
+/// parent's frame plus this step's delta, and the goal continuation is
+/// aliased. One pre-sized [`Trail`] is reused across all candidate
+/// attempts.
 pub fn expand_via<S: ClauseSource + ?Sized>(
     source: &S,
     node: &SearchNode,
     stats: &mut ExpandStats,
 ) -> Vec<Expansion> {
-    let Some(goal) = node.goals.first() else {
+    let Some(goal) = node.first_goal() else {
         return Vec::new();
     };
     // Dereference the goal far enough to know its functor: the goal term
     // as stored may be a variable bound to a structure by an earlier step.
-    let goal_term = node.bindings.walk(&goal.term).clone();
-    let candidates = source.candidate_clauses(&goal_term, &node.bindings);
+    // `walk_cow` borrows from the goal (not the store) when the walk goes
+    // nowhere, so nothing is cloned on the common already-resolved path.
+    let goal_term = node.walk_cow(&goal.term);
+    let candidates = source.candidate_clauses(&goal_term, node.lookup());
     let mut out = Vec::with_capacity(candidates.len());
-    for &cid in candidates.iter() {
-        stats.unify_attempts += 1;
-        let clause = source.fetch_clause(cid);
-        let base = node.next_var;
-        let renamed_head = clause.head.offset_vars(base);
+    let mut trail = Trail::with_capacity(8);
+    let arc_for = |cid: ClauseId| PointerKey {
+        caller: goal.caller,
+        goal_idx: goal.goal_idx,
+        target: cid,
+    };
 
-        // Child state: clone bindings, try the head match.
-        let mut bindings = node.bindings.clone();
-        let mut trail = Trail::new();
-        bindings.ensure((base + clause.n_vars) as usize);
-        if !unify(&mut bindings, &mut trail, &goal_term, &renamed_head, false) {
-            continue;
+    match &node.state {
+        NodeState::Cloned { goals, bindings } => {
+            for &cid in candidates.iter() {
+                stats.unify_attempts += 1;
+                let clause = source.fetch_clause(cid);
+                let base = node.next_var;
+                let renamed_head = clause.head.offset_vars(base);
+
+                // Child state: clone bindings, try the head match.
+                let mut child_bindings = bindings.clone();
+                child_bindings.ensure((base + clause.n_vars) as usize);
+                trail.clear();
+                if !unify(&mut child_bindings, &mut trail, &goal_term, &renamed_head, false) {
+                    continue;
+                }
+                stats.unify_successes += 1;
+
+                // New goal list: renamed body goals, then the rest of the
+                // old list — rebuilt in full, the baseline cost.
+                let mut child_goals = Vec::with_capacity(clause.body.len() + goals.len() - 1);
+                for (i, b) in clause.body.iter().enumerate() {
+                    child_goals.push(Goal {
+                        term: b.offset_vars(base),
+                        caller: Caller::Clause(cid),
+                        goal_idx: i as u16,
+                    });
+                }
+                child_goals.extend_from_slice(&goals[1..]);
+                stats.bytes_copied +=
+                    cloned_sprout_bytes(child_bindings.len(), child_goals.len());
+
+                out.push(Expansion {
+                    arc: arc_for(cid),
+                    node: SearchNode {
+                        state: NodeState::Cloned {
+                            goals: child_goals,
+                            bindings: child_bindings,
+                        },
+                        next_var: base + clause.n_vars,
+                        depth: node.depth + 1,
+                    },
+                });
+            }
         }
-        stats.unify_successes += 1;
+        NodeState::Shared {
+            goals,
+            frame,
+            flatten_threshold,
+        } => {
+            // The continuation below the goal being resolved — shared by
+            // every child without copying.
+            let continuation = goals.rest();
+            let mut delta = DeltaBindings::new(frame);
+            for &cid in candidates.iter() {
+                stats.unify_attempts += 1;
+                let clause = source.fetch_clause(cid);
+                let base = node.next_var;
+                let renamed_head = clause.head.offset_vars(base);
 
-        // New goal list: renamed body goals, then the rest of the old list.
-        let mut goals = Vec::with_capacity(clause.body.len() + node.goals.len() - 1);
-        for (i, b) in clause.body.iter().enumerate() {
-            goals.push(Goal {
-                term: b.offset_vars(base),
-                caller: Caller::Clause(cid),
-                goal_idx: i as u16,
-            });
+                delta.clear();
+                trail.clear();
+                if !unify(&mut delta, &mut trail, &goal_term, &renamed_head, false) {
+                    continue;
+                }
+                stats.unify_successes += 1;
+
+                let (child_frame, fz) = delta.freeze(*flatten_threshold);
+                let mut child_goals = continuation.clone();
+                for (i, b) in clause.body.iter().enumerate().rev() {
+                    child_goals = child_goals.push(Goal {
+                        term: b.offset_vars(base),
+                        caller: Caller::Clause(cid),
+                        goal_idx: i as u16,
+                    });
+                }
+                stats.bytes_copied += shared_sprout_bytes(&fz, clause.body.len());
+
+                out.push(Expansion {
+                    arc: arc_for(cid),
+                    node: SearchNode {
+                        state: NodeState::Shared {
+                            goals: child_goals,
+                            frame: child_frame,
+                            flatten_threshold: *flatten_threshold,
+                        },
+                        next_var: base + clause.n_vars,
+                        depth: node.depth + 1,
+                    },
+                });
+            }
         }
-        goals.extend_from_slice(&node.goals[1..]);
-
-        out.push(Expansion {
-            arc: PointerKey {
-                caller: goal.caller,
-                goal_idx: goal.goal_idx,
-                target: cid,
-            },
-            node: SearchNode {
-                goals,
-                bindings,
-                next_var: base + clause.n_vars,
-                depth: node.depth + 1,
-            },
-        });
     }
     out
 }
@@ -252,31 +510,42 @@ mod tests {
         (db, query)
     }
 
+    /// Both representations, for representation-blind tests.
+    fn both_reprs() -> [StateRepr; 2] {
+        [StateRepr::Cloned, StateRepr::shared()]
+    }
+
     #[test]
     fn root_counts_query_vars() {
         let (_, query) = family();
-        let root = SearchNode::root(&query);
-        assert_eq!(root.next_var, 1);
-        assert_eq!(root.goals.len(), 1);
-        assert_eq!(root.depth, 0);
-        assert!(!root.is_solution());
+        for repr in both_reprs() {
+            let root = SearchNode::root_with(&query, repr);
+            assert_eq!(root.next_var, 1);
+            assert_eq!(root.goal_count(), 1);
+            assert_eq!(root.depth, 0);
+            assert!(!root.is_solution());
+            assert_eq!(root.repr(), repr);
+        }
     }
 
     #[test]
     fn expanding_root_matches_both_rules() {
         let (db, query) = family();
-        let root = SearchNode::root(&query);
-        let mut st = ExpandStats::default();
-        let kids = expand(&db, &root, &mut st);
-        // gf(sam,G) matches exactly the two gf rules.
-        assert_eq!(kids.len(), 2);
-        assert_eq!(kids[0].arc.target, ClauseId(0));
-        assert_eq!(kids[1].arc.target, ClauseId(1));
-        assert_eq!(st.unify_attempts, 2);
-        assert_eq!(st.unify_successes, 2);
-        // Each child now has the two body goals queued.
-        assert_eq!(kids[0].node.goals.len(), 2);
-        assert_eq!(kids[0].node.depth, 1);
+        for repr in both_reprs() {
+            let root = SearchNode::root_with(&query, repr);
+            let mut st = ExpandStats::default();
+            let kids = expand(&db, &root, &mut st);
+            // gf(sam,G) matches exactly the two gf rules.
+            assert_eq!(kids.len(), 2);
+            assert_eq!(kids[0].arc.target, ClauseId(0));
+            assert_eq!(kids[1].arc.target, ClauseId(1));
+            assert_eq!(st.unify_attempts, 2);
+            assert_eq!(st.unify_successes, 2);
+            assert!(st.bytes_copied > 0, "sprouting is metered");
+            // Each child now has the two body goals queued.
+            assert_eq!(kids[0].node.goal_count(), 2);
+            assert_eq!(kids[0].node.depth, 1);
+        }
     }
 
     #[test]
@@ -286,13 +555,15 @@ mod tests {
         let f = db.sym("f").unwrap();
         let sam = db.sym("sam").unwrap();
         let q = vec![Term::app(f, vec![Term::Atom(sam), Term::Var(VarId(0))])];
-        let root = SearchNode::root(&q);
-        let mut st = ExpandStats::default();
-        let kids = expand(&db, &root, &mut st);
-        assert_eq!(kids.len(), 1);
-        assert_eq!(st.unify_attempts, 6);
-        assert_eq!(st.unify_successes, 1);
-        assert!(kids[0].node.is_solution());
+        for repr in both_reprs() {
+            let root = SearchNode::root_with(&q, repr);
+            let mut st = ExpandStats::default();
+            let kids = expand(&db, &root, &mut st);
+            assert_eq!(kids.len(), 1);
+            assert_eq!(st.unify_attempts, 6);
+            assert_eq!(st.unify_successes, 1);
+            assert!(kids[0].node.is_solution());
+        }
     }
 
     #[test]
@@ -313,24 +584,95 @@ mod tests {
     #[test]
     fn expansion_renames_clause_vars_apart() {
         let (db, query) = family();
-        let root = SearchNode::root(&query);
-        let mut st = ExpandStats::default();
-        let kids = expand(&db, &root, &mut st);
-        // Clause 0 has 3 vars; child must have advanced next_var past them.
-        assert_eq!(kids[0].node.next_var, root.next_var + 3);
+        for repr in both_reprs() {
+            let root = SearchNode::root_with(&query, repr);
+            let mut st = ExpandStats::default();
+            let kids = expand(&db, &root, &mut st);
+            // Clause 0 has 3 vars; child must have advanced next_var past
+            // them.
+            assert_eq!(kids[0].node.next_var, root.next_var + 3);
+        }
     }
 
     #[test]
     fn solution_node_expands_to_nothing() {
         let (db, _) = family();
-        let node = SearchNode {
-            goals: vec![],
-            bindings: Bindings::new(),
-            next_var: 0,
-            depth: 3,
-        };
+        let node = SearchNode::root(&[]);
+        assert!(node.is_solution());
         let mut st = ExpandStats::default();
         assert!(expand(&db, &node, &mut st).is_empty());
         assert_eq!(st.unify_attempts, 0);
+    }
+
+    #[test]
+    fn shared_children_alias_the_goal_continuation() {
+        let (db, query) = family();
+        let root = SearchNode::root_with(&query, StateRepr::shared());
+        let mut st = ExpandStats::default();
+        let kids = expand(&db, &root, &mut st);
+        // Both rule children queue two body goals over the same (empty)
+        // continuation; expanding further shares the remaining goal.
+        let grandkids = expand(&db, &kids[0].node, &mut st);
+        let (NodeState::Shared { goals: g1, .. }, NodeState::Shared { goals: g2, .. }) =
+            (&grandkids[0].node.state, &kids[0].node.state)
+        else {
+            panic!("expected shared nodes");
+        };
+        assert!(
+            g1.ptr_eq(&g2.rest()),
+            "the f(Y,Z) continuation must be aliased, not copied"
+        );
+    }
+
+    #[test]
+    fn shared_sprouts_copy_fewer_bytes_than_cloned() {
+        let (db, query) = family();
+        let mut frontier_cloned = vec![SearchNode::root_with(&query, StateRepr::Cloned)];
+        let mut frontier_shared = vec![SearchNode::root_with(&query, StateRepr::shared())];
+        let mut st_cloned = ExpandStats::default();
+        let mut st_shared = ExpandStats::default();
+        while let Some(n) = frontier_cloned.pop() {
+            frontier_cloned.extend(expand(&db, &n, &mut st_cloned).into_iter().map(|e| e.node));
+        }
+        while let Some(n) = frontier_shared.pop() {
+            frontier_shared.extend(expand(&db, &n, &mut st_shared).into_iter().map(|e| e.node));
+        }
+        assert_eq!(st_cloned.unify_successes, st_shared.unify_successes);
+        assert!(
+            st_shared.bytes_copied < st_cloned.bytes_copied,
+            "shared {} !< cloned {}",
+            st_shared.bytes_copied,
+            st_cloned.bytes_copied
+        );
+    }
+
+    #[test]
+    fn tiny_flatten_threshold_preserves_results() {
+        // Force a flatten at every sprout: results must be unchanged.
+        let (db, query) = family();
+        let reprs = [
+            StateRepr::Cloned,
+            StateRepr::Shared {
+                flatten_threshold: 0,
+            },
+            StateRepr::shared(),
+        ];
+        let mut leaves: Vec<Vec<String>> = Vec::new();
+        for repr in reprs {
+            let mut frontier = vec![SearchNode::root_with(&query, repr)];
+            let mut st = ExpandStats::default();
+            let mut solutions = Vec::new();
+            while let Some(n) = frontier.pop() {
+                if n.is_solution() {
+                    solutions.push(format!("{:?}", n.resolve_var(0)));
+                    continue;
+                }
+                frontier.extend(expand(&db, &n, &mut st).into_iter().map(|e| e.node));
+            }
+            solutions.sort();
+            leaves.push(solutions);
+        }
+        assert_eq!(leaves[0], leaves[1]);
+        assert_eq!(leaves[0], leaves[2]);
     }
 }

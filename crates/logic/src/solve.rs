@@ -19,7 +19,8 @@ use std::sync::Arc;
 use serde::Serialize;
 
 use crate::bindings::{Bindings, Trail};
-use crate::node::{expand, Caller, ExpandStats, Goal, SearchNode};
+use crate::goals::GoalStack;
+use crate::node::{expand, Caller, ExpandStats, Goal, SearchNode, StateRepr};
 use crate::parser::Query;
 use crate::pretty::term_to_string;
 use crate::store::ClauseDb;
@@ -36,6 +37,11 @@ pub struct SolveConfig {
     pub max_depth: Option<u32>,
     /// Abort the search after expanding this many nodes.
     pub max_nodes: Option<u64>,
+    /// Search-state representation for the sprouting (frontier-based)
+    /// engines: structure-sharing frames by default, copy-per-child as
+    /// the measurable baseline. The trail-based depth-first engine never
+    /// sprouts and ignores this.
+    pub state_repr: StateRepr,
 }
 
 impl Default for SolveConfig {
@@ -44,6 +50,7 @@ impl Default for SolveConfig {
             max_solutions: None,
             max_depth: None,
             max_nodes: Some(10_000_000),
+            state_repr: StateRepr::default(),
         }
     }
 }
@@ -73,6 +80,12 @@ impl SolveConfig {
         self.max_nodes = Some(n);
         self
     }
+
+    /// Set the search-state representation.
+    pub fn with_state_repr(mut self, repr: StateRepr) -> Self {
+        self.state_repr = repr;
+        self
+    }
 }
 
 /// Work counters, comparable across every engine in the workspace.
@@ -95,6 +108,11 @@ pub struct SearchStats {
     pub depth_cutoff: bool,
     /// Whether the node budget aborted the search.
     pub truncated: bool,
+    /// Bytes of search state physically copied sprouting children (the
+    /// §6 copying cost; see
+    /// [`ExpandStats::bytes_copied`](crate::node::ExpandStats)). Zero for
+    /// the trail-based depth-first engine, which never sprouts.
+    pub bytes_copied: u64,
 }
 
 impl SearchStats {
@@ -109,6 +127,7 @@ impl SearchStats {
         self.max_frontier = self.max_frontier.max(other.max_frontier);
         self.depth_cutoff |= other.depth_cutoff;
         self.truncated |= other.truncated;
+        self.bytes_copied += other.bytes_copied;
     }
 }
 
@@ -165,21 +184,6 @@ impl SolveResult {
 // Depth-first (trail-based backtracking — the Prolog baseline)
 // ---------------------------------------------------------------------
 
-/// Persistent goal list so backtracking shares suffixes instead of
-/// copying them.
-enum GoalList {
-    Nil,
-    Cons(Goal, Arc<GoalList>),
-}
-
-fn goal_list_from(goals: &[Goal]) -> Arc<GoalList> {
-    let mut list = Arc::new(GoalList::Nil);
-    for g in goals.iter().rev() {
-        list = Arc::new(GoalList::Cons(g.clone(), list));
-    }
-    list
-}
-
 struct DfsEngine<'a> {
     db: &'a ClauseDb,
     config: &'a SolveConfig,
@@ -212,10 +216,10 @@ impl<'a> DfsEngine<'a> {
         ControlFlow::Continue(())
     }
 
-    fn dfs(&mut self, goals: &Arc<GoalList>, depth: u32) -> ControlFlow<()> {
-        let (goal, rest) = match &**goals {
-            GoalList::Nil => return self.record_solution(depth),
-            GoalList::Cons(g, rest) => (g.clone(), Arc::clone(rest)),
+    fn dfs(&mut self, goals: &GoalStack, depth: u32) -> ControlFlow<()> {
+        let (goal, rest) = match goals.first() {
+            None => return self.record_solution(depth),
+            Some(g) => (g.clone(), goals.rest()),
         };
         if let Some(limit) = self.config.max_depth {
             if depth >= limit {
@@ -233,7 +237,10 @@ impl<'a> DfsEngine<'a> {
         self.cp_depth += 1;
         self.stats.max_frontier = self.stats.max_frontier.max(self.cp_depth);
 
-        let goal_term = self.bindings.walk(&goal.term).clone();
+        // `walk_cow` borrows from `goal` (owned above) when the walk goes
+        // nowhere, so the store is only copied into when a dereference
+        // actually moved — the hot already-resolved path clones nothing.
+        let goal_term = self.bindings.walk_cow(&goal.term);
         let candidates: Vec<_> = self
             .db
             .candidates_for_resolved(&goal_term, &self.bindings)
@@ -256,16 +263,13 @@ impl<'a> DfsEngine<'a> {
                 self.stats.unify_successes += 1;
                 any_child = true;
                 self.next_var = base + clause.n_vars;
-                let mut child_goals = Arc::clone(&rest);
+                let mut child_goals = rest.clone();
                 for (i, b) in clause.body.iter().enumerate().rev() {
-                    child_goals = Arc::new(GoalList::Cons(
-                        Goal {
-                            term: b.offset_vars(base),
-                            caller: Caller::Clause(cid),
-                            goal_idx: i as u16,
-                        },
-                        child_goals,
-                    ));
+                    child_goals = child_goals.push(Goal {
+                        term: b.offset_vars(base),
+                        caller: Caller::Clause(cid),
+                        goal_idx: i as u16,
+                    });
                 }
                 let flow = self.dfs(&child_goals, depth + 1);
                 self.next_var = base;
@@ -301,7 +305,7 @@ pub fn dfs_all(db: &ClauseDb, query: &Query, config: &SolveConfig) -> SolveResul
         n_query_vars: query.var_names.len() as u32,
         cp_depth: 0,
     };
-    let goals = goal_list_from(&root.goals);
+    let goals = root.goal_stack();
     let _ = engine.dfs(&goals, 0);
     SolveResult {
         solutions: engine.solutions,
@@ -320,13 +324,11 @@ pub fn bfs_all(db: &ClauseDb, query: &Query, config: &SolveConfig) -> SolveResul
     let mut stats = SearchStats::default();
     let mut solutions = Vec::new();
     let mut frontier: VecDeque<SearchNode> = VecDeque::new();
-    frontier.push_back(SearchNode::root(&query.goals));
+    frontier.push_back(SearchNode::root_with(&query.goals, config.state_repr));
 
     while let Some(node) = frontier.pop_front() {
         if node.is_solution() {
-            let terms = (0..n_query_vars)
-                .map(|i| node.bindings.resolve(&Term::Var(VarId(i))))
-                .collect();
+            let terms = (0..n_query_vars).map(|i| node.resolve_var(i)).collect();
             solutions.push(Solution {
                 var_names: Arc::clone(&var_names),
                 terms,
@@ -357,6 +359,7 @@ pub fn bfs_all(db: &ClauseDb, query: &Query, config: &SolveConfig) -> SolveResul
         let children = expand(db, &node, &mut est);
         stats.unify_attempts += est.unify_attempts;
         stats.unify_successes += est.unify_successes;
+        stats.bytes_copied += est.bytes_copied;
         if children.is_empty() {
             stats.failures += 1;
         }

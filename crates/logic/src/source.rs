@@ -16,7 +16,7 @@
 
 use std::borrow::Cow;
 
-use crate::bindings::Bindings;
+use crate::bindings::BindingLookup;
 use crate::clause::{Clause, ClauseId};
 use crate::store::ClauseDb;
 use crate::term::Term;
@@ -60,9 +60,14 @@ pub trait ClauseSource {
     fn fetch_clause(&self, id: ClauseId) -> &Clause;
 
     /// Candidate resolvers for a goal under the backend's index mode,
-    /// dereferencing through `bindings` (see
+    /// dereferencing through `bindings` — any binding representation, so
+    /// the same backend serves cloned-store and frame-chain searches (see
     /// [`ClauseDb::candidates_for_resolved`]).
-    fn candidate_clauses<'a>(&'a self, goal: &Term, bindings: &Bindings) -> Cow<'a, [ClauseId]>;
+    fn candidate_clauses<'a>(
+        &'a self,
+        goal: &Term,
+        bindings: &dyn BindingLookup,
+    ) -> Cow<'a, [ClauseId]>;
 
     /// Number of clause blocks in the source.
     fn clause_count(&self) -> usize;
@@ -87,7 +92,11 @@ impl ClauseSource for ClauseDb {
     }
 
     #[inline]
-    fn candidate_clauses<'a>(&'a self, goal: &Term, bindings: &Bindings) -> Cow<'a, [ClauseId]> {
+    fn candidate_clauses<'a>(
+        &'a self,
+        goal: &Term,
+        bindings: &dyn BindingLookup,
+    ) -> Cow<'a, [ClauseId]> {
         self.candidates_for_resolved(goal, bindings)
     }
 
@@ -100,6 +109,7 @@ impl ClauseSource for ClauseDb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bindings::Bindings;
     use crate::parser::parse_program;
 
     #[test]

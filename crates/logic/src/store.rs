@@ -17,7 +17,7 @@
 use std::borrow::Cow;
 use std::collections::HashMap;
 
-use crate::bindings::Bindings;
+use crate::bindings::BindingLookup;
 use crate::clause::{Clause, ClauseId};
 use crate::symbol::{Sym, SymbolTable};
 use crate::term::Term;
@@ -242,7 +242,7 @@ impl ClauseDb {
     pub fn candidates_for_resolved<'a>(
         &'a self,
         goal: &Term,
-        bindings: &Bindings,
+        bindings: &dyn BindingLookup,
     ) -> Cow<'a, [ClauseId]> {
         let full = self.candidates_for(goal);
         if self.index_mode == IndexMode::PredicateOnly {
@@ -331,6 +331,7 @@ impl ClauseDb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bindings::Bindings;
     use crate::term::VarId;
 
     fn family_db() -> ClauseDb {

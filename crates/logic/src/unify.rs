@@ -6,17 +6,23 @@
 //! the B-LOG engines run with whatever the caller configures, so baseline
 //! and best-first searches always unify identically.
 
-use crate::bindings::{Bindings, Trail};
+use crate::bindings::{BindingLookup, BindingWrite, Trail};
 use crate::term::{Term, VarId};
 
 /// Attempt to unify `a` and `b` under `bindings`.
+///
+/// Generic over the binding representation: the flat
+/// [`Bindings`](crate::bindings::Bindings) store and the persistent
+/// [`DeltaBindings`](crate::frames::DeltaBindings) frame builder both
+/// implement [`BindingWrite`], so every engine unifies through exactly
+/// this code whatever its search-state representation.
 ///
 /// On success, returns `true` with the new bindings recorded on `trail`.
 /// On failure, returns `false` — the caller must undo to its own trail
 /// mark (bindings made before the failure point are *not* rolled back
 /// here, exactly like a WAM-style engine).
-pub fn unify(
-    bindings: &mut Bindings,
+pub fn unify<B: BindingWrite + ?Sized>(
+    bindings: &mut B,
     trail: &mut Trail,
     a: &Term,
     b: &Term,
@@ -60,7 +66,7 @@ pub fn unify(
 
 /// Whether variable `v` occurs in `t` after dereferencing through
 /// `bindings`.
-pub fn occurs(bindings: &Bindings, v: VarId, t: &Term) -> bool {
+pub fn occurs<B: BindingLookup + ?Sized>(bindings: &B, v: VarId, t: &Term) -> bool {
     let mut stack: Vec<Term> = vec![t.clone()];
     while let Some(u) = stack.pop() {
         match bindings.walk(&u) {
@@ -83,6 +89,7 @@ pub fn occurs(bindings: &Bindings, v: VarId, t: &Term) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bindings::Bindings;
     use crate::symbol::Sym;
 
     fn atom(i: u32) -> Term {

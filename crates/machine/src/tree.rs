@@ -280,7 +280,8 @@ pub fn tree_from_search(
         work: work_base,
         children: Vec::new(),
     });
-    let mut queue: Vec<(u32, SearchNode)> = vec![(0, SearchNode::root(&query.goals))];
+    let mut queue: Vec<(u32, SearchNode)> =
+        vec![(0, SearchNode::root_with(&query.goals, limits.state_repr))];
     let mut head = 0;
     let mut expanded: u64 = 0;
     while head < queue.len() {

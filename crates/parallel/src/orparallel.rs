@@ -17,8 +17,7 @@ use blog_core::util::SplitMix64;
 use blog_core::weight::{Bound, WeightState, WeightStore, WeightView};
 use blog_logic::node::ExpandStats;
 use blog_logic::{
-    expand, ClauseDb, PointerKey, Query, SearchNode, SearchStats, Solution, SolveConfig, Term,
-    VarId,
+    expand, ClauseDb, PointerKey, Query, SearchNode, SearchStats, Solution, SolveConfig,
 };
 use parking_lot::Mutex;
 
@@ -111,8 +110,11 @@ fn worker_loop(ctx: &SharedCtx<'_>, w: usize) -> WorkerStats {
         }
 
         if chain.node.is_solution() {
+            // Resolves through the shared frame chain under the default
+            // representation — frames are `Arc`-shared across workers, so
+            // extraction never copies another thread's state.
             let terms = (0..ctx.n_query_vars)
-                .map(|i| chain.node.bindings.resolve(&Term::Var(VarId(i))))
+                .map(|i| chain.node.resolve_var(i))
                 .collect();
             let bounded = BoundedSolution {
                 solution: Solution {
@@ -167,6 +169,7 @@ fn worker_loop(ctx: &SharedCtx<'_>, w: usize) -> WorkerStats {
         let children = expand(ctx.db, &chain.node, &mut est);
         out.stats.unify_attempts += est.unify_attempts;
         out.stats.unify_successes += est.unify_successes;
+        out.stats.bytes_copied += est.bytes_copied;
 
         if children.is_empty() {
             out.stats.failures += 1;
@@ -200,7 +203,7 @@ pub fn par_best_first(
     config: &ParallelConfig,
 ) -> ParallelResult {
     assert!(config.n_workers >= 1);
-    let root = Chain::root(SearchNode::root(&query.goals));
+    let root = Chain::root(SearchNode::root_with(&query.goals, config.solve.state_repr));
     let ctx = SharedCtx {
         db,
         weights,

@@ -25,7 +25,7 @@
 use std::borrow::Cow;
 use std::sync::Mutex;
 
-use blog_logic::{Bindings, Clause, ClauseDb, ClauseId, ClauseSource, SourceStats, Term};
+use blog_logic::{BindingLookup, Clause, ClauseDb, ClauseId, ClauseSource, SourceStats, Term};
 use serde::Serialize;
 
 use crate::lru::Touch;
@@ -258,7 +258,11 @@ impl ClauseSource for PagedClauseStore<'_> {
         self.db.clause(id)
     }
 
-    fn candidate_clauses<'a>(&'a self, goal: &Term, bindings: &Bindings) -> Cow<'a, [ClauseId]> {
+    fn candidate_clauses<'a>(
+        &'a self,
+        goal: &Term,
+        bindings: &dyn BindingLookup,
+    ) -> Cow<'a, [ClauseId]> {
         // Candidate lists are the figure-4 pointers stored *in the
         // caller's block*, which the search touched when it fetched the
         // caller; reading them costs no extra fault.

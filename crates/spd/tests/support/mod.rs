@@ -17,7 +17,7 @@ use std::sync::Mutex;
 use blog_core::engine::{best_first, best_first_with, BestFirstConfig};
 use blog_core::weight::{WeightParams, WeightStore, WeightView};
 use blog_logic::{
-    parse_program, Bindings, Clause, ClauseDb, ClauseId, ClauseSource, Program, Term,
+    parse_program, BindingLookup, Clause, ClauseDb, ClauseId, ClauseSource, Program, Term,
 };
 use blog_spd::{CostModel, Geometry, PagedClauseStore, PagedStoreConfig, PolicyKind};
 use blog_workloads::{
@@ -133,7 +133,11 @@ impl ClauseSource for RecordingSource<'_> {
         self.db.clause(id)
     }
 
-    fn candidate_clauses<'a>(&'a self, goal: &Term, bindings: &Bindings) -> Cow<'a, [ClauseId]> {
+    fn candidate_clauses<'a>(
+        &'a self,
+        goal: &Term,
+        bindings: &dyn BindingLookup,
+    ) -> Cow<'a, [ClauseId]> {
         self.db.candidates_for_resolved(goal, bindings)
     }
 
