@@ -7,23 +7,29 @@
 //! ```
 //!
 //! Experiment ids match DESIGN.md's index: f1 f3 f4 w1 t1 t2 t3 t4 t5 t6
-//! t7 t8 a1 a2 a3. `--policy=<lru|2q|clock|fifo>` restricts the T6c
+//! t7 t8 t8f a1 a2 a3. `--policy=<lru|2q|clock|fifo>` restricts the T6c
 //! replacement-policy sweep (every `blog-workloads` generator runs
 //! through the paged clause store) to one policy; given without
-//! experiment ids it implies `t6`. `--json[=PATH]` additionally writes
-//! the machine-readable rows of the experiments that emit them (currently
-//! the T7 state sweep) to `PATH` (default `BENCH_T7_STATE.json`), so PRs
-//! can record the perf trajectory as `BENCH_*.json` files.
+//! experiment ids it implies `t6`. `--workers=<n>` restricts the T8f
+//! frontier-scaling sweep to one worker count (the CI smoke-run path);
+//! given without experiment ids it implies `t8f`. `--json[=PATH]` writes
+//! the machine-readable rows of the experiments that emit them — the T7
+//! state sweep to `BENCH_T7_STATE.json` and the T8f frontier sweep to
+//! `BENCH_T8_FRONTIER.json` (or both into `PATH`, keyed by section, when
+//! an explicit path is given) — so PRs can record the perf trajectory as
+//! `BENCH_*.json` files.
 
 use blog_bench::report::Json;
 use blog_bench::{
-    andp_exp, figures, machine_exp, sessions_exp, spd_exp, state_exp, strategies, threads_exp,
+    andp_exp, figures, frontier_exp, machine_exp, sessions_exp, spd_exp, state_exp, strategies,
+    threads_exp,
 };
 use blog_spd::PolicyKind;
 
 fn main() {
     let mut policy: Option<PolicyKind> = None;
     let mut json_path: Option<String> = None;
+    let mut workers: Option<usize> = None;
     let mut args: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         if let Some(spec) = arg.strip_prefix("--policy=") {
@@ -34,8 +40,16 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if let Some(spec) = arg.strip_prefix("--workers=") {
+            match spec.parse::<usize>() {
+                Ok(n) if n >= 1 => workers = Some(n),
+                _ => {
+                    eprintln!("--workers: expected a worker count >= 1, got {spec:?}");
+                    std::process::exit(2);
+                }
+            }
         } else if arg == "--json" {
-            json_path = Some("BENCH_T7_STATE.json".to_string());
+            json_path = Some("--default--".to_string());
         } else if let Some(path) = arg.strip_prefix("--json=") {
             json_path = Some(path.to_string());
         } else {
@@ -50,17 +64,20 @@ fn main() {
         if policy.is_some() {
             args.push("t6".to_string());
         }
-        if json_path.is_some() {
+        if workers.is_some() {
+            args.push("t8f".to_string());
+        }
+        if json_path.is_some() && !args.iter().any(|a| a == "t8f") {
             args.push("t7".to_string());
         }
     }
-    // Fail fast on `--json` with an id list that excludes the (only)
+    // Fail fast on `--json` with an id list that excludes every
     // JSON-emitting section, rather than after minutes of other sweeps.
     if json_path.is_some()
         && !args.is_empty()
-        && !args.iter().any(|a| a == "t7" || a == "all")
+        && !args.iter().any(|a| a == "t7" || a == "t8f" || a == "all")
     {
-        eprintln!("--json: include t7 (the JSON-emitting experiment) in the id list");
+        eprintln!("--json: include t7 or t8f (the JSON-emitting experiments) in the id list");
         std::process::exit(2);
     }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
@@ -124,6 +141,10 @@ fn main() {
         andp_exp::run_t8_forkjoin();
         andp_exp::run_t8_semijoin();
     });
+    let mut t8_frontier_rows: Vec<frontier_exp::FrontierRow> = Vec::new();
+    section("t8f", "frontier scaling: global-mutex vs sharded chain stores", &mut || {
+        t8_frontier_rows = frontier_exp::run_t8_frontier(workers);
+    });
     section("a1", "ablation: infinity placement", &mut || {
         sessions_exp::run_a1();
     });
@@ -139,27 +160,62 @@ fn main() {
 
     if ran == 0 {
         eprintln!(
-            "unknown experiment id(s): {:?}\nknown: f1 f3 f4 w1 w2 t1 t2 t3 t4 t5 t6 t7 t8 a1 a2 a3 a4 (or no args for all)\nflags: --policy=<lru|2q|clock|fifo> (restricts the T6c sweep), --json[=PATH] (write machine-readable rows)",
+            "unknown experiment id(s): {:?}\nknown: f1 f3 f4 w1 w2 t1 t2 t3 t4 t5 t6 t7 t8 t8f a1 a2 a3 a4 (or no args for all)\nflags: --policy=<lru|2q|clock|fifo> (restricts the T6c sweep), --workers=<n> (restricts the T8f sweep), --json[=PATH] (write machine-readable rows)",
             args
         );
         std::process::exit(2);
     }
 
     if let Some(path) = json_path {
-        if t7_state_rows.is_empty() {
-            eprintln!("--json: no JSON-emitting experiment ran (include t7)");
+        if t7_state_rows.is_empty() && t8_frontier_rows.is_empty() {
+            eprintln!("--json: no JSON-emitting experiment ran (include t7 or t8f)");
             std::process::exit(2);
         }
-        let doc = Json::Obj(vec![(
-            "t7_state".to_string(),
-            state_exp::rows_to_json(&t7_state_rows),
-        )]);
-        let mut text = doc.render();
-        text.push('\n');
-        if let Err(e) = std::fs::write(&path, text) {
-            eprintln!("--json: cannot write {path}: {e}");
-            std::process::exit(1);
+        let write = |path: &str, doc: Json| {
+            let mut text = doc.render();
+            text.push('\n');
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("--json: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+        };
+        if path == "--default--" {
+            // Bare `--json`: each section to its own trajectory file.
+            if !t7_state_rows.is_empty() {
+                write(
+                    "BENCH_T7_STATE.json",
+                    Json::Obj(vec![(
+                        "t7_state".to_string(),
+                        state_exp::rows_to_json(&t7_state_rows),
+                    )]),
+                );
+            }
+            if !t8_frontier_rows.is_empty() {
+                write(
+                    "BENCH_T8_FRONTIER.json",
+                    Json::Obj(vec![(
+                        "t8_frontier".to_string(),
+                        frontier_exp::rows_to_json(&t8_frontier_rows),
+                    )]),
+                );
+            }
+        } else {
+            // Explicit path: one combined document, keyed by section.
+            let mut fields = Vec::new();
+            if !t7_state_rows.is_empty() {
+                fields.push((
+                    "t7_state".to_string(),
+                    state_exp::rows_to_json(&t7_state_rows),
+                ));
+            }
+            if !t8_frontier_rows.is_empty() {
+                fields.push((
+                    "t8_frontier".to_string(),
+                    frontier_exp::rows_to_json(&t8_frontier_rows),
+                ));
+            }
+            write(&path, Json::Obj(fields));
         }
-        println!("wrote {path}");
     }
 }

@@ -16,9 +16,11 @@
 //! | T6 | [`spd_exp`] | semantic paging hit rates and I/O time |
 //! | T7 (state) | [`state_exp`] | §6 copying cost: Cloned vs Shared search state |
 //! | T8 | [`andp_exp`] | AND-parallel fork-join and semi-join |
+//! | T8 (frontier) | [`frontier_exp`] | frontier scaling: global-mutex vs sharded chain stores |
 
 pub mod andp_exp;
 pub mod figures;
+pub mod frontier_exp;
 pub mod machine_exp;
 pub mod report;
 pub mod sessions_exp;

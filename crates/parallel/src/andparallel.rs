@@ -21,11 +21,14 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use blog_core::weight::WeightStore;
 use blog_logic::{
     dfs_all, Bindings, ClauseDb, Query, SearchStats, Solution, SolveConfig, SolveResult, Term,
     Trail, VarId,
 };
 use serde::Serialize;
+
+use crate::orparallel::{par_best_first, ParallelConfig};
 
 /// Collect the variables occurring in a term.
 fn vars_of(term: &Term, out: &mut HashSet<VarId>) {
@@ -128,6 +131,25 @@ pub fn and_parallel_solve(db: &ClauseDb, query: &Query, config: &SolveConfig) ->
             .collect()
     });
 
+    let mut stats = SearchStats::default();
+    for r in &group_results {
+        stats.merge(&r.stats);
+    }
+    let factors: Vec<Vec<Solution>> = group_results.into_iter().map(|r| r.solutions).collect();
+    let solutions = cross_join(query, &groups, &factors, config.max_solutions);
+    stats.solutions = solutions.len() as u64;
+    SolveResult { solutions, stats }
+}
+
+/// Cross-join per-group solution sets back into whole-query solutions —
+/// sound because the groups bind disjoint variables. Any empty factor
+/// empties the product.
+fn cross_join(
+    query: &Query,
+    groups: &[Vec<usize>],
+    factors: &[Vec<Solution>],
+    max_solutions: Option<usize>,
+) -> Vec<Solution> {
     // Which variables each group binds.
     let group_vars: Vec<HashSet<VarId>> = groups
         .iter()
@@ -140,22 +162,16 @@ pub fn and_parallel_solve(db: &ClauseDb, query: &Query, config: &SolveConfig) ->
         })
         .collect();
 
-    let mut stats = SearchStats::default();
-    for r in &group_results {
-        stats.merge(&r.stats);
-    }
-
-    // Cross-join. Any empty factor empties the product.
     let var_names = Arc::new(query.var_names.clone());
     let n_vars = query.var_names.len();
     let mut solutions: Vec<Solution> = Vec::new();
-    if group_results.iter().all(|r| !r.solutions.is_empty()) {
-        let mut index = vec![0usize; group_results.len()];
+    if factors.iter().all(|f| !f.is_empty()) {
+        let mut index = vec![0usize; factors.len()];
         'outer: loop {
             let mut terms: Vec<Term> = (0..n_vars).map(|i| Term::Var(VarId(i as u32))).collect();
             let mut depth = 0;
-            for (g, r) in group_results.iter().enumerate() {
-                let s = &r.solutions[index[g]];
+            for (g, f) in factors.iter().enumerate() {
+                let s = &f[index[g]];
                 depth += s.depth;
                 for (v, t) in s.terms.iter().enumerate() {
                     if group_vars[g].contains(&VarId(v as u32)) {
@@ -168,13 +184,13 @@ pub fn and_parallel_solve(db: &ClauseDb, query: &Query, config: &SolveConfig) ->
                 terms,
                 depth,
             });
-            if config.max_solutions.is_some_and(|m| solutions.len() >= m) {
+            if max_solutions.is_some_and(|m| solutions.len() >= m) {
                 break;
             }
             // Odometer increment.
             for g in (0..index.len()).rev() {
                 index[g] += 1;
-                if index[g] < group_results[g].solutions.len() {
+                if index[g] < factors[g].len() {
                     continue 'outer;
                 }
                 index[g] = 0;
@@ -182,6 +198,63 @@ pub fn and_parallel_solve(db: &ClauseDb, query: &Query, config: &SolveConfig) ->
             break;
         }
     }
+    solutions
+}
+
+/// AND-parallelism over OR-parallelism: fork-join over the independent
+/// goal groups, with each group enumerated by the OR-parallel best-first
+/// executor (and its frontier policy — sharded by default) instead of a
+/// single depth-first thread. Pruning and `max_solutions` are join-level
+/// concerns, so each factor runs unpruned and unbounded (safety budgets
+/// aside); the solution *set* therefore matches [`and_parallel_solve`].
+pub fn and_or_parallel_solve(
+    db: &ClauseDb,
+    query: &Query,
+    weights: &WeightStore,
+    config: &ParallelConfig,
+) -> SolveResult {
+    let groups = independent_groups(&query.goals);
+    let factor_config = ParallelConfig {
+        prune: blog_core::engine::PruneMode::None,
+        learn: false,
+        solve: SolveConfig {
+            max_solutions: None,
+            ..config.solve.clone()
+        },
+        ..config.clone()
+    };
+    if groups.len() <= 1 {
+        // Single group: no join, so the solutions cap passes straight
+        // through (par_best_first aborts early on it — important on
+        // unbounded trees, where enumerate-then-truncate would never
+        // return).
+        let single_config = ParallelConfig {
+            solve: config.solve.clone(),
+            ..factor_config
+        };
+        let r = par_best_first(db, query, weights, &single_config);
+        let mut stats = r.stats;
+        let solutions: Vec<Solution> =
+            r.solutions.into_iter().map(|b| b.solution).collect();
+        stats.solutions = solutions.len() as u64;
+        return SolveResult { solutions, stats };
+    }
+
+    // Each group gets its own OR-parallel frontier; the groups themselves
+    // run sequentially here since every group already fans out across
+    // `config.n_workers` worker threads.
+    let mut stats = SearchStats::default();
+    let mut factors: Vec<Vec<Solution>> = Vec::with_capacity(groups.len());
+    for idxs in &groups {
+        let sub = Query {
+            goals: idxs.iter().map(|&i| query.goals[i].clone()).collect(),
+            var_names: query.var_names.clone(),
+        };
+        let r = par_best_first(db, &sub, weights, &factor_config);
+        stats.merge(&r.stats);
+        factors.push(r.solutions.into_iter().map(|b| b.solution).collect());
+    }
+    let solutions = cross_join(query, &groups, &factors, config.solve.max_solutions);
     stats.solutions = solutions.len() as u64;
     SolveResult { solutions, stats }
 }
@@ -397,6 +470,84 @@ mod tests {
     fn single_group_falls_back_to_dfs() {
         let p = parse_program("a(1,2). b(2,3). ?- a(X,Y), b(Y,Z).").unwrap();
         let r = and_parallel_solve(&p.db, &p.queries[0], &SolveConfig::all());
+        assert_eq!(r.solutions.len(), 1);
+        assert_eq!(r.solutions[0].to_text(&p.db), "X = 1, Y = 2, Z = 3");
+    }
+
+    #[test]
+    fn and_or_parallel_matches_fork_join_set() {
+        use blog_core::weight::{WeightParams, WeightStore};
+        let p = parse_program(
+            "
+            a(1). a(2). a(3).
+            b(x). b(y).
+            ?- a(X), b(Y).
+        ",
+        )
+        .unwrap();
+        let weights = WeightStore::new(WeightParams::default());
+        let seq = and_parallel_solve(&p.db, &p.queries[0], &SolveConfig::all());
+        let par = and_or_parallel_solve(
+            &p.db,
+            &p.queries[0],
+            &weights,
+            &ParallelConfig {
+                n_workers: 3,
+                ..ParallelConfig::default()
+            },
+        );
+        let mut a: Vec<String> = seq.solutions.iter().map(|s| s.to_text(&p.db)).collect();
+        let mut b: Vec<String> = par.solutions.iter().map(|s| s.to_text(&p.db)).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn and_or_parallel_single_group_honors_max_solutions_early() {
+        use blog_core::weight::{WeightParams, WeightStore};
+        // Cyclic graph: the OR-tree is unbounded, so the solutions cap
+        // must abort the search rather than truncate afterwards.
+        let p = parse_program(
+            "
+            edge(a,b). edge(b,c). edge(c,a).
+            path(X,Y) :- edge(X,Y).
+            path(X,Z) :- edge(X,Y), path(Y,Z).
+            ?- path(a,c).
+        ",
+        )
+        .unwrap();
+        let weights = WeightStore::new(WeightParams::default());
+        let r = and_or_parallel_solve(
+            &p.db,
+            &p.queries[0],
+            &weights,
+            &ParallelConfig {
+                n_workers: 2,
+                solve: SolveConfig {
+                    max_solutions: Some(1),
+                    max_nodes: Some(20_000), // safety net, never hit
+                    ..SolveConfig::all()
+                },
+                ..ParallelConfig::default()
+            },
+        );
+        assert_eq!(r.solutions.len(), 1);
+        assert!(!r.stats.truncated, "must stop on the cap, not the budget");
+        assert!(r.stats.nodes_expanded < 10_000);
+    }
+
+    #[test]
+    fn and_or_parallel_single_group_matches_dfs() {
+        use blog_core::weight::{WeightParams, WeightStore};
+        let p = parse_program("a(1,2). b(2,3). ?- a(X,Y), b(Y,Z).").unwrap();
+        let weights = WeightStore::new(WeightParams::default());
+        let r = and_or_parallel_solve(
+            &p.db,
+            &p.queries[0],
+            &weights,
+            &ParallelConfig::default(),
+        );
         assert_eq!(r.solutions.len(), 1);
         assert_eq!(r.solutions[0].to_text(&p.db), "X = 1, Y = 2, Z = 3");
     }

@@ -3,11 +3,32 @@
 //! Per-worker chain pools with a minimum-seeking acquisition rule: a free
 //! worker compares its own cheapest chain against the cheapest chain on
 //! any other worker and takes the remote one only when it is more than
-//! `D` cheaper — §6's arbitration, with a mutex-protected scan playing
-//! the comparator tree's role.
+//! `D` cheaper — §6's arbitration network. Three reproductions of that
+//! hardware, from most to least serialized:
+//!
+//! - [`FrontierPolicy::SharedHeap`] — one global heap under one mutex
+//!   (idealized best-first, the "sorting network" design of §3);
+//! - [`FrontierPolicy::LocalPools`] — per-worker heaps, still under one
+//!   global mutex, with the D-threshold scan playing the comparator tree
+//!   (the PR-0 baseline);
+//! - [`FrontierPolicy::Sharded`] — per-worker heaps each under their own
+//!   small lock, plus a lock-free comparator: an `AtomicU64`
+//!   published-minimum per pool, refreshed on every push/pop, so the §6
+//!   D-threshold decision reads N atomics instead of peeking N heaps
+//!   under a global lock. Termination is an atomic outstanding-chain
+//!   count plus an eventcount-style sleep protocol (no global condvar on
+//!   the hot path).
+//!
+//! The sharded shape also enables two executor-side levers (see
+//! `orparallel`): **batched sprouts** (all children of one expansion enter
+//! the owner's shard under a single lock acquisition, publishing the new
+//! minimum once) and **local dives** ([`Frontier::should_dive`] — the
+//! paper's "a processor keeps its own cheapest chain").
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::Ordering::{Relaxed, SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
 
 use blog_core::chain::Chain;
 use blog_core::weight::Bound;
@@ -19,11 +40,29 @@ pub enum FrontierPolicy {
     /// One global pool: every acquisition takes the global minimum
     /// (idealized best-first, the "sorting network" design of §3).
     SharedHeap,
-    /// Per-worker pools with the §6 D-threshold arbitration.
+    /// Per-worker pools with the §6 D-threshold arbitration, all under a
+    /// single global mutex (the pre-sharding baseline).
     LocalPools {
         /// The communication threshold `D`, in bound units.
         d: u64,
     },
+    /// Per-worker pools, each under its own lock, with the D-threshold
+    /// decision made over per-pool `AtomicU64` published minimums.
+    Sharded {
+        /// The communication threshold `D`, in bound units.
+        d: u64,
+    },
+}
+
+impl FrontierPolicy {
+    /// Short label for tables and JSON rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FrontierPolicy::SharedHeap => "shared-heap",
+            FrontierPolicy::LocalPools { .. } => "local-pools",
+            FrontierPolicy::Sharded { .. } => "sharded",
+        }
+    }
 }
 
 struct Item {
@@ -48,22 +87,6 @@ impl Ord for Item {
     }
 }
 
-struct State {
-    pools: Vec<BinaryHeap<Reverse<Item>>>,
-    /// Chains popped and still being expanded.
-    active: usize,
-    /// Monotone sequence for deterministic per-pool tie-breaks.
-    seq: u64,
-    /// Set when the search is complete or aborted.
-    done: bool,
-    /// Remote acquisitions (chains taken from another worker's pool).
-    steals: u64,
-    /// Local acquisitions.
-    local: u64,
-    /// Largest total frontier size observed.
-    max_len: usize,
-}
-
 /// Outcome counters returned by [`Frontier::counters`].
 #[derive(Clone, Copy, Default, Debug)]
 pub struct FrontierCounters {
@@ -73,85 +96,106 @@ pub struct FrontierCounters {
     pub local: u64,
     /// Peak total frontier size.
     pub max_len: usize,
+    /// Chains expanded without a frontier round-trip (filled in by the
+    /// executor, which is where dives happen; always 0 straight from
+    /// [`Frontier::counters`]).
+    pub dives: u64,
+    /// Lock acquisitions on the chain store: shard locks (one per push
+    /// batch or pop) under [`FrontierPolicy::Sharded`]; under the
+    /// global-mutex policies, every acquisition of the one state mutex
+    /// from push/acquire/finish — including condvar re-acquisitions,
+    /// which re-enter that same store-protecting mutex. The sharded
+    /// store's small sleep mutex guards no chain state and is not
+    /// counted.
+    pub shard_locks: u64,
+    /// Published-minimum refreshes (sharded only; each covers a whole
+    /// push batch or pop).
+    pub min_publishes: u64,
+    /// Wakeups after which the woken worker found nothing to pop.
+    pub spurious_wakeups: u64,
 }
 
-/// The shared frontier (one per parallel query).
-pub struct Frontier {
-    policy: FrontierPolicy,
-    state: Mutex<State>,
+// ---------------------------------------------------------------------------
+// Legacy global-mutex frontier (SharedHeap + LocalPools)
+// ---------------------------------------------------------------------------
+
+struct GlobalState {
+    pools: Vec<BinaryHeap<Reverse<Item>>>,
+    /// Chains popped and still being expanded.
+    active: usize,
+    /// Monotone sequence for deterministic per-pool tie-breaks.
+    seq: u64,
+    /// Set when the search is complete or aborted.
+    done: bool,
+    /// Workers currently blocked in the condvar.
+    waiting: usize,
+    steals: u64,
+    local: u64,
+    max_len: usize,
+    spurious: u64,
+    locks: u64,
+}
+
+struct GlobalFrontier {
+    state: Mutex<GlobalState>,
     cv: Condvar,
 }
 
-impl Frontier {
-    /// A frontier for `n_workers` workers, seeded with the root chain in
-    /// worker 0's pool (the paper: "initially, one processor is given the
-    /// initial query").
-    pub fn new(n_workers: usize, policy: FrontierPolicy, root: Chain) -> Frontier {
-        assert!(n_workers >= 1);
-        let n_pools = match policy {
-            FrontierPolicy::SharedHeap => 1,
-            FrontierPolicy::LocalPools { .. } => n_workers,
-        };
+impl GlobalFrontier {
+    fn new(n_pools: usize, root: Chain) -> GlobalFrontier {
         let mut pools: Vec<BinaryHeap<Reverse<Item>>> =
             (0..n_pools).map(|_| BinaryHeap::new()).collect();
         pools[0].push(Reverse(Item {
             key: (root.bound.0, 0),
             chain: root,
         }));
-        Frontier {
-            policy,
-            state: Mutex::new(State {
+        GlobalFrontier {
+            state: Mutex::new(GlobalState {
                 pools,
                 active: 0,
                 seq: 1,
                 done: false,
+                waiting: 0,
                 steals: 0,
                 local: 0,
                 max_len: 1,
+                spurious: 0,
+                locks: 0,
             }),
             cv: Condvar::new(),
         }
     }
 
-    fn pool_of(&self, worker: usize) -> usize {
-        match self.policy {
-            FrontierPolicy::SharedHeap => 0,
-            FrontierPolicy::LocalPools { .. } => worker,
-        }
-    }
-
-    /// Push freshly sprouted chains from `worker`.
-    pub fn push_children(&self, worker: usize, children: Vec<Chain>) {
-        if children.is_empty() {
-            return;
-        }
-        let mut st = self.state.lock();
-        let pool = self.pool_of(worker);
+    fn push_children(&self, pool: usize, children: &mut Vec<Chain>) {
         let n = children.len();
-        for chain in children {
+        let mut st = self.state.lock();
+        st.locks += 1;
+        for chain in children.drain(..) {
             st.seq += 1;
             let key = (chain.bound.0, st.seq);
             st.pools[pool].push(Reverse(Item { key, chain }));
         }
         let total: usize = st.pools.iter().map(BinaryHeap::len).sum();
         st.max_len = st.max_len.max(total);
+        // Wake at most the number of sleeping workers: more wakeups than
+        // waiters (the old notify-per-child storm) only produce spurious
+        // condvar traffic.
+        let wake = n.min(st.waiting);
         drop(st);
-        for _ in 0..n {
+        for _ in 0..wake {
             self.cv.notify_one();
         }
     }
 
-    /// Acquire the next chain for `worker`, blocking while the frontier
-    /// is temporarily empty but other workers are still expanding.
-    /// Returns `None` when the search is complete (or aborted).
-    pub fn acquire(&self, worker: usize) -> Option<Chain> {
+    fn acquire(&self, policy: FrontierPolicy, my_pool: usize) -> Option<Chain> {
         let mut st = self.state.lock();
+        st.locks += 1;
+        let mut woke = false;
         loop {
             if st.done {
                 return None;
             }
-            let my_pool = self.pool_of(worker);
-            let chosen = self.choose_pool(&st, my_pool);
+            let chosen = Self::choose_pool(policy, &st, my_pool);
             if let Some(pool) = chosen {
                 let Reverse(item) = st.pools[pool].pop().expect("chosen pool non-empty");
                 st.active += 1;
@@ -162,22 +206,32 @@ impl Frontier {
                 }
                 return Some(item.chain);
             }
+            if woke {
+                // Woken with nothing to show for it.
+                st.spurious += 1;
+            }
             if st.active == 0 {
                 // Nothing in flight and nothing queued: search over.
                 st.done = true;
                 self.cv.notify_all();
                 return None;
             }
-            self.cv.wait(&mut st);
+            st.waiting += 1;
+            // Timed for the same liveness-belt reason as the sharded
+            // store: a lost wakeup degrades to a bounded nap, not a hang.
+            self.cv.wait_for(&mut st, std::time::Duration::from_millis(2));
+            st.waiting -= 1;
+            st.locks += 1; // condvar re-acquisition
+            woke = true;
         }
     }
 
     /// Pick the pool to pop from, honoring the D-threshold.
-    fn choose_pool(&self, st: &State, my_pool: usize) -> Option<usize> {
+    fn choose_pool(policy: FrontierPolicy, st: &GlobalState, my_pool: usize) -> Option<usize> {
         let min_of = |p: usize| st.pools[p].peek().map(|Reverse(i)| i.key.0);
-        match self.policy {
+        match policy {
             FrontierPolicy::SharedHeap => min_of(0).map(|_| 0),
-            FrontierPolicy::LocalPools { d } => {
+            FrontierPolicy::LocalPools { d } | FrontierPolicy::Sharded { d } => {
                 let local = min_of(my_pool);
                 let mut best_remote: Option<(usize, u64)> = None;
                 for p in 0..st.pools.len() {
@@ -206,29 +260,27 @@ impl Frontier {
         }
     }
 
-    /// Mark one acquired chain as fully processed. Must be called exactly
-    /// once per successful [`acquire`](Self::acquire).
-    pub fn finish(&self, _worker: usize) {
+    fn finish(&self) {
         let mut st = self.state.lock();
+        st.locks += 1;
         st.active -= 1;
-        if st.active == 0 && st.pools.iter().all(BinaryHeap::is_empty) {
-            st.done = true;
-            self.cv.notify_all();
-        } else if st.active == 0 {
-            // Waiters may now be able to pick up the remaining work.
+        if st.active == 0 {
+            // Either the search is over (everything empty) or the waiters
+            // may now be able to pick up the remaining work.
+            if st.pools.iter().all(BinaryHeap::is_empty) {
+                st.done = true;
+            }
             self.cv.notify_all();
         }
     }
 
-    /// Abort the search: wake everyone, acquire returns `None`.
-    pub fn abort(&self) {
+    fn abort(&self) {
         let mut st = self.state.lock();
         st.done = true;
         self.cv.notify_all();
     }
 
-    /// The globally cheapest queued bound, if any (for tests/monitoring).
-    pub fn global_min(&self) -> Option<Bound> {
+    fn global_min(&self) -> Option<Bound> {
         let st = self.state.lock();
         st.pools
             .iter()
@@ -237,13 +289,435 @@ impl Frontier {
             .map(Bound)
     }
 
-    /// Steal/local counters.
-    pub fn counters(&self) -> FrontierCounters {
+    fn counters(&self) -> FrontierCounters {
         let st = self.state.lock();
         FrontierCounters {
             steals: st.steals,
             local: st.local,
             max_len: st.max_len,
+            dives: 0,
+            shard_locks: st.locks,
+            min_publishes: 0,
+            spurious_wakeups: st.spurious,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded frontier
+// ---------------------------------------------------------------------------
+
+/// Sentinel published by an empty shard.
+const EMPTY_MIN: u64 = u64::MAX;
+
+struct ShardHeap {
+    heap: BinaryHeap<Reverse<Item>>,
+    /// Per-shard monotone sequence for deterministic tie-breaks.
+    seq: u64,
+}
+
+struct Shard {
+    heap: Mutex<ShardHeap>,
+    /// Cheapest queued bound in this shard, [`EMPTY_MIN`] when empty.
+    /// Written only under the shard lock; read lock-free by the §6
+    /// comparator ([`ShardedFrontier::choose_shard`]) and the dive rule.
+    published_min: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            heap: Mutex::new(ShardHeap {
+                heap: BinaryHeap::new(),
+                seq: 0,
+            }),
+            published_min: AtomicU64::new(EMPTY_MIN),
+        }
+    }
+}
+
+struct ShardedFrontier {
+    shards: Vec<Shard>,
+    d: u64,
+    /// Chains pushed but not yet `finish`ed (queued + being expanded).
+    /// Zero means the search is exhausted — the termination detector.
+    outstanding: AtomicU64,
+    done: AtomicBool,
+    /// Sleep protocol: a worker that finds every published minimum empty
+    /// registers in `sleepers`, re-checks under `sleep`, then waits.
+    /// Pushers store the new minimum *before* loading `sleepers` (both
+    /// `SeqCst`), so either the pusher sees the sleeper and notifies, or
+    /// the sleeper's re-check sees the new minimum — no lost wakeup.
+    sleep: Mutex<()>,
+    cv: Condvar,
+    sleepers: AtomicUsize,
+    // Counters (all Relaxed: monotone telemetry, not synchronization).
+    steals: AtomicU64,
+    local: AtomicU64,
+    shard_locks: AtomicU64,
+    min_publishes: AtomicU64,
+    spurious: AtomicU64,
+    total_len: AtomicU64,
+    max_len: AtomicU64,
+}
+
+impl ShardedFrontier {
+    fn new(n_shards: usize, d: u64, root: Chain) -> ShardedFrontier {
+        let shards: Vec<Shard> = (0..n_shards).map(|_| Shard::new()).collect();
+        let root_bound = root.bound.0;
+        shards[0].heap.lock().heap.push(Reverse(Item {
+            key: (root_bound, 0),
+            chain: root,
+        }));
+        shards[0].published_min.store(root_bound, SeqCst);
+        ShardedFrontier {
+            shards,
+            d,
+            outstanding: AtomicU64::new(1),
+            done: AtomicBool::new(false),
+            sleep: Mutex::new(()),
+            cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            local: AtomicU64::new(0),
+            shard_locks: AtomicU64::new(1),
+            min_publishes: AtomicU64::new(1),
+            spurious: AtomicU64::new(0),
+            total_len: AtomicU64::new(1),
+            max_len: AtomicU64::new(1),
+        }
+    }
+
+    /// Push a whole expansion batch into `pool` under one lock
+    /// acquisition, publishing the new minimum once.
+    fn push_children(&self, pool: usize, children: &mut Vec<Chain>) {
+        let n = children.len() as u64;
+        // Count the new chains as outstanding *before* they become
+        // poppable, so the termination detector can never observe zero
+        // while queued work exists.
+        self.outstanding.fetch_add(n, SeqCst);
+        let shard = &self.shards[pool];
+        {
+            let mut sh = shard.heap.lock();
+            self.shard_locks.fetch_add(1, Relaxed);
+            for chain in children.drain(..) {
+                sh.seq += 1;
+                let key = (chain.bound.0, sh.seq);
+                sh.heap.push(Reverse(Item { key, chain }));
+            }
+            // Update the length gauge BEFORE the items become poppable
+            // (i.e. before this lock is released): a racing pop could
+            // otherwise decrement first and wrap the counter.
+            let cur = self.total_len.fetch_add(n, Relaxed) + n;
+            self.max_len.fetch_max(cur, Relaxed);
+            let new_min = sh.heap.peek().map_or(EMPTY_MIN, |Reverse(i)| i.key.0);
+            shard.published_min.store(new_min, SeqCst);
+            self.min_publishes.fetch_add(1, Relaxed);
+        }
+        // Wake at most ONE sleeper per push batch (SeqCst pairs with the
+        // sleeper's registration; see the `sleep` field docs). Waking a
+        // thief per chain just produces a wake-steal-sleep convoy; a
+        // woken thief that finds surplus work wakes the next sleeper
+        // itself (see `acquire`), so throughput ramps without the storm.
+        if self.sleepers.load(SeqCst) > 0 {
+            let _g = self.sleep.lock();
+            self.cv.notify_one();
+        }
+    }
+
+    /// The §6 comparator: read every shard's published minimum (N atomic
+    /// loads, no locks) and apply the D rule. Relaxed loads suffice: a
+    /// stale minimum costs at most a futile `try_pop` retry or a detour
+    /// through the sleep path, whose registered re-check reads `SeqCst`.
+    fn choose_shard(&self, my_pool: usize) -> Option<usize> {
+        let local = self.shards[my_pool].published_min.load(Relaxed);
+        let mut best_remote: Option<(usize, u64)> = None;
+        for (p, shard) in self.shards.iter().enumerate() {
+            if p == my_pool {
+                continue;
+            }
+            let b = shard.published_min.load(Relaxed);
+            if b != EMPTY_MIN && best_remote.is_none_or(|(_, bb)| b < bb) {
+                best_remote = Some((p, b));
+            }
+        }
+        match (local != EMPTY_MIN, best_remote) {
+            (false, None) => None,
+            (true, None) => Some(my_pool),
+            (false, Some((p, _))) => Some(p),
+            (true, Some((p, rb))) => {
+                if rb.saturating_add(self.d) < local {
+                    Some(p)
+                } else {
+                    Some(my_pool)
+                }
+            }
+        }
+    }
+
+    /// Pop from one shard, republishing its minimum. `None` if the shard
+    /// was drained by a racing worker since the comparator read. The
+    /// republish can be `Release`: a pop only *raises* the minimum, so a
+    /// reader acting on the stale (lower) value merely retries — the
+    /// no-lost-wakeup argument needs only *pushes* to be promptly
+    /// visible.
+    fn try_pop(&self, pool: usize) -> Option<Chain> {
+        let shard = &self.shards[pool];
+        let mut sh = shard.heap.lock();
+        self.shard_locks.fetch_add(1, Relaxed);
+        let popped = sh.heap.pop();
+        if popped.is_some() {
+            // Under the lock, pairing with the push-side increment: each
+            // item's increment happens-before its decrement, so the
+            // gauge can never transiently wrap below zero.
+            self.total_len.fetch_sub(1, Relaxed);
+        }
+        let new_min = sh.heap.peek().map_or(EMPTY_MIN, |Reverse(i)| i.key.0);
+        shard.published_min.store(new_min, std::sync::atomic::Ordering::Release);
+        drop(sh);
+        self.min_publishes.fetch_add(1, Relaxed);
+        popped.map(|Reverse(item)| item.chain)
+    }
+
+    fn acquire(&self, my_pool: usize) -> Option<Chain> {
+        let mut woke = false;
+        loop {
+            if self.done.load(SeqCst) {
+                return None;
+            }
+            if let Some(pool) = self.choose_shard(my_pool) {
+                if let Some(chain) = self.try_pop(pool) {
+                    // The chain moves from queued to active: `outstanding`
+                    // is unchanged until `finish`.
+                    if pool == my_pool {
+                        self.local.fetch_add(1, Relaxed);
+                    } else {
+                        self.steals.fetch_add(1, Relaxed);
+                        // Wake chaining: a *woken* thief that finds the
+                        // victim still has surplus recruits the next
+                        // sleeper (pushes wake only one, so the wake tree
+                        // fans out at the rate work actually appears,
+                        // without a futex call per steal).
+                        if woke
+                            && self.shards[pool].published_min.load(Relaxed) != EMPTY_MIN
+                            && self.sleepers.load(SeqCst) > 0
+                        {
+                            let _g = self.sleep.lock();
+                            self.cv.notify_one();
+                        }
+                    }
+                    return Some(chain);
+                }
+                // Raced: the published minimum was stale. Rescan.
+                continue;
+            }
+            if woke {
+                self.spurious.fetch_add(1, Relaxed);
+                woke = false;
+            }
+            if self.outstanding.load(SeqCst) == 0 {
+                self.terminate();
+                return None;
+            }
+            // Every published minimum is empty but chains are in flight:
+            // sleep until a pusher or the termination detector wakes us.
+            self.sleepers.fetch_add(1, SeqCst);
+            let mut g = self.sleep.lock();
+            // Re-check after registering (the other half of the pusher's
+            // store-then-load); skip the wait if anything changed.
+            let work_appeared = self.done.load(SeqCst)
+                || self.outstanding.load(SeqCst) == 0
+                || self
+                    .shards
+                    .iter()
+                    .any(|s| s.published_min.load(SeqCst) != EMPTY_MIN);
+            if !work_appeared {
+                // Timed wait as a liveness belt: if a wakeup were ever
+                // lost despite the protocol, the sleeper re-scans after a
+                // bounded nap instead of hanging the search.
+                self.cv
+                    .wait_for(&mut g, std::time::Duration::from_millis(2));
+                woke = true;
+            }
+            drop(g);
+            self.sleepers.fetch_sub(1, SeqCst);
+        }
+    }
+
+    fn finish(&self) {
+        if self.outstanding.fetch_sub(1, SeqCst) == 1 {
+            // Last outstanding chain: every pushed chain has been fully
+            // expanded, so every heap is empty. Search over.
+            self.terminate();
+        }
+    }
+
+    fn terminate(&self) {
+        self.done.store(true, SeqCst);
+        let _g = self.sleep.lock();
+        self.cv.notify_all();
+    }
+
+    fn global_min(&self) -> Option<Bound> {
+        self.shards
+            .iter()
+            .map(|s| s.published_min.load(SeqCst))
+            .filter(|&b| b != EMPTY_MIN)
+            .min()
+            .map(Bound)
+    }
+
+    fn counters(&self) -> FrontierCounters {
+        FrontierCounters {
+            steals: self.steals.load(Relaxed),
+            local: self.local.load(Relaxed),
+            max_len: self.max_len.load(Relaxed) as usize,
+            dives: 0,
+            shard_locks: self.shard_locks.load(Relaxed),
+            min_publishes: self.min_publishes.load(Relaxed),
+            spurious_wakeups: self.spurious.load(Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public facade
+// ---------------------------------------------------------------------------
+
+enum Imp {
+    Global(GlobalFrontier),
+    Sharded(ShardedFrontier),
+}
+
+/// The shared frontier (one per parallel query).
+pub struct Frontier {
+    policy: FrontierPolicy,
+    imp: Imp,
+}
+
+impl Frontier {
+    /// A frontier for `n_workers` workers, seeded with the root chain in
+    /// worker 0's pool (the paper: "initially, one processor is given the
+    /// initial query").
+    pub fn new(n_workers: usize, policy: FrontierPolicy, root: Chain) -> Frontier {
+        assert!(n_workers >= 1);
+        let imp = match policy {
+            FrontierPolicy::SharedHeap => Imp::Global(GlobalFrontier::new(1, root)),
+            FrontierPolicy::LocalPools { .. } => Imp::Global(GlobalFrontier::new(n_workers, root)),
+            FrontierPolicy::Sharded { d } => Imp::Sharded(ShardedFrontier::new(n_workers, d, root)),
+        };
+        Frontier { policy, imp }
+    }
+
+    fn pool_of(&self, worker: usize) -> usize {
+        match self.policy {
+            FrontierPolicy::SharedHeap => 0,
+            FrontierPolicy::LocalPools { .. } | FrontierPolicy::Sharded { .. } => worker,
+        }
+    }
+
+    /// Push freshly sprouted chains from `worker`, draining `children` so
+    /// the caller can reuse the buffer across expansions. The whole batch
+    /// enters the worker's pool under one lock acquisition.
+    pub fn push_children_from(&self, worker: usize, children: &mut Vec<Chain>) {
+        if children.is_empty() {
+            return;
+        }
+        let pool = self.pool_of(worker);
+        match &self.imp {
+            Imp::Global(g) => g.push_children(pool, children),
+            Imp::Sharded(s) => s.push_children(pool, children),
+        }
+    }
+
+    /// Push freshly sprouted chains from `worker` (owned-vector form).
+    pub fn push_children(&self, worker: usize, mut children: Vec<Chain>) {
+        self.push_children_from(worker, &mut children);
+    }
+
+    /// Acquire the next chain for `worker`, blocking while the frontier
+    /// is temporarily empty but other workers are still expanding.
+    /// Returns `None` when the search is complete (or aborted).
+    pub fn acquire(&self, worker: usize) -> Option<Chain> {
+        match &self.imp {
+            Imp::Global(g) => g.acquire(self.policy, self.pool_of(worker)),
+            Imp::Sharded(s) => s.acquire(self.pool_of(worker)),
+        }
+    }
+
+    /// Mark one acquired chain as fully processed. Must be called exactly
+    /// once per successful [`acquire`](Self::acquire) — a local dive
+    /// (expanding a child without re-acquiring) extends the chain's
+    /// active slot rather than opening a new one.
+    pub fn finish(&self, _worker: usize) {
+        match &self.imp {
+            Imp::Global(g) => g.finish(),
+            Imp::Sharded(s) => s.finish(),
+        }
+    }
+
+    /// Abort the search: wake everyone, acquire returns `None`.
+    pub fn abort(&self) {
+        match &self.imp {
+            Imp::Global(g) => g.abort(),
+            Imp::Sharded(s) => s.terminate(),
+        }
+    }
+
+    /// Whether the search has completed or been aborted (advisory, for
+    /// tests and monitoring; the executor's dive cutoff after an abort
+    /// happens inside [`should_dive`](Self::should_dive)).
+    pub fn is_done(&self) -> bool {
+        match &self.imp {
+            Imp::Global(g) => g.state.lock().done,
+            Imp::Sharded(s) => s.done.load(SeqCst),
+        }
+    }
+
+    /// The §6 dive rule: keep expanding the freshly sprouted child
+    /// (bound `child_bound`) when it is within `D` of the **global**
+    /// published minimum — the paper's "each processor compares its
+    /// cheapest chain against the global minimum", read here as N
+    /// lock-free atomic loads over the per-pool published minimums.
+    /// A child more than `D` above the global minimum goes back through
+    /// arbitration instead (diving on it would pin the worker to a
+    /// globally uncompetitive subtree). Always false for the
+    /// global-mutex policies, whose store publishes no minimums to
+    /// compare against, and after an abort.
+    pub fn should_dive(&self, _worker: usize, child_bound: Bound) -> bool {
+        match &self.imp {
+            Imp::Global(_) => false,
+            Imp::Sharded(s) => {
+                // Lock-free — `step` runs this once per expansion.
+                if s.done.load(Relaxed) {
+                    return false;
+                }
+                let global_min = s
+                    .shards
+                    .iter()
+                    .map(|shard| shard.published_min.load(Relaxed))
+                    .min()
+                    .unwrap_or(EMPTY_MIN);
+                child_bound.0 <= global_min.saturating_add(s.d)
+            }
+        }
+    }
+
+    /// The globally cheapest queued bound, if any (for tests/monitoring).
+    /// Under [`FrontierPolicy::Sharded`] this reads the published
+    /// minimums, so it can briefly trail the heaps during a push.
+    pub fn global_min(&self) -> Option<Bound> {
+        match &self.imp {
+            Imp::Global(g) => g.global_min(),
+            Imp::Sharded(s) => s.global_min(),
+        }
+    }
+
+    /// Steal/local/contention counters.
+    pub fn counters(&self) -> FrontierCounters {
+        match &self.imp {
+            Imp::Global(g) => g.counters(),
+            Imp::Sharded(s) => s.counters(),
         }
     }
 }
@@ -259,13 +733,23 @@ mod tests {
         c
     }
 
+    fn policies() -> [FrontierPolicy; 3] {
+        [
+            FrontierPolicy::SharedHeap,
+            FrontierPolicy::LocalPools { d: 5 },
+            FrontierPolicy::Sharded { d: 5 },
+        ]
+    }
+
     #[test]
     fn seeded_root_is_acquired_first() {
-        let f = Frontier::new(2, FrontierPolicy::SharedHeap, chain(7));
-        let c = f.acquire(0).unwrap();
-        assert_eq!(c.bound, Bound(7));
-        f.finish(0);
-        assert!(f.acquire(0).is_none());
+        for policy in policies() {
+            let f = Frontier::new(2, policy, chain(7));
+            let c = f.acquire(0).unwrap();
+            assert_eq!(c.bound, Bound(7), "{policy:?}");
+            f.finish(0);
+            assert!(f.acquire(0).is_none(), "{policy:?}");
+        }
     }
 
     #[test]
@@ -281,64 +765,171 @@ mod tests {
 
     #[test]
     fn local_pools_respect_d() {
-        // Worker 0 holds bounds {10}; worker 1 holds {13}. With D=5 the
-        // remote 10 is not 5 cheaper than 13, so worker 1 stays local.
-        let f = Frontier::new(2, FrontierPolicy::LocalPools { d: 5 }, chain(10));
-        // Seed worker 1's pool by pushing from worker 1.
-        f.push_children(1, vec![chain(13)]);
-        let got = f.acquire(1).unwrap();
-        assert_eq!(got.bound, Bound(13), "D gate keeps worker 1 local");
-        // With D=1, worker 1 steals the 10.
-        let f2 = Frontier::new(2, FrontierPolicy::LocalPools { d: 1 }, chain(10));
-        f2.push_children(1, vec![chain(13)]);
-        let got2 = f2.acquire(1).unwrap();
-        assert_eq!(got2.bound, Bound(10));
-        assert_eq!(f2.counters().steals, 1);
-        f.abort();
-        f2.abort();
+        for mk in [
+            |d| FrontierPolicy::LocalPools { d },
+            |d| FrontierPolicy::Sharded { d },
+        ] {
+            // Worker 0 holds bounds {10}; worker 1 holds {13}. With D=5
+            // the remote 10 is not 5 cheaper than 13, so worker 1 stays
+            // local.
+            let f = Frontier::new(2, mk(5), chain(10));
+            // Seed worker 1's pool by pushing from worker 1.
+            f.push_children(1, vec![chain(13)]);
+            let got = f.acquire(1).unwrap();
+            assert_eq!(got.bound, Bound(13), "D gate keeps worker 1 local");
+            // With D=1, worker 1 steals the 10.
+            let f2 = Frontier::new(2, mk(1), chain(10));
+            f2.push_children(1, vec![chain(13)]);
+            let got2 = f2.acquire(1).unwrap();
+            assert_eq!(got2.bound, Bound(10));
+            assert_eq!(f2.counters().steals, 1);
+            f.abort();
+            f2.abort();
+        }
     }
 
     #[test]
     fn empty_local_pool_always_steals() {
-        let f = Frontier::new(2, FrontierPolicy::LocalPools { d: 1_000 }, chain(42));
-        let got = f.acquire(1).unwrap();
-        assert_eq!(got.bound, Bound(42));
-        assert_eq!(f.counters().steals, 1);
-        f.abort();
+        for mk in [
+            |d| FrontierPolicy::LocalPools { d },
+            |d| FrontierPolicy::Sharded { d },
+        ] {
+            let f = Frontier::new(2, mk(1_000), chain(42));
+            let got = f.acquire(1).unwrap();
+            assert_eq!(got.bound, Bound(42));
+            assert_eq!(f.counters().steals, 1);
+            f.abort();
+        }
     }
 
     #[test]
     fn finish_without_work_terminates_all() {
-        let f = Frontier::new(1, FrontierPolicy::SharedHeap, chain(1));
-        let _c = f.acquire(0).unwrap();
-        f.finish(0); // no children pushed → done
-        assert!(f.acquire(0).is_none());
+        for policy in policies() {
+            let f = Frontier::new(1, policy, chain(1));
+            let _c = f.acquire(0).unwrap();
+            f.finish(0); // no children pushed → done
+            assert!(f.acquire(0).is_none(), "{policy:?}");
+            assert!(f.is_done(), "{policy:?}");
+        }
     }
 
     #[test]
     fn blocking_acquire_wakes_on_push() {
         use std::sync::Arc;
-        let f = Arc::new(Frontier::new(2, FrontierPolicy::SharedHeap, chain(1)));
-        let c = f.acquire(0).unwrap();
-        assert_eq!(c.bound, Bound(1));
-        let f2 = Arc::clone(&f);
-        let handle = std::thread::spawn(move || f2.acquire(1).map(|c| c.bound));
-        // The spawned worker blocks (active == 1, pool empty); pushing
-        // work must wake it.
-        std::thread::sleep(std::time::Duration::from_millis(20));
-        f.push_children(0, vec![chain(8)]);
-        f.finish(0);
-        let got = handle.join().unwrap();
-        assert_eq!(got, Some(Bound(8)));
-        f.abort();
+        for policy in policies() {
+            let f = Arc::new(Frontier::new(2, policy, chain(1)));
+            let c = f.acquire(0).unwrap();
+            assert_eq!(c.bound, Bound(1));
+            let f2 = Arc::clone(&f);
+            let handle = std::thread::spawn(move || f2.acquire(1).map(|c| c.bound));
+            // The spawned worker blocks (active == 1, pool empty);
+            // pushing work must wake it.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            f.push_children(0, vec![chain(8)]);
+            f.finish(0);
+            let got = handle.join().unwrap();
+            assert_eq!(got, Some(Bound(8)), "{policy:?}");
+            f.abort();
+        }
     }
 
     #[test]
     fn max_len_tracks_peak() {
-        let f = Frontier::new(1, FrontierPolicy::SharedHeap, chain(1));
-        let _ = f.acquire(0).unwrap();
-        f.push_children(0, vec![chain(2), chain(3), chain(4)]);
-        assert_eq!(f.counters().max_len, 3);
+        for policy in policies() {
+            let f = Frontier::new(1, policy, chain(1));
+            let _ = f.acquire(0).unwrap();
+            f.push_children(0, vec![chain(2), chain(3), chain(4)]);
+            assert_eq!(f.counters().max_len, 3, "{policy:?}");
+            f.abort();
+        }
+    }
+
+    #[test]
+    fn sharded_publishes_minimums() {
+        let f = Frontier::new(2, FrontierPolicy::Sharded { d: 0 }, chain(9));
+        assert_eq!(f.global_min(), Some(Bound(9)));
+        let _root = f.acquire(0).unwrap();
+        assert_eq!(f.global_min(), None, "popped root leaves empty pools");
+        f.push_children(0, vec![chain(4), chain(6)]);
+        assert_eq!(f.global_min(), Some(Bound(4)));
+        let c = f.counters();
+        assert!(c.min_publishes >= 3, "seed + pop + batch push");
+        assert!(c.shard_locks >= 3);
         f.abort();
+    }
+
+    #[test]
+    fn batch_push_takes_one_lock_and_one_publish() {
+        let f = Frontier::new(1, FrontierPolicy::Sharded { d: 0 }, chain(1));
+        let _ = f.acquire(0).unwrap();
+        let before = f.counters();
+        f.push_children(0, vec![chain(2), chain(3), chain(4), chain(5)]);
+        let after = f.counters();
+        assert_eq!(after.shard_locks - before.shard_locks, 1);
+        assert_eq!(after.min_publishes - before.min_publishes, 1);
+        f.abort();
+    }
+
+    #[test]
+    fn dive_rule_follows_the_d_margin() {
+        let f = Frontier::new(1, FrontierPolicy::Sharded { d: 5 }, chain(10));
+        let _root = f.acquire(0).unwrap();
+        // Empty pool: any child is worth keeping.
+        assert!(f.should_dive(0, Bound(1_000)));
+        f.push_children(0, vec![chain(10)]);
+        // Child within D of the queued minimum: keep diving.
+        assert!(f.should_dive(0, Bound(15)));
+        // Queued chain more than D cheaper: go through the frontier.
+        assert!(!f.should_dive(0, Bound(16)));
+        // Global-mutex policies never dive.
+        let g = Frontier::new(1, FrontierPolicy::LocalPools { d: 5 }, chain(10));
+        let _ = g.acquire(0).unwrap();
+        assert!(!g.should_dive(0, Bound(0)));
+        f.abort();
+        g.abort();
+    }
+
+    #[test]
+    fn push_children_from_reuses_the_buffer() {
+        let f = Frontier::new(1, FrontierPolicy::Sharded { d: 0 }, chain(1));
+        let _ = f.acquire(0).unwrap();
+        let mut buf = vec![chain(2), chain(3)];
+        f.push_children_from(0, &mut buf);
+        assert!(buf.is_empty(), "buffer drained for reuse");
+        assert_eq!(f.global_min(), Some(Bound(2)));
+        f.abort();
+    }
+
+    #[test]
+    fn sharded_termination_under_contention() {
+        use std::sync::Arc;
+        // 4 workers × a seeded pool; every worker drains until the
+        // termination detector fires. Repeated to shake races out.
+        for _ in 0..50 {
+            let f = Arc::new(Frontier::new(4, FrontierPolicy::Sharded { d: 2 }, chain(1)));
+            let handles: Vec<_> = (0..4)
+                .map(|w| {
+                    let f = Arc::clone(&f);
+                    std::thread::spawn(move || {
+                        let mut popped = 0u64;
+                        while let Some(c) = f.acquire(w) {
+                            // Fan out a little synthetic work.
+                            if c.bound.0 < 6 {
+                                f.push_children(
+                                    w,
+                                    vec![chain(c.bound.0 + 2), chain(c.bound.0 + 3)],
+                                );
+                            }
+                            f.finish(w);
+                            popped += 1;
+                        }
+                        popped
+                    })
+                })
+                .collect();
+            let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert!(total >= 1, "at least the root is processed");
+            assert!(f.is_done());
+        }
     }
 }

@@ -5,12 +5,16 @@
 //! the closest a 2020s machine gets to the architecture the authors
 //! sketched in 1985:
 //!
-//! - [`frontier`] — the shared weighted frontier: per-worker chain pools,
-//!   a minimum-seeking scan standing in for the comparator-tree network,
-//!   and the communication threshold **D** gating remote acquisition.
+//! - [`frontier`] — the shared weighted frontier: per-worker chain pools
+//!   with the communication threshold **D** gating remote acquisition.
+//!   Three reproductions of the §6 comparator network are selectable via
+//!   [`FrontierPolicy`]: a global heap, per-worker pools under one mutex,
+//!   and the sharded store (per-pool locks + lock-free `AtomicU64`
+//!   published minimums + atomic-count termination).
 //! - [`orparallel`] — OR-parallel best-first search: workers expand the
 //!   globally cheapest chains concurrently, with incumbent-bound pruning
-//!   shared through an atomic.
+//!   shared through an atomic, batched sprouts, and (under the sharded
+//!   policy) local dives that keep a worker on its own cheapest child.
 //! - [`andparallel`] — the §7 extensions: variable-sharing independence
 //!   analysis, fork-join evaluation of independent goal groups, and the
 //!   semi-join strategy for goals that do share variables.
@@ -32,7 +36,8 @@ pub mod frontier;
 pub mod orparallel;
 
 pub use andparallel::{
-    and_parallel_solve, independent_groups, semijoin_conjunction, SemiJoinStats,
+    and_or_parallel_solve, and_parallel_solve, independent_groups, semijoin_conjunction,
+    SemiJoinStats,
 };
-pub use frontier::{Frontier, FrontierPolicy};
+pub use frontier::{Frontier, FrontierCounters, FrontierPolicy};
 pub use orparallel::{par_best_first, ParallelConfig, ParallelResult};

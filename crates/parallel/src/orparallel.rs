@@ -5,6 +5,16 @@
 //! Workers are OS threads; the frontier is [`Frontier`]; pruning shares
 //! the incumbent bound through an atomic; weight learning is applied at
 //! the query boundary (see the crate docs for why).
+//!
+//! Under [`FrontierPolicy::Sharded`] the worker loop adds the paper's "a
+//! processor keeps its own cheapest chain": after an expansion, if the
+//! cheapest sprouted child is within `D` of the **global** published
+//! minimum (N lock-free atomic loads — the §6 comparison; see
+//! [`Frontier::should_dive`](crate::frontier::Frontier::should_dive)),
+//! the worker **dives** — it expands that child immediately, pushing
+//! only the siblings, so the common deepening step costs one shard lock
+//! instead of a push + acquire round-trip. A per-acquisition dive budget
+//! bounds how far a worker may run ahead of the frontier order.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -14,7 +24,7 @@ use blog_core::chain::Chain;
 use blog_core::engine::{BoundedSolution, PruneMode};
 use blog_core::update::{failure_update, success_update, InfinityPlacement};
 use blog_core::util::SplitMix64;
-use blog_core::weight::{Bound, WeightState, WeightStore, WeightView};
+use blog_core::weight::{Bound, WeightParams, WeightState, WeightStore, WeightView};
 use blog_logic::node::ExpandStats;
 use blog_logic::{
     expand, ClauseDb, PointerKey, Query, SearchNode, SearchStats, Solution, SolveConfig,
@@ -40,18 +50,22 @@ pub struct ParallelConfig {
     pub infinity_placement: InfinityPlacement,
     /// Seed for the `Random` placement ablation.
     pub seed: u64,
+    /// Maximum consecutive local dives per acquisition (sharded policy
+    /// only; 0 disables diving). Each acquire refreshes the budget.
+    pub dive_budget: u32,
 }
 
 impl Default for ParallelConfig {
     fn default() -> Self {
         ParallelConfig {
             n_workers: 4,
-            policy: FrontierPolicy::LocalPools { d: 512 },
+            policy: FrontierPolicy::Sharded { d: 512 },
             prune: PruneMode::None,
             solve: SolveConfig::all(),
             learn: true,
             infinity_placement: InfinityPlacement::NearestLeaf,
             seed: 0x5EED,
+            dive_budget: 64,
         }
     }
 }
@@ -66,7 +80,7 @@ pub struct ParallelResult {
     pub stats: SearchStats,
     /// Chains discarded by incumbent pruning.
     pub pruned: u64,
-    /// Frontier counters (steals, local acquisitions, peak size).
+    /// Frontier counters (steals, locals, dives, lock/publish traffic).
     pub counters: FrontierCounters,
     /// Nodes expanded by each worker (the load-balance picture).
     pub per_worker_expanded: Vec<u64>,
@@ -83,112 +97,173 @@ struct SharedCtx<'a> {
     incumbent: AtomicU64,
     nodes: AtomicU64,
     solutions: Mutex<Vec<BoundedSolution>>,
-    chain_log: Mutex<Vec<(Vec<PointerKey>, bool)>>,
     var_names: Arc<Vec<String>>,
     n_query_vars: u32,
 }
 
-/// Per-worker outcome.
+/// Per-worker outcome, merged (deterministically, by worker id) at join.
 #[derive(Default)]
 struct WorkerStats {
     stats: SearchStats,
     pruned: u64,
+    dives: u64,
+    /// §5 chain log, kept thread-local so the hot path never touches a
+    /// shared mutex; `(arcs root→leaf, success)` in completion order.
+    chain_log: Vec<(Vec<PointerKey>, bool)>,
+}
+
+/// What to do with the active slot after processing one chain.
+enum Step {
+    /// The chain's lineage ended (solution, failure, cutoff, pushed).
+    Done,
+    /// Keep the slot: expand this dived child next.
+    Dive(Chain),
+}
+
+/// Process one chain: prune/solution/limit checks, expansion, sprouting
+/// into `buf`, then either dive into the cheapest child or push the whole
+/// batch. Shared by the acquired chain and every dived descendant.
+#[allow(clippy::too_many_arguments)]
+fn step(
+    ctx: &SharedCtx<'_>,
+    w: usize,
+    out: &mut WorkerStats,
+    chain: Chain,
+    buf: &mut Vec<Chain>,
+    dives_left: &mut u32,
+    params: WeightParams,
+) -> Step {
+    // Incumbent pruning.
+    if let PruneMode::Incumbent { slack } = ctx.config.prune {
+        let best = ctx.incumbent.load(Ordering::Acquire);
+        if best != u64::MAX && chain.bound.0 > best.saturating_add(slack.0 as u64) {
+            out.pruned += 1;
+            return Step::Done;
+        }
+    }
+
+    if chain.node.is_solution() {
+        // Resolves through the shared frame chain under the default
+        // representation — frames are `Arc`-shared across workers, so
+        // extraction never copies another thread's state.
+        let terms = (0..ctx.n_query_vars)
+            .map(|i| chain.node.resolve_var(i))
+            .collect();
+        let bounded = BoundedSolution {
+            solution: Solution {
+                var_names: Arc::clone(&ctx.var_names),
+                terms,
+                depth: chain.node.depth,
+            },
+            bound: chain.bound,
+        };
+        out.stats.solutions += 1;
+        ctx.incumbent.fetch_min(chain.bound.0, Ordering::AcqRel);
+        if ctx.config.learn {
+            out.chain_log.push((chain.arcs_root_to_leaf(), true));
+        }
+        let mut sols = ctx.solutions.lock();
+        sols.push(bounded);
+        let enough = ctx
+            .config
+            .solve
+            .max_solutions
+            .is_some_and(|m| sols.len() >= m);
+        drop(sols);
+        if enough {
+            ctx.frontier.abort();
+        }
+        return Step::Done;
+    }
+
+    if let Some(limit) = ctx.config.solve.max_depth {
+        if chain.node.depth >= limit {
+            out.stats.depth_cutoff = true;
+            return Step::Done;
+        }
+    }
+    if let Some(budget) = ctx.config.solve.max_nodes {
+        if ctx.nodes.fetch_add(1, Ordering::Relaxed) >= budget {
+            out.stats.truncated = true;
+            ctx.frontier.abort();
+            return Step::Done;
+        }
+    } else {
+        ctx.nodes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    out.stats.nodes_expanded += 1;
+    let mut est = ExpandStats::default();
+    let children = expand(ctx.db, &chain.node, &mut est);
+    out.stats.unify_attempts += est.unify_attempts;
+    out.stats.unify_successes += est.unify_successes;
+    out.stats.bytes_copied += est.bytes_copied;
+
+    if children.is_empty() {
+        out.stats.failures += 1;
+        if ctx.config.learn {
+            out.chain_log.push((chain.arcs_root_to_leaf(), false));
+        }
+        return Step::Done;
+    }
+
+    // Batched sprout: build the whole batch in the reusable buffer, then
+    // hand it to the frontier under one shard-lock acquisition.
+    debug_assert!(buf.is_empty());
+    buf.extend(children.into_iter().map(|c| {
+        let wgt = ctx.weights.get(c.arc).effective(params);
+        chain.extend(c.arc, wgt, c.node)
+    }));
+
+    // Local dive: keep the cheapest child when it is within D of the
+    // global published minimum, pushing only the siblings.
+    if *dives_left > 0 {
+        let (min_idx, min_bound) = buf
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.bound))
+            .min_by_key(|&(_, b)| b)
+            .expect("children non-empty");
+        if ctx.frontier.should_dive(w, min_bound) {
+            *dives_left -= 1;
+            out.dives += 1;
+            let next = buf.swap_remove(min_idx);
+            ctx.frontier.push_children_from(w, buf);
+            return Step::Dive(next);
+        }
+    }
+    ctx.frontier.push_children_from(w, buf);
+    Step::Done
+}
+
+/// Aborts the frontier if the worker unwinds, so a panicking worker
+/// (whose `finish` never runs) fails the whole query loudly at join
+/// instead of leaving its active slot leaked and the surviving workers
+/// waiting for a termination signal that can never come.
+struct AbortOnPanic<'a>(&'a Frontier);
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.abort();
+        }
+    }
 }
 
 fn worker_loop(ctx: &SharedCtx<'_>, w: usize) -> WorkerStats {
+    let _abort_guard = AbortOnPanic(&ctx.frontier);
     let mut out = WorkerStats::default();
     let params = ctx.weights.params();
+    // Reused across every expansion this worker performs.
+    let mut buf: Vec<Chain> = Vec::new();
     while let Some(chain) = ctx.frontier.acquire(w) {
-        // Incumbent pruning.
-        if let PruneMode::Incumbent { slack } = ctx.config.prune {
-            let best = ctx.incumbent.load(Ordering::Acquire);
-            if best != u64::MAX && chain.bound.0 > best.saturating_add(slack.0 as u64) {
-                out.pruned += 1;
-                ctx.frontier.finish(w);
-                continue;
-            }
+        let mut cur = chain;
+        let mut dives_left = ctx.config.dive_budget;
+        while let Step::Dive(next) = step(ctx, w, &mut out, cur, &mut buf, &mut dives_left, params)
+        {
+            cur = next;
         }
-
-        if chain.node.is_solution() {
-            // Resolves through the shared frame chain under the default
-            // representation — frames are `Arc`-shared across workers, so
-            // extraction never copies another thread's state.
-            let terms = (0..ctx.n_query_vars)
-                .map(|i| chain.node.resolve_var(i))
-                .collect();
-            let bounded = BoundedSolution {
-                solution: Solution {
-                    var_names: Arc::clone(&ctx.var_names),
-                    terms,
-                    depth: chain.node.depth,
-                },
-                bound: chain.bound,
-            };
-            out.stats.solutions += 1;
-            ctx.incumbent.fetch_min(chain.bound.0, Ordering::AcqRel);
-            if ctx.config.learn {
-                ctx.chain_log
-                    .lock()
-                    .push((chain.arcs_root_to_leaf(), true));
-            }
-            let mut sols = ctx.solutions.lock();
-            sols.push(bounded);
-            let enough = ctx
-                .config
-                .solve
-                .max_solutions
-                .is_some_and(|m| sols.len() >= m);
-            drop(sols);
-            ctx.frontier.finish(w);
-            if enough {
-                ctx.frontier.abort();
-            }
-            continue;
-        }
-
-        if let Some(limit) = ctx.config.solve.max_depth {
-            if chain.node.depth >= limit {
-                out.stats.depth_cutoff = true;
-                ctx.frontier.finish(w);
-                continue;
-            }
-        }
-        if let Some(budget) = ctx.config.solve.max_nodes {
-            if ctx.nodes.fetch_add(1, Ordering::Relaxed) >= budget {
-                out.stats.truncated = true;
-                ctx.frontier.finish(w);
-                ctx.frontier.abort();
-                continue;
-            }
-        } else {
-            ctx.nodes.fetch_add(1, Ordering::Relaxed);
-        }
-
-        out.stats.nodes_expanded += 1;
-        let mut est = ExpandStats::default();
-        let children = expand(ctx.db, &chain.node, &mut est);
-        out.stats.unify_attempts += est.unify_attempts;
-        out.stats.unify_successes += est.unify_successes;
-        out.stats.bytes_copied += est.bytes_copied;
-
-        if children.is_empty() {
-            out.stats.failures += 1;
-            if ctx.config.learn {
-                ctx.chain_log
-                    .lock()
-                    .push((chain.arcs_root_to_leaf(), false));
-            }
-            ctx.frontier.finish(w);
-            continue;
-        }
-        let sprouted: Vec<Chain> = children
-            .into_iter()
-            .map(|c| {
-                let wgt = ctx.weights.get(c.arc).effective(params);
-                chain.extend(c.arc, wgt, c.node)
-            })
-            .collect();
-        ctx.frontier.push_children(w, sprouted);
+        // One `finish` per acquire: the dive lineage shares the slot.
         ctx.frontier.finish(w);
     }
     out
@@ -212,7 +287,6 @@ pub fn par_best_first(
         incumbent: AtomicU64::new(u64::MAX),
         nodes: AtomicU64::new(0),
         solutions: Mutex::new(Vec::new()),
-        chain_log: Mutex::new(Vec::new()),
         var_names: Arc::new(query.var_names.clone()),
         n_query_vars: query.var_names.len() as u32,
     };
@@ -232,25 +306,31 @@ pub fn par_best_first(
 
     let mut stats = SearchStats::default();
     let mut pruned = 0;
+    let mut dives = 0;
     let mut per_worker_expanded = Vec::with_capacity(per_worker.len());
     for w in &per_worker {
         stats.merge(&w.stats);
         pruned += w.pruned;
+        dives += w.dives;
         per_worker_expanded.push(w.stats.nodes_expanded);
     }
-    let counters = ctx.frontier.counters();
+    let mut counters = ctx.frontier.counters();
+    counters.dives = dives;
     stats.max_frontier = counters.max_len;
 
-    // Apply the deferred §5 updates in completion-log order.
+    // Apply the deferred §5 updates from the per-worker logs, merged
+    // deterministically: by worker id, then per-worker completion order.
     let mut learned: HashMap<PointerKey, WeightState> = HashMap::new();
     if config.learn {
         let mut rng = SplitMix64::new(config.seed);
         let mut view = WeightView::new(&mut learned, weights);
-        for (arcs, success) in ctx.chain_log.into_inner() {
-            if success {
-                success_update(&mut view, &arcs);
-            } else {
-                failure_update(&mut view, &arcs, config.infinity_placement, &mut rng);
+        for wstats in &per_worker {
+            for (arcs, success) in &wstats.chain_log {
+                if *success {
+                    success_update(&mut view, arcs);
+                } else {
+                    failure_update(&mut view, arcs, config.infinity_placement, &mut rng);
+                }
             }
         }
     }
@@ -298,16 +378,34 @@ mod tests {
         v
     }
 
+    fn all_policies() -> [FrontierPolicy; 3] {
+        [
+            FrontierPolicy::SharedHeap,
+            FrontierPolicy::LocalPools { d: 512 },
+            FrontierPolicy::Sharded { d: 512 },
+        ]
+    }
+
     #[test]
     fn family_solution_set_matches_dfs() {
         let p = parse_program(FAMILY).unwrap();
         let weights = WeightStore::new(WeightParams::default());
-        let r = par_best_first(&p.db, &p.queries[0], &weights, &ParallelConfig::default());
         let d = dfs_all(&p.db, &p.queries[0], &SolveConfig::all());
         let mut expect: Vec<String> =
             d.solutions.iter().map(|s| s.to_text(&p.db)).collect();
         expect.sort();
-        assert_eq!(sorted_texts(&p.db, &r), expect);
+        for policy in all_policies() {
+            let r = par_best_first(
+                &p.db,
+                &p.queries[0],
+                &weights,
+                &ParallelConfig {
+                    policy,
+                    ..ParallelConfig::default()
+                },
+            );
+            assert_eq!(sorted_texts(&p.db, &r), expect, "{policy:?}");
+        }
     }
 
     #[test]
@@ -337,6 +435,72 @@ mod tests {
             one.stats.nodes_expanded, eight.stats.nodes_expanded,
             "without pruning, total work is the whole tree either way"
         );
+    }
+
+    #[test]
+    fn policies_agree_on_set_and_total_work() {
+        // The T8 equivalence claim in miniature: same solution set and
+        // (pruning off) same nodes expanded under every frontier policy.
+        let p = parse_program(FAMILY).unwrap();
+        let weights = WeightStore::new(WeightParams::default());
+        let runs: Vec<_> = all_policies()
+            .into_iter()
+            .map(|policy| {
+                par_best_first(
+                    &p.db,
+                    &p.queries[0],
+                    &weights,
+                    &ParallelConfig {
+                        n_workers: 4,
+                        policy,
+                        ..ParallelConfig::default()
+                    },
+                )
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(sorted_texts(&p.db, &runs[0]), sorted_texts(&p.db, r));
+            assert_eq!(runs[0].stats.nodes_expanded, r.stats.nodes_expanded);
+        }
+    }
+
+    #[test]
+    fn sharded_runs_dive() {
+        let p = parse_program(FAMILY).unwrap();
+        let weights = WeightStore::new(WeightParams::default());
+        let r = par_best_first(
+            &p.db,
+            &p.queries[0],
+            &weights,
+            &ParallelConfig {
+                n_workers: 2,
+                policy: FrontierPolicy::Sharded { d: 512 },
+                ..ParallelConfig::default()
+            },
+        );
+        assert!(r.counters.dives > 0, "family search deepens via dives");
+        // Dived chains never pass through the frontier store.
+        assert!(
+            r.counters.dives + r.counters.local + r.counters.steals
+                >= r.stats.nodes_expanded
+        );
+    }
+
+    #[test]
+    fn dive_budget_zero_disables_dives() {
+        let p = parse_program(FAMILY).unwrap();
+        let weights = WeightStore::new(WeightParams::default());
+        let r = par_best_first(
+            &p.db,
+            &p.queries[0],
+            &weights,
+            &ParallelConfig {
+                dive_budget: 0,
+                ..ParallelConfig::default()
+            },
+        );
+        assert_eq!(r.counters.dives, 0);
+        assert_eq!(r.solutions.len(), 2);
     }
 
     #[test]
@@ -373,6 +537,44 @@ mod tests {
             .count();
         assert!(known >= 3, "solution chains become known");
         assert!(infinite >= 1, "the m dead-end is marked");
+    }
+
+    #[test]
+    fn learned_overlay_is_stable_across_workers_and_policies() {
+        // The per-worker chain logs (merged by worker id at join) must
+        // produce the same overlay the old shared-mutex log did: on the
+        // family workload the §5 updates commute, so any worker count and
+        // any policy lands on the same weights.
+        let p = parse_program(FAMILY).unwrap();
+        let weights = WeightStore::new(WeightParams::default());
+        let base = par_best_first(
+            &p.db,
+            &p.queries[0],
+            &weights,
+            &ParallelConfig {
+                n_workers: 1,
+                policy: FrontierPolicy::SharedHeap,
+                ..ParallelConfig::default()
+            },
+        );
+        for policy in all_policies() {
+            for n_workers in [1, 4, 8] {
+                let r = par_best_first(
+                    &p.db,
+                    &p.queries[0],
+                    &weights,
+                    &ParallelConfig {
+                        n_workers,
+                        policy,
+                        ..ParallelConfig::default()
+                    },
+                );
+                assert_eq!(
+                    r.learned, base.learned,
+                    "{policy:?} x{n_workers}: overlay must be unchanged"
+                );
+            }
+        }
     }
 
     #[test]
@@ -448,19 +650,22 @@ mod tests {
         )
         .unwrap();
         let weights = WeightStore::new(WeightParams::default());
-        let r = par_best_first(
-            &p.db,
-            &p.queries[0],
-            &weights,
-            &ParallelConfig {
-                solve: SolveConfig {
-                    max_nodes: Some(500),
-                    ..SolveConfig::all()
+        for policy in all_policies() {
+            let r = par_best_first(
+                &p.db,
+                &p.queries[0],
+                &weights,
+                &ParallelConfig {
+                    policy,
+                    solve: SolveConfig {
+                        max_nodes: Some(500),
+                        ..SolveConfig::all()
+                    },
+                    ..ParallelConfig::default()
                 },
-                ..ParallelConfig::default()
-            },
-        );
-        assert!(r.stats.truncated);
+            );
+            assert!(r.stats.truncated, "{policy:?}");
+        }
     }
 
     #[test]
@@ -491,23 +696,27 @@ mod tests {
         };
         let p = parse_program(&src).unwrap();
         let weights = WeightStore::new(WeightParams::default());
-        let r = par_best_first(
-            &p.db,
-            &p.queries[0],
-            &weights,
-            &ParallelConfig {
-                n_workers: 8,
-                ..ParallelConfig::default()
-            },
-        );
-        assert_eq!(r.solutions.len(), 2, "4-queens has two solutions");
-        // Per-worker counters account for all the work. (Whether work
-        // actually spreads across workers depends on the host's core
-        // count and scheduling; on a single-core CI box one worker can
-        // drain the whole frontier.)
-        assert_eq!(
-            r.per_worker_expanded.iter().sum::<u64>(),
-            r.stats.nodes_expanded
-        );
+        for policy in all_policies() {
+            let r = par_best_first(
+                &p.db,
+                &p.queries[0],
+                &weights,
+                &ParallelConfig {
+                    n_workers: 8,
+                    policy,
+                    ..ParallelConfig::default()
+                },
+            );
+            assert_eq!(r.solutions.len(), 2, "4-queens has two solutions");
+            // Per-worker counters account for all the work. (Whether work
+            // actually spreads across workers depends on the host's core
+            // count and scheduling; on a single-core CI box one worker can
+            // drain the whole frontier.)
+            assert_eq!(
+                r.per_worker_expanded.iter().sum::<u64>(),
+                r.stats.nodes_expanded,
+                "{policy:?}"
+            );
+        }
     }
 }

@@ -1,0 +1,139 @@
+//! Termination stress for the sharded frontier's atomic-count + eventcount
+//! protocol: many workers, many iterations, tiny node budgets (aborting
+//! mid-flight with chains still queued), and `max_solutions` early exits.
+//! Any lost wakeup or missed termination shows up as a hang, which the
+//! per-iteration watchdog converts into a test failure; any accounting
+//! slip shows up as `per_worker_expanded` not summing to `nodes_expanded`.
+
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use blog_core::weight::{WeightParams, WeightStore};
+use blog_logic::{parse_program, Program, SolveConfig};
+use blog_parallel::{par_best_first, FrontierPolicy, ParallelConfig};
+
+/// A cyclic graph program whose OR-tree is infinite: every run must end
+/// by budget or early exit, never by exhaustion — the adversarial case
+/// for termination detection.
+fn cyclic_program() -> Arc<Program> {
+    Arc::new(parse_program(
+        "
+        edge(a,b). edge(b,c). edge(c,a). edge(b,a).
+        path(X,Y) :- edge(X,Y).
+        path(X,Z) :- edge(X,Y), path(Y,Z).
+        ?- path(a,c).
+    ",
+    )
+    .unwrap())
+}
+
+/// Run one configuration under a watchdog; panics (failing the test) if
+/// the run deadlocks. The search runs on a *detached* thread — a scoped
+/// thread would block the panic in the join on exactly the hang this
+/// suite exists to catch. On timeout the stuck thread is leaked, which
+/// is fine: the test still fails loudly instead of hanging the suite.
+fn run_with_watchdog(p: &Arc<Program>, cfg: ParallelConfig, timeout: Duration, what: &str) {
+    let (tx, rx) = mpsc::channel();
+    let p = Arc::clone(p);
+    let n_workers = cfg.n_workers;
+    std::thread::spawn(move || {
+        let weights = WeightStore::new(WeightParams::default());
+        let r = par_best_first(&p.db, &p.queries[0], &weights, &cfg);
+        // The accounting invariant must hold on every exit path,
+        // including aborts: each expansion belongs to one worker.
+        assert_eq!(
+            r.per_worker_expanded.iter().sum::<u64>(),
+            r.stats.nodes_expanded,
+            "accounting"
+        );
+        assert_eq!(r.per_worker_expanded.len(), n_workers);
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(timeout)
+        .unwrap_or_else(|_| panic!("deadlock: {what} did not terminate"));
+}
+
+#[test]
+fn sharded_termination_survives_budget_aborts_and_early_exits() {
+    let p = cyclic_program();
+    let iterations = 200;
+    for i in 0..iterations {
+        // Vary budget, D, and dive budget so aborts land at different
+        // points of the push/acquire/sleep protocol every iteration.
+        let budget = 20 + (i % 37) as u64 * 3;
+        let cfg = ParallelConfig {
+            n_workers: 8,
+            policy: FrontierPolicy::Sharded { d: (i % 5) as u64 * 64 },
+            dive_budget: (i % 4) as u32 * 8,
+            learn: false,
+            solve: SolveConfig {
+                max_nodes: Some(budget),
+                ..SolveConfig::all()
+            },
+            ..ParallelConfig::default()
+        };
+        run_with_watchdog(
+            &p,
+            cfg,
+            Duration::from_secs(10),
+            &format!("budget-abort iteration {i}"),
+        );
+    }
+}
+
+#[test]
+fn sharded_termination_survives_max_solutions_exits() {
+    let p = cyclic_program();
+    for i in 0..200 {
+        let cfg = ParallelConfig {
+            n_workers: 8,
+            policy: FrontierPolicy::Sharded { d: 128 },
+            dive_budget: (i % 3) as u32 * 16,
+            learn: false,
+            solve: SolveConfig {
+                max_solutions: Some(1 + i % 3),
+                // Safety net so a scheduling pathology can't run away.
+                max_nodes: Some(200_000),
+                ..SolveConfig::all()
+            },
+            ..ParallelConfig::default()
+        };
+        run_with_watchdog(
+            &p,
+            cfg,
+            Duration::from_secs(10),
+            &format!("max-solutions iteration {i}"),
+        );
+    }
+}
+
+#[test]
+fn legacy_policies_survive_the_same_stress() {
+    // The wake-storm fix changed the global-mutex wakeup path; give it
+    // the same adversarial treatment (fewer iterations — it is the
+    // baseline, not the subject).
+    let p = cyclic_program();
+    for policy in [
+        FrontierPolicy::SharedHeap,
+        FrontierPolicy::LocalPools { d: 128 },
+    ] {
+        for i in 0..50 {
+            let cfg = ParallelConfig {
+                n_workers: 8,
+                policy,
+                learn: false,
+                solve: SolveConfig {
+                    max_nodes: Some(20 + (i % 23) as u64 * 5),
+                    ..SolveConfig::all()
+                },
+                ..ParallelConfig::default()
+            };
+            run_with_watchdog(
+                &p,
+                cfg,
+                Duration::from_secs(10),
+                &format!("{policy:?} iteration {i}"),
+            );
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the frontier policies: on arbitrary generated
+//! programs, `SharedHeap` (one global heap), `LocalPools` (per-worker
+//! heaps under one mutex), and `Sharded` (per-pool locks + published-min
+//! comparator + local dives) must be observationally equivalent with
+//! pruning off — same solution sets, same bounds, same total nodes
+//! expanded — the way `prop_state_repr` pins the search-state
+//! representations to each other.
+
+use b_log::core::weight::{WeightParams, WeightStore};
+use b_log::logic::{parse_program, Program, SolveConfig};
+use b_log::parallel::{par_best_first, FrontierPolicy, ParallelConfig, ParallelResult};
+use proptest::prelude::*;
+
+/// A random layered program with structured terms and a recursive layer
+/// (same family as `prop_state_repr`): facts `a/2`, `b/2` over constants,
+/// `top` rules joining them, and a bounded-recursion `chain` layer so
+/// frontiers actually deepen.
+fn arb_program() -> impl Strategy<Value = (String, u32)> {
+    (
+        prop::collection::btree_set((0u32..5, 0u32..5), 1..12),
+        prop::collection::btree_set((0u32..5, 0u32..5), 1..12),
+        any::<bool>(),
+        any::<bool>(),
+        4u32..20,
+    )
+        .prop_map(|(a_facts, b_facts, second_rule, query_chain, depth)| {
+            let mut src = String::new();
+            src.push_str("top(X,Z) :- a(X,Y), b(Y,Z).\n");
+            if second_rule {
+                src.push_str("top(X,Z) :- b(X,Y), a(Y,Z).\n");
+            }
+            src.push_str("chain(X,Z) :- a(X,Z).\n");
+            src.push_str("chain(X,Z) :- a(X,Y), chain(Y,Z).\n");
+            for (x, y) in &a_facts {
+                src.push_str(&format!("a(c{x},c{y}).\n"));
+            }
+            for (x, y) in &b_facts {
+                src.push_str(&format!("b(c{x},f(c{y})).\n"));
+            }
+            if query_chain {
+                src.push_str("?- chain(X,Z).\n");
+            } else {
+                src.push_str("?- top(X,Z).\n");
+            }
+            (src, depth)
+        })
+}
+
+fn parse(src: &str) -> Program {
+    parse_program(src).expect("generated program parses")
+}
+
+/// Run one policy with pruning off and learning on.
+fn run(p: &Program, policy: FrontierPolicy, workers: usize, depth: u32) -> ParallelResult {
+    let weights = WeightStore::new(WeightParams::default());
+    par_best_first(
+        &p.db,
+        &p.queries[0],
+        &weights,
+        &ParallelConfig {
+            n_workers: workers,
+            policy,
+            solve: SolveConfig::all().with_max_depth(depth),
+            ..ParallelConfig::default()
+        },
+    )
+}
+
+/// Sorted `(text, bound)` pairs — the policy-blind observable.
+fn solution_set(p: &Program, r: &ParallelResult) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = r
+        .solutions
+        .iter()
+        .map(|s| (s.solution.to_text(&p.db), s.bound.0))
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn frontier_policies_are_interchangeable(case in arb_program()) {
+        // (The vendored proptest macro only binds plain idents.)
+        let (src, depth) = case;
+        let p = parse(&src);
+        let base = run(&p, FrontierPolicy::SharedHeap, 1, depth);
+        let base_set = solution_set(&p, &base);
+        for policy in [
+            FrontierPolicy::SharedHeap,
+            FrontierPolicy::LocalPools { d: 64 },
+            FrontierPolicy::Sharded { d: 64 },
+        ] {
+            for workers in [1usize, 3] {
+                let r = run(&p, policy, workers, depth);
+                prop_assert_eq!(
+                    &solution_set(&p, &r), &base_set,
+                    "{:?} x{}", policy, workers
+                );
+                // Pruning off: every policy expands the whole (depth-
+                // limited) tree, dives included.
+                prop_assert_eq!(
+                    r.stats.nodes_expanded, base.stats.nodes_expanded,
+                    "{:?} x{}", policy, workers
+                );
+                prop_assert_eq!(
+                    r.stats.unify_successes, base.stats.unify_successes,
+                    "{:?} x{}", policy, workers
+                );
+                prop_assert_eq!(
+                    r.per_worker_expanded.iter().sum::<u64>(),
+                    r.stats.nodes_expanded,
+                    "{:?} x{}: accounting", policy, workers
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dive_budget_never_changes_the_outcome(case in arb_program(), budget in 0u32..48) {
+        let (src, depth) = case;
+        let p = parse(&src);
+        let weights = WeightStore::new(WeightParams::default());
+        let mk = |dive_budget| ParallelConfig {
+            n_workers: 3,
+            policy: FrontierPolicy::Sharded { d: 64 },
+            dive_budget,
+            solve: SolveConfig::all().with_max_depth(depth),
+            ..ParallelConfig::default()
+        };
+        let none = par_best_first(&p.db, &p.queries[0], &weights, &mk(0));
+        let some = par_best_first(&p.db, &p.queries[0], &weights, &mk(budget));
+        prop_assert_eq!(solution_set(&p, &none), solution_set(&p, &some));
+        prop_assert_eq!(none.stats.nodes_expanded, some.stats.nodes_expanded);
+        prop_assert_eq!(none.counters.dives, 0);
+    }
+}

@@ -77,12 +77,42 @@ impl Condvar {
         );
     }
 
+    /// Wait with a timeout; mirrors `parking_lot::Condvar::wait_for`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard already taken");
+        let (g, res) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(g);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
+    }
+
     pub fn notify_one(&self) {
         self.inner.notify_one();
     }
 
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+}
+
+/// Result of [`Condvar::wait_for`]; mirrors `parking_lot`'s.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
