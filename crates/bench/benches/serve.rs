@@ -1,0 +1,67 @@
+//! The `serve` group: end-to-end serving throughput of the query server
+//! on a small multi-tenant mix — pools × routing, one shared paged
+//! store. Unlike the T9 experiment rows (which sweep offered load and
+//! assert equivalence), this measures the steady serving path alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use blog_logic::Program;
+use blog_serve::tuning::working_set_store_config;
+use blog_serve::{QueryRequest, QueryServer, Routing, ServeConfig};
+use blog_workloads::{
+    tenant_mix_program, tenant_mix_requests, FamilyMeta, FamilyParams, TenantMix,
+};
+
+fn mix() -> TenantMix {
+    TenantMix {
+        n_tenants: 4,
+        queries_per_tenant: 6,
+        drift: 0.15,
+        burst: 3,
+        family: FamilyParams {
+            generations: 3,
+            branching: 3,
+            ..FamilyParams::default()
+        },
+        ..TenantMix::default()
+    }
+}
+
+fn serve_once(p: &Program, metas: &[FamilyMeta], m: &TenantMix, pools: usize, routing: Routing) {
+    let server = QueryServer::new(
+        &p.db,
+        working_set_store_config(p.db.len()),
+        ServeConfig {
+            n_pools: pools,
+            routing,
+            ..ServeConfig::default()
+        },
+    );
+    let requests: Vec<QueryRequest> = tenant_mix_requests(m, metas)
+        .into_iter()
+        .map(|r| QueryRequest::new(r.tenant as u64, r.text).with_tenant(r.tenant as u32))
+        .collect();
+    let report = server.serve(requests);
+    black_box(report.stats.requests);
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let m = mix();
+    let (p, metas) = tenant_mix_program(&m);
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    for pools in [1usize, 2] {
+        for routing in [Routing::SessionAffinity, Routing::RoundRobin] {
+            group.bench_with_input(
+                BenchmarkId::new(routing.label(), format!("pools{pools}")),
+                &pools,
+                |b, &pools| b.iter(|| serve_once(&p, &metas, &m, pools, routing)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

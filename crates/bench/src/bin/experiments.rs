@@ -7,22 +7,26 @@
 //! ```
 //!
 //! Experiment ids match DESIGN.md's index: f1 f3 f4 w1 t1 t2 t3 t4 t5 t6
-//! t7 t8 t8f a1 a2 a3. `--policy=<lru|2q|clock|fifo>` restricts the T6c
-//! replacement-policy sweep (every `blog-workloads` generator runs
+//! t7 t8 t8f t9 a1 a2 a3. `--policy=<lru|2q|clock|fifo>` restricts the
+//! T6c replacement-policy sweep (every `blog-workloads` generator runs
 //! through the paged clause store) to one policy; given without
 //! experiment ids it implies `t6`. `--workers=<n>` restricts the T8f
 //! frontier-scaling sweep to one worker count (the CI smoke-run path);
-//! given without experiment ids it implies `t8f`. `--json[=PATH]` writes
-//! the machine-readable rows of the experiments that emit them — the T7
-//! state sweep to `BENCH_T7_STATE.json` and the T8f frontier sweep to
-//! `BENCH_T8_FRONTIER.json` (or both into `PATH`, keyed by section, when
+//! given without experiment ids it implies `t8f`. `--pools=<n>` and
+//! `--requests=<n>` restrict the T9 serving sweep's pool axis and
+//! offered-load axis (the CI smoke path runs `t9 --pools=2
+//! --requests=50`); given without experiment ids they imply `t9`.
+//! `--json[=PATH]` writes the machine-readable rows of the experiments
+//! that emit them — the T7 state sweep to `BENCH_T7_STATE.json`, the T8f
+//! frontier sweep to `BENCH_T8_FRONTIER.json`, and the T9 serving sweep
+//! to `BENCH_T9_SERVE.json` (or all into `PATH`, keyed by section, when
 //! an explicit path is given) — so PRs can record the perf trajectory as
 //! `BENCH_*.json` files.
 
 use blog_bench::report::Json;
 use blog_bench::{
-    andp_exp, figures, frontier_exp, machine_exp, sessions_exp, spd_exp, state_exp, strategies,
-    threads_exp,
+    andp_exp, figures, frontier_exp, machine_exp, serve_exp, sessions_exp, spd_exp, state_exp,
+    strategies, threads_exp,
 };
 use blog_spd::PolicyKind;
 
@@ -30,6 +34,8 @@ fn main() {
     let mut policy: Option<PolicyKind> = None;
     let mut json_path: Option<String> = None;
     let mut workers: Option<usize> = None;
+    let mut pools: Option<usize> = None;
+    let mut requests: Option<usize> = None;
     let mut args: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         if let Some(spec) = arg.strip_prefix("--policy=") {
@@ -45,6 +51,22 @@ fn main() {
                 Ok(n) if n >= 1 => workers = Some(n),
                 _ => {
                     eprintln!("--workers: expected a worker count >= 1, got {spec:?}");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(spec) = arg.strip_prefix("--pools=") {
+            match spec.parse::<usize>() {
+                Ok(n) if n >= 1 => pools = Some(n),
+                _ => {
+                    eprintln!("--pools: expected a pool count >= 1, got {spec:?}");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(spec) = arg.strip_prefix("--requests=") {
+            match spec.parse::<usize>() {
+                Ok(n) if n >= 1 => requests = Some(n),
+                _ => {
+                    eprintln!("--requests: expected a request cap >= 1, got {spec:?}");
                     std::process::exit(2);
                 }
             }
@@ -67,7 +89,10 @@ fn main() {
         if workers.is_some() {
             args.push("t8f".to_string());
         }
-        if json_path.is_some() && !args.iter().any(|a| a == "t8f") {
+        if pools.is_some() || requests.is_some() {
+            args.push("t9".to_string());
+        }
+        if json_path.is_some() && !args.iter().any(|a| a == "t8f" || a == "t9") {
             args.push("t7".to_string());
         }
     }
@@ -75,9 +100,13 @@ fn main() {
     // JSON-emitting section, rather than after minutes of other sweeps.
     if json_path.is_some()
         && !args.is_empty()
-        && !args.iter().any(|a| a == "t7" || a == "t8f" || a == "all")
+        && !args
+            .iter()
+            .any(|a| a == "t7" || a == "t8f" || a == "t9" || a == "all")
     {
-        eprintln!("--json: include t7 or t8f (the JSON-emitting experiments) in the id list");
+        eprintln!(
+            "--json: include t7, t8f or t9 (the JSON-emitting experiments) in the id list"
+        );
         std::process::exit(2);
     }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
@@ -145,6 +174,10 @@ fn main() {
     section("t8f", "frontier scaling: global-mutex vs sharded chain stores", &mut || {
         t8_frontier_rows = frontier_exp::run_t8_frontier(workers);
     });
+    let mut t9_serve_rows: Vec<serve_exp::ServeRow> = Vec::new();
+    section("t9", "serving sweep: offered load x pools x routing", &mut || {
+        t9_serve_rows = serve_exp::run_t9(pools, requests);
+    });
     section("a1", "ablation: infinity placement", &mut || {
         sessions_exp::run_a1();
     });
@@ -160,15 +193,15 @@ fn main() {
 
     if ran == 0 {
         eprintln!(
-            "unknown experiment id(s): {:?}\nknown: f1 f3 f4 w1 w2 t1 t2 t3 t4 t5 t6 t7 t8 t8f a1 a2 a3 a4 (or no args for all)\nflags: --policy=<lru|2q|clock|fifo> (restricts the T6c sweep), --workers=<n> (restricts the T8f sweep), --json[=PATH] (write machine-readable rows)",
+            "unknown experiment id(s): {:?}\nknown: f1 f3 f4 w1 w2 t1 t2 t3 t4 t5 t6 t7 t8 t8f t9 a1 a2 a3 a4 (or no args for all)\nflags: --policy=<lru|2q|clock|fifo> (restricts the T6c sweep), --workers=<n> (restricts the T8f sweep), --pools=<n> / --requests=<n> (restrict the T9 sweep), --json[=PATH] (write machine-readable rows)",
             args
         );
         std::process::exit(2);
     }
 
     if let Some(path) = json_path {
-        if t7_state_rows.is_empty() && t8_frontier_rows.is_empty() {
-            eprintln!("--json: no JSON-emitting experiment ran (include t7 or t8f)");
+        if t7_state_rows.is_empty() && t8_frontier_rows.is_empty() && t9_serve_rows.is_empty() {
+            eprintln!("--json: no JSON-emitting experiment ran (include t7, t8f or t9)");
             std::process::exit(2);
         }
         let write = |path: &str, doc: Json| {
@@ -200,6 +233,15 @@ fn main() {
                     )]),
                 );
             }
+            if !t9_serve_rows.is_empty() {
+                write(
+                    "BENCH_T9_SERVE.json",
+                    Json::Obj(vec![(
+                        "t9_serve".to_string(),
+                        serve_exp::rows_to_json(&t9_serve_rows),
+                    )]),
+                );
+            }
         } else {
             // Explicit path: one combined document, keyed by section.
             let mut fields = Vec::new();
@@ -213,6 +255,12 @@ fn main() {
                 fields.push((
                     "t8_frontier".to_string(),
                     frontier_exp::rows_to_json(&t8_frontier_rows),
+                ));
+            }
+            if !t9_serve_rows.is_empty() {
+                fields.push((
+                    "t9_serve".to_string(),
+                    serve_exp::rows_to_json(&t9_serve_rows),
                 ));
             }
             write(&path, Json::Obj(fields));

@@ -17,12 +17,14 @@
 //! | T7 (state) | [`state_exp`] | §6 copying cost: Cloned vs Shared search state |
 //! | T8 | [`andp_exp`] | AND-parallel fork-join and semi-join |
 //! | T8 (frontier) | [`frontier_exp`] | frontier scaling: global-mutex vs sharded chain stores |
+//! | T9 | [`serve_exp`] | serving sweep: offered load × pools × routing over one shared store |
 
 pub mod andp_exp;
 pub mod figures;
 pub mod frontier_exp;
 pub mod machine_exp;
 pub mod report;
+pub mod serve_exp;
 pub mod sessions_exp;
 pub mod spd_exp;
 pub mod state_exp;

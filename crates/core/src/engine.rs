@@ -80,6 +80,11 @@ pub struct BestFirstConfig {
     /// order, into [`BlogResult::trace`] — the clause-access trace the
     /// SPD paging experiments replay.
     pub record_trace: bool,
+    /// Cooperative cancellation, checked once per popped chain. A tripped
+    /// token stops the search exactly like an exhausted node budget
+    /// (`stats.truncated`), keeping whatever solutions were already
+    /// found. `None` (the default) runs to completion.
+    pub cancel: Option<blog_logic::CancelToken>,
 }
 
 impl Default for BestFirstConfig {
@@ -92,6 +97,7 @@ impl Default for BestFirstConfig {
             infinity_placement: InfinityPlacement::NearestLeaf,
             seed: 0x5EED,
             record_trace: false,
+            cancel: None,
         }
     }
 }
@@ -235,6 +241,10 @@ pub fn best_first_with<S: ClauseSource + ?Sized>(
     let mut trace: Vec<blog_logic::PointerKey> = Vec::new();
 
     while let Some(Reverse(entry)) = heap.pop() {
+        if config.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            stats.truncated = true;
+            break;
+        }
         let chain = entry.chain;
         if config.record_trace {
             if let Some(link) = &chain.last {
@@ -596,6 +606,45 @@ mod tests {
         assert!(r.stats.nodes_expanded > 0);
         assert_eq!(r.stats.solutions, r.solutions.len() as u64);
         assert_eq!(r.blog.success_updates, 2);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_expansion() {
+        let p = parse_program(FAMILY).unwrap();
+        let global = WeightStore::new(WeightParams::default());
+        let mut local = HashMap::new();
+        let mut view = WeightView::new(&mut local, &global);
+        let token = blog_logic::CancelToken::new();
+        token.cancel();
+        let cfg = BestFirstConfig {
+            cancel: Some(token),
+            ..BestFirstConfig::default()
+        };
+        let r = best_first(&p.db, &p.queries[0], &mut view, &cfg);
+        assert!(r.stats.truncated, "cancellation reports as truncation");
+        assert_eq!(r.stats.nodes_expanded, 0);
+        assert!(r.solutions.is_empty());
+    }
+
+    #[test]
+    fn untripped_token_changes_nothing() {
+        let p = parse_program(FAMILY).unwrap();
+        let global = WeightStore::new(WeightParams::default());
+        let baseline = {
+            let mut local = HashMap::new();
+            let mut view = WeightView::new(&mut local, &global);
+            best_first(&p.db, &p.queries[0], &mut view, &BestFirstConfig::default())
+        };
+        let mut local = HashMap::new();
+        let mut view = WeightView::new(&mut local, &global);
+        let cfg = BestFirstConfig {
+            cancel: Some(blog_logic::CancelToken::new()),
+            ..BestFirstConfig::default()
+        };
+        let r = best_first(&p.db, &p.queries[0], &mut view, &cfg);
+        assert!(!r.stats.truncated);
+        assert_eq!(r.solutions.len(), baseline.solutions.len());
+        assert_eq!(r.stats.nodes_expanded, baseline.stats.nodes_expanded);
     }
 
     #[test]

@@ -61,9 +61,10 @@ pub use node::{
     expand, expand_via, Caller, Expansion, Goal, NodeState, PointerKey, SearchNode, StateRepr,
 };
 pub use source::{ClauseSource, SourceStats};
-pub use parser::{parse_program, parse_query, ParseError, Program, Query};
+pub use parser::{parse_program, parse_query, parse_query_shared, ParseError, Program, Query};
 pub use solve::{
-    bfs_all, dfs_all, iterative_deepening, SearchStats, Solution, SolveConfig, SolveResult,
+    bfs_all, dfs_all, iterative_deepening, CancelToken, SearchStats, Solution, SolveConfig,
+    SolveResult,
 };
 pub use store::{ClauseDb, IndexMode};
 pub use symbol::{Sym, SymbolTable};

@@ -465,6 +465,56 @@ pub fn parse_query(db: &mut ClauseDb, src: &str) -> Result<Query, ParseError> {
     })
 }
 
+/// [`parse_query`] against a **frozen** database: `db` is only read, so
+/// many server pools can parse concurrently while other threads search
+/// the same database.
+///
+/// Symbols are resolved through the existing symbol table instead of
+/// being interned; a query mentioning an atom or functor the program
+/// never defined is rejected with a parse error. (Such a goal could only
+/// fail anyway — no clause head can contain a symbol that is not in the
+/// table — so refusing it early turns a silent empty answer into a
+/// diagnosable client error, which is what a multi-tenant server wants.)
+pub fn parse_query_shared(db: &ClauseDb, src: &str) -> Result<Query, ParseError> {
+    // Parse into a scratch symbol table, then remap every symbol into the
+    // shared database's table by name.
+    let mut scratch = ClauseDb::new();
+    let parsed = parse_query(&mut scratch, src)?;
+    fn remap(t: &Term, scratch: &ClauseDb, db: &ClauseDb) -> Result<Term, String> {
+        let resolve = |s: &crate::symbol::Sym| {
+            let name = scratch.symbols().name(*s);
+            db.sym(name).ok_or_else(|| name.to_string())
+        };
+        match t {
+            Term::Var(v) => Ok(Term::Var(*v)),
+            Term::Int(n) => Ok(Term::Int(*n)),
+            Term::Atom(s) => Ok(Term::Atom(resolve(s)?)),
+            Term::Struct(f, args) => {
+                let f = resolve(f)?;
+                let args = args
+                    .iter()
+                    .map(|a| remap(a, scratch, db))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Term::app(f, args))
+            }
+        }
+    }
+    let goals = parsed
+        .goals
+        .iter()
+        .map(|g| remap(g, &scratch, db))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|name| ParseError {
+            message: format!("unknown symbol `{name}` (not defined by the program)"),
+            line: 1,
+            col: 1,
+        })?;
+    Ok(Query {
+        goals,
+        var_names: parsed.var_names,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -563,6 +613,35 @@ mod tests {
     fn parse_query_rejects_trailing_garbage() {
         let mut p = parse_program("f(a,b).").unwrap();
         assert!(parse_query(&mut p.db, "f(a,X). oops").is_err());
+    }
+
+    #[test]
+    fn parse_query_shared_reads_only() {
+        let p = parse_program("f(a,b). f(b,c). g(c,d).").unwrap();
+        let before = p.db.symbols().len();
+        let q = parse_query_shared(&p.db, "f(a, X), g(X, Y)").unwrap();
+        assert_eq!(q.goals.len(), 2);
+        assert_eq!(q.var_names, vec!["X", "Y"]);
+        assert_eq!(p.db.symbols().len(), before, "no interning happened");
+        // The remapped query must behave exactly like the mutably-parsed one.
+        let mut db2 = p.db.clone();
+        let q_mut = parse_query(&mut db2, "f(a, X), g(X, Y)").unwrap();
+        assert_eq!(format!("{:?}", q.goals), format!("{:?}", q_mut.goals));
+    }
+
+    #[test]
+    fn parse_query_shared_rejects_unknown_symbols() {
+        let p = parse_program("f(a,b).").unwrap();
+        let err = parse_query_shared(&p.db, "f(zebra, X)").unwrap_err();
+        assert!(err.message.contains("zebra"), "{err}");
+        let err = parse_query_shared(&p.db, "nosuchpred(a)").unwrap_err();
+        assert!(err.message.contains("nosuchpred"), "{err}");
+    }
+
+    #[test]
+    fn parse_query_shared_still_reports_syntax_errors() {
+        let p = parse_program("f(a,b).").unwrap();
+        assert!(parse_query_shared(&p.db, "f(a,").is_err());
     }
 
     #[test]

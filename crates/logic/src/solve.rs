@@ -14,6 +14,7 @@
 
 use std::collections::VecDeque;
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use serde::Serialize;
@@ -26,6 +27,38 @@ use crate::pretty::term_to_string;
 use crate::store::ClauseDb;
 use crate::term::{Term, VarId};
 use crate::unify::unify;
+
+/// A cooperative cancellation flag shared between a search and whoever
+/// may need to stop it mid-flight (a deadline reaper, a user hitting
+/// Ctrl-C, a server shedding load).
+///
+/// Cloning is cheap (`Arc`); every clone observes the same flag. Engines
+/// that accept a token check it once per node expansion — the same
+/// cadence at which the OR-parallel frontier's `done` flag from the
+/// sharded-frontier work is observed — and report the cut as
+/// [`SearchStats::truncated`], exactly like an exhausted node budget.
+/// Cancellation is one-way: there is no `reset`, so a token describes a
+/// single request's lifetime.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trip the flag. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called on any clone.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
 
 /// Limits and switches shared by all engines.
 #[derive(Clone, Debug)]

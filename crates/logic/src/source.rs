@@ -53,8 +53,12 @@ impl SourceStats {
 ///
 /// Methods take `&self`: backends that track access statistics (page
 /// caches, tracers) use interior mutability, which keeps every search
-/// engine oblivious to the bookkeeping.
-pub trait ClauseSource {
+/// engine oblivious to the bookkeeping. The `Sync` bound makes that
+/// contract honest — a source must be shareable across threads, because
+/// the OR-parallel engine's workers and the query server's pools all
+/// resolve through **one** store at once (interior mutability therefore
+/// means a lock or atomics, never a `Cell`).
+pub trait ClauseSource: Sync {
     /// Fetch a clause block. For paged backends this is *the* accounted
     /// access: one call is one block touch.
     fn fetch_clause(&self, id: ClauseId) -> &Clause;

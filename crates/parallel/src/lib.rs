@@ -40,4 +40,4 @@ pub use andparallel::{
     SemiJoinStats,
 };
 pub use frontier::{Frontier, FrontierCounters, FrontierPolicy};
-pub use orparallel::{par_best_first, ParallelConfig, ParallelResult};
+pub use orparallel::{par_best_first, par_best_first_with, ParallelConfig, ParallelResult};

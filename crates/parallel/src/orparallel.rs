@@ -27,7 +27,8 @@ use blog_core::util::SplitMix64;
 use blog_core::weight::{Bound, WeightParams, WeightState, WeightStore, WeightView};
 use blog_logic::node::ExpandStats;
 use blog_logic::{
-    expand, ClauseDb, PointerKey, Query, SearchNode, SearchStats, Solution, SolveConfig,
+    expand_via, CancelToken, ClauseDb, ClauseSource, PointerKey, Query, SearchNode, SearchStats,
+    Solution, SolveConfig,
 };
 use parking_lot::Mutex;
 
@@ -53,6 +54,11 @@ pub struct ParallelConfig {
     /// Maximum consecutive local dives per acquisition (sharded policy
     /// only; 0 disables diving). Each acquire refreshes the budget.
     pub dive_budget: u32,
+    /// Cooperative cancellation, observed once per processed chain and
+    /// folded into the frontier's abort flag (the same flag the node
+    /// budget and `max_solutions` exits use), so every worker drains and
+    /// joins promptly. Reported as [`SearchStats::truncated`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ParallelConfig {
@@ -66,6 +72,7 @@ impl Default for ParallelConfig {
             infinity_placement: InfinityPlacement::NearestLeaf,
             seed: 0x5EED,
             dive_budget: 64,
+            cancel: None,
         }
     }
 }
@@ -89,8 +96,8 @@ pub struct ParallelResult {
     pub learned: HashMap<PointerKey, WeightState>,
 }
 
-struct SharedCtx<'a> {
-    db: &'a ClauseDb,
+struct SharedCtx<'a, S: ClauseSource + ?Sized> {
+    source: &'a S,
     weights: &'a WeightStore,
     frontier: Frontier,
     config: &'a ParallelConfig,
@@ -124,8 +131,8 @@ enum Step {
 /// into `buf`, then either dive into the cheapest child or push the whole
 /// batch. Shared by the acquired chain and every dived descendant.
 #[allow(clippy::too_many_arguments)]
-fn step(
-    ctx: &SharedCtx<'_>,
+fn step<S: ClauseSource + ?Sized>(
+    ctx: &SharedCtx<'_, S>,
     w: usize,
     out: &mut WorkerStats,
     chain: Chain,
@@ -133,6 +140,14 @@ fn step(
     dives_left: &mut u32,
     params: WeightParams,
 ) -> Step {
+    // Cooperative cancellation (a deadline reaper, a server shedding
+    // load): fold into the frontier's abort flag so every worker exits.
+    if ctx.config.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+        out.stats.truncated = true;
+        ctx.frontier.abort();
+        return Step::Done;
+    }
+
     // Incumbent pruning.
     if let PruneMode::Incumbent { slack } = ctx.config.prune {
         let best = ctx.incumbent.load(Ordering::Acquire);
@@ -194,7 +209,7 @@ fn step(
 
     out.stats.nodes_expanded += 1;
     let mut est = ExpandStats::default();
-    let children = expand(ctx.db, &chain.node, &mut est);
+    let children = expand_via(ctx.source, &chain.node, &mut est);
     out.stats.unify_attempts += est.unify_attempts;
     out.stats.unify_successes += est.unify_successes;
     out.stats.bytes_copied += est.bytes_copied;
@@ -250,7 +265,7 @@ impl Drop for AbortOnPanic<'_> {
     }
 }
 
-fn worker_loop(ctx: &SharedCtx<'_>, w: usize) -> WorkerStats {
+fn worker_loop<S: ClauseSource + ?Sized>(ctx: &SharedCtx<'_, S>, w: usize) -> WorkerStats {
     let _abort_guard = AbortOnPanic(&ctx.frontier);
     let mut out = WorkerStats::default();
     let params = ctx.weights.params();
@@ -277,10 +292,25 @@ pub fn par_best_first(
     weights: &WeightStore,
     config: &ParallelConfig,
 ) -> ParallelResult {
+    par_best_first_with(db, query, weights, config)
+}
+
+/// [`par_best_first`], generalized over any [`ClauseSource`] — the same
+/// seam [`best_first_with`](blog_core::engine) opened for the sequential
+/// engine. Pass `blog-spd`'s `PagedClauseStore` (or one of its per-pool
+/// views) and every worker thread resolves clauses *through the shared
+/// cache*: the source's `Sync` bound is what makes this sound. Results
+/// are identical to running over the backing [`ClauseDb`] directly.
+pub fn par_best_first_with<S: ClauseSource + ?Sized>(
+    source: &S,
+    query: &Query,
+    weights: &WeightStore,
+    config: &ParallelConfig,
+) -> ParallelResult {
     assert!(config.n_workers >= 1);
     let root = Chain::root(SearchNode::root_with(&query.goals, config.solve.state_repr));
     let ctx = SharedCtx {
-        db,
+        source,
         weights,
         frontier: Frontier::new(config.n_workers, config.policy, root),
         config,
@@ -501,6 +531,60 @@ mod tests {
         );
         assert_eq!(r.counters.dives, 0);
         assert_eq!(r.solutions.len(), 2);
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_every_policy() {
+        let p = parse_program(FAMILY).unwrap();
+        let weights = WeightStore::new(WeightParams::default());
+        for policy in all_policies() {
+            let token = CancelToken::new();
+            token.cancel();
+            let r = par_best_first(
+                &p.db,
+                &p.queries[0],
+                &weights,
+                &ParallelConfig {
+                    policy,
+                    cancel: Some(token),
+                    ..ParallelConfig::default()
+                },
+            );
+            assert!(r.stats.truncated, "{policy:?}");
+            assert_eq!(r.stats.nodes_expanded, 0, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn untripped_token_is_transparent() {
+        let p = parse_program(FAMILY).unwrap();
+        let weights = WeightStore::new(WeightParams::default());
+        let base = par_best_first(&p.db, &p.queries[0], &weights, &ParallelConfig::default());
+        let r = par_best_first(
+            &p.db,
+            &p.queries[0],
+            &weights,
+            &ParallelConfig {
+                cancel: Some(CancelToken::new()),
+                ..ParallelConfig::default()
+            },
+        );
+        assert!(!r.stats.truncated);
+        assert_eq!(sorted_texts(&p.db, &r), sorted_texts(&p.db, &base));
+        assert_eq!(r.stats.nodes_expanded, base.stats.nodes_expanded);
+    }
+
+    #[test]
+    fn generalized_source_matches_clause_db() {
+        // par_best_first_with over the db as a ClauseSource must be the
+        // identity generalization.
+        let p = parse_program(FAMILY).unwrap();
+        let weights = WeightStore::new(WeightParams::default());
+        let direct = par_best_first(&p.db, &p.queries[0], &weights, &ParallelConfig::default());
+        let source: &dyn blog_logic::ClauseSource = &p.db;
+        let via = par_best_first_with(source, &p.queries[0], &weights, &ParallelConfig::default());
+        assert_eq!(sorted_texts(&p.db, &via), sorted_texts(&p.db, &direct));
+        assert_eq!(via.stats.nodes_expanded, direct.stats.nodes_expanded);
     }
 
     #[test]

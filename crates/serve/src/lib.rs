@@ -1,0 +1,50 @@
+//! # blog-serve — the query-serving subsystem
+//!
+//! Everything below this crate accelerates *one* query: the paged clause
+//! store, the scan-resistant replacement policies, structure-sharing
+//! search state, the sharded frontier. The paper's §5 scenario — and the
+//! reason any of it matters at production scale — is **many users
+//! issuing streams of similar queries against one clause base**: "where
+//! a user tries a second and third query that is similar to the first
+//! one with some minor changes, later searches should become more
+//! efficient". This crate is that serving layer.
+//!
+//! A [`QueryServer`] owns one shared
+//! [`PagedClauseStore`](blog_spd::PagedClauseStore) and a fixed set of
+//! **worker pools** (OS threads). Each [`QueryRequest`] — query text,
+//! session id, optional deadline / node budget / solutions cap — is
+//! admitted to a pool queue and executed through the existing engines
+//! (sequential best-first, or the OR-parallel executor) *through the
+//! shared cache*, using the store's per-pool
+//! [`PoolView`](blog_spd::PoolView)s so hits and faults stay
+//! attributable to the pool (and session mix) that generated them.
+//!
+//! The scheduler's one real decision is **session affinity**
+//! ([`Routing::SessionAffinity`]): requests from the same session hash
+//! to the same pool, so one session's similar queries are serviced
+//! consecutively and find their clause tracks still resident — the §5
+//! cache-warmth effect, now produced by scheduling rather than luck.
+//! [`Routing::RoundRobin`] is the ablation. Admission-time work
+//! stealing (an [`overflow_threshold`](ServeConfig::overflow_threshold))
+//! bounds queue skew when one session floods its home pool.
+//!
+//! Per-request cancellation reuses the engines'
+//! [`CancelToken`](blog_logic::CancelToken) plumbing (the OR-parallel
+//! frontier folds it into the same abort flag its node budget uses): a
+//! deadline reaper thread trips the token of any in-flight request past
+//! its deadline, and the engine returns with whatever solutions it had.
+//!
+//! [`ServeStats`] reports the serving picture — per-pool throughput and
+//! p50/p99 latency, queue depths, admission overflow, store hit rate
+//! split warm-vs-cold by session — so the T9 sweep can attribute wins to
+//! scheduling and losses to store contention (the store's lock meters)
+//! rather than guessing.
+
+mod request;
+mod server;
+mod stats;
+pub mod tuning;
+
+pub use request::{Outcome, QueryRequest, QueryResponse, SessionId};
+pub use server::{ExecMode, QueryServer, Routing, ServeConfig};
+pub use stats::{PoolReport, ServeReport, ServeStats, WarmthSplit};

@@ -1,0 +1,155 @@
+//! Requests and responses — the server's wire-shaped surface.
+
+use std::time::Duration;
+
+use blog_logic::SearchStats;
+
+/// Identity of one user session: the unit of cache-warmth affinity.
+///
+/// Requests sharing a `SessionId` are assumed to be the paper's "second
+/// and third query that is similar to the first"; the scheduler routes
+/// them to the same pool under [`Routing::SessionAffinity`](crate::Routing).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SessionId(pub u64);
+
+/// One query submitted to the server.
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    /// The issuing session (drives affinity routing and warmth stats).
+    pub session: SessionId,
+    /// The issuing tenant, for reporting only — tenants are a property
+    /// of the *workload* (disjoint working sets); the scheduler sees
+    /// sessions.
+    pub tenant: u32,
+    /// Query text, parsed read-only against the shared database (so a
+    /// malformed query rejects without touching any engine).
+    pub text: String,
+    /// Wall-clock budget measured from admission; past it the request's
+    /// cancel token is tripped and the search stops where it stands.
+    pub deadline: Option<Duration>,
+    /// Node-expansion budget for this request (overrides the server's
+    /// default when set).
+    pub max_nodes: Option<u64>,
+    /// Stop after this many solutions (overrides the server's default
+    /// when set).
+    pub max_solutions: Option<usize>,
+}
+
+impl QueryRequest {
+    /// A request with no per-request limits.
+    pub fn new(session: u64, text: impl Into<String>) -> QueryRequest {
+        QueryRequest {
+            session: SessionId(session),
+            tenant: 0,
+            text: text.into(),
+            deadline: None,
+            max_nodes: None,
+            max_solutions: None,
+        }
+    }
+
+    /// Tag the issuing tenant.
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Set a wall-clock deadline (measured from admission).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set a node-expansion budget.
+    pub fn with_max_nodes(mut self, budget: u64) -> Self {
+        self.max_nodes = Some(budget);
+        self
+    }
+
+    /// Cap the number of solutions.
+    pub fn with_max_solutions(mut self, cap: usize) -> Self {
+        self.max_solutions = Some(cap);
+        self
+    }
+}
+
+/// How a request ended.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// The search ran to its natural end (or its *node budget* — see
+    /// [`SearchStats::truncated`] for that distinction). Solutions are
+    /// rendered binding texts, sorted, so two runs compare by `==`.
+    Completed {
+        /// Sorted rendered solutions.
+        solutions: Vec<String>,
+    },
+    /// The deadline reaper tripped the request's cancel token mid-search
+    /// (or before it started). Whatever solutions the engine had already
+    /// found are kept — a timed-out user still sees partial answers.
+    Cancelled {
+        /// Sorted rendered solutions found before cancellation.
+        partial: Vec<String>,
+    },
+    /// The query text did not parse against the shared database (syntax
+    /// error or a symbol the program never defined).
+    Rejected {
+        /// Parse error text.
+        error: String,
+    },
+}
+
+impl Outcome {
+    /// Whether this is a [`Completed`](Outcome::Completed) outcome.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Outcome::Completed { .. })
+    }
+
+    /// The rendered solutions, however the request ended (empty for
+    /// rejections).
+    pub fn solutions(&self) -> &[String] {
+        match self {
+            Outcome::Completed { solutions } => solutions,
+            Outcome::Cancelled { partial } => partial,
+            Outcome::Rejected { .. } => &[],
+        }
+    }
+}
+
+/// One served request, with its scheduling and execution telemetry.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// Index of the request in the submitted batch (responses are
+    /// returned in batch order whatever order pools finished in).
+    pub request: usize,
+    /// Echo of the request's session.
+    pub session: SessionId,
+    /// Echo of the request's tenant.
+    pub tenant: u32,
+    /// The pool that executed the request.
+    pub pool: usize,
+    /// How the request ended.
+    pub outcome: Outcome,
+    /// Engine work counters for this request.
+    pub stats: SearchStats,
+    /// Time between admission and a pool picking the request up.
+    pub queue_wait: Duration,
+    /// Time the pool spent executing (parse + search + render).
+    pub service: Duration,
+    /// Whether this session had already completed a request *on this
+    /// pool* — the warm path affinity routing is supposed to produce.
+    pub warm: bool,
+    /// Clause touches this request routed through the shared store.
+    pub store_accesses: u64,
+    /// How many of those touches hit a resident track.
+    pub store_hits: u64,
+}
+
+impl QueryResponse {
+    /// This request's store hit rate in `[0, 1]`.
+    pub fn store_hit_rate(&self) -> f64 {
+        if self.store_accesses == 0 {
+            return 0.0;
+        }
+        self.store_hits as f64 / self.store_accesses as f64
+    }
+}

@@ -1,0 +1,504 @@
+//! The scheduler: pool queues, affinity routing, overflow admission,
+//! the deadline reaper, and the per-pool execution loop.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use blog_core::engine::{best_first_with, BestFirstConfig};
+use blog_core::weight::{WeightParams, WeightStore, WeightView};
+use blog_logic::{parse_query_shared, CancelToken, ClauseDb, SolveConfig};
+use blog_parallel::{par_best_first_with, FrontierPolicy, ParallelConfig};
+use blog_spd::{PagedClauseStore, PagedStoreConfig, PagedStoreStats};
+
+use crate::request::{Outcome, QueryRequest, QueryResponse};
+use crate::stats::{percentile_ms, warmth_splits, PoolReport, ServeReport, ServeStats};
+
+/// How requests map to pools.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Routing {
+    /// Hash the session id onto a pool: one session's stream of similar
+    /// queries is serviced consecutively by one pool, so its clause
+    /// tracks are still resident when the "second and third query"
+    /// arrive — §5's warmth produced by scheduling.
+    SessionAffinity,
+    /// Ignore sessions; deal requests round-robin (the ablation: same
+    /// offered load, no deliberate warmth).
+    RoundRobin,
+}
+
+impl Routing {
+    /// Machine-readable label for sweep tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Routing::SessionAffinity => "affinity",
+            Routing::RoundRobin => "round-robin",
+        }
+    }
+}
+
+/// Which engine executes a request.
+#[derive(Clone, Copy, Debug)]
+pub enum ExecMode {
+    /// The sequential best-first engine: one pool = one processor.
+    Sequential,
+    /// The OR-parallel executor: every request fans out over
+    /// `n_workers` threads that share the pool's store view (and
+    /// therefore its touch attribution).
+    OrParallel {
+        /// Worker threads per request.
+        n_workers: usize,
+        /// Frontier sharing policy for those workers.
+        policy: FrontierPolicy,
+    },
+}
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker pools (each is one OS thread draining its own queue).
+    pub n_pools: usize,
+    /// Request → pool mapping.
+    pub routing: Routing,
+    /// Admission-time work stealing: when the routed pool's queue is at
+    /// least this deep, the request is diverted to the currently
+    /// shortest queue instead (`None` = never divert). This caps the
+    /// queue skew a hot session can build while keeping the common case
+    /// on its warm pool.
+    pub overflow_threshold: Option<usize>,
+    /// Engine per request.
+    pub exec: ExecMode,
+    /// Base limits for every request (`QueryRequest` fields override
+    /// per request).
+    pub solve: SolveConfig,
+    /// Nanoseconds each simulated SPD fault tick stalls the serving
+    /// thread (0 = accounting only). With a nonzero stall, pools overlap
+    /// one another's disk latency — the multiprogramming form of the
+    /// paper's latency hiding, and the mechanism by which serving
+    /// throughput scales with pool count even when queries are
+    /// CPU-light.
+    pub stall_ns_per_tick: u64,
+    /// How often the deadline reaper rescans in-flight requests.
+    pub reaper_poll: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            n_pools: 2,
+            routing: Routing::SessionAffinity,
+            overflow_threshold: None,
+            exec: ExecMode::Sequential,
+            solve: SolveConfig::all(),
+            stall_ns_per_tick: 0,
+            reaper_poll: Duration::from_micros(200),
+        }
+    }
+}
+
+/// One admitted request waiting in a pool queue.
+struct Job {
+    idx: usize,
+    request: QueryRequest,
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+}
+
+/// The multi-session query server. See the crate docs for the model.
+///
+/// The server borrows the clause database (read-only — queries are
+/// parsed through [`parse_query_shared`]) and owns the shared
+/// [`PagedClauseStore`] plus a frozen [`WeightStore`] snapshot. The
+/// store's cache persists across [`serve`](Self::serve) batches, so a
+/// second batch starts warm — servers don't reboot between requests.
+pub struct QueryServer<'db> {
+    db: &'db ClauseDb,
+    weights: WeightStore,
+    store: PagedClauseStore<'db>,
+    config: ServeConfig,
+    /// Session → pool that last completed one of its requests (the
+    /// warmth ledger; persists across batches).
+    sessions: Mutex<HashMap<u64, usize>>,
+    /// Round-robin cursor (persists across batches so consecutive
+    /// batches keep rotating).
+    rr_next: AtomicUsize,
+}
+
+impl<'db> QueryServer<'db> {
+    /// A server over `db` with default (untrained) weights.
+    ///
+    /// # Panics
+    /// Panics if `config.n_pools == 0` or the store geometry cannot hold
+    /// the database (see [`PagedClauseStore::new`]).
+    pub fn new(
+        db: &'db ClauseDb,
+        store_config: PagedStoreConfig,
+        config: ServeConfig,
+    ) -> QueryServer<'db> {
+        Self::with_weights(
+            db,
+            store_config,
+            config,
+            WeightStore::new(WeightParams::default()),
+        )
+    }
+
+    /// A server executing against a trained weight snapshot (weights are
+    /// frozen for the server's lifetime: serving never learns, so
+    /// concurrent and sequential execution provably enumerate the same
+    /// solution sets).
+    pub fn with_weights(
+        db: &'db ClauseDb,
+        store_config: PagedStoreConfig,
+        config: ServeConfig,
+        weights: WeightStore,
+    ) -> QueryServer<'db> {
+        assert!(config.n_pools >= 1, "need at least one pool");
+        if let ExecMode::OrParallel { n_workers, .. } = config.exec {
+            assert!(n_workers >= 1, "need at least one worker per request");
+        }
+        QueryServer {
+            db,
+            weights,
+            store: PagedClauseStore::new(db, store_config),
+            config,
+            sessions: Mutex::new(HashMap::new()),
+            rr_next: AtomicUsize::new(0),
+        }
+    }
+
+    /// The shared store (for inspecting cache state between batches).
+    pub fn store(&self) -> &PagedClauseStore<'db> {
+        &self.store
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Route one session id under the configured policy.
+    fn route(&self, session: u64) -> usize {
+        match self.config.routing {
+            Routing::SessionAffinity => (splitmix(session) % self.config.n_pools as u64) as usize,
+            Routing::RoundRobin => {
+                self.rr_next.fetch_add(1, Ordering::Relaxed) % self.config.n_pools
+            }
+        }
+    }
+
+    /// Serve a batch of requests to completion and report.
+    ///
+    /// The whole batch is admitted first (the *offered load*), then the
+    /// pools drain their queues concurrently; the call returns when
+    /// every request has a response. Responses come back in batch order.
+    pub fn serve(&self, requests: Vec<QueryRequest>) -> ServeReport {
+        let n_pools = self.config.n_pools;
+        let t0 = Instant::now();
+
+        // --- Admission: route every request, overflow-diverting off
+        // deep queues onto the currently shortest one.
+        let mut queues: Vec<VecDeque<Job>> = (0..n_pools).map(|_| VecDeque::new()).collect();
+        let mut overflow_admissions = 0u64;
+        let mut reaper_watch: Vec<(Instant, CancelToken)> = Vec::new();
+        for (idx, request) in requests.into_iter().enumerate() {
+            let mut pool = self.route(request.session.0);
+            if let Some(threshold) = self.config.overflow_threshold {
+                if queues[pool].len() >= threshold {
+                    let shortest = (0..n_pools)
+                        .min_by_key(|&p| queues[p].len())
+                        .expect("n_pools >= 1");
+                    if queues[shortest].len() < queues[pool].len() {
+                        pool = shortest;
+                        overflow_admissions += 1;
+                    }
+                }
+            }
+            let now = Instant::now();
+            let cancel = CancelToken::new();
+            let deadline = request.deadline.map(|d| now + d);
+            if let Some(at) = deadline {
+                reaper_watch.push((at, cancel.clone()));
+            }
+            queues[pool].push_back(Job {
+                idx,
+                request,
+                cancel,
+                deadline,
+                enqueued: now,
+            });
+        }
+        let queue_peaks: Vec<usize> = queues.iter().map(VecDeque::len).collect();
+        let total: usize = queue_peaks.iter().sum();
+        let store_before = self.store.stats();
+        let pools_before: Vec<_> = (0..n_pools).map(|p| self.store.pool_stats(p)).collect();
+
+        // --- Drain: one thread per pool, plus a deadline reaper.
+        let remaining = AtomicUsize::new(total);
+        // Live pool-thread count, decremented by a drop guard so the
+        // reaper still exits (and the scope can propagate the panic)
+        // when a pool thread unwinds without draining its queue.
+        let pools_alive = AtomicUsize::new(n_pools);
+        struct AliveGuard<'a>(&'a AtomicUsize);
+        impl Drop for AliveGuard<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::Release);
+            }
+        }
+        let queues: Vec<Mutex<VecDeque<Job>>> = queues.into_iter().map(Mutex::new).collect();
+        let mut per_pool_responses: Vec<Vec<QueryResponse>> = Vec::with_capacity(n_pools);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_pools)
+                .map(|p| {
+                    let queue = &queues[p];
+                    let remaining = &remaining;
+                    let pools_alive = &pools_alive;
+                    scope.spawn(move || {
+                        let _alive = AliveGuard(pools_alive);
+                        let mut out = Vec::new();
+                        loop {
+                            let job = queue.lock().unwrap().pop_front();
+                            let Some(job) = job else { break };
+                            out.push(self.execute(p, job));
+                            remaining.fetch_sub(1, Ordering::Release);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            if !reaper_watch.is_empty() {
+                let remaining = &remaining;
+                let pools_alive = &pools_alive;
+                let watch = &reaper_watch;
+                let poll = self.config.reaper_poll;
+                scope.spawn(move || {
+                    while remaining.load(Ordering::Acquire) > 0
+                        && pools_alive.load(Ordering::Acquire) > 0
+                    {
+                        let now = Instant::now();
+                        for (at, token) in watch {
+                            if now >= *at {
+                                token.cancel();
+                            }
+                        }
+                        std::thread::sleep(poll);
+                    }
+                });
+            }
+            for h in handles {
+                per_pool_responses.push(h.join().expect("pool thread panicked"));
+            }
+        });
+        let wall_s = t0.elapsed().as_secs_f64();
+
+        // --- Report assembly.
+        let mut per_pool = Vec::with_capacity(n_pools);
+        for (p, responses) in per_pool_responses.iter().enumerate() {
+            let latencies: Vec<f64> = responses
+                .iter()
+                .map(|r| r.service.as_secs_f64() * 1e3)
+                .collect();
+            let after = self.store.pool_stats(p);
+            let before = pools_before[p];
+            per_pool.push(PoolReport {
+                pool: p,
+                served: responses.len(),
+                queue_peak: queue_peaks[p],
+                nodes_expanded: responses.iter().map(|r| r.stats.nodes_expanded).sum(),
+                p50_ms: percentile_ms(&latencies, 0.5),
+                p99_ms: percentile_ms(&latencies, 0.99),
+                touches: blog_spd::PoolTouchStats {
+                    accesses: after.accesses - before.accesses,
+                    hits: after.hits - before.hits,
+                    misses: after.misses - before.misses,
+                    fault_ticks: after.fault_ticks - before.fault_ticks,
+                },
+            });
+        }
+        let mut responses: Vec<QueryResponse> =
+            per_pool_responses.into_iter().flatten().collect();
+        responses.sort_by_key(|r| r.request);
+        let service_ms: Vec<f64> = responses
+            .iter()
+            .map(|r| r.service.as_secs_f64() * 1e3)
+            .collect();
+        let wait_ms: Vec<f64> = responses
+            .iter()
+            .map(|r| r.queue_wait.as_secs_f64() * 1e3)
+            .collect();
+        let (warm, cold) = warmth_splits(&responses);
+        let completed = responses
+            .iter()
+            .filter(|r| r.outcome.is_completed())
+            .count();
+        let cancelled = responses
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Cancelled { .. }))
+            .count();
+        let stats = ServeStats {
+            wall_s,
+            requests: total,
+            completed,
+            cancelled,
+            rejected: total - completed - cancelled,
+            throughput_rps: if wall_s > 0.0 { total as f64 / wall_s } else { 0.0 },
+            p50_ms: percentile_ms(&service_ms, 0.5),
+            p99_ms: percentile_ms(&service_ms, 0.99),
+            wait_p50_ms: percentile_ms(&wait_ms, 0.5),
+            wait_p99_ms: percentile_ms(&wait_ms, 0.99),
+            overflow_admissions,
+            per_pool,
+            store: stats_delta(store_before, self.store.stats()),
+            warm,
+            cold,
+        };
+        ServeReport { responses, stats }
+    }
+
+    /// Execute one job on pool `p`.
+    fn execute(&self, p: usize, job: Job) -> QueryResponse {
+        let started = Instant::now();
+        let queue_wait = started - job.enqueued;
+        let session = job.request.session;
+        let warm = self
+            .sessions
+            .lock()
+            .unwrap()
+            .get(&session.0)
+            .is_some_and(|&home| home == p);
+        let pool_before = self.store.pool_stats(p);
+
+        // A request whose deadline expired while queued (or whose token
+        // the reaper already tripped) is answered without touching an
+        // engine (load shedding).
+        let shed = job.deadline.is_some_and(|at| started >= at) || job.cancel.is_cancelled();
+        let outcome = if shed {
+            job.cancel.cancel();
+            (
+                Outcome::Cancelled {
+                    partial: Vec::new(),
+                },
+                blog_logic::SearchStats::default(),
+            )
+        } else {
+            match parse_query_shared(self.db, &job.request.text) {
+                Err(e) => (
+                    Outcome::Rejected {
+                        error: e.to_string(),
+                    },
+                    blog_logic::SearchStats::default(),
+                ),
+                Ok(query) => {
+                    let mut solve = self.config.solve.clone();
+                    if job.request.max_nodes.is_some() {
+                        solve.max_nodes = job.request.max_nodes;
+                    }
+                    if job.request.max_solutions.is_some() {
+                        solve.max_solutions = job.request.max_solutions;
+                    }
+                    let view = self.store.pool_view(p).with_stall(self.config.stall_ns_per_tick);
+                    let budget = solve.max_nodes;
+                    let (mut texts, stats) = match self.config.exec {
+                        ExecMode::Sequential => {
+                            let mut overlay = HashMap::new();
+                            let mut wview = WeightView::new(&mut overlay, &self.weights);
+                            let cfg = BestFirstConfig {
+                                solve,
+                                learn: false,
+                                cancel: Some(job.cancel.clone()),
+                                ..BestFirstConfig::default()
+                            };
+                            let r = best_first_with(&view, &query, &mut wview, &cfg);
+                            (
+                                r.solutions
+                                    .iter()
+                                    .map(|s| s.solution.to_text(self.db))
+                                    .collect::<Vec<_>>(),
+                                r.stats,
+                            )
+                        }
+                        ExecMode::OrParallel { n_workers, policy } => {
+                            let cfg = ParallelConfig {
+                                n_workers,
+                                policy,
+                                solve,
+                                learn: false,
+                                cancel: Some(job.cancel.clone()),
+                                ..ParallelConfig::default()
+                            };
+                            let r = par_best_first_with(&view, &query, &self.weights, &cfg);
+                            (
+                                r.solutions
+                                    .iter()
+                                    .map(|s| s.solution.to_text(self.db))
+                                    .collect::<Vec<_>>(),
+                                r.stats,
+                            )
+                        }
+                    };
+                    texts.sort();
+                    // Classify from what actually stopped the engine, not
+                    // from the token alone: a reaper firing *after* the
+                    // search ran to its natural end (or to its node
+                    // budget) must not relabel a finished answer.
+                    let budget_exhausted =
+                        budget.is_some_and(|b| stats.nodes_expanded >= b);
+                    let cancelled =
+                        stats.truncated && !budget_exhausted && job.cancel.is_cancelled();
+                    if cancelled {
+                        (Outcome::Cancelled { partial: texts }, stats)
+                    } else {
+                        (Outcome::Completed { solutions: texts }, stats)
+                    }
+                }
+            }
+        };
+        let (outcome, stats) = outcome;
+        // The pool has now seen this session — but only if an engine ran:
+        // a parse rejection or an expired-in-queue shed touched none of
+        // the session's tracks, so marking it warm would dilute the
+        // warm-vs-cold split the serving report exists to measure.
+        if !matches!(outcome, Outcome::Rejected { .. }) && !shed {
+            self.sessions.lock().unwrap().insert(session.0, p);
+        }
+        let pool_after = self.store.pool_stats(p);
+        QueryResponse {
+            request: job.idx,
+            session,
+            tenant: job.request.tenant,
+            pool: p,
+            outcome,
+            stats,
+            queue_wait,
+            service: started.elapsed(),
+            warm,
+            store_accesses: pool_after.accesses - pool_before.accesses,
+            store_hits: pool_after.hits - pool_before.hits,
+        }
+    }
+}
+
+/// SplitMix64 finalizer: spreads consecutive session ids uniformly over
+/// pools (consecutive ids modulo `n_pools` would alias tenants to pools
+/// in generated workloads).
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Field-wise `after - before` of the store counters.
+fn stats_delta(before: PagedStoreStats, after: PagedStoreStats) -> PagedStoreStats {
+    PagedStoreStats {
+        accesses: after.accesses - before.accesses,
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
+        evictions: after.evictions - before.evictions,
+        fault_ticks: after.fault_ticks - before.fault_ticks,
+        lock_acquisitions: after.lock_acquisitions - before.lock_acquisitions,
+        lock_contended: after.lock_contended.saturating_sub(before.lock_contended),
+    }
+}

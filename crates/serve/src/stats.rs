@@ -1,0 +1,158 @@
+//! The serving telemetry surface: per-pool throughput and latency,
+//! queue behavior, and the store picture split warm-vs-cold.
+
+use blog_spd::{PagedStoreStats, PoolTouchStats};
+use serde::Serialize;
+
+use crate::request::QueryResponse;
+
+/// One pool's slice of a serve run.
+#[derive(Clone, Copy, Default, Debug, Serialize)]
+pub struct PoolReport {
+    /// Pool index.
+    pub pool: usize,
+    /// Requests this pool executed.
+    pub served: usize,
+    /// Deepest its admission queue ever got.
+    pub queue_peak: usize,
+    /// Nodes expanded across its requests.
+    pub nodes_expanded: u64,
+    /// Median service latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile service latency, milliseconds.
+    pub p99_ms: f64,
+    /// This pool's touches of the shared store.
+    pub touches: PoolTouchStats,
+}
+
+/// Store traffic attributed to one warmth class of requests.
+#[derive(Clone, Copy, Default, Debug, Serialize)]
+pub struct WarmthSplit {
+    /// Requests in the class.
+    pub requests: usize,
+    /// Their clause touches through the shared store.
+    pub accesses: u64,
+    /// Touches that hit a resident track.
+    pub hits: u64,
+}
+
+impl WarmthSplit {
+    /// Hit rate in `[0, 1]` (zero when nothing was accessed).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.accesses as f64
+    }
+
+    fn add(&mut self, r: &QueryResponse) {
+        self.requests += 1;
+        self.accesses += r.store_accesses;
+        self.hits += r.store_hits;
+    }
+}
+
+/// Aggregate picture of one [`serve`](crate::QueryServer::serve) run.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServeStats {
+    /// Wall-clock of the whole batch, seconds.
+    pub wall_s: f64,
+    /// Requests admitted.
+    pub requests: usize,
+    /// Requests that ran to their natural end.
+    pub completed: usize,
+    /// Requests cancelled by deadline.
+    pub cancelled: usize,
+    /// Requests rejected at parse.
+    pub rejected: usize,
+    /// Requests per second of wall-clock.
+    pub throughput_rps: f64,
+    /// Median service latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile service latency, milliseconds.
+    pub p99_ms: f64,
+    /// Median admission-queue wait, milliseconds.
+    pub wait_p50_ms: f64,
+    /// 99th-percentile admission-queue wait, milliseconds.
+    pub wait_p99_ms: f64,
+    /// Admissions diverted off their routed pool by the overflow
+    /// threshold (the work-stealing admission path).
+    pub overflow_admissions: u64,
+    /// Per-pool slices.
+    pub per_pool: Vec<PoolReport>,
+    /// The shared store's counters over the run (deltas, lock meters
+    /// included).
+    pub store: PagedStoreStats,
+    /// Store traffic of *warm* requests (session had already completed
+    /// a request on the serving pool).
+    pub warm: WarmthSplit,
+    /// Store traffic of *cold* requests (first contact of this session
+    /// with the serving pool).
+    pub cold: WarmthSplit,
+}
+
+/// Everything a serve run returns.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// One response per request, in batch order.
+    pub responses: Vec<QueryResponse>,
+    /// The aggregate picture.
+    pub stats: ServeStats,
+}
+
+/// `q`-quantile (0..=1) of an **unsorted** sample, by sorting a copy;
+/// 0.0 for an empty sample. Nearest-rank, so p99 of 10 samples is the
+/// largest.
+pub(crate) fn percentile_ms(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+pub(crate) fn warmth_splits(responses: &[QueryResponse]) -> (WarmthSplit, WarmthSplit) {
+    let mut warm = WarmthSplit::default();
+    let mut cold = WarmthSplit::default();
+    for r in responses {
+        if matches!(r.outcome, crate::Outcome::Rejected { .. }) {
+            continue;
+        }
+        if r.warm {
+            warm.add(r);
+        } else {
+            cold.add(r);
+        }
+    }
+    (warm, cold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|n| n as f64).collect();
+        assert_eq!(percentile_ms(&v, 0.5), 50.0);
+        assert_eq!(percentile_ms(&v, 0.99), 99.0);
+        assert_eq!(percentile_ms(&v, 1.0), 100.0);
+        assert_eq!(percentile_ms(&[7.0], 0.99), 7.0);
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
+        // Unsorted input is handled.
+        assert_eq!(percentile_ms(&[3.0, 1.0, 2.0], 0.5), 2.0);
+    }
+
+    #[test]
+    fn warmth_split_hit_rate() {
+        let s = WarmthSplit {
+            requests: 2,
+            accesses: 10,
+            hits: 4,
+        };
+        assert!((s.hit_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(WarmthSplit::default().hit_rate(), 0.0);
+    }
+}

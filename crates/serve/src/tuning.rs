@@ -1,0 +1,53 @@
+//! Calibrated store sizing for multi-tenant serving.
+//!
+//! The T9 experiments, the `serve` criterion bench, and the
+//! `serve_demo` example all measure the same regime; keeping the recipe
+//! in one place keeps them measuring the same thing.
+
+use blog_spd::{Geometry, PagedStoreConfig, PolicyKind};
+
+/// The store configuration of the T9 serving regime for a database of
+/// `db_len` clauses: 4-block tracks over 4 SPs, scan-resistant 2Q, and
+/// a cache sized at 3/5 of the database's tracks — enough for every
+/// pool's *current* tenant working set to stay resident at once, but
+/// not for the whole tenant population. That gap is the point: in this
+/// regime the scheduler's routing (session affinity vs round-robin),
+/// not the replacement policy, decides which sessions run warm.
+pub fn working_set_store_config(db_len: usize) -> PagedStoreConfig {
+    let blocks_per_track = 4usize;
+    let tracks_total = db_len.div_ceil(blocks_per_track);
+    PagedStoreConfig {
+        geometry: Geometry {
+            n_sps: 4,
+            n_cylinders: (tracks_total / 4 + 1) as u32,
+            blocks_per_track: blocks_per_track as u32,
+        },
+        capacity_tracks: (tracks_total * 3 / 5).max(2),
+        policy: PolicyKind::TwoQ,
+        ..PagedStoreConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_always_holds_the_database() {
+        for db_len in [1usize, 7, 16, 100, 513, 4097] {
+            let cfg = working_set_store_config(db_len);
+            assert!(
+                cfg.geometry.capacity() as usize >= db_len,
+                "db_len {db_len}: capacity {}",
+                cfg.geometry.capacity()
+            );
+            assert!(cfg.capacity_tracks >= 2);
+            // The cache never holds the whole database once it spans
+            // enough tracks to matter.
+            let tracks_total = db_len.div_ceil(4);
+            if tracks_total >= 5 {
+                assert!(cfg.capacity_tracks < tracks_total, "db_len {db_len}");
+            }
+        }
+    }
+}

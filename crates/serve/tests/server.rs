@@ -1,0 +1,426 @@
+//! Integration tests for the query server: routing, warmth, overflow
+//! admission, cancellation, and — above all — result equivalence between
+//! concurrent serving and sequential execution.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use blog_core::engine::{best_first, BestFirstConfig};
+use blog_core::weight::{WeightParams, WeightStore, WeightView};
+use blog_logic::{parse_program, parse_query_shared, Program, SolveConfig};
+use blog_parallel::FrontierPolicy;
+use blog_serve::{ExecMode, Outcome, QueryRequest, QueryServer, Routing, ServeConfig};
+use blog_spd::{Geometry, PagedStoreConfig, PolicyKind};
+use blog_workloads::{tenant_mix_program, tenant_mix_requests, FamilyParams, TenantMix};
+
+const FAMILY: &str = "
+    gf(X,Z) :- f(X,Y), f(Y,Z).
+    gf(X,Z) :- f(X,Y), m(Y,Z).
+    f(curt,elain). f(sam,larry). f(dan,pat). f(larry,den).
+    f(pat,john). f(larry,doug).
+    m(elain,john). m(marian,elain). m(peg,den). m(peg,doug).
+";
+
+fn store_cfg(db_len: usize, capacity_tracks: usize) -> PagedStoreConfig {
+    let blocks_per_track = 2;
+    let n_sps = 2;
+    let tracks_needed = db_len.div_ceil(blocks_per_track as usize);
+    PagedStoreConfig {
+        geometry: Geometry {
+            n_sps,
+            n_cylinders: (tracks_needed.div_ceil(n_sps as usize) + 1) as u32,
+            blocks_per_track,
+        },
+        capacity_tracks,
+        policy: PolicyKind::TwoQ,
+        ..PagedStoreConfig::default()
+    }
+}
+
+/// Sequential ground truth: sorted solution texts for one query text.
+fn sequential_solutions(p: &Program, text: &str) -> Vec<String> {
+    let q = parse_query_shared(&p.db, text).expect("query parses");
+    let weights = WeightStore::new(WeightParams::default());
+    let mut overlay = HashMap::new();
+    let mut view = WeightView::new(&mut overlay, &weights);
+    let cfg = BestFirstConfig {
+        learn: false,
+        ..BestFirstConfig::default()
+    };
+    let r = best_first(&p.db, &q, &mut view, &cfg);
+    let mut texts: Vec<String> = r.solutions.iter().map(|s| s.solution.to_text(&p.db)).collect();
+    texts.sort();
+    texts
+}
+
+#[test]
+fn serves_family_queries_exactly() {
+    let p = parse_program(FAMILY).unwrap();
+    let server = QueryServer::new(&p.db, store_cfg(p.db.len(), 4), ServeConfig::default());
+    let requests = vec![
+        QueryRequest::new(1, "gf(sam, G)"),
+        QueryRequest::new(2, "gf(curt, G)"),
+        QueryRequest::new(1, "gf(sam, G)"),
+    ];
+    let report = server.serve(requests);
+    assert_eq!(report.responses.len(), 3);
+    assert_eq!(report.stats.completed, 3);
+    for (i, text) in ["gf(sam, G)", "gf(curt, G)", "gf(sam, G)"].iter().enumerate() {
+        let r = &report.responses[i];
+        assert_eq!(r.request, i, "responses in batch order");
+        match &r.outcome {
+            Outcome::Completed { solutions } => {
+                assert_eq!(solutions, &sequential_solutions(&p, text), "{text}");
+            }
+            other => panic!("{text}: {other:?}"),
+        }
+    }
+    // Same session, affinity routing: same pool both times, warm second.
+    assert_eq!(report.responses[0].pool, report.responses[2].pool);
+    assert!(!report.responses[0].warm);
+    assert!(report.responses[2].warm);
+}
+
+#[test]
+fn or_parallel_exec_mode_matches_sequential() {
+    let p = parse_program(FAMILY).unwrap();
+    for policy in [
+        FrontierPolicy::SharedHeap,
+        FrontierPolicy::Sharded { d: 512 },
+    ] {
+        let server = QueryServer::new(
+            &p.db,
+            store_cfg(p.db.len(), 4),
+            ServeConfig {
+                exec: ExecMode::OrParallel {
+                    n_workers: 3,
+                    policy,
+                },
+                ..ServeConfig::default()
+            },
+        );
+        let report = server.serve(vec![QueryRequest::new(9, "gf(sam, G)")]);
+        assert_eq!(
+            report.responses[0].outcome.solutions(),
+            sequential_solutions(&p, "gf(sam, G)"),
+            "{policy:?}"
+        );
+    }
+}
+
+#[test]
+fn round_robin_deals_across_pools() {
+    let p = parse_program(FAMILY).unwrap();
+    let server = QueryServer::new(
+        &p.db,
+        store_cfg(p.db.len(), 4),
+        ServeConfig {
+            n_pools: 3,
+            routing: Routing::RoundRobin,
+            ..ServeConfig::default()
+        },
+    );
+    // One hot session, six requests: RR spreads them over all pools.
+    let report = server.serve((0..6).map(|_| QueryRequest::new(7, "gf(sam, G)")).collect());
+    let pools: std::collections::BTreeSet<usize> =
+        report.responses.iter().map(|r| r.pool).collect();
+    assert_eq!(pools.len(), 3, "round-robin uses every pool: {pools:?}");
+    // Affinity on the same load keeps one pool.
+    let server = QueryServer::new(
+        &p.db,
+        store_cfg(p.db.len(), 4),
+        ServeConfig {
+            n_pools: 3,
+            routing: Routing::SessionAffinity,
+            ..ServeConfig::default()
+        },
+    );
+    let report = server.serve((0..6).map(|_| QueryRequest::new(7, "gf(sam, G)")).collect());
+    let pools: std::collections::BTreeSet<usize> =
+        report.responses.iter().map(|r| r.pool).collect();
+    assert_eq!(pools.len(), 1, "affinity keeps the session home");
+}
+
+#[test]
+fn overflow_threshold_diverts_a_hot_session() {
+    let p = parse_program(FAMILY).unwrap();
+    let server = QueryServer::new(
+        &p.db,
+        store_cfg(p.db.len(), 4),
+        ServeConfig {
+            n_pools: 2,
+            routing: Routing::SessionAffinity,
+            overflow_threshold: Some(2),
+            ..ServeConfig::default()
+        },
+    );
+    let report = server.serve((0..8).map(|_| QueryRequest::new(7, "gf(sam, G)")).collect());
+    assert!(
+        report.stats.overflow_admissions > 0,
+        "a hot session past the threshold must divert"
+    );
+    let pools: std::collections::BTreeSet<usize> =
+        report.responses.iter().map(|r| r.pool).collect();
+    assert_eq!(pools.len(), 2, "diverted requests land on the other pool");
+    // Queue peaks stay near the threshold: 8 requests over 2 pools with
+    // threshold 2 must not pile 7 deep anywhere.
+    for pr in &report.stats.per_pool {
+        assert!(pr.queue_peak <= 5, "pool {} peaked at {}", pr.pool, pr.queue_peak);
+    }
+    // Every response still exact.
+    let expect = sequential_solutions(&p, "gf(sam, G)");
+    for r in &report.responses {
+        assert_eq!(r.outcome.solutions(), expect);
+    }
+}
+
+#[test]
+fn malformed_and_unknown_queries_reject_without_engine_work() {
+    let p = parse_program(FAMILY).unwrap();
+    let server = QueryServer::new(&p.db, store_cfg(p.db.len(), 4), ServeConfig::default());
+    let report = server.serve(vec![
+        QueryRequest::new(1, "gf(sam,"),
+        QueryRequest::new(2, "zebra(sam, G)"),
+        QueryRequest::new(3, "gf(sam, G)"),
+    ]);
+    assert_eq!(report.stats.rejected, 2);
+    assert_eq!(report.stats.completed, 1);
+    for r in &report.responses[..2] {
+        assert!(matches!(r.outcome, Outcome::Rejected { .. }));
+        assert_eq!(r.stats.nodes_expanded, 0);
+        assert_eq!(r.store_accesses, 0);
+    }
+    // A rejection touches none of the session's tracks, so it must not
+    // mark the session warm for the next request.
+    let retry = server.serve(vec![QueryRequest::new(1, "gf(sam, G)")]);
+    assert!(
+        !retry.responses[0].warm,
+        "a rejected request must not warm its session"
+    );
+    let after = server.serve(vec![QueryRequest::new(1, "gf(sam, G)")]);
+    assert!(after.responses[0].warm, "a completed request does");
+}
+
+#[test]
+fn per_request_node_budget_truncates() {
+    let p = parse_program(
+        "
+        edge(a,b). edge(b,a).
+        path(X,Y) :- edge(X,Y).
+        path(X,Z) :- edge(X,Y), path(Y,Z).
+    ",
+    )
+    .unwrap();
+    let server = QueryServer::new(&p.db, store_cfg(p.db.len(), 4), ServeConfig::default());
+    let report = server.serve(vec![
+        QueryRequest::new(1, "path(a, X)").with_max_nodes(100)
+    ]);
+    let r = &report.responses[0];
+    assert!(r.outcome.is_completed(), "budget exhaustion is not cancellation");
+    assert!(r.stats.truncated, "but it is reported as truncation");
+    assert!(r.stats.nodes_expanded <= 101);
+}
+
+#[test]
+fn deadline_cancels_mid_flight_and_keeps_partials() {
+    // Unbounded left-recursive search; only the deadline can stop it.
+    let p = parse_program(
+        "
+        edge(a,b). edge(b,a).
+        path(X,Y) :- edge(X,Y).
+        path(X,Z) :- edge(X,Y), path(Y,Z).
+    ",
+    )
+    .unwrap();
+    let server = QueryServer::new(
+        &p.db,
+        store_cfg(p.db.len(), 4),
+        ServeConfig {
+            n_pools: 1,
+            solve: SolveConfig {
+                max_nodes: None,
+                ..SolveConfig::all()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let t0 = std::time::Instant::now();
+    let report = server.serve(vec![
+        QueryRequest::new(1, "path(a, X)").with_deadline(Duration::from_millis(30))
+    ]);
+    let elapsed = t0.elapsed();
+    let r = &report.responses[0];
+    assert!(
+        matches!(r.outcome, Outcome::Cancelled { .. }),
+        "unbounded search must be reaped: {:?}",
+        r.outcome
+    );
+    assert!(r.stats.truncated);
+    assert_eq!(report.stats.cancelled, 1);
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "reaper must fire promptly, took {elapsed:?}"
+    );
+}
+
+#[test]
+fn expired_in_queue_requests_are_shed_unrun() {
+    // One slow request ahead of a zero-deadline one on a single pool:
+    // the second expires while queued and must not run at all.
+    let p = parse_program(
+        "
+        edge(a,b). edge(b,a).
+        path(X,Y) :- edge(X,Y).
+        path(X,Z) :- edge(X,Y), path(Y,Z).
+    ",
+    )
+    .unwrap();
+    let server = QueryServer::new(
+        &p.db,
+        store_cfg(p.db.len(), 4),
+        ServeConfig {
+            n_pools: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let report = server.serve(vec![
+        QueryRequest::new(1, "path(a, X)").with_max_nodes(2_000),
+        QueryRequest::new(2, "path(a, X)").with_deadline(Duration::ZERO),
+    ]);
+    let shed = &report.responses[1];
+    assert!(matches!(shed.outcome, Outcome::Cancelled { .. }));
+    assert_eq!(shed.stats.nodes_expanded, 0, "shed without engine work");
+    assert_eq!(shed.store_accesses, 0);
+}
+
+#[test]
+fn store_cache_stays_warm_across_batches() {
+    let p = parse_program(FAMILY).unwrap();
+    let server = QueryServer::new(
+        &p.db,
+        store_cfg(p.db.len(), 16),
+        ServeConfig {
+            n_pools: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let cold = server.serve(vec![QueryRequest::new(1, "gf(sam, G)")]);
+    let warm = server.serve(vec![QueryRequest::new(1, "gf(sam, G)")]);
+    let cold_rate = cold.responses[0].store_hit_rate();
+    let warm_rate = warm.responses[0].store_hit_rate();
+    assert!(
+        warm_rate > cold_rate,
+        "second batch must hit the resident tracks: {cold_rate} -> {warm_rate}"
+    );
+    assert!(warm.responses[0].warm, "session ledger persists too");
+}
+
+#[test]
+fn serve_stats_are_internally_consistent() {
+    let mix = TenantMix {
+        n_tenants: 3,
+        queries_per_tenant: 5,
+        ..TenantMix::default()
+    };
+    let (p, metas) = tenant_mix_program(&mix);
+    let requests: Vec<QueryRequest> = tenant_mix_requests(&mix, &metas)
+        .into_iter()
+        .map(|r| QueryRequest::new(r.tenant as u64, r.text).with_tenant(r.tenant as u32))
+        .collect();
+    let server = QueryServer::new(
+        &p.db,
+        store_cfg(p.db.len(), 8),
+        ServeConfig {
+            n_pools: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let report = server.serve(requests);
+    let s = &report.stats;
+    assert_eq!(s.requests, 15);
+    assert_eq!(s.completed + s.cancelled + s.rejected, s.requests);
+    assert_eq!(s.rejected, 0);
+    assert_eq!(
+        s.per_pool.iter().map(|p| p.served).sum::<usize>(),
+        s.requests
+    );
+    // Store counters balance: the run's delta equals the pool touches,
+    // equals the per-response attribution.
+    let pool_accesses: u64 = s.per_pool.iter().map(|p| p.touches.accesses).sum();
+    let response_accesses: u64 = report.responses.iter().map(|r| r.store_accesses).sum();
+    assert_eq!(s.store.accesses, pool_accesses);
+    assert_eq!(s.store.accesses, response_accesses);
+    assert_eq!(s.store.hits + s.store.misses, s.store.accesses);
+    assert_eq!(s.warm.accesses + s.cold.accesses, s.store.accesses);
+    assert_eq!(s.warm.requests + s.cold.requests, s.requests);
+    assert!(s.throughput_rps > 0.0);
+    assert!(s.p99_ms >= s.p50_ms);
+    assert!(s.store.lock_acquisitions > 0);
+    // Every response exact vs sequential.
+    let originals = tenant_mix_requests(&mix, &metas);
+    for r in &report.responses {
+        let text = &originals[r.request].text;
+        assert_eq!(
+            r.outcome.solutions(),
+            sequential_solutions(&p, text),
+            "request {} ({text})",
+            r.request
+        );
+    }
+}
+
+#[test]
+fn tenant_mix_affinity_beats_round_robin_on_warm_hits() {
+    // The §5 claim in miniature: drifting sessions with disjoint working
+    // sets through a capacity-limited shared cache — affinity keeps each
+    // session's tracks warm between its bursts, round-robin scatters the
+    // session across pools so its repeat queries run cold.
+    let mix = TenantMix {
+        n_tenants: 6,
+        queries_per_tenant: 8,
+        drift: 0.1,
+        burst: 2,
+        family: FamilyParams {
+            generations: 3,
+            branching: 3,
+            ..FamilyParams::default()
+        },
+        ..TenantMix::default()
+    };
+    let (p, metas) = tenant_mix_program(&mix);
+    let gen_requests = || -> Vec<QueryRequest> {
+        tenant_mix_requests(&mix, &metas)
+            .into_iter()
+            .map(|r| QueryRequest::new(r.tenant as u64, r.text).with_tenant(r.tenant as u32))
+            .collect()
+    };
+    // Capacity: a couple of tenants' working sets, not all six.
+    let tracks_total = p.db.len().div_ceil(2);
+    let capacity = (tracks_total / 3).max(2);
+    let run = |routing: Routing| {
+        let server = QueryServer::new(
+            &p.db,
+            store_cfg(p.db.len(), capacity),
+            ServeConfig {
+                n_pools: 2,
+                routing,
+                ..ServeConfig::default()
+            },
+        );
+        server.serve(gen_requests()).stats
+    };
+    let aff = run(Routing::SessionAffinity);
+    let rr = run(Routing::RoundRobin);
+    let aff_rate = aff.store.hits as f64 / aff.store.accesses as f64;
+    let rr_rate = rr.store.hits as f64 / rr.store.accesses as f64;
+    assert!(
+        aff_rate > rr_rate,
+        "affinity {aff_rate:.3} must beat round-robin {rr_rate:.3} on hit rate"
+    );
+    assert!(
+        aff.warm.hit_rate() >= aff.cold.hit_rate(),
+        "warm requests hit at least as often as cold ones: warm {:.3} cold {:.3}",
+        aff.warm.hit_rate(),
+        aff.cold.hit_rate()
+    );
+}

@@ -47,7 +47,10 @@ pub mod timing;
 pub use block::{Block, BlockId, NamedPointer};
 pub use bridge::{build_spd_from_db, DbLayout};
 pub use lru::{LruSet, Touch};
-pub use paged::{PagedClauseStore, PagedStoreConfig, PagedStoreStats, TrackId};
+pub use paged::{
+    PagedClauseStore, PagedStoreConfig, PagedStoreStats, PoolTouchStats, PoolView, TouchOutcome,
+    TrackId,
+};
 pub use pager::{Pager, PagerStats};
 pub use policy::{Clock, Fifo, Lru, PolicyKind, PolicyStats, ReplacementPolicy, TwoQ};
 pub use spd::{GcReport, PageRequest, PageResult, SpMode, SpdArray, SpdStats, TrackFull};

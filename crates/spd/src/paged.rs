@@ -23,7 +23,8 @@
 //! assert both halves of that claim.
 
 use std::borrow::Cow;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, TryLockError};
 
 use blog_logic::{BindingLookup, Clause, ClauseDb, ClauseId, ClauseSource, SourceStats, Term};
 use serde::Serialize;
@@ -85,6 +86,14 @@ pub struct PagedStoreStats {
     pub evictions: u64,
     /// Simulated ticks spent on faults (seeks plus track loads).
     pub fault_ticks: u64,
+    /// Times the cache mutex was taken (every touch, stat read, or
+    /// reset is one acquisition).
+    pub lock_acquisitions: u64,
+    /// Acquisitions that found the mutex held by another thread and had
+    /// to block. With a single accessor this is structurally zero; under
+    /// a serving fleet the `contended / acquisitions` ratio attributes
+    /// slowdowns to store contention rather than scheduling.
+    pub lock_contended: u64,
 }
 
 impl PagedStoreStats {
@@ -97,6 +106,42 @@ impl PagedStoreStats {
     }
 }
 
+/// Per-pool slice of the store's touch counters, so a multi-pool server
+/// over **one** shared cache can still attribute hits and faults to the
+/// worker pool (and therefore to the session mix) that generated them.
+#[derive(Clone, Copy, Default, Debug, Serialize)]
+pub struct PoolTouchStats {
+    /// Clause fetches this pool routed through the cache.
+    pub accesses: u64,
+    /// Fetches of this pool whose track was resident.
+    pub hits: u64,
+    /// Fetches of this pool that faulted a track in.
+    pub misses: u64,
+    /// Simulated fault ticks charged to this pool's fetches.
+    pub fault_ticks: u64,
+}
+
+impl PoolTouchStats {
+    /// Hit rate in `[0, 1]` (zero when nothing was accessed).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.accesses as f64
+    }
+}
+
+/// Outcome of one accounted clause touch.
+#[derive(Clone, Copy, Debug)]
+pub struct TouchOutcome {
+    /// Whether the clause's track was resident.
+    pub hit: bool,
+    /// Ticks charged for the fault (zero on a hit) — seek plus track
+    /// load. A latency-simulating caller (the serving layer's
+    /// [`PoolView`]) can convert these into a real stall.
+    pub fault_ticks: u64,
+}
+
 /// Mutable cache state, behind one mutex so the store can implement
 /// [`ClauseSource`]'s `&self` methods (and be shared across threads).
 #[derive(Debug)]
@@ -105,6 +150,8 @@ struct CacheState {
     /// Per-SP head position, for seek cost.
     heads: Vec<u32>,
     stats: PagedStoreStats,
+    /// Per-pool touch counters, grown on first use of each pool id.
+    pools: Vec<PoolTouchStats>,
 }
 
 /// A [`ClauseDb`] served through a policy-driven track cache with SPD
@@ -116,6 +163,10 @@ pub struct PagedClauseStore<'a> {
     cost: CostModel,
     policy_kind: PolicyKind,
     inner: Mutex<CacheState>,
+    /// Lock-traffic meters, outside the mutex so a *contended* attempt
+    /// can be counted before the thread blocks on it.
+    lock_acquisitions: AtomicU64,
+    lock_contended: AtomicU64,
 }
 
 impl<'a> PagedClauseStore<'a> {
@@ -140,7 +191,23 @@ impl<'a> PagedClauseStore<'a> {
                 policy: config.policy.build(config.capacity_tracks),
                 heads: vec![0; config.geometry.n_sps as usize],
                 stats: PagedStoreStats::default(),
+                pools: Vec::new(),
             }),
+            lock_acquisitions: AtomicU64::new(0),
+            lock_contended: AtomicU64::new(0),
+        }
+    }
+
+    /// Take the cache mutex, metering acquisitions and contention.
+    fn lock(&self) -> MutexGuard<'_, CacheState> {
+        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                self.lock_contended.fetch_add(1, Ordering::Relaxed);
+                self.inner.lock().unwrap()
+            }
+            Err(TryLockError::Poisoned(p)) => panic!("paged store mutex poisoned: {p}"),
         }
     }
 
@@ -152,7 +219,7 @@ impl<'a> PagedClauseStore<'a> {
     /// The policy's own counters (a second view over the same accesses
     /// [`stats`](Self::stats) meters, minus the cost-model fields).
     pub fn policy_stats(&self) -> PolicyStats {
-        self.inner.lock().unwrap().policy.stats()
+        self.lock().policy.stats()
     }
 
     /// The backing database.
@@ -183,13 +250,24 @@ impl<'a> PagedClauseStore<'a> {
     /// [`fetch_clause`](ClauseSource::fetch_clause); trace replays can
     /// call it directly.
     pub fn touch_clause(&self, cid: ClauseId) -> bool {
+        self.touch_clause_for_pool(cid, None).hit
+    }
+
+    /// [`touch_clause`](Self::touch_clause), attributing the access to
+    /// worker pool `pool` (see [`PoolTouchStats`]). One lock acquisition
+    /// covers the global and per-pool accounting; the pool counter table
+    /// grows on first use of each pool id.
+    pub fn touch_clause_for_pool(&self, cid: ClauseId, pool: Option<usize>) -> TouchOutcome {
         let track = self.track_of(cid);
-        let mut state = self.inner.lock().unwrap();
+        let mut state = self.lock();
         state.stats.accesses += 1;
-        match state.policy.access(track) {
+        let outcome = match state.policy.access(track) {
             Touch::Hit => {
                 state.stats.hits += 1;
-                true
+                TouchOutcome {
+                    hit: true,
+                    fault_ticks: 0,
+                }
             }
             Touch::Miss { evicted } => {
                 state.stats.misses += 1;
@@ -197,17 +275,62 @@ impl<'a> PagedClauseStore<'a> {
                 // Seek the SP's head to the faulting cylinder, then load
                 // the track. Evictions are free: the database is
                 // read-only, so every cached track is clean.
+                let mut ticks = 0;
                 let head = state.heads[track.sp as usize];
                 if head != track.cylinder {
                     let distance = head.abs_diff(track.cylinder) as u64;
-                    state.stats.fault_ticks +=
-                        self.cost.seek_settle + distance * self.cost.seek_per_cylinder;
+                    ticks += self.cost.seek_settle + distance * self.cost.seek_per_cylinder;
                     state.heads[track.sp as usize] = track.cylinder;
                 }
-                state.stats.fault_ticks += self.cost.track_load;
-                false
+                ticks += self.cost.track_load;
+                state.stats.fault_ticks += ticks;
+                TouchOutcome {
+                    hit: false,
+                    fault_ticks: ticks,
+                }
             }
+        };
+        if let Some(p) = pool {
+            if state.pools.len() <= p {
+                state.pools.resize(p + 1, PoolTouchStats::default());
+            }
+            let slot = &mut state.pools[p];
+            slot.accesses += 1;
+            slot.hits += u64::from(outcome.hit);
+            slot.misses += u64::from(!outcome.hit);
+            slot.fault_ticks += outcome.fault_ticks;
         }
+        outcome
+    }
+
+    /// A [`ClauseSource`] view of this store that attributes every touch
+    /// to worker pool `pool` and (optionally) *stalls* the calling thread
+    /// on faults — the concurrent read path a multi-pool query server
+    /// executes through.
+    pub fn pool_view(&self, pool: usize) -> PoolView<'_, 'a> {
+        PoolView {
+            store: self,
+            pool,
+            stall_ns_per_tick: 0,
+        }
+    }
+
+    /// This pool's touch counters (zeros for a pool never seen).
+    pub fn pool_stats(&self, pool: usize) -> PoolTouchStats {
+        let state = self.lock();
+        state.pools.get(pool).copied().unwrap_or_default()
+    }
+
+    /// Lock-traffic meters: `(acquisitions, contended acquisitions)`.
+    ///
+    /// Also folded into [`stats`](Self::stats); this accessor reads them
+    /// without taking the cache mutex at all, so it never perturbs the
+    /// contention it reports.
+    pub fn lock_stats(&self) -> (u64, u64) {
+        (
+            self.lock_acquisitions.load(Ordering::Relaxed),
+            self.lock_contended.load(Ordering::Relaxed),
+        )
     }
 
     /// Replay a clause-access trace; returns the cumulative stats.
@@ -218,37 +341,132 @@ impl<'a> PagedClauseStore<'a> {
         self.stats()
     }
 
-    /// Counters so far.
+    /// Counters so far (lock-traffic meters included).
     pub fn stats(&self) -> PagedStoreStats {
-        self.inner.lock().unwrap().stats
+        let mut stats = self.lock().stats;
+        (stats.lock_acquisitions, stats.lock_contended) = self.lock_stats();
+        stats
     }
 
     /// Reset counters — the store's and the policy's, which stay two
-    /// views over the same accesses; resident tracks and head positions
-    /// persist (use [`clear`](Self::clear) to also drop the cache).
+    /// views over the same accesses, plus the per-pool and lock-traffic
+    /// meters; resident tracks and head positions persist (use
+    /// [`clear`](Self::clear) to also drop the cache).
     pub fn reset_stats(&self) {
-        let mut state = self.inner.lock().unwrap();
+        let mut state = self.lock();
         state.stats = PagedStoreStats::default();
+        state.pools.clear();
         *state.policy.stats_mut() = PolicyStats::default();
+        self.lock_acquisitions.store(0, Ordering::Relaxed);
+        self.lock_contended.store(0, Ordering::Relaxed);
     }
 
     /// Drop every resident track, park the heads, and reset counters.
     pub fn clear(&self) {
-        let mut state = self.inner.lock().unwrap();
+        let mut state = self.lock();
         state.policy.clear();
         state.heads.fill(0);
         state.stats = PagedStoreStats::default();
+        state.pools.clear();
+        self.lock_acquisitions.store(0, Ordering::Relaxed);
+        self.lock_contended.store(0, Ordering::Relaxed);
     }
 
     /// Number of resident tracks.
     pub fn resident_tracks(&self) -> usize {
-        self.inner.lock().unwrap().policy.len()
+        self.lock().policy.len()
     }
 
     /// Whether clause `cid`'s track is resident (no recency effect).
     pub fn is_resident(&self, cid: ClauseId) -> bool {
         let track = self.track_of(cid);
-        self.inner.lock().unwrap().policy.contains(&track)
+        self.lock().policy.contains(&track)
+    }
+}
+
+/// A pool-tagged [`ClauseSource`] view over a shared
+/// [`PagedClauseStore`].
+///
+/// Many pools hold views over **one** store: all share the same resident
+/// tracks (a track faulted in by one pool hits for every pool — the §5
+/// warm-cache effect a serving layer schedules for) while touches are
+/// attributed per pool. With [`stall_ns_per_tick`](Self::with_stall) set,
+/// a fault also *sleeps* the calling thread for the fault's simulated
+/// ticks — the SPD's disk latency made real, so a multi-pool server
+/// overlaps one pool's I/O stall with another pool's computation exactly
+/// as the paper's processors hide track-load latency. The sleep happens
+/// **after** the cache mutex is released; residency bookkeeping is never
+/// held across a stall.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolView<'s, 'db> {
+    store: &'s PagedClauseStore<'db>,
+    pool: usize,
+    stall_ns_per_tick: u64,
+}
+
+impl<'s, 'db> PoolView<'s, 'db> {
+    /// This view with faults stalling the caller `ns_per_tick`
+    /// nanoseconds per simulated tick (0 = no stall, accounting only).
+    pub fn with_stall(mut self, ns_per_tick: u64) -> Self {
+        self.stall_ns_per_tick = ns_per_tick;
+        self
+    }
+
+    /// The pool id this view attributes touches to.
+    pub fn pool(&self) -> usize {
+        self.pool
+    }
+
+    /// The shared store behind this view.
+    pub fn store(&self) -> &'s PagedClauseStore<'db> {
+        self.store
+    }
+
+    /// This pool's touch counters so far.
+    pub fn stats(&self) -> PoolTouchStats {
+        self.store.pool_stats(self.pool)
+    }
+}
+
+impl ClauseSource for PoolView<'_, '_> {
+    fn fetch_clause(&self, id: ClauseId) -> &Clause {
+        let outcome = self.store.touch_clause_for_pool(id, Some(self.pool));
+        if self.stall_ns_per_tick > 0 && outcome.fault_ticks > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(
+                outcome.fault_ticks * self.stall_ns_per_tick,
+            ));
+        }
+        self.store.db.clause(id)
+    }
+
+    fn candidate_clauses<'a>(
+        &'a self,
+        goal: &Term,
+        bindings: &dyn BindingLookup,
+    ) -> Cow<'a, [ClauseId]> {
+        // As for the store itself: candidate lists ride in the caller's
+        // block, already paid for when the caller was fetched.
+        self.store.db.candidates_for_resolved(goal, bindings)
+    }
+
+    fn clause_count(&self) -> usize {
+        self.store.db.len()
+    }
+
+    fn backend_name(&self) -> String {
+        format!("paged/{}/pool{}", self.store.policy_kind.name(), self.pool)
+    }
+
+    fn source_stats(&self) -> Option<SourceStats> {
+        let s = self.stats();
+        Some(SourceStats {
+            accesses: s.accesses,
+            hits: s.hits,
+            misses: s.misses,
+            // Evictions are a store-wide event; they cannot be attributed
+            // to the pool whose fault happened to trigger them.
+            evictions: 0,
+        })
     }
 }
 
@@ -426,6 +644,112 @@ mod tests {
         assert_eq!(src.misses, s.misses);
         assert_eq!(src.evictions, s.evictions);
         assert_eq!(src.hit_rate(), s.hit_rate());
+    }
+
+    #[test]
+    fn pool_views_split_the_shared_counters() {
+        let p = parse_program(FAMILY).unwrap();
+        let store = PagedClauseStore::new(&p.db, small_config(4));
+        let v0 = store.pool_view(0);
+        let v1 = store.pool_view(1);
+        // Pool 0 faults the track in; pool 1 then hits the SAME cache.
+        v0.fetch_clause(ClauseId(0));
+        v1.fetch_clause(ClauseId(0));
+        v1.fetch_clause(ClauseId(1));
+        let s0 = v0.stats();
+        let s1 = v1.stats();
+        assert_eq!((s0.accesses, s0.hits, s0.misses), (1, 0, 1));
+        assert_eq!((s1.accesses, s1.hits, s1.misses), (2, 2, 0), "warm via pool 0");
+        let total = store.stats();
+        assert_eq!(total.accesses, 3);
+        assert_eq!(total.hits, s0.hits + s1.hits);
+        assert_eq!(total.misses, s0.misses + s1.misses);
+        assert_eq!(total.fault_ticks, s0.fault_ticks + s1.fault_ticks);
+        assert_eq!(ClauseSource::backend_name(&v1), "paged/lru/pool1");
+        let src = v1.source_stats().unwrap();
+        assert_eq!((src.accesses, src.hits), (2, 2));
+    }
+
+    #[test]
+    fn untouched_pool_reports_zeros() {
+        let p = parse_program(FAMILY).unwrap();
+        let store = PagedClauseStore::new(&p.db, small_config(4));
+        let s = store.pool_stats(7);
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn lock_meter_counts_acquisitions_and_resets() {
+        let p = parse_program(FAMILY).unwrap();
+        let store = PagedClauseStore::new(&p.db, small_config(4));
+        store.touch_clause(ClauseId(0));
+        store.touch_clause(ClauseId(1));
+        let s = store.stats();
+        // Two touches plus the stats() read itself.
+        assert_eq!(s.lock_acquisitions, 3);
+        assert_eq!(s.lock_contended, 0, "single thread never contends");
+        let (acq, cont) = store.lock_stats();
+        assert_eq!((acq, cont), (3, 0), "lock_stats reads without locking");
+        store.reset_stats();
+        let s = store.stats();
+        assert_eq!(s.lock_acquisitions, 1, "just the stats() read");
+        assert_eq!(store.pool_stats(0).accesses, 0, "pool meters reset too");
+    }
+
+    #[test]
+    fn shared_store_is_concurrency_safe_and_exact() {
+        // N threads hammer one store through per-pool views; the global
+        // counters must balance exactly and residency stay bounded.
+        let p = parse_program(FAMILY).unwrap();
+        let store = PagedClauseStore::new(&p.db, small_config(2));
+        let n_threads = 4;
+        let rounds = 50;
+        std::thread::scope(|scope| {
+            for t in 0..n_threads {
+                let store = &store;
+                let db = &p.db;
+                scope.spawn(move || {
+                    let view = store.pool_view(t);
+                    for r in 0..rounds {
+                        for i in 0..db.len() {
+                            // Offset start per thread/round to vary interleaving.
+                            let cid = ClauseId(((i + t + r) % db.len()) as u32);
+                            view.fetch_clause(cid);
+                        }
+                    }
+                });
+            }
+        });
+        let expected = (n_threads * rounds * p.db.len()) as u64;
+        let s = store.stats();
+        assert_eq!(s.accesses, expected);
+        assert_eq!(s.hits + s.misses, s.accesses);
+        assert!(store.resident_tracks() <= 2);
+        let per_pool: u64 = (0..n_threads).map(|t| store.pool_stats(t).accesses).sum();
+        assert_eq!(per_pool, expected, "every access attributed to a pool");
+        assert!(s.lock_acquisitions >= expected);
+    }
+
+    #[test]
+    fn stalling_view_sleeps_on_faults_only() {
+        let p = parse_program(FAMILY).unwrap();
+        let store = PagedClauseStore::new(&p.db, small_config(4));
+        // ~1µs per tick; a default-cost fault is >= track_load ticks.
+        let view = store.pool_view(0).with_stall(1_000);
+        let t0 = std::time::Instant::now();
+        view.fetch_clause(ClauseId(0));
+        let fault_elapsed = t0.elapsed();
+        let ticks = view.stats().fault_ticks;
+        assert!(ticks > 0);
+        assert!(
+            fault_elapsed >= std::time::Duration::from_nanos(ticks * 1_000),
+            "fault must stall: {fault_elapsed:?} for {ticks} ticks"
+        );
+        // Hits never stall (can't assert an upper bound on a loaded box,
+        // but the accounting must show zero new fault ticks).
+        view.fetch_clause(ClauseId(0));
+        assert_eq!(view.stats().fault_ticks, ticks);
     }
 
     #[test]

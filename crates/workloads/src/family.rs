@@ -87,14 +87,33 @@ impl FamilyMeta {
 /// Generate a family program. The emitted program carries one query,
 /// `?- gf(<root>, G)`.
 pub fn family_program(params: &FamilyParams) -> (Program, FamilyMeta) {
+    let (mut src, meta) = family_source(params, "");
+    writeln!(src, "?- gf({}, G).", meta.root()).expect("write to string");
+    let program = parse_program(&src).expect("generated family program parses");
+    (program, meta)
+}
+
+/// The clause text of a family (no query), with every predicate name
+/// prefixed by `prefix` — `family_source(p, "t3_")` emits `t3_gf/2`,
+/// `t3_f/2`, `t3_m/2` (and `t3_ggf/2` under `deep_rules`).
+///
+/// Prefixing the *predicates* is what gives multi-tenant workloads
+/// disjoint working sets: concatenating differently-prefixed families
+/// into one program yields one clause database in which no candidate
+/// (figure-4 pointer) list ever crosses a tenant boundary, so each
+/// tenant's queries touch only that tenant's clause blocks — and
+/// therefore that tenant's SPD tracks. Person constants are deliberately
+/// *shared* across prefixes (they are plain atoms; sharing keeps the
+/// symbol table small and changes no semantics).
+pub fn family_source(params: &FamilyParams, prefix: &str) -> (String, FamilyMeta) {
     let mut rng = SmallRng::seed_from_u64(params.seed);
     let mut src = String::new();
     // The paper's two rules, verbatim shape.
-    src.push_str("gf(X,Z) :- f(X,Y), f(Y,Z).\n");
-    src.push_str("gf(X,Z) :- f(X,Y), m(Y,Z).\n");
+    writeln!(src, "{prefix}gf(X,Z) :- {prefix}f(X,Y), {prefix}f(Y,Z).").expect("write");
+    writeln!(src, "{prefix}gf(X,Z) :- {prefix}f(X,Y), {prefix}m(Y,Z).").expect("write");
     if params.deep_rules {
-        src.push_str("ggf(X,Z) :- gf(X,Y), f(Y,Z).\n");
-        src.push_str("ggf(X,Z) :- gf(X,Y), m(Y,Z).\n");
+        writeln!(src, "{prefix}ggf(X,Z) :- {prefix}gf(X,Y), {prefix}f(Y,Z).").expect("write");
+        writeln!(src, "{prefix}ggf(X,Z) :- {prefix}gf(X,Y), {prefix}m(Y,Z).").expect("write");
     }
 
     let mut persons: Vec<Vec<String>> = vec![vec!["p0_0".to_owned()]];
@@ -109,7 +128,7 @@ pub fn family_program(params: &FamilyParams) -> (Program, FamilyMeta) {
             for c in 0..params.branching {
                 let child = format!("p{}_{}", g, level.len());
                 let _ = c;
-                writeln!(src, "f({parent},{child}).").expect("write to string");
+                writeln!(src, "{prefix}f({parent},{child}).").expect("write to string");
                 f_facts += 1;
                 // Mother facts.
                 let roll: f64 = rng.gen();
@@ -118,12 +137,12 @@ pub fn family_program(params: &FamilyParams) -> (Program, FamilyMeta) {
                     // (she has a father, so the m-rule can succeed).
                     let pool = &persons[(g - 1) as usize];
                     let mother = &pool[rng.gen_range(0..pool.len())];
-                    writeln!(src, "m({mother},{child}).").expect("write to string");
+                    writeln!(src, "{prefix}m({mother},{child}).").expect("write to string");
                     m_facts += 1;
                 } else if roll < params.tree_mother_density + params.external_mother_density {
                     let mother = format!("ext{external_counter}");
                     external_counter += 1;
-                    writeln!(src, "m({mother},{child}).").expect("write to string");
+                    writeln!(src, "{prefix}m({mother},{child}).").expect("write to string");
                     m_facts += 1;
                 }
                 level.push(child);
@@ -132,10 +151,8 @@ pub fn family_program(params: &FamilyParams) -> (Program, FamilyMeta) {
         persons.push(level);
     }
 
-    writeln!(src, "?- gf({}, G).", persons[0][0]).expect("write to string");
-    let program = parse_program(&src).expect("generated family program parses");
     (
-        program,
+        src,
         FamilyMeta {
             persons,
             f_facts,
@@ -194,6 +211,49 @@ mod tests {
         // f-f rule alone gives 9; m-rule adds more (mothers are gen-1
         // persons whose father might be the root).
         assert!(r.solutions.len() >= 9, "got {}", r.solutions.len());
+    }
+
+    #[test]
+    fn prefixed_source_isolates_predicates() {
+        let params = FamilyParams {
+            generations: 3,
+            branching: 2,
+            seed: 7,
+            ..FamilyParams::default()
+        };
+        let (a, meta_a) = family_source(&params, "t0_");
+        let (b, meta_b) = family_source(&params, "t1_");
+        // Same tree shape, disjoint predicate namespaces.
+        assert_eq!(meta_a.f_facts, meta_b.f_facts);
+        let merged = blog_logic::parse_program(&format!("{a}{b}")).unwrap();
+        let t0_gf = merged.db.sym("t0_gf").unwrap();
+        let t1_gf = merged.db.sym("t1_gf").unwrap();
+        assert_eq!(merged.db.resolvers((t0_gf, 2)).len(), 2);
+        assert_eq!(merged.db.resolvers((t1_gf, 2)).len(), 2);
+        // A t0 query resolves exclusively through t0 clauses.
+        let mut db = merged.db.clone();
+        let q = blog_logic::parse_query(&mut db, &format!("t0_gf({}, G)", meta_a.root()))
+            .unwrap();
+        let r = dfs_all(&db, &q, &SolveConfig::all());
+        assert_eq!(r.solutions.len(), 4, "branching^2 grandchildren");
+        let _ = t1_gf;
+    }
+
+    #[test]
+    fn empty_prefix_matches_family_program() {
+        let params = FamilyParams {
+            generations: 3,
+            branching: 2,
+            seed: 11,
+            ..FamilyParams::default()
+        };
+        let (src, meta) = family_source(&params, "");
+        let (p, meta2) = family_program(&params);
+        assert_eq!(meta.f_facts, meta2.f_facts);
+        assert_eq!(meta.m_facts, meta2.m_facts);
+        // family_program = family_source + the root query.
+        let parsed = blog_logic::parse_program(&src).unwrap();
+        assert_eq!(parsed.db.len(), p.db.len());
     }
 
     #[test]

@@ -25,11 +25,14 @@ pub mod mapcolor;
 pub mod queens;
 pub mod sessions;
 
-pub use family::{family_program, FamilyParams};
+pub use family::{family_program, family_source, FamilyMeta, FamilyParams};
 pub use graph::{dag_reach_program, DagParams};
 pub use mapcolor::{mapcolor_program, MapColorParams};
 pub use queens::{queens_program, QueensParams};
-pub use sessions::{session_queries, SessionSpec};
+pub use sessions::{
+    session_queries, tenant_mix_program, tenant_mix_requests, SessionSpec, TenantMix,
+    TenantRequest,
+};
 
 /// The verbatim figure-1 program from the paper, used by tests, examples
 /// and the F1/F3/W1 experiments.

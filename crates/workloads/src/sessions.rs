@@ -6,10 +6,21 @@
 //! that shape: a random walk over query subjects where each step repeats
 //! the previous subject with probability `1 - drift` and jumps to a fresh
 //! one with probability `drift`.
+//!
+//! [`TenantMix`] lifts the same shape to a *population*: many tenants,
+//! each running its own drifting §5 session over its own **disjoint**
+//! clause working set (per-tenant predicate namespaces — see
+//! [`family_source`]), with query texts
+//! emitted in burst-interleaved arrival order. This is the offered load
+//! a multi-session query server schedules; whether the server's routing
+//! keeps each tenant's warm tracks warm is exactly what the T9 serving
+//! sweep measures.
 
-use blog_logic::{parse_query, ClauseDb, Query};
+use blog_logic::{parse_program, parse_query, ClauseDb, Program, Query};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+use crate::family::{family_source, FamilyMeta, FamilyParams};
 
 /// Parameters for [`session_queries`].
 #[derive(Clone, Debug)]
@@ -64,10 +75,162 @@ pub fn session_queries(
     (queries, subject_trace)
 }
 
+/// Parameters for the multi-tenant traffic generator.
+///
+/// Each of `n_tenants` tenants owns a private family tree (predicates
+/// `t<k>_gf`, `t<k>_f`, … — disjoint working sets by construction) and
+/// runs a drifting [`SessionSpec`]-style walk over its own query
+/// subjects. Queries are *mixed-predicate*: with `deep_share > 0` (and
+/// `family.deep_rules` on) a step asks the five-arc-deep `t<k>_ggf`
+/// instead of `t<k>_gf`, so a tenant's stream is not one predicate
+/// repeated but a mix over one working set — the "similar query with
+/// some minor changes" of §5.
+#[derive(Clone, Debug)]
+pub struct TenantMix {
+    /// Number of tenants (disjoint working sets).
+    pub n_tenants: usize,
+    /// Shape of each tenant's family tree (the tenant index is folded
+    /// into the seed, so trees differ in mother placement).
+    pub family: FamilyParams,
+    /// Queries each tenant issues over the whole run.
+    pub queries_per_tenant: usize,
+    /// Probability a step jumps to a fresh subject (see [`SessionSpec`]).
+    pub drift: f64,
+    /// Fraction of steps that ask the deep `ggf` predicate (requires
+    /// `family.deep_rules`; clamped to 0 otherwise).
+    pub deep_share: f64,
+    /// Consecutive queries one tenant contributes before the arrival
+    /// stream moves to the next tenant — the "second and third query"
+    /// burst. Arrival order round-robins bursts across tenants until
+    /// every stream is drained.
+    pub burst: usize,
+    /// RNG seed for subject walks and predicate choice.
+    pub seed: u64,
+}
+
+impl Default for TenantMix {
+    fn default() -> Self {
+        TenantMix {
+            n_tenants: 4,
+            family: FamilyParams {
+                generations: 3,
+                branching: 3,
+                ..FamilyParams::default()
+            },
+            queries_per_tenant: 16,
+            drift: 0.25,
+            deep_share: 0.0,
+            burst: 3,
+            seed: 1,
+        }
+    }
+}
+
+/// One generated request: which tenant asked, and the query text to be
+/// parsed against the merged program's database (e.g. `t2_gf(p1_3, G)`).
+#[derive(Clone, Debug)]
+pub struct TenantRequest {
+    /// Tenant index in `0..n_tenants`.
+    pub tenant: usize,
+    /// Query text (parse with
+    /// [`parse_query_shared`](blog_logic::parse_query_shared)).
+    pub text: String,
+    /// Subject index within the tenant's subject pool (for correlating
+    /// cost with repetition, as [`session_queries`] does).
+    pub subject: usize,
+    /// Whether this step asked the deep `ggf` predicate.
+    pub deep: bool,
+}
+
+/// Build the merged multi-tenant program: every tenant's prefixed family
+/// clauses concatenated into **one** clause database (one paged store),
+/// plus each tenant's [`FamilyMeta`] for subject pools.
+pub fn tenant_mix_program(mix: &TenantMix) -> (Program, Vec<FamilyMeta>) {
+    assert!(mix.n_tenants >= 1, "need at least one tenant");
+    assert!(
+        mix.family.generations >= 2,
+        "tenants need grandparents to query"
+    );
+    let mut src = String::new();
+    let mut metas = Vec::with_capacity(mix.n_tenants);
+    for t in 0..mix.n_tenants {
+        let params = FamilyParams {
+            seed: mix.family.seed.wrapping_add(t as u64),
+            ..mix.family
+        };
+        let (tenant_src, meta) = family_source(&params, &format!("t{t}_"));
+        src.push_str(&tenant_src);
+        metas.push(meta);
+    }
+    let program = parse_program(&src).expect("generated tenant mix parses");
+    (program, metas)
+}
+
+/// Generate the burst-interleaved arrival stream for `mix`.
+///
+/// Each tenant's subject walk is independent and deterministic in
+/// `mix.seed`; the returned order is the *offered* order a server admits
+/// requests in: `burst` queries from tenant 0, `burst` from tenant 1, …,
+/// wrapping until all `n_tenants × queries_per_tenant` are emitted.
+pub fn tenant_mix_requests(mix: &TenantMix, metas: &[FamilyMeta]) -> Vec<TenantRequest> {
+    assert_eq!(metas.len(), mix.n_tenants, "one meta per tenant");
+    assert!(mix.burst >= 1, "burst must be at least 1");
+    let deep_share = if mix.family.deep_rules {
+        mix.deep_share
+    } else {
+        0.0
+    };
+    // Per-tenant streams first, then interleave.
+    let mut streams: Vec<std::collections::VecDeque<TenantRequest>> = Vec::new();
+    for (t, meta) in metas.iter().enumerate() {
+        let mut rng = SmallRng::seed_from_u64(mix.seed.wrapping_add(0x9E37 * t as u64));
+        let subjects = meta.grandparents();
+        let deep_subjects = meta.great_grandparents();
+        assert!(!subjects.is_empty());
+        let mut current = rng.gen_range(0..subjects.len());
+        let mut stream = std::collections::VecDeque::new();
+        for _ in 0..mix.queries_per_tenant {
+            if rng.gen::<f64>() < mix.drift {
+                current = rng.gen_range(0..subjects.len());
+            }
+            let deep = !deep_subjects.is_empty() && rng.gen::<f64>() < deep_share;
+            let (pred, subject_idx, subject) = if deep {
+                // Great-grandparents are a prefix of the grandparent
+                // pool, so the walk index folds onto it.
+                let i = current % deep_subjects.len();
+                ("ggf", i, deep_subjects[i])
+            } else {
+                ("gf", current, subjects[current])
+            };
+            stream.push_back(TenantRequest {
+                tenant: t,
+                text: format!("t{t}_{pred}({subject}, G)"),
+                subject: subject_idx,
+                deep,
+            });
+        }
+        streams.push(stream);
+    }
+    // Burst-interleaved round-robin drain.
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        for stream in streams.iter_mut() {
+            for _ in 0..mix.burst {
+                match stream.pop_front() {
+                    Some(r) => out.push(r),
+                    None => break,
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::family::{family_program, FamilyParams};
+    use crate::family::family_program;
 
     fn db_and_subjects() -> (blog_logic::Program, Vec<String>) {
         let (p, meta) = family_program(&FamilyParams {
@@ -130,5 +293,113 @@ mod tests {
         let (_, t1) = session_queries(&mut p.db, &refs, &spec);
         let (_, t2) = session_queries(&mut p.db, &refs, &spec);
         assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn tenant_mix_requests_are_runnable_and_tenant_local() {
+        let mix = TenantMix {
+            n_tenants: 3,
+            queries_per_tenant: 6,
+            ..TenantMix::default()
+        };
+        let (p, metas) = tenant_mix_program(&mix);
+        let requests = tenant_mix_requests(&mix, &metas);
+        assert_eq!(requests.len(), 3 * 6);
+        for r in &requests {
+            let q = blog_logic::parse_query_shared(&p.db, &r.text)
+                .unwrap_or_else(|e| panic!("{}: {e}", r.text));
+            let res = blog_logic::dfs_all(&p.db, &q, &blog_logic::SolveConfig::all());
+            assert!(
+                !res.solutions.is_empty(),
+                "grandparent subjects always answer: {}",
+                r.text
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_mix_interleaves_in_bursts() {
+        let mix = TenantMix {
+            n_tenants: 2,
+            queries_per_tenant: 4,
+            burst: 2,
+            ..TenantMix::default()
+        };
+        let (_, metas) = tenant_mix_program(&mix);
+        let requests = tenant_mix_requests(&mix, &metas);
+        let tenants: Vec<usize> = requests.iter().map(|r| r.tenant).collect();
+        assert_eq!(tenants, vec![0, 0, 1, 1, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn tenant_mix_working_sets_are_disjoint() {
+        let mix = TenantMix {
+            n_tenants: 2,
+            ..TenantMix::default()
+        };
+        let (p, _) = tenant_mix_program(&mix);
+        // No predicate is defined by clauses of two tenants: every
+        // resolver list stays within one tenant's prefix.
+        for pred in p.db.predicates() {
+            let name = p.db.symbols().name(pred.0).to_string();
+            let prefix: String = name.chars().take_while(|c| *c != '_').collect();
+            for &cid in p.db.resolvers(pred) {
+                let head = &p.db.clause(cid).head;
+                let head_name = match head {
+                    blog_logic::Term::Struct(f, _) => p.db.symbols().name(*f),
+                    blog_logic::Term::Atom(f) => p.db.symbols().name(*f),
+                    _ => unreachable!("heads are callable"),
+                };
+                assert!(
+                    head_name.starts_with(&prefix),
+                    "{head_name} resolved under {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_mix_mixed_predicates_appear_with_deep_rules() {
+        let mix = TenantMix {
+            n_tenants: 2,
+            queries_per_tenant: 24,
+            family: FamilyParams {
+                generations: 3,
+                branching: 2,
+                deep_rules: true,
+                ..FamilyParams::default()
+            },
+            deep_share: 0.5,
+            ..TenantMix::default()
+        };
+        let (p, metas) = tenant_mix_program(&mix);
+        let requests = tenant_mix_requests(&mix, &metas);
+        let deep = requests.iter().filter(|r| r.deep).count();
+        assert!(deep > 0 && deep < requests.len(), "a real mix: {deep}");
+        for r in requests.iter().filter(|r| r.deep) {
+            assert!(r.text.contains("_ggf("), "{}", r.text);
+            assert!(blog_logic::parse_query_shared(&p.db, &r.text).is_ok());
+        }
+    }
+
+    #[test]
+    fn tenant_mix_deterministic_and_seed_sensitive() {
+        let mix = TenantMix::default();
+        let (_, metas) = tenant_mix_program(&mix);
+        let a = tenant_mix_requests(&mix, &metas);
+        let b = tenant_mix_requests(&mix, &metas);
+        assert_eq!(
+            a.iter().map(|r| &r.text).collect::<Vec<_>>(),
+            b.iter().map(|r| &r.text).collect::<Vec<_>>()
+        );
+        let other = TenantMix {
+            seed: 99,
+            ..TenantMix::default()
+        };
+        let c = tenant_mix_requests(&other, &metas);
+        assert_ne!(
+            a.iter().map(|r| &r.text).collect::<Vec<_>>(),
+            c.iter().map(|r| &r.text).collect::<Vec<_>>()
+        );
     }
 }

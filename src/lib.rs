@@ -13,6 +13,7 @@
 //! | [`machine`] | `blog-machine` | discrete-event simulation of the parallel B-LOG machine |
 //! | [`parallel`] | `blog-parallel` | real-thread OR-parallel and AND-parallel execution |
 //! | [`workloads`] | `blog-workloads` | generators: families, DAGs, N-queens, map coloring, sessions |
+//! | [`serve`] | `blog-serve` | multi-session query server over one shared paged store |
 //!
 //! ## Quickstart
 //!
@@ -37,5 +38,6 @@ pub use blog_core as core;
 pub use blog_logic as logic;
 pub use blog_machine as machine;
 pub use blog_parallel as parallel;
+pub use blog_serve as serve;
 pub use blog_spd as spd;
 pub use blog_workloads as workloads;
