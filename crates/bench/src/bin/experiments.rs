@@ -16,17 +16,22 @@
 //! `--requests=<n>` restrict the T9 serving sweep's pool axis and
 //! offered-load axis (the CI smoke path runs `t9 --pools=2
 //! --requests=50`); given without experiment ids they imply `t9`.
-//! `--json[=PATH]` writes the machine-readable rows of the experiments
-//! that emit them — the T7 state sweep to `BENCH_T7_STATE.json`, the T8f
-//! frontier sweep to `BENCH_T8_FRONTIER.json`, and the T9 serving sweep
-//! to `BENCH_T9_SERVE.json` (or all into `PATH`, keyed by section, when
-//! an explicit path is given) — so PRs can record the perf trajectory as
+//! `--writers=<n>` restricts the T10 MVCC-churn sweep's writer axis to
+//! `{0, n}` (baseline plus churn; the CI smoke path runs `t10
+//! --writers=2 --requests=50`); given without experiment ids it implies
+//! `t10`. `--json[=PATH]` writes the machine-readable rows of the
+//! experiments that emit them — the T7 state sweep to
+//! `BENCH_T7_STATE.json`, the T8f frontier sweep to
+//! `BENCH_T8_FRONTIER.json`, the T9 serving sweep to
+//! `BENCH_T9_SERVE.json`, and the T10 churn sweep to
+//! `BENCH_T10_MVCC.json` (or all into `PATH`, keyed by section, when an
+//! explicit path is given) — so PRs can record the perf trajectory as
 //! `BENCH_*.json` files.
 
 use blog_bench::report::Json;
 use blog_bench::{
-    andp_exp, figures, frontier_exp, machine_exp, serve_exp, sessions_exp, spd_exp, state_exp,
-    strategies, threads_exp,
+    andp_exp, figures, frontier_exp, machine_exp, mvcc_exp, serve_exp, sessions_exp, spd_exp,
+    state_exp, strategies, threads_exp,
 };
 use blog_spd::PolicyKind;
 
@@ -36,6 +41,7 @@ fn main() {
     let mut workers: Option<usize> = None;
     let mut pools: Option<usize> = None;
     let mut requests: Option<usize> = None;
+    let mut writers: Option<usize> = None;
     let mut args: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         if let Some(spec) = arg.strip_prefix("--policy=") {
@@ -70,6 +76,14 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if let Some(spec) = arg.strip_prefix("--writers=") {
+            match spec.parse::<usize>() {
+                Ok(n) => writers = Some(n),
+                _ => {
+                    eprintln!("--writers: expected a writer-thread count, got {spec:?}");
+                    std::process::exit(2);
+                }
+            }
         } else if arg == "--json" {
             json_path = Some("--default--".to_string());
         } else if let Some(path) = arg.strip_prefix("--json=") {
@@ -92,7 +106,10 @@ fn main() {
         if pools.is_some() || requests.is_some() {
             args.push("t9".to_string());
         }
-        if json_path.is_some() && !args.iter().any(|a| a == "t8f" || a == "t9") {
+        if writers.is_some() {
+            args.push("t10".to_string());
+        }
+        if json_path.is_some() && !args.iter().any(|a| a == "t8f" || a == "t9" || a == "t10") {
             args.push("t7".to_string());
         }
     }
@@ -102,10 +119,10 @@ fn main() {
         && !args.is_empty()
         && !args
             .iter()
-            .any(|a| a == "t7" || a == "t8f" || a == "t9" || a == "all")
+            .any(|a| a == "t7" || a == "t8f" || a == "t9" || a == "t10" || a == "all")
     {
         eprintln!(
-            "--json: include t7, t8f or t9 (the JSON-emitting experiments) in the id list"
+            "--json: include t7, t8f, t9 or t10 (the JSON-emitting experiments) in the id list"
         );
         std::process::exit(2);
     }
@@ -178,6 +195,10 @@ fn main() {
     section("t9", "serving sweep: offered load x pools x routing", &mut || {
         t9_serve_rows = serve_exp::run_t9(pools, requests);
     });
+    let mut t10_mvcc_rows: Vec<mvcc_exp::MvccRow> = Vec::new();
+    section("t10", "MVCC churn: readers vs concurrent writers vs stop-the-world", &mut || {
+        t10_mvcc_rows = mvcc_exp::run_t10(writers, requests);
+    });
     section("a1", "ablation: infinity placement", &mut || {
         sessions_exp::run_a1();
     });
@@ -193,15 +214,19 @@ fn main() {
 
     if ran == 0 {
         eprintln!(
-            "unknown experiment id(s): {:?}\nknown: f1 f3 f4 w1 w2 t1 t2 t3 t4 t5 t6 t7 t8 t8f t9 a1 a2 a3 a4 (or no args for all)\nflags: --policy=<lru|2q|clock|fifo> (restricts the T6c sweep), --workers=<n> (restricts the T8f sweep), --pools=<n> / --requests=<n> (restrict the T9 sweep), --json[=PATH] (write machine-readable rows)",
+            "unknown experiment id(s): {:?}\nknown: f1 f3 f4 w1 w2 t1 t2 t3 t4 t5 t6 t7 t8 t8f t9 t10 a1 a2 a3 a4 (or no args for all)\nflags: --policy=<lru|2q|clock|fifo> (restricts the T6c sweep), --workers=<n> (restricts the T8f sweep), --pools=<n> / --requests=<n> (restrict the T9 sweep), --writers=<n> (restricts the T10 sweep), --json[=PATH] (write machine-readable rows)",
             args
         );
         std::process::exit(2);
     }
 
     if let Some(path) = json_path {
-        if t7_state_rows.is_empty() && t8_frontier_rows.is_empty() && t9_serve_rows.is_empty() {
-            eprintln!("--json: no JSON-emitting experiment ran (include t7, t8f or t9)");
+        if t7_state_rows.is_empty()
+            && t8_frontier_rows.is_empty()
+            && t9_serve_rows.is_empty()
+            && t10_mvcc_rows.is_empty()
+        {
+            eprintln!("--json: no JSON-emitting experiment ran (include t7, t8f, t9 or t10)");
             std::process::exit(2);
         }
         let write = |path: &str, doc: Json| {
@@ -242,6 +267,15 @@ fn main() {
                     )]),
                 );
             }
+            if !t10_mvcc_rows.is_empty() {
+                write(
+                    "BENCH_T10_MVCC.json",
+                    Json::Obj(vec![(
+                        "t10_mvcc".to_string(),
+                        mvcc_exp::rows_to_json(&t10_mvcc_rows),
+                    )]),
+                );
+            }
         } else {
             // Explicit path: one combined document, keyed by section.
             let mut fields = Vec::new();
@@ -261,6 +295,12 @@ fn main() {
                 fields.push((
                     "t9_serve".to_string(),
                     serve_exp::rows_to_json(&t9_serve_rows),
+                ));
+            }
+            if !t10_mvcc_rows.is_empty() {
+                fields.push((
+                    "t10_mvcc".to_string(),
+                    mvcc_exp::rows_to_json(&t10_mvcc_rows),
                 ));
             }
             write(&path, Json::Obj(fields));

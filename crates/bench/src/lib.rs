@@ -18,11 +18,13 @@
 //! | T8 | [`andp_exp`] | AND-parallel fork-join and semi-join |
 //! | T8 (frontier) | [`frontier_exp`] | frontier scaling: global-mutex vs sharded chain stores |
 //! | T9 | [`serve_exp`] | serving sweep: offered load × pools × routing over one shared store |
+//! | T10 | [`mvcc_exp`] | MVCC churn: reader latency under concurrent writers vs stop-the-world |
 
 pub mod andp_exp;
 pub mod figures;
 pub mod frontier_exp;
 pub mod machine_exp;
+pub mod mvcc_exp;
 pub mod report;
 pub mod serve_exp;
 pub mod sessions_exp;

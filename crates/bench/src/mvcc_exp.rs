@@ -1,0 +1,452 @@
+//! T10: the MVCC churn experiment — reader throughput under concurrent
+//! writers, snapshot isolation vs the stop-the-world baseline.
+//!
+//! The serving regime is T9's (tenant mix, simulated SPD stalls); the
+//! new axis is **write churn**: `writers` threads loop assert/retract
+//! transactions through [`QueryServer::apply_update`] while the server
+//! drains a query batch. Under [`CommitMode::Mvcc`] a committing writer
+//! pays its write I/O outside every lock and installs page versions
+//! under a brief mutex, so reader latency should sit within noise of the
+//! zero-writer baseline; under [`CommitMode::StopTheWorld`] every clause
+//! fetch waits out the whole commit (I/O included) — the measured gap is
+//! what snapshot isolation buys.
+//!
+//! Correctness is asserted, not assumed: every response is tagged with
+//! the epoch it executed at, and the experiment rebuilds a sequential
+//! oracle database *per observed epoch* (seed clauses + the writers'
+//! committed logs up to that epoch) and diffs solution sets. A query
+//! admitted at epoch E must return exactly the sequential solution set
+//! of the epoch-E snapshot — under churn, at every writer count, in
+//! both commit modes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use blog_core::engine::{best_first_with, BestFirstConfig};
+use blog_core::weight::{WeightParams, WeightStore, WeightView};
+use blog_logic::{clause_to_source, parse_program, parse_query_shared, ClauseDb, Program};
+use blog_serve::tuning::churn_store_config;
+use blog_serve::{CommitMode, QueryRequest, QueryServer, ServeConfig, UpdateOp};
+use blog_workloads::{tenant_mix_program, tenant_mix_requests, FamilyParams, TenantMix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::report::{f2, pct, Json, Table};
+
+/// Writer-thread counts swept.
+pub const WRITER_SWEEP: [usize; 3] = [0, 1, 4];
+
+/// Offered load (total queries per point).
+const LOAD: usize = 96;
+
+/// Tenants in the mix.
+const N_TENANTS: usize = 4;
+
+/// Nanoseconds one simulated SPD fault tick stalls the serving thread —
+/// and one tick of commit write I/O stalls the committing writer.
+const STALL_NS_PER_TICK: u64 = 500;
+
+/// Geometry headroom: blocks reserved for churn asserts beyond the seed.
+const HEADROOM: usize = 4096;
+
+/// Pause between one writer's transactions (throttles churn to a rate
+/// where the query batch spans many epochs instead of one writer
+/// monopolizing the store mutex).
+const WRITER_PAUSE: Duration = Duration::from_micros(1000);
+
+/// Transactions per writer thread. Bounded so churn stays a perturbation
+/// of the read workload: an unbounded loop grows the database while
+/// queries slow down, which lengthens the batch, which admits more
+/// commits — a runaway where the tail latency measures database growth
+/// (real extra answers the sequential oracle pays for too), not commit
+/// blocking.
+const MAX_TXNS_PER_WRITER: usize = 200;
+
+/// Cap on one writer's live (not-yet-retracted) asserted facts. Keeps
+/// the churned database within a few facts of the seed at every epoch,
+/// so baseline and churn points run near-identical query work.
+const OWN_CAP: usize = 4;
+
+/// One swept point: commit mode × writer threads.
+#[derive(Clone, Debug)]
+pub struct MvccRow {
+    /// Commit-mode label (`mvcc` / `stw`).
+    pub mode: &'static str,
+    /// Concurrent writer threads.
+    pub writers: usize,
+    /// Queries served.
+    pub requests: usize,
+    /// Wall-clock of the batch, seconds.
+    pub wall_s: f64,
+    /// Queries per second.
+    pub throughput_rps: f64,
+    /// Median query service latency, ms.
+    pub p50_ms: f64,
+    /// p99 query service latency, ms.
+    pub p99_ms: f64,
+    /// Store hit rate over the batch.
+    pub hit_rate: f64,
+    /// Write transactions committed while the batch ran.
+    pub commits: u64,
+    /// The store's epoch when the batch finished.
+    pub final_epoch: u64,
+    /// Distinct epochs observed across the batch's responses.
+    pub epochs_spanned: usize,
+    /// Stashed page versions retired over the point.
+    pub pages_retired: u64,
+    /// Total solutions returned (oracle-verified per epoch).
+    pub solutions: u64,
+}
+
+/// One committed writer transaction, logged for oracle replay.
+struct LogEntry {
+    epoch: u64,
+    /// `(clause id, fact text)` for every assert, ids as the store
+    /// allocated them.
+    asserted: Vec<(u32, String)>,
+    retracted: Vec<u32>,
+}
+
+fn mix() -> TenantMix {
+    TenantMix {
+        n_tenants: N_TENANTS,
+        queries_per_tenant: LOAD.div_ceil(N_TENANTS),
+        drift: 0.15,
+        burst: 3,
+        family: FamilyParams {
+            generations: 3,
+            branching: 3,
+            ..FamilyParams::default()
+        },
+        ..TenantMix::default()
+    }
+}
+
+/// One writer thread's loop: churn a single tenant's `f/2` facts until
+/// `stop` or the per-writer transaction budget runs out, logging every
+/// committed transaction.
+fn writer_loop(server: &QueryServer, w: usize, stop: &AtomicBool) -> Vec<LogEntry> {
+    let mut rng = SmallRng::seed_from_u64(0xA5EED ^ (w as u64));
+    let tenant = w % N_TENANTS;
+    // Retract only facts this writer asserted: no cross-writer conflicts,
+    // so every transaction commits and the log stays a total record.
+    let mut own: Vec<(u32, String)> = Vec::new();
+    let mut fresh = 0usize;
+    let mut log = Vec::new();
+    let mut full = false;
+    while !stop.load(Ordering::Acquire) && log.len() < MAX_TXNS_PER_WRITER {
+        let assert_now =
+            !full && own.len() < OWN_CAP && (own.is_empty() || rng.gen::<f64>() < 0.5);
+        if assert_now {
+            // New children under generation-1 persons: every assert adds
+            // grandchildren some swept query can see.
+            let text = format!("t{tenant}_f(p1_{}, w{w}f{fresh}).", rng.gen_range(0..3));
+            fresh += 1;
+            match server.apply_update(&[UpdateOp::Assert { text: text.clone() }]) {
+                Ok((epoch, ids)) => {
+                    let id = ids[0].0;
+                    own.push((id, text.clone()));
+                    log.push(LogEntry {
+                        epoch,
+                        asserted: vec![(id, text)],
+                        retracted: vec![],
+                    });
+                }
+                Err(e) => {
+                    // Geometry headroom exhausted: keep churning with
+                    // retracts only (sized not to happen at the swept
+                    // rates, but a run on a slow machine must not die).
+                    assert!(e.to_string().contains("store full"), "unexpected: {e}");
+                    full = true;
+                }
+            }
+        } else if let Some(i) = (!own.is_empty()).then(|| rng.gen_range(0..own.len())) {
+            let (id, _) = own.swap_remove(i);
+            let (epoch, _) = server
+                .apply_update(&[UpdateOp::Retract {
+                    id: blog_logic::ClauseId(id),
+                }])
+                .expect("own facts are never retracted twice");
+            log.push(LogEntry {
+                epoch,
+                asserted: vec![],
+                retracted: vec![id],
+            });
+            full = false;
+        } else {
+            break; // full and nothing left to retract
+        }
+        std::thread::sleep(WRITER_PAUSE);
+    }
+    log
+}
+
+/// Sequential solutions of `text` against `db`, sorted.
+fn oracle_solutions(db: &ClauseDb, text: &str) -> Vec<String> {
+    let q = parse_query_shared(db, text).expect("oracle query parses");
+    let weights = WeightStore::new(WeightParams::default());
+    let mut overlay = HashMap::new();
+    let mut view = WeightView::new(&mut overlay, &weights);
+    let cfg = BestFirstConfig {
+        learn: false,
+        ..BestFirstConfig::default()
+    };
+    let r = best_first_with(db, &q, &mut view, &cfg);
+    let mut texts: Vec<String> = r.solutions.iter().map(|s| s.solution.to_text(db)).collect();
+    texts.sort();
+    texts
+}
+
+/// Run one (mode, writers) point and oracle-verify every response.
+fn measure_point(
+    p: &Program,
+    m: &TenantMix,
+    metas: &[blog_workloads::FamilyMeta],
+    mode: CommitMode,
+    writers: usize,
+) -> MvccRow {
+    let originals = tenant_mix_requests(m, metas);
+    let requests: Vec<QueryRequest> = originals
+        .iter()
+        .map(|r| QueryRequest::new(r.tenant as u64, r.text.clone()).with_tenant(r.tenant as u32))
+        .collect();
+    let server = QueryServer::new(
+        &p.db,
+        churn_store_config(p.db.len(), HEADROOM),
+        ServeConfig {
+            commit: mode,
+            stall_ns_per_tick: STALL_NS_PER_TICK,
+            ..ServeConfig::default()
+        },
+    );
+    let retired_before = server.store().mvcc_stats().pages_retired;
+
+    let stop = AtomicBool::new(false);
+    let mut logs: Vec<LogEntry> = Vec::new();
+    let mut report = None;
+    std::thread::scope(|scope| {
+        let (server, stop) = (&server, &stop);
+        let handles: Vec<_> = (0..writers)
+            .map(|w| scope.spawn(move || writer_loop(server, w, stop)))
+            .collect();
+        report = Some(server.serve(requests));
+        stop.store(true, Ordering::Release);
+        for h in handles {
+            logs.extend(h.join().expect("writer thread panicked"));
+        }
+    });
+    let report = report.expect("serve ran");
+
+    // --- Oracle: rebuild the sequential database at every epoch the
+    // responses observed and diff solution sets.
+    logs.sort_by_key(|e| e.epoch);
+    let mut epochs: Vec<u64> = report.responses.iter().map(|r| r.epoch).collect();
+    epochs.sort_unstable();
+    epochs.dedup();
+    // Clause texts by id: seed clauses, then committed asserts; retracts
+    // tombstone. Walking epochs in ascending order applies each log
+    // entry exactly once.
+    let mut alive: Vec<Option<String>> = p
+        .db
+        .clauses()
+        .iter()
+        .map(|c| Some(clause_to_source(p.db.symbols(), c)))
+        .collect();
+    let mut next_log = 0usize;
+    let mut solutions = 0u64;
+    for &epoch in &epochs {
+        while next_log < logs.len() && logs[next_log].epoch <= epoch {
+            let e = &logs[next_log];
+            for (id, text) in &e.asserted {
+                let id = *id as usize;
+                if alive.len() <= id {
+                    alive.resize(id + 1, None);
+                }
+                alive[id] = Some(text.clone());
+            }
+            for id in &e.retracted {
+                alive[*id as usize] = None;
+            }
+            next_log += 1;
+        }
+        let src: String = alive.iter().flatten().fold(String::new(), |mut acc, t| {
+            acc.push_str(t);
+            acc.push('\n');
+            acc
+        });
+        let oracle = parse_program(&src).expect("oracle program parses");
+        let mut truth: HashMap<&str, Vec<String>> = HashMap::new();
+        for r in report.responses.iter().filter(|r| r.epoch == epoch) {
+            let text = originals[r.request].text.as_str();
+            let expect = truth
+                .entry(text)
+                .or_insert_with(|| oracle_solutions(&oracle.db, text));
+            assert_eq!(
+                r.outcome.solutions(),
+                expect.as_slice(),
+                "T10 snapshot-equivalence violated: mode={} writers={writers} \
+                 request {} ({text}) at epoch {epoch}",
+                mode.name(),
+                r.request,
+            );
+            solutions += r.outcome.solutions().len() as u64;
+        }
+    }
+
+    let s = &report.stats;
+    MvccRow {
+        mode: mode.name(),
+        writers,
+        requests: s.requests,
+        wall_s: s.wall_s,
+        throughput_rps: s.throughput_rps,
+        p50_ms: s.p50_ms,
+        p99_ms: s.p99_ms,
+        hit_rate: s.store.hit_rate(),
+        commits: logs.len() as u64,
+        final_epoch: s.final_epoch,
+        epochs_spanned: epochs.len(),
+        pages_retired: server.store().mvcc_stats().pages_retired - retired_before,
+        solutions,
+    }
+}
+
+/// Run the T10 sweep. `only_writers` restricts the writer axis and
+/// `max_requests` caps the offered load (the CI smoke path runs
+/// `t10 --writers=2 --requests=50`).
+pub fn run_t10(only_writers: Option<usize>, max_requests: Option<usize>) -> Vec<MvccRow> {
+    let mut writers_axis: Vec<usize> = match only_writers {
+        Some(n) => vec![0, n],
+        None => WRITER_SWEEP.to_vec(),
+    };
+    writers_axis.dedup();
+    let m = mix();
+    let m = match max_requests {
+        Some(cap) => TenantMix {
+            queries_per_tenant: cap.div_ceil(N_TENANTS).max(1),
+            ..m
+        },
+        None => m,
+    };
+    let (p, metas) = tenant_mix_program(&m);
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(&[
+        "mode", "writers", "requests", "wall ms", "req/s", "p50 ms", "p99 ms", "hit rate",
+        "commits", "epochs", "retired",
+    ]);
+    for mode in [CommitMode::Mvcc, CommitMode::StopTheWorld] {
+        for &writers in &writers_axis {
+            let row = measure_point(&p, &m, &metas, mode, writers);
+            if writers > 0 {
+                assert!(
+                    row.commits > 0,
+                    "writers must commit while the batch runs ({} w={writers})",
+                    mode.name()
+                );
+            }
+            table.row(vec![
+                row.mode.to_string(),
+                row.writers.to_string(),
+                row.requests.to_string(),
+                f2(row.wall_s * 1e3),
+                f2(row.throughput_rps),
+                f2(row.p50_ms),
+                f2(row.p99_ms),
+                pct(row.hit_rate),
+                row.commits.to_string(),
+                row.epochs_spanned.to_string(),
+                row.pages_retired.to_string(),
+            ]);
+            rows.push(row);
+        }
+    }
+    table.print();
+    let baseline = rows
+        .iter()
+        .find(|r| r.mode == "mvcc" && r.writers == 0)
+        .map(|r| r.p99_ms);
+    if let (Some(base), Some(one)) = (
+        baseline,
+        rows.iter()
+            .find(|r| r.mode == "mvcc" && r.writers > 0)
+            .map(|r| r.p99_ms),
+    ) {
+        println!(
+            "(mvcc reader p99: {} ms read-only vs {} ms under churn; every response \
+             oracle-verified against its epoch's sequential solution set)",
+            f2(base),
+            f2(one)
+        );
+    }
+    rows
+}
+
+/// The T10 rows as a JSON array (for `BENCH_T10_MVCC.json`).
+pub fn rows_to_json(rows: &[MvccRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("mode".into(), Json::str(r.mode)),
+                    ("writers".into(), Json::int(r.writers as u64)),
+                    ("requests".into(), Json::int(r.requests as u64)),
+                    ("wall_s".into(), Json::Num(r.wall_s)),
+                    ("throughput_rps".into(), Json::Num(r.throughput_rps)),
+                    ("p50_ms".into(), Json::Num(r.p50_ms)),
+                    ("p99_ms".into(), Json::Num(r.p99_ms)),
+                    ("hit_rate".into(), Json::Num(r.hit_rate)),
+                    ("commits".into(), Json::int(r.commits)),
+                    ("final_epoch".into(), Json::int(r.final_epoch)),
+                    ("epochs_spanned".into(), Json::int(r.epochs_spanned as u64)),
+                    ("pages_retired".into(), Json::int(r.pages_retired)),
+                    ("solutions".into(), Json::int(r.solutions)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_point_verifies_against_the_oracle() {
+        let m = TenantMix {
+            queries_per_tenant: 3,
+            ..mix()
+        };
+        let (p, metas) = tenant_mix_program(&m);
+        let row = measure_point(&p, &m, &metas, CommitMode::Mvcc, 2);
+        assert_eq!(row.requests, 12);
+        assert!(row.commits > 0, "writers must land commits");
+        assert!(row.solutions > 0);
+    }
+
+    #[test]
+    fn stop_the_world_point_is_equally_correct() {
+        let m = TenantMix {
+            queries_per_tenant: 2,
+            ..mix()
+        };
+        let (p, metas) = tenant_mix_program(&m);
+        let row = measure_point(&p, &m, &metas, CommitMode::StopTheWorld, 1);
+        assert_eq!(row.mode, "stw");
+        assert!(row.solutions > 0);
+    }
+
+    #[test]
+    fn json_rows_render() {
+        let m = TenantMix {
+            queries_per_tenant: 2,
+            ..mix()
+        };
+        let (p, metas) = tenant_mix_program(&m);
+        let row = measure_point(&p, &m, &metas, CommitMode::Mvcc, 0);
+        let json = rows_to_json(&[row]).render();
+        assert!(json.contains("\"mode\":\"mvcc\""));
+        assert!(json.contains("\"final_epoch\":"));
+    }
+}

@@ -61,7 +61,11 @@ pub use node::{
     expand, expand_via, Caller, Expansion, Goal, NodeState, PointerKey, SearchNode, StateRepr,
 };
 pub use source::{ClauseSource, SourceStats};
-pub use parser::{parse_program, parse_query, parse_query_shared, ParseError, Program, Query};
+pub use parser::{
+    parse_clauses_interning, parse_program, parse_query, parse_query_shared,
+    parse_query_symbols, ParseError, Program, Query,
+};
+pub use pretty::{clause_to_source, term_to_string, term_to_string_syms};
 pub use solve::{
     bfs_all, dfs_all, iterative_deepening, CancelToken, SearchStats, Solution, SolveConfig,
     SolveResult,

@@ -465,44 +465,52 @@ pub fn parse_query(db: &mut ClauseDb, src: &str) -> Result<Query, ParseError> {
     })
 }
 
-/// [`parse_query`] against a **frozen** database: `db` is only read, so
-/// many server pools can parse concurrently while other threads search
-/// the same database.
-///
-/// Symbols are resolved through the existing symbol table instead of
-/// being interned; a query mentioning an atom or functor the program
-/// never defined is rejected with a parse error. (Such a goal could only
-/// fail anyway — no clause head can contain a symbol that is not in the
-/// table — so refusing it early turns a silent empty answer into a
-/// diagnosable client error, which is what a multi-tenant server wants.)
-pub fn parse_query_shared(db: &ClauseDb, src: &str) -> Result<Query, ParseError> {
-    // Parse into a scratch symbol table, then remap every symbol into the
-    // shared database's table by name.
-    let mut scratch = ClauseDb::new();
-    let parsed = parse_query(&mut scratch, src)?;
-    fn remap(t: &Term, scratch: &ClauseDb, db: &ClauseDb) -> Result<Term, String> {
-        let resolve = |s: &crate::symbol::Sym| {
-            let name = scratch.symbols().name(*s);
-            db.sym(name).ok_or_else(|| name.to_string())
-        };
-        match t {
-            Term::Var(v) => Ok(Term::Var(*v)),
-            Term::Int(n) => Ok(Term::Int(*n)),
-            Term::Atom(s) => Ok(Term::Atom(resolve(s)?)),
-            Term::Struct(f, args) => {
-                let f = resolve(f)?;
-                let args = args
-                    .iter()
-                    .map(|a| remap(a, scratch, db))
-                    .collect::<Result<Vec<_>, _>>()?;
-                Ok(Term::app(f, args))
-            }
+/// Rebuild `t` with every symbol pushed through `resolve` (called with
+/// the symbol's *name* in the scratch table it was parsed into). Errors
+/// carry the offending name.
+fn remap_term(
+    t: &Term,
+    scratch: &SymbolTable,
+    resolve: &mut dyn FnMut(&str) -> Result<crate::symbol::Sym, String>,
+) -> Result<Term, String> {
+    match t {
+        Term::Var(v) => Ok(Term::Var(*v)),
+        Term::Int(n) => Ok(Term::Int(*n)),
+        Term::Atom(s) => Ok(Term::Atom(resolve(scratch.name(*s))?)),
+        Term::Struct(f, args) => {
+            let f = resolve(scratch.name(*f))?;
+            let args = args
+                .iter()
+                .map(|a| remap_term(a, scratch, resolve))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Term::app(f, args))
         }
     }
+}
+
+use crate::symbol::SymbolTable;
+
+/// [`parse_query`] against a **frozen** symbol table: `symbols` is only
+/// read, so many server pools can parse concurrently while other threads
+/// search (or write new epochs of) the same database.
+///
+/// Symbols are resolved through the existing table instead of being
+/// interned; a query mentioning an atom or functor the program never
+/// defined is rejected with a parse error. (Such a goal could only fail
+/// anyway — no clause head can contain a symbol that is not in the
+/// table — so refusing it early turns a silent empty answer into a
+/// diagnosable client error, which is what a multi-tenant server wants.)
+pub fn parse_query_symbols(symbols: &SymbolTable, src: &str) -> Result<Query, ParseError> {
+    // Parse into a scratch symbol table, then remap every symbol into the
+    // shared table by name.
+    let mut scratch = ClauseDb::new();
+    let parsed = parse_query(&mut scratch, src)?;
+    let mut resolve =
+        |name: &str| symbols.get(name).ok_or_else(|| name.to_string());
     let goals = parsed
         .goals
         .iter()
-        .map(|g| remap(g, &scratch, db))
+        .map(|g| remap_term(g, scratch.symbols(), &mut resolve))
         .collect::<Result<Vec<_>, _>>()
         .map_err(|name| ParseError {
             message: format!("unknown symbol `{name}` (not defined by the program)"),
@@ -513,6 +521,50 @@ pub fn parse_query_shared(db: &ClauseDb, src: &str) -> Result<Query, ParseError>
         goals,
         var_names: parsed.var_names,
     })
+}
+
+/// [`parse_query_symbols`] addressed by database (the historical entry
+/// point; the symbol table is the only part of `db` it reads).
+pub fn parse_query_shared(db: &ClauseDb, src: &str) -> Result<Query, ParseError> {
+    parse_query_symbols(db.symbols(), src)
+}
+
+/// Parse clause text (facts and rules, **no** `?-` queries) while
+/// interning any new constants or functors into `symbols`.
+///
+/// This is the write-path twin of [`parse_query_symbols`]: an update
+/// transaction hands in its private copy-on-write symbol table, so new
+/// tenants can introduce vocabulary without the read-only parse path
+/// giving up its rejection guarantee. Returned clauses use the caller's
+/// table; the scratch table the text was lexed into is discarded.
+pub fn parse_clauses_interning(
+    symbols: &mut SymbolTable,
+    src: &str,
+) -> Result<Vec<Clause>, ParseError> {
+    let scratch = parse_program(src)?;
+    if !scratch.queries.is_empty() {
+        return Err(ParseError {
+            message: "queries are not allowed in an update (assert clauses only)".into(),
+            line: 1,
+            col: 1,
+        });
+    }
+    let mut resolve = |name: &str| Ok::<_, String>(symbols.intern(name));
+    let mut out = Vec::with_capacity(scratch.db.len());
+    for clause in scratch.db.clauses() {
+        let head = remap_term(&clause.head, scratch.db.symbols(), &mut resolve)
+            .expect("interning resolver is infallible");
+        let body = clause
+            .body
+            .iter()
+            .map(|g| {
+                remap_term(g, scratch.db.symbols(), &mut resolve)
+                    .expect("interning resolver is infallible")
+            })
+            .collect();
+        out.push(Clause::new(head, body));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -642,6 +694,43 @@ mod tests {
     fn parse_query_shared_still_reports_syntax_errors() {
         let p = parse_program("f(a,b).").unwrap();
         assert!(parse_query_shared(&p.db, "f(a,").is_err());
+    }
+
+    #[test]
+    fn parse_query_symbols_matches_shared_path() {
+        let p = parse_program("f(a,b). g(b,c).").unwrap();
+        let q = parse_query_symbols(p.db.symbols(), "f(a, X), g(X, Y)").unwrap();
+        let q2 = parse_query_shared(&p.db, "f(a, X), g(X, Y)").unwrap();
+        assert_eq!(format!("{:?}", q.goals), format!("{:?}", q2.goals));
+        assert!(parse_query_symbols(p.db.symbols(), "f(zebra, X)").is_err());
+    }
+
+    #[test]
+    fn parse_clauses_interning_adds_new_symbols() {
+        let p = parse_program("f(a,b).").unwrap();
+        let mut syms = p.db.symbols().clone();
+        let before = syms.len();
+        let clauses =
+            parse_clauses_interning(&mut syms, "f(b, zebra). gf(X,Z) :- f(X,Y), f(Y,Z).")
+                .unwrap();
+        assert_eq!(clauses.len(), 2);
+        assert!(syms.len() > before, "new constants were interned");
+        assert!(syms.get("zebra").is_some());
+        assert!(syms.get("gf").is_some());
+        // Existing symbols resolve to their old handles.
+        assert_eq!(syms.get("f"), p.db.sym("f"));
+        // Rules keep their variable structure.
+        assert_eq!(clauses[1].n_vars, 3);
+        // The shared read path still rejects what the *original* table
+        // doesn't know.
+        assert!(parse_query_shared(&p.db, "gf(a, X)").is_err());
+        assert!(parse_query_symbols(&syms, "gf(a, X)").is_ok());
+    }
+
+    #[test]
+    fn parse_clauses_interning_rejects_queries() {
+        let mut syms = SymbolTable::new();
+        assert!(parse_clauses_interning(&mut syms, "f(a,b). ?- f(a,X).").is_err());
     }
 
     #[test]

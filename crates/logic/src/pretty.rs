@@ -1,14 +1,25 @@
 //! Rendering terms back to Prolog-ish text.
+//!
+//! Every renderer comes in two addressing modes: by [`ClauseDb`] (the
+//! historical entry points) and by bare [`SymbolTable`] (`*_syms`), for
+//! callers that hold an epoch-pinned snapshot's symbol table rather than
+//! a whole database.
 
 use crate::bindings::Bindings;
 use crate::store::ClauseDb;
+use crate::symbol::SymbolTable;
 use crate::term::Term;
 
 /// Render `t` using the database's symbol table. Unbound variables print
 /// as `_Gn`. List cells built on `'.'/2` print with bracket sugar.
 pub fn term_to_string(db: &ClauseDb, t: &Term) -> String {
+    term_to_string_syms(db.symbols(), t)
+}
+
+/// [`term_to_string`] addressed by symbol table.
+pub fn term_to_string_syms(symbols: &SymbolTable, t: &Term) -> String {
     let mut s = String::new();
-    write_term(db, t, &mut s);
+    write_term(symbols, t, &mut s);
     s
 }
 
@@ -17,18 +28,18 @@ pub fn resolved_to_string(db: &ClauseDb, bindings: &Bindings, t: &Term) -> Strin
     term_to_string(db, &bindings.resolve(t))
 }
 
-fn write_term(db: &ClauseDb, t: &Term, out: &mut String) {
+fn write_term(symbols: &SymbolTable, t: &Term, out: &mut String) {
     match t {
         Term::Var(v) => {
             out.push_str("_G");
             out.push_str(&v.0.to_string());
         }
         Term::Int(n) => out.push_str(&n.to_string()),
-        Term::Atom(s) => out.push_str(db.symbols().name(*s)),
+        Term::Atom(s) => out.push_str(symbols.name(*s)),
         Term::Struct(f, args) => {
-            let fname = db.symbols().name(*f);
+            let fname = symbols.name(*f);
             if fname == "." && args.len() == 2 {
-                write_list(db, t, out);
+                write_list(symbols, t, out);
                 return;
             }
             out.push_str(fname);
@@ -37,38 +48,59 @@ fn write_term(db: &ClauseDb, t: &Term, out: &mut String) {
                 if i > 0 {
                     out.push(',');
                 }
-                write_term(db, a, out);
+                write_term(symbols, a, out);
             }
             out.push(')');
         }
     }
 }
 
-fn write_list(db: &ClauseDb, t: &Term, out: &mut String) {
+fn write_list(symbols: &SymbolTable, t: &Term, out: &mut String) {
     out.push('[');
     let mut cur = t;
     let mut first = true;
     loop {
         match cur {
             Term::Struct(f, args)
-                if args.len() == 2 && db.symbols().name(*f) == "." =>
+                if args.len() == 2 && symbols.name(*f) == "." =>
             {
                 if !first {
                     out.push(',');
                 }
                 first = false;
-                write_term(db, &args[0], out);
+                write_term(symbols, &args[0], out);
                 cur = &args[1];
             }
-            Term::Atom(s) if db.symbols().name(*s) == "[]" => break,
+            Term::Atom(s) if symbols.name(*s) == "[]" => break,
             other => {
                 out.push('|');
-                write_term(db, other, out);
+                write_term(symbols, other, out);
                 break;
             }
         }
     }
     out.push(']');
+}
+
+/// Render a stored clause back to parseable program text (`head.` for a
+/// fact, `head :- g1, g2.` for a rule). Clause-local variables print as
+/// `_Gn`, which re-reads as a variable — round-tripping through
+/// [`parse_program`](crate::parse_program) preserves the clause's
+/// variable structure. The MVCC oracle harness uses this to rebuild a
+/// sequential database for any epoch from rendered clause texts.
+pub fn clause_to_source(symbols: &SymbolTable, clause: &crate::clause::Clause) -> String {
+    let mut s = term_to_string_syms(symbols, &clause.head);
+    if !clause.body.is_empty() {
+        s.push_str(" :- ");
+        for (i, g) in clause.body.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&term_to_string_syms(symbols, g));
+        }
+    }
+    s.push('.');
+    s
 }
 
 #[cfg(test)]
@@ -81,6 +113,7 @@ mod tests {
         let p = parse_program("p(a, 3, X).").unwrap();
         let c = p.db.clause(crate::ClauseId(0));
         assert_eq!(term_to_string(&p.db, &c.head), "p(a,3,_G0)");
+        assert_eq!(term_to_string_syms(p.db.symbols(), &c.head), "p(a,3,_G0)");
     }
 
     #[test]
@@ -102,5 +135,17 @@ mod tests {
         let p = parse_program("l([]).").unwrap();
         let c = p.db.clause(crate::ClauseId(0));
         assert_eq!(term_to_string(&p.db, &c.head), "l([])");
+    }
+
+    #[test]
+    fn clause_round_trips_through_source() {
+        let p = parse_program("gf(X,Z) :- f(X,Y), f(Y,Z). f(a,b).").unwrap();
+        let rule = clause_to_source(p.db.symbols(), p.db.clause(crate::ClauseId(0)));
+        let fact = clause_to_source(p.db.symbols(), p.db.clause(crate::ClauseId(1)));
+        assert_eq!(rule, "gf(_G0,_G1) :- f(_G0,_G2), f(_G2,_G1).");
+        assert_eq!(fact, "f(a,b).");
+        let reparsed = parse_program(&format!("{rule} {fact}")).unwrap();
+        assert_eq!(reparsed.db.clause(crate::ClauseId(0)).n_vars, 3);
+        assert_eq!(reparsed.db.len(), 2);
     }
 }

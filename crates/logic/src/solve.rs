@@ -185,13 +185,21 @@ impl Solution {
 
     /// Render the whole solution as `X = …, Y = …`.
     pub fn to_text(&self, db: &ClauseDb) -> String {
+        self.to_text_syms(db.symbols())
+    }
+
+    /// [`Solution::to_text`] addressed by symbol table, for callers that
+    /// hold an epoch-pinned snapshot rather than a whole database.
+    pub fn to_text_syms(&self, symbols: &crate::symbol::SymbolTable) -> String {
         if self.var_names.is_empty() {
             return "true".to_owned();
         }
         self.var_names
             .iter()
             .zip(self.terms.iter())
-            .map(|(n, t)| format!("{} = {}", n, term_to_string(db, t)))
+            .map(|(n, t)| {
+                format!("{} = {}", n, crate::pretty::term_to_string_syms(symbols, t))
+            })
             .collect::<Vec<_>>()
             .join(", ")
     }

@@ -9,15 +9,26 @@
 //! one with some minor changes, later searches should become more
 //! efficient". This crate is that serving layer.
 //!
-//! A [`QueryServer`] owns one shared
-//! [`PagedClauseStore`](blog_spd::PagedClauseStore) and a fixed set of
+//! A [`QueryServer`] owns one shared snapshot-isolated
+//! [`MvccClauseStore`](blog_spd::MvccClauseStore) and a fixed set of
 //! **worker pools** (OS threads). Each [`QueryRequest`] — query text,
 //! session id, optional deadline / node budget / solutions cap — is
 //! admitted to a pool queue and executed through the existing engines
-//! (sequential best-first, or the OR-parallel executor) *through the
-//! shared cache*, using the store's per-pool
-//! [`PoolView`](blog_spd::PoolView)s so hits and faults stay
-//! attributable to the pool (and session mix) that generated them.
+//! (sequential best-first, or the OR-parallel executor) against a
+//! per-request epoch-pinned [`Snapshot`](blog_spd::Snapshot) of the
+//! store, pool-tagged so hits and faults stay attributable to the pool
+//! (and session mix) that generated them.
+//!
+//! The store being MVCC is what makes the server *live*: an **update
+//! lane** ([`QueryServer::serve_mixed`], [`UpdateRequest`]) asserts and
+//! retracts clauses between epochs while queries run. Every
+//! [`QueryResponse`] is tagged with the [`epoch`](QueryResponse::epoch)
+//! it executed at, and the contract — a query admitted at epoch `E`
+//! returns exactly the sequential solution set of the epoch-`E` snapshot
+//! — is enforced by the churn test suites against a single-threaded
+//! oracle rebuilt per epoch. [`ServeConfig::commit`] selects snapshot
+//! isolation ([`CommitMode::Mvcc`]) or the stop-the-world baseline the
+//! T10 experiment measures it against.
 //!
 //! The scheduler's one real decision is **session affinity**
 //! ([`Routing::SessionAffinity`]): requests from the same session hash
@@ -45,6 +56,10 @@ mod server;
 mod stats;
 pub mod tuning;
 
-pub use request::{Outcome, QueryRequest, QueryResponse, SessionId};
+pub use blog_spd::CommitMode;
+pub use request::{
+    Outcome, QueryRequest, QueryResponse, SessionId, UpdateOp, UpdateOutcome, UpdateRequest,
+    UpdateResponse,
+};
 pub use server::{ExecMode, QueryServer, Routing, ServeConfig};
 pub use stats::{PoolReport, ServeReport, ServeStats, WarmthSplit};

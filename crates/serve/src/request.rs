@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use blog_logic::SearchStats;
+use blog_logic::{ClauseId, SearchStats};
 
 /// Identity of one user session: the unit of cache-warmth affinity.
 ///
@@ -127,6 +127,10 @@ pub struct QueryResponse {
     pub tenant: u32,
     /// The pool that executed the request.
     pub pool: usize,
+    /// The store epoch the request executed at: its solutions are
+    /// exactly the sequential solution set of the epoch-`epoch` snapshot,
+    /// whatever updates committed while the search ran.
+    pub epoch: u64,
     /// How the request ended.
     pub outcome: Outcome,
     /// Engine work counters for this request.
@@ -152,4 +156,105 @@ impl QueryResponse {
         }
         self.store_hits as f64 / self.store_accesses as f64
     }
+}
+
+/// One mutation inside an [`UpdateRequest`].
+#[derive(Clone, Debug)]
+pub enum UpdateOp {
+    /// Parse `text` as clause source (facts and rules, no queries) and
+    /// assert every clause, interning any vocabulary the program has
+    /// never seen — this is the one path by which new constants and
+    /// functors enter the store; the query parse path keeps rejecting
+    /// unknown symbols against its snapshot's table.
+    Assert {
+        /// Clause source text, e.g. `"f(larry,zoe)."`.
+        text: String,
+    },
+    /// Retract one clause by id (ids are dense and never reused; asserts
+    /// report the ids they allocated).
+    Retract {
+        /// The clause to retract.
+        id: ClauseId,
+    },
+}
+
+/// A batch of mutations applied as **one atomic transaction**: either
+/// every op commits under a single new epoch, or none do.
+#[derive(Clone, Debug)]
+pub struct UpdateRequest {
+    /// The issuing session (reporting only — updates are not routed to
+    /// pools; they run on the server's update lane).
+    pub session: SessionId,
+    /// The mutations, applied in order inside one transaction.
+    pub ops: Vec<UpdateOp>,
+    /// Earliest time this update may start, measured from batch
+    /// admission — lets a mixed batch interleave commits into the middle
+    /// of the query stream deterministically (`None` = immediately).
+    pub not_before: Option<Duration>,
+}
+
+impl UpdateRequest {
+    /// An update with the given ops and no start delay.
+    pub fn new(session: u64, ops: Vec<UpdateOp>) -> UpdateRequest {
+        UpdateRequest {
+            session: SessionId(session),
+            ops,
+            not_before: None,
+        }
+    }
+
+    /// Convenience: a single-assert update.
+    pub fn assert_text(session: u64, text: impl Into<String>) -> UpdateRequest {
+        UpdateRequest::new(session, vec![UpdateOp::Assert { text: text.into() }])
+    }
+
+    /// Convenience: a single-retract update.
+    pub fn retract(session: u64, id: ClauseId) -> UpdateRequest {
+        UpdateRequest::new(session, vec![UpdateOp::Retract { id }])
+    }
+
+    /// Set the earliest start time (from batch admission).
+    pub fn with_not_before(mut self, delay: Duration) -> Self {
+        self.not_before = Some(delay);
+        self
+    }
+}
+
+/// How an update ended.
+#[derive(Clone, Debug)]
+pub enum UpdateOutcome {
+    /// The transaction committed.
+    Committed {
+        /// Clause ids allocated by the update's asserts, in op order.
+        asserted: Vec<ClauseId>,
+    },
+    /// An op failed (parse error, unknown retract target, capacity…);
+    /// the whole transaction was aborted and nothing changed.
+    Rejected {
+        /// The failing op's error text.
+        error: String,
+    },
+}
+
+impl UpdateOutcome {
+    /// Whether this is a [`Committed`](UpdateOutcome::Committed) outcome.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, UpdateOutcome::Committed { .. })
+    }
+}
+
+/// One applied (or rejected) update.
+#[derive(Clone, Debug)]
+pub struct UpdateResponse {
+    /// Index of the update in the submitted batch.
+    pub request: usize,
+    /// Echo of the update's session.
+    pub session: SessionId,
+    /// The epoch this update committed as (for rejections, the epoch
+    /// that was committed when the update failed). Queries tagged with
+    /// an [`epoch`](QueryResponse::epoch) `>=` this value see the
+    /// update's effects; older snapshots never do.
+    pub epoch: u64,
+    /// How the update ended.
+    pub outcome: UpdateOutcome,
 }

@@ -1,5 +1,5 @@
 //! The scheduler: pool queues, affinity routing, overflow admission,
-//! the deadline reaper, and the per-pool execution loop.
+//! the deadline reaper, the update lane, and the per-pool execution loop.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -8,11 +8,13 @@ use std::time::{Duration, Instant};
 
 use blog_core::engine::{best_first_with, BestFirstConfig};
 use blog_core::weight::{WeightParams, WeightStore, WeightView};
-use blog_logic::{parse_query_shared, CancelToken, ClauseDb, SolveConfig};
+use blog_logic::{parse_query_symbols, CancelToken, ClauseDb, ClauseId, SolveConfig};
 use blog_parallel::{par_best_first_with, FrontierPolicy, ParallelConfig};
-use blog_spd::{PagedClauseStore, PagedStoreConfig, PagedStoreStats};
+use blog_spd::{CommitMode, MvccClauseStore, MvccError, PagedStoreConfig, PagedStoreStats};
 
-use crate::request::{Outcome, QueryRequest, QueryResponse};
+use crate::request::{
+    Outcome, QueryRequest, QueryResponse, UpdateOutcome, UpdateRequest, UpdateResponse,
+};
 use crate::stats::{percentile_ms, warmth_splits, PoolReport, ServeReport, ServeStats};
 
 /// How requests map to pools.
@@ -77,8 +79,14 @@ pub struct ServeConfig {
     /// one another's disk latency — the multiprogramming form of the
     /// paper's latency hiding, and the mechanism by which serving
     /// throughput scales with pool count even when queries are
-    /// CPU-light.
+    /// CPU-light. The update lane's commit I/O stalls under the same
+    /// scale.
     pub stall_ns_per_tick: u64,
+    /// How a committing update treats in-flight queries:
+    /// [`CommitMode::Mvcc`] (readers never wait) or the
+    /// [`CommitMode::StopTheWorld`] baseline (every clause fetch waits
+    /// out the commit) — the T10 ablation.
+    pub commit: CommitMode,
     /// How often the deadline reaper rescans in-flight requests.
     pub reaper_poll: Duration,
 }
@@ -92,6 +100,7 @@ impl Default for ServeConfig {
             exec: ExecMode::Sequential,
             solve: SolveConfig::all(),
             stall_ns_per_tick: 0,
+            commit: CommitMode::Mvcc,
             reaper_poll: Duration::from_micros(200),
         }
     }
@@ -108,15 +117,18 @@ struct Job {
 
 /// The multi-session query server. See the crate docs for the model.
 ///
-/// The server borrows the clause database (read-only — queries are
-/// parsed through [`parse_query_shared`]) and owns the shared
-/// [`PagedClauseStore`] plus a frozen [`WeightStore`] snapshot. The
-/// store's cache persists across [`serve`](Self::serve) batches, so a
-/// second batch starts warm — servers don't reboot between requests.
-pub struct QueryServer<'db> {
-    db: &'db ClauseDb,
+/// The server owns a snapshot-isolated [`MvccClauseStore`] seeded from
+/// the clause database at construction (the database itself is not
+/// retained — the store's epoch-0 state *is* the database), plus a
+/// frozen [`WeightStore`] snapshot. Queries execute against per-request
+/// epoch-pinned snapshots; the update lane
+/// ([`serve_mixed`](Self::serve_mixed), [`apply_update`](Self::apply_update))
+/// commits asserts and retracts between epochs without blocking readers.
+/// The store's cache persists across batches, so a second batch starts
+/// warm — servers don't reboot between requests.
+pub struct QueryServer {
     weights: WeightStore,
-    store: PagedClauseStore<'db>,
+    store: MvccClauseStore,
     config: ServeConfig,
     /// Session → pool that last completed one of its requests (the
     /// warmth ledger; persists across batches).
@@ -126,17 +138,15 @@ pub struct QueryServer<'db> {
     rr_next: AtomicUsize,
 }
 
-impl<'db> QueryServer<'db> {
-    /// A server over `db` with default (untrained) weights.
+impl QueryServer {
+    /// A server seeded from `db` with default (untrained) weights.
     ///
     /// # Panics
     /// Panics if `config.n_pools == 0` or the store geometry cannot hold
-    /// the database (see [`PagedClauseStore::new`]).
-    pub fn new(
-        db: &'db ClauseDb,
-        store_config: PagedStoreConfig,
-        config: ServeConfig,
-    ) -> QueryServer<'db> {
+    /// the database (see [`MvccClauseStore::new`]). Size the geometry
+    /// with headroom (see [`tuning::churn_store_config`](crate::tuning::churn_store_config))
+    /// when the update lane will assert clauses.
+    pub fn new(db: &ClauseDb, store_config: PagedStoreConfig, config: ServeConfig) -> QueryServer {
         Self::with_weights(
             db,
             store_config,
@@ -150,27 +160,29 @@ impl<'db> QueryServer<'db> {
     /// concurrent and sequential execution provably enumerate the same
     /// solution sets).
     pub fn with_weights(
-        db: &'db ClauseDb,
+        db: &ClauseDb,
         store_config: PagedStoreConfig,
         config: ServeConfig,
         weights: WeightStore,
-    ) -> QueryServer<'db> {
+    ) -> QueryServer {
         assert!(config.n_pools >= 1, "need at least one pool");
         if let ExecMode::OrParallel { n_workers, .. } = config.exec {
             assert!(n_workers >= 1, "need at least one worker per request");
         }
+        let store = MvccClauseStore::new(db, store_config, config.commit);
+        store.set_write_stall(config.stall_ns_per_tick);
         QueryServer {
-            db,
             weights,
-            store: PagedClauseStore::new(db, store_config),
+            store,
             config,
             sessions: Mutex::new(HashMap::new()),
             rr_next: AtomicUsize::new(0),
         }
     }
 
-    /// The shared store (for inspecting cache state between batches).
-    pub fn store(&self) -> &PagedClauseStore<'db> {
+    /// The shared store (for inspecting cache and epoch state between
+    /// batches).
+    pub fn store(&self) -> &MvccClauseStore {
         &self.store
     }
 
@@ -189,12 +201,53 @@ impl<'db> QueryServer<'db> {
         }
     }
 
-    /// Serve a batch of requests to completion and report.
+    /// Apply one batch of ops as a single atomic transaction and commit.
+    /// Returns the committed epoch and the clause ids allocated by the
+    /// asserts; on any failing op the transaction is dropped (nothing
+    /// changes) and the op's error comes back.
+    ///
+    /// This is the update lane's primitive; it can also be called
+    /// directly — including from other threads while
+    /// [`serve`](Self::serve) is running, which is exactly the churn the
+    /// T10 experiment measures.
+    pub fn apply_update(
+        &self,
+        ops: &[crate::request::UpdateOp],
+    ) -> Result<(u64, Vec<ClauseId>), MvccError> {
+        let mut txn = self.store.begin_write();
+        let mut asserted = Vec::new();
+        for op in ops {
+            match op {
+                crate::request::UpdateOp::Assert { text } => {
+                    asserted.extend(txn.assert_text(text)?)
+                }
+                crate::request::UpdateOp::Retract { id } => txn.retract(*id)?,
+            }
+        }
+        Ok((txn.commit(), asserted))
+    }
+
+    /// Serve a read-only batch of requests to completion and report.
     ///
     /// The whole batch is admitted first (the *offered load*), then the
     /// pools drain their queues concurrently; the call returns when
     /// every request has a response. Responses come back in batch order.
     pub fn serve(&self, requests: Vec<QueryRequest>) -> ServeReport {
+        self.serve_mixed(requests, Vec::new())
+    }
+
+    /// Serve queries and updates together: pools drain the query queues
+    /// while a dedicated **update lane** thread applies each
+    /// [`UpdateRequest`] in batch order (honoring
+    /// [`not_before`](UpdateRequest::not_before) delays), committing
+    /// between epochs. Every query response carries the
+    /// [`epoch`](QueryResponse::epoch) it executed at; its solutions are
+    /// exactly the sequential solution set of that epoch's snapshot.
+    pub fn serve_mixed(
+        &self,
+        requests: Vec<QueryRequest>,
+        updates: Vec<UpdateRequest>,
+    ) -> ServeReport {
         let n_pools = self.config.n_pools;
         let t0 = Instant::now();
 
@@ -233,9 +286,11 @@ impl<'db> QueryServer<'db> {
         let queue_peaks: Vec<usize> = queues.iter().map(VecDeque::len).collect();
         let total: usize = queue_peaks.iter().sum();
         let store_before = self.store.stats();
+        let mvcc_before = self.store.mvcc_stats();
         let pools_before: Vec<_> = (0..n_pools).map(|p| self.store.pool_stats(p)).collect();
 
-        // --- Drain: one thread per pool, plus a deadline reaper.
+        // --- Drain: one thread per pool, the update lane, plus a
+        // deadline reaper.
         let remaining = AtomicUsize::new(total);
         // Live pool-thread count, decremented by a drop guard so the
         // reaper still exits (and the scope can propagate the panic)
@@ -249,6 +304,7 @@ impl<'db> QueryServer<'db> {
         }
         let queues: Vec<Mutex<VecDeque<Job>>> = queues.into_iter().map(Mutex::new).collect();
         let mut per_pool_responses: Vec<Vec<QueryResponse>> = Vec::with_capacity(n_pools);
+        let mut update_responses: Vec<UpdateResponse> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n_pools)
                 .map(|p| {
@@ -268,6 +324,39 @@ impl<'db> QueryServer<'db> {
                     })
                 })
                 .collect();
+            let update_lane = (!updates.is_empty()).then(|| {
+                let updates = &updates;
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(updates.len());
+                    for (idx, update) in updates.iter().enumerate() {
+                        if let Some(delay) = update.not_before {
+                            let at = t0 + delay;
+                            let now = Instant::now();
+                            if now < at {
+                                std::thread::sleep(at - now);
+                            }
+                        }
+                        let outcome = match self.apply_update(&update.ops) {
+                            Ok((epoch, asserted)) => UpdateResponse {
+                                request: idx,
+                                session: update.session,
+                                epoch,
+                                outcome: UpdateOutcome::Committed { asserted },
+                            },
+                            Err(e) => UpdateResponse {
+                                request: idx,
+                                session: update.session,
+                                epoch: self.store.committed_epoch(),
+                                outcome: UpdateOutcome::Rejected {
+                                    error: e.to_string(),
+                                },
+                            },
+                        };
+                        out.push(outcome);
+                    }
+                    out
+                })
+            });
             if !reaper_watch.is_empty() {
                 let remaining = &remaining;
                 let pools_alive = &pools_alive;
@@ -289,6 +378,9 @@ impl<'db> QueryServer<'db> {
             }
             for h in handles {
                 per_pool_responses.push(h.join().expect("pool thread panicked"));
+            }
+            if let Some(h) = update_lane {
+                update_responses = h.join().expect("update lane panicked");
             }
         });
         let wall_s = t0.elapsed().as_secs_f64();
@@ -337,6 +429,7 @@ impl<'db> QueryServer<'db> {
             .iter()
             .filter(|r| matches!(r.outcome, Outcome::Cancelled { .. }))
             .count();
+        let mvcc_after = self.store.mvcc_stats();
         let stats = ServeStats {
             wall_s,
             requests: total,
@@ -349,12 +442,18 @@ impl<'db> QueryServer<'db> {
             wait_p50_ms: percentile_ms(&wait_ms, 0.5),
             wait_p99_ms: percentile_ms(&wait_ms, 0.99),
             overflow_admissions,
+            commits: mvcc_after.commits - mvcc_before.commits,
+            final_epoch: mvcc_after.committed_epoch,
             per_pool,
             store: stats_delta(store_before, self.store.stats()),
             warm,
             cold,
         };
-        ServeReport { responses, stats }
+        ServeReport {
+            responses,
+            updates: update_responses,
+            stats,
+        }
     }
 
     /// Execute one job on pool `p`.
@@ -374,21 +473,34 @@ impl<'db> QueryServer<'db> {
         // the reaper already tripped) is answered without touching an
         // engine (load shedding).
         let shed = job.deadline.is_some_and(|at| started >= at) || job.cancel.is_cancelled();
-        let outcome = if shed {
+        let (outcome, stats, epoch) = if shed {
             job.cancel.cancel();
             (
                 Outcome::Cancelled {
                     partial: Vec::new(),
                 },
                 blog_logic::SearchStats::default(),
+                self.store.committed_epoch(),
             )
         } else {
-            match parse_query_shared(self.db, &job.request.text) {
+            // Pin the epoch *before* parsing: the query is admitted at
+            // this snapshot, parsed against its symbol table (so text
+            // mentioning vocabulary from a later epoch rejects, exactly
+            // as it would have sequentially), and executed against its
+            // pages whatever commits land meanwhile.
+            let snap = self
+                .store
+                .begin_read()
+                .for_pool(p)
+                .with_stall(self.config.stall_ns_per_tick);
+            let epoch = snap.epoch();
+            match parse_query_symbols(snap.symbols(), &job.request.text) {
                 Err(e) => (
                     Outcome::Rejected {
                         error: e.to_string(),
                     },
                     blog_logic::SearchStats::default(),
+                    epoch,
                 ),
                 Ok(query) => {
                     let mut solve = self.config.solve.clone();
@@ -398,7 +510,6 @@ impl<'db> QueryServer<'db> {
                     if job.request.max_solutions.is_some() {
                         solve.max_solutions = job.request.max_solutions;
                     }
-                    let view = self.store.pool_view(p).with_stall(self.config.stall_ns_per_tick);
                     let budget = solve.max_nodes;
                     let (mut texts, stats) = match self.config.exec {
                         ExecMode::Sequential => {
@@ -410,11 +521,11 @@ impl<'db> QueryServer<'db> {
                                 cancel: Some(job.cancel.clone()),
                                 ..BestFirstConfig::default()
                             };
-                            let r = best_first_with(&view, &query, &mut wview, &cfg);
+                            let r = best_first_with(&snap, &query, &mut wview, &cfg);
                             (
                                 r.solutions
                                     .iter()
-                                    .map(|s| s.solution.to_text(self.db))
+                                    .map(|s| s.solution.to_text_syms(snap.symbols()))
                                     .collect::<Vec<_>>(),
                                 r.stats,
                             )
@@ -428,11 +539,11 @@ impl<'db> QueryServer<'db> {
                                 cancel: Some(job.cancel.clone()),
                                 ..ParallelConfig::default()
                             };
-                            let r = par_best_first_with(&view, &query, &self.weights, &cfg);
+                            let r = par_best_first_with(&snap, &query, &self.weights, &cfg);
                             (
                                 r.solutions
                                     .iter()
-                                    .map(|s| s.solution.to_text(self.db))
+                                    .map(|s| s.solution.to_text_syms(snap.symbols()))
                                     .collect::<Vec<_>>(),
                                 r.stats,
                             )
@@ -448,14 +559,13 @@ impl<'db> QueryServer<'db> {
                     let cancelled =
                         stats.truncated && !budget_exhausted && job.cancel.is_cancelled();
                     if cancelled {
-                        (Outcome::Cancelled { partial: texts }, stats)
+                        (Outcome::Cancelled { partial: texts }, stats, epoch)
                     } else {
-                        (Outcome::Completed { solutions: texts }, stats)
+                        (Outcome::Completed { solutions: texts }, stats, epoch)
                     }
                 }
             }
         };
-        let (outcome, stats) = outcome;
         // The pool has now seen this session — but only if an engine ran:
         // a parse rejection or an expired-in-queue shed touched none of
         // the session's tracks, so marking it warm would dilute the
@@ -469,6 +579,7 @@ impl<'db> QueryServer<'db> {
             session,
             tenant: job.request.tenant,
             pool: p,
+            epoch,
             outcome,
             stats,
             queue_wait,

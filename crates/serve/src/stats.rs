@@ -78,6 +78,11 @@ pub struct ServeStats {
     /// Admissions diverted off their routed pool by the overflow
     /// threshold (the work-stealing admission path).
     pub overflow_admissions: u64,
+    /// Write transactions committed during the run (the update lane's
+    /// epoch bumps; 0 for a read-only batch).
+    pub commits: u64,
+    /// The store's committed epoch when the batch finished.
+    pub final_epoch: u64,
     /// Per-pool slices.
     pub per_pool: Vec<PoolReport>,
     /// The shared store's counters over the run (deltas, lock meters
@@ -96,6 +101,9 @@ pub struct ServeStats {
 pub struct ServeReport {
     /// One response per request, in batch order.
     pub responses: Vec<QueryResponse>,
+    /// One response per update, in batch order (empty for
+    /// [`serve`](crate::QueryServer::serve)).
+    pub updates: Vec<crate::request::UpdateResponse>,
     /// The aggregate picture.
     pub stats: ServeStats,
 }

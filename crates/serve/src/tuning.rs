@@ -28,6 +28,19 @@ pub fn working_set_store_config(db_len: usize) -> PagedStoreConfig {
     }
 }
 
+/// The T9 store sized for *churn*: geometry headroom for `headroom`
+/// clauses asserted beyond the seed database (asserts allocate fresh
+/// blocks; a store sized exactly to the seed rejects the first assert
+/// with `CapacityExhausted`), while the cache stays sized to the **seed**
+/// working set — churn should contend for the same cache the read-only
+/// regime was tuned for, not get a bigger one for free.
+pub fn churn_store_config(db_len: usize, headroom: usize) -> PagedStoreConfig {
+    let mut cfg = working_set_store_config(db_len + headroom);
+    let seed_tracks = db_len.div_ceil(cfg.geometry.blocks_per_track as usize);
+    cfg.capacity_tracks = (seed_tracks * 3 / 5).max(2);
+    cfg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,6 +61,25 @@ mod tests {
             if tracks_total >= 5 {
                 assert!(cfg.capacity_tracks < tracks_total, "db_len {db_len}");
             }
+        }
+    }
+
+    #[test]
+    fn churn_geometry_holds_seed_plus_headroom() {
+        for (db_len, headroom) in [(16usize, 8usize), (100, 40), (513, 0), (7, 100)] {
+            let cfg = churn_store_config(db_len, headroom);
+            assert!(
+                cfg.geometry.capacity() as usize >= db_len + headroom,
+                "db_len {db_len} + headroom {headroom}: capacity {}",
+                cfg.geometry.capacity()
+            );
+            // The cache is sized to the seed, matching the read-only
+            // regime for the same database.
+            assert_eq!(
+                cfg.capacity_tracks,
+                working_set_store_config(db_len).capacity_tracks,
+                "db_len {db_len}"
+            );
         }
     }
 }

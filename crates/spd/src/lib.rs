@@ -37,7 +37,9 @@
 
 pub mod block;
 pub mod bridge;
+pub mod cache;
 pub mod lru;
+pub mod mvcc;
 pub mod paged;
 pub mod pager;
 pub mod policy;
@@ -46,7 +48,9 @@ pub mod timing;
 
 pub use block::{Block, BlockId, NamedPointer};
 pub use bridge::{build_spd_from_db, DbLayout};
+pub use cache::TrackCache;
 pub use lru::{LruSet, Touch};
+pub use mvcc::{CommitMode, MvccClauseStore, MvccError, MvccStats, Snapshot, WriteTxn};
 pub use paged::{
     PagedClauseStore, PagedStoreConfig, PagedStoreStats, PoolTouchStats, PoolView, TouchOutcome,
     TrackId,

@@ -1,0 +1,1100 @@
+//! Snapshot-isolated writes for the paged clause store (MVCC).
+//!
+//! [`PagedClauseStore`](crate::paged::PagedClauseStore) is read-only: the
+//! clause database is built once, before any search starts. This module
+//! adds the write path the paper's multiprogramming story needs —
+//! clauses asserted and retracted *while* queries run — in the style of
+//! RustDB's `SharedPagedStorage`:
+//!
+//! - **Copy-on-write pages.** Clause data lives in per-track
+//!   `PageData` pages behind `Arc`s. A [`WriteTxn`] clones each page it
+//!   dirties; untouched pages are shared structurally with every older
+//!   version of the database.
+//! - **Epoch counter.** Committing stamps the next epoch `E+1`, moves
+//!   each dirtied page's old version into a per-track *stash* tagged
+//!   `superseded_at = E+1`, and installs the new versions — all under
+//!   one brief lock, **after** the simulated write I/O has been paid, so
+//!   in-flight readers are never blocked on a committing writer (the
+//!   [`CommitMode::StopTheWorld`] baseline exists precisely to measure
+//!   what that non-blocking install buys).
+//! - **Reader epochs.** [`begin_read`](MvccClauseStore::begin_read) pins
+//!   the committed epoch and registers the reader; every page the
+//!   snapshot touches resolves through the stash to the version that was
+//!   current at the pinned epoch. Dropping the snapshot deregisters it
+//!   and retires stash entries no remaining reader can see:
+//!
+//!   > a stashed version with `superseded_at = S` is visible only to
+//!   > readers pinned at epochs `< S`, so it is retired as soon as the
+//!   > minimum active reader epoch reaches `S` (with no readers at all,
+//!   > the stash drains completely).
+//!
+//! The track cache ([`TrackCache`]) is shared with the read-only store
+//! and is deliberately *version-blind*: an access touches the same
+//! [`TrackId`] whichever page version it resolves to, so replacement
+//! behavior and the golden trace fixtures are unchanged by writes until
+//! a write actually moves a clause. The correctness contract — **a query
+//! admitted at epoch E returns exactly the sequential solution set of
+//! the epoch-E snapshot** — is enforced by `tests/mvcc_props.rs` and the
+//! serving churn suite.
+
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
+
+use blog_logic::{
+    parse_clauses_interning, BindingLookup, Clause, ClauseDb, ClauseId, ClauseSource, ParseError,
+    SourceStats, Sym, SymbolTable, Term,
+};
+use serde::Serialize;
+
+use crate::cache::TrackCache;
+use crate::paged::{PagedStoreConfig, PagedStoreStats, PoolTouchStats, TrackId};
+use crate::policy::PolicyStats;
+use crate::timing::Geometry;
+
+/// Predicate `(functor, arity)` → defining clauses, in program order —
+/// the same shape as `ClauseDb`'s index, rebuilt per epoch.
+type PredIndex = HashMap<(Sym, u32), Vec<ClauseId>>;
+
+/// How a committing writer treats in-flight readers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub enum CommitMode {
+    /// Snapshot isolation: the writer pays its simulated write I/O
+    /// outside every lock, then installs new page versions under one
+    /// brief mutex. Readers are never blocked.
+    Mvcc,
+    /// The baseline MVCC is measured against: the writer takes a global
+    /// reader/writer gate for the whole commit (I/O included), so every
+    /// clause fetch admitted meanwhile waits for the commit to finish.
+    StopTheWorld,
+}
+
+impl CommitMode {
+    /// Short name for reports (`mvcc` / `stw`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CommitMode::Mvcc => "mvcc",
+            CommitMode::StopTheWorld => "stw",
+        }
+    }
+}
+
+/// One track's worth of clauses: the MVCC page. Slot `i` holds the
+/// clause whose [`BlockAddr`](crate::timing::BlockAddr) maps there;
+/// `None` is an empty or retracted slot.
+#[derive(Clone, Debug)]
+struct PageData {
+    clauses: Vec<Option<Clause>>,
+}
+
+/// An old page version, kept while some reader epoch can still see it.
+#[derive(Debug)]
+struct StashedPage {
+    /// The epoch whose commit replaced this version: visible to readers
+    /// pinned at epochs `< superseded_at`.
+    superseded_at: u64,
+    data: Arc<PageData>,
+}
+
+/// One track's current page plus its stash of superseded versions
+/// (ascending by `superseded_at`).
+#[derive(Debug)]
+struct PageSlot {
+    current: Arc<PageData>,
+    /// Epoch at which `current` was installed.
+    current_since: u64,
+    stash: Vec<StashedPage>,
+}
+
+/// Everything a commit swaps and a `begin_read` pins, under one mutex.
+#[derive(Debug)]
+struct VersionState {
+    /// One slot per track, indexed by `cylinder * n_sps + sp`.
+    pages: Vec<PageSlot>,
+    index: Arc<PredIndex>,
+    symbols: Arc<SymbolTable>,
+    /// Clause count: ids `0..len` have been allocated (some retracted).
+    len: usize,
+    /// The committed epoch; epoch 0 is the seed database.
+    committed: u64,
+    /// Active readers per pinned epoch.
+    readers: BTreeMap<u64, usize>,
+    /// Cumulative stash entries retired (diagnostics).
+    pages_retired: u64,
+}
+
+impl VersionState {
+    /// Drop every stash entry no active reader can see (see module docs
+    /// for the retirement rule).
+    fn retire(&mut self) {
+        let min_reader = self.readers.keys().next().copied();
+        for slot in &mut self.pages {
+            let before = slot.stash.len();
+            match min_reader {
+                // A stashed version superseded at S is dead once the
+                // oldest reader is pinned at an epoch >= S.
+                Some(min) => slot.stash.retain(|s| s.superseded_at > min),
+                None => slot.stash.clear(),
+            }
+            self.pages_retired += (before - slot.stash.len()) as u64;
+        }
+    }
+}
+
+/// MVCC diagnostics, for tests and reports.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MvccStats {
+    /// The committed epoch (0 = seed database, nothing committed yet).
+    pub committed_epoch: u64,
+    /// Transactions committed (epoch bumps).
+    pub commits: u64,
+    /// Snapshots currently holding an epoch pin.
+    pub active_readers: usize,
+    /// Old page versions currently stashed across all tracks.
+    pub stashed_pages: usize,
+    /// Stash entries retired over the store's lifetime.
+    pub pages_retired: u64,
+}
+
+/// Errors from the write path.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MvccError {
+    /// The geometry has no free block for another clause.
+    CapacityExhausted {
+        /// Total block capacity of the store's geometry.
+        capacity: usize,
+    },
+    /// Retract target was never allocated.
+    NoSuchClause(ClauseId),
+    /// Retract target was already retracted in an earlier epoch (or this
+    /// transaction).
+    AlreadyRetracted(ClauseId),
+    /// Asserted clause had a variable or integer head/goal.
+    Uncallable(String),
+    /// Update text failed to parse.
+    Parse(ParseError),
+}
+
+impl std::fmt::Display for MvccError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MvccError::CapacityExhausted { capacity } => {
+                write!(f, "store full: geometry holds at most {capacity} clauses")
+            }
+            MvccError::NoSuchClause(cid) => write!(f, "no clause with id {}", cid.0),
+            MvccError::AlreadyRetracted(cid) => {
+                write!(f, "clause {} is already retracted", cid.0)
+            }
+            MvccError::Uncallable(what) => write!(f, "uncallable term in clause: {what}"),
+            MvccError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MvccError {}
+
+impl From<ParseError> for MvccError {
+    fn from(e: ParseError) -> Self {
+        MvccError::Parse(e)
+    }
+}
+
+/// A clause database with snapshot-isolated writes, served through the
+/// same policy-driven track cache as [`PagedClauseStore`](crate::paged::PagedClauseStore). See the
+/// module docs for the protocol.
+///
+/// Unlike the read-only store, this one **owns** its clauses (they are
+/// copied out of the seed `ClauseDb` at construction), so it has no
+/// lifetime parameter and can outlive the database it was built from.
+#[derive(Debug)]
+pub struct MvccClauseStore {
+    geometry: Geometry,
+    policy_kind: crate::policy::PolicyKind,
+    commit_mode: CommitMode,
+    cache: TrackCache,
+    versions: Mutex<VersionState>,
+    /// Serializes writers (one transaction at a time).
+    writer: Mutex<()>,
+    /// The stop-the-world gate: committing writers in
+    /// [`CommitMode::StopTheWorld`] hold it exclusively; readers in that
+    /// mode take it shared around every fetch. Unused under MVCC.
+    stw_gate: RwLock<()>,
+    /// Nanoseconds slept per simulated tick of commit write I/O
+    /// (0 = account only).
+    write_stall_ns_per_tick: AtomicU64,
+    commits: AtomicU64,
+}
+
+impl MvccClauseStore {
+    /// Build epoch 0 from `db`: clauses are laid out with the same
+    /// round-robin placement as [`PagedClauseStore`](crate::paged::PagedClauseStore) (both call
+    /// [`Geometry::addr_of_index`]), so the access stream — and
+    /// therefore every cache counter — is identical until a write
+    /// actually changes a page.
+    ///
+    /// # Panics
+    /// Panics if the geometry cannot hold one block per clause. Size the
+    /// geometry with headroom: asserts allocate fresh blocks and fail
+    /// with [`MvccError::CapacityExhausted`] once the geometry is full.
+    pub fn new(db: &ClauseDb, config: PagedStoreConfig, mode: CommitMode) -> MvccClauseStore {
+        assert!(
+            config.geometry.capacity() as usize >= db.len(),
+            "SPD geometry too small: capacity {} < {} clauses",
+            config.geometry.capacity(),
+            db.len()
+        );
+        let g = config.geometry;
+        let n_tracks = (g.n_sps * g.n_cylinders) as usize;
+        let mut pages = vec![
+            PageData {
+                clauses: vec![None; g.blocks_per_track as usize],
+            };
+            n_tracks
+        ];
+        let mut index: PredIndex = HashMap::new();
+        for (i, clause) in db.clauses().iter().enumerate() {
+            let addr = g.addr_of_index(i as u32);
+            let ti = (addr.cylinder * g.n_sps + addr.sp) as usize;
+            pages[ti].clauses[addr.slot as usize] = Some(clause.clone());
+            index.entry(clause.head_pred()).or_default().push(ClauseId(i as u32));
+        }
+        MvccClauseStore {
+            geometry: g,
+            policy_kind: config.policy,
+            commit_mode: mode,
+            cache: TrackCache::new(config.policy, config.capacity_tracks, g.n_sps, config.cost),
+            versions: Mutex::new(VersionState {
+                pages: pages
+                    .into_iter()
+                    .map(|p| PageSlot {
+                        current: Arc::new(p),
+                        current_since: 0,
+                        stash: Vec::new(),
+                    })
+                    .collect(),
+                index: Arc::new(index),
+                symbols: Arc::new(db.symbols().clone()),
+                len: db.len(),
+                committed: 0,
+                readers: BTreeMap::new(),
+                pages_retired: 0,
+            }),
+            writer: Mutex::new(()),
+            stw_gate: RwLock::new(()),
+            write_stall_ns_per_tick: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+        }
+    }
+
+    fn versions(&self) -> MutexGuard<'_, VersionState> {
+        self.versions.lock().unwrap()
+    }
+
+    /// Dense index of the track holding block address components.
+    fn track_index(&self, track: TrackId) -> usize {
+        (track.cylinder * self.geometry.n_sps + track.sp) as usize
+    }
+
+    /// The track (cache page) holding clause `cid`.
+    pub fn track_of(&self, cid: ClauseId) -> TrackId {
+        let addr = self.geometry.addr_of_index(cid.0);
+        TrackId {
+            sp: addr.sp,
+            cylinder: addr.cylinder,
+        }
+    }
+
+    /// This store's commit mode.
+    pub fn commit_mode(&self) -> CommitMode {
+        self.commit_mode
+    }
+
+    /// Which replacement algorithm the track cache runs.
+    pub fn policy_kind(&self) -> crate::policy::PolicyKind {
+        self.policy_kind
+    }
+
+    /// The disk geometry (fixed at construction; asserts consume its
+    /// remaining block capacity).
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Sleep this many nanoseconds per simulated tick of commit write
+    /// I/O (one `track_load` per dirtied page). Under [`CommitMode::Mvcc`]
+    /// the sleep happens outside every lock; under
+    /// [`CommitMode::StopTheWorld`] it happens while holding the global
+    /// gate — that difference is the whole experiment.
+    pub fn set_write_stall(&self, ns_per_tick: u64) {
+        self.write_stall_ns_per_tick.store(ns_per_tick, Ordering::Relaxed);
+    }
+
+    /// Pin the committed epoch and return a read snapshot. The snapshot
+    /// keeps every page version it may need alive until dropped.
+    pub fn begin_read(&self) -> Snapshot<'_> {
+        let n_tracks = (self.geometry.n_sps * self.geometry.n_cylinders) as usize;
+        let mut v = self.versions();
+        let epoch = v.committed;
+        *v.readers.entry(epoch).or_insert(0) += 1;
+        Snapshot {
+            store: self,
+            epoch,
+            len: v.len,
+            symbols: Arc::clone(&v.symbols),
+            index: Arc::clone(&v.index),
+            resolved: (0..n_tracks).map(|_| OnceLock::new()).collect(),
+            pool: None,
+            stall_ns_per_tick: 0,
+        }
+    }
+
+    /// Start a write transaction. Writers are serialized: this blocks
+    /// while another transaction is open. Readers are unaffected.
+    pub fn begin_write(&self) -> WriteTxn<'_> {
+        let guard = self.writer.lock().unwrap();
+        // No commit can interleave past this point (we hold the writer
+        // mutex), so the state read here stays the transaction's base.
+        let v = self.versions();
+        WriteTxn {
+            store: self,
+            base_epoch: v.committed,
+            len: v.len,
+            dirty: HashMap::new(),
+            index: (*v.index).clone(),
+            symbols: (*v.symbols).clone(),
+            _writer: guard,
+        }
+    }
+
+    /// The page version visible at `epoch` for track `ti`.
+    fn page_at(&self, ti: usize, epoch: u64) -> Arc<PageData> {
+        let v = self.versions();
+        let slot = &v.pages[ti];
+        if slot.current_since <= epoch {
+            return Arc::clone(&slot.current);
+        }
+        // The stash is ascending by superseded_at; the version current at
+        // `epoch` is the first one replaced *after* it.
+        slot.stash
+            .iter()
+            .find(|s| s.superseded_at > epoch)
+            .map(|s| Arc::clone(&s.data))
+            .expect("page version for a pinned reader epoch was retired early")
+    }
+
+    /// Deregister a reader pinned at `epoch` and retire what it alone
+    /// kept alive.
+    fn end_read(&self, epoch: u64) {
+        let mut v = self.versions();
+        match v.readers.get_mut(&epoch) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                v.readers.remove(&epoch);
+            }
+            None => unreachable!("end_read without begin_read at epoch {epoch}"),
+        }
+        v.retire();
+    }
+
+    /// The committed epoch (0 until the first commit).
+    pub fn committed_epoch(&self) -> u64 {
+        self.versions().committed
+    }
+
+    /// MVCC diagnostics (see [`MvccStats`]).
+    pub fn mvcc_stats(&self) -> MvccStats {
+        let v = self.versions();
+        MvccStats {
+            committed_epoch: v.committed,
+            commits: self.commits.load(Ordering::Relaxed),
+            active_readers: v.readers.values().sum(),
+            stashed_pages: v.pages.iter().map(|p| p.stash.len()).sum(),
+            pages_retired: v.pages_retired,
+        }
+    }
+
+    /// Snapshots currently holding an epoch pin.
+    pub fn reader_count(&self) -> usize {
+        self.versions().readers.values().sum()
+    }
+
+    /// Old page versions currently stashed across all tracks.
+    pub fn stash_depth(&self) -> usize {
+        self.versions().pages.iter().map(|p| p.stash.len()).sum()
+    }
+
+    /// Clause count at the committed epoch (allocated ids, including
+    /// retracted ones — ids are never reused).
+    pub fn committed_len(&self) -> usize {
+        self.versions().len
+    }
+
+    /// Track-cache counters (lock-traffic meters included) — the same
+    /// surface as [`PagedClauseStore::stats`](crate::paged::PagedClauseStore::stats).
+    pub fn stats(&self) -> PagedStoreStats {
+        self.cache.stats()
+    }
+
+    /// The replacement policy's own counters.
+    pub fn policy_stats(&self) -> PolicyStats {
+        self.cache.policy_stats()
+    }
+
+    /// One pool's touch counters (zeros for a pool never seen).
+    pub fn pool_stats(&self, pool: usize) -> PoolTouchStats {
+        self.cache.pool_stats(pool)
+    }
+
+    /// Lock-traffic meters of the track cache:
+    /// `(acquisitions, contended)`.
+    pub fn lock_stats(&self) -> (u64, u64) {
+        self.cache.lock_stats()
+    }
+
+    /// Reset cache counters (residency persists; versions unaffected).
+    pub fn reset_stats(&self) {
+        self.cache.reset_stats();
+    }
+
+    /// Number of resident tracks in the cache.
+    pub fn resident_tracks(&self) -> usize {
+        self.cache.resident_tracks()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot — the epoch-pinned read view
+// ---------------------------------------------------------------------------
+
+/// An epoch-pinned, immutable view of the store — the [`ClauseSource`]
+/// queries execute against.
+///
+/// Every page is resolved lazily on first touch through the version
+/// stash (see `MvccClauseStore::page_at`) and cached in the snapshot,
+/// so a clause fetched twice resolves once and commits that land *after*
+/// `begin_read` are never observed. Dropping the snapshot releases its
+/// epoch pin and retires stash entries nobody else needs.
+#[derive(Debug)]
+pub struct Snapshot<'s> {
+    store: &'s MvccClauseStore,
+    epoch: u64,
+    len: usize,
+    symbols: Arc<SymbolTable>,
+    index: Arc<PredIndex>,
+    /// Per-track page resolution cache (`OnceLock` so `fetch_clause` can
+    /// stay `&self` and the returned `&Clause` borrows from the
+    /// snapshot).
+    resolved: Vec<OnceLock<Arc<PageData>>>,
+    pool: Option<usize>,
+    stall_ns_per_tick: u64,
+}
+
+impl<'s> Snapshot<'s> {
+    /// This snapshot with touches attributed to worker pool `pool`.
+    pub fn for_pool(mut self, pool: usize) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// This snapshot with faults stalling the caller `ns_per_tick`
+    /// nanoseconds per simulated tick (0 = no stall, accounting only).
+    /// The sleep happens after the cache mutex is released, exactly like
+    /// [`PoolView::with_stall`](crate::paged::PoolView::with_stall).
+    pub fn with_stall(mut self, ns_per_tick: u64) -> Self {
+        self.stall_ns_per_tick = ns_per_tick;
+        self
+    }
+
+    /// The epoch this snapshot is pinned at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The symbol table as of the pinned epoch (append-only across
+    /// epochs, so handles valid at older epochs stay valid here).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// The store this snapshot reads.
+    pub fn store(&self) -> &'s MvccClauseStore {
+        self.store
+    }
+
+    /// This pool's touch counters so far (the shared-cache totals if the
+    /// snapshot is not pool-tagged).
+    pub fn touch_stats(&self) -> PoolTouchStats {
+        match self.pool {
+            Some(p) => self.store.pool_stats(p),
+            None => {
+                let s = self.store.stats();
+                PoolTouchStats {
+                    accesses: s.accesses,
+                    hits: s.hits,
+                    misses: s.misses,
+                    fault_ticks: s.fault_ticks,
+                }
+            }
+        }
+    }
+
+    /// The page holding `cid` as visible at this snapshot's epoch.
+    fn page_for(&self, cid: ClauseId) -> &PageData {
+        let ti = self.store.track_index(self.store.track_of(cid));
+        self.resolved[ti].get_or_init(|| self.store.page_at(ti, self.epoch))
+    }
+}
+
+impl Drop for Snapshot<'_> {
+    fn drop(&mut self) {
+        self.store.end_read(self.epoch);
+    }
+}
+
+impl ClauseSource for Snapshot<'_> {
+    fn fetch_clause(&self, id: ClauseId) -> &Clause {
+        // Under the stop-the-world baseline a committing writer blocks
+        // every fetch for its whole commit; under MVCC the gate is never
+        // write-locked, so readers sail through.
+        let _gate = match self.store.commit_mode {
+            CommitMode::StopTheWorld => Some(self.store.stw_gate.read().unwrap()),
+            CommitMode::Mvcc => None,
+        };
+        let outcome = self.store.cache.touch(self.store.track_of(id), self.pool);
+        if self.stall_ns_per_tick > 0 && outcome.fault_ticks > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(
+                outcome.fault_ticks * self.stall_ns_per_tick,
+            ));
+        }
+        let addr = self.store.geometry.addr_of_index(id.0);
+        self.page_for(id).clauses[addr.slot as usize]
+            .as_ref()
+            .expect("fetched a clause not visible at this snapshot's epoch")
+    }
+
+    fn candidate_clauses<'a>(
+        &'a self,
+        goal: &Term,
+        _bindings: &dyn BindingLookup,
+    ) -> Cow<'a, [ClauseId]> {
+        // Candidate lists ride in the caller's block (figure 4), already
+        // paid for when the caller was fetched — same accounting as the
+        // read-only store. The index is pinned with the snapshot, so a
+        // concurrent commit cannot leak clauses from another epoch in.
+        match goal.functor() {
+            Some(pred) => Cow::Borrowed(
+                self.index.get(&pred).map(Vec::as_slice).unwrap_or(&[]),
+            ),
+            None => Cow::Borrowed(&[][..]),
+        }
+    }
+
+    fn clause_count(&self) -> usize {
+        self.len
+    }
+
+    fn backend_name(&self) -> String {
+        match self.pool {
+            Some(p) => format!("mvcc/{}/pool{}", self.store.policy_kind.name(), p),
+            None => format!("mvcc/{}", self.store.policy_kind.name()),
+        }
+    }
+
+    fn source_stats(&self) -> Option<SourceStats> {
+        let s = self.touch_stats();
+        Some(SourceStats {
+            accesses: s.accesses,
+            hits: s.hits,
+            misses: s.misses,
+            // Evictions are a store-wide event; they cannot be attributed
+            // to the snapshot whose fault happened to trigger them.
+            evictions: 0,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WriteTxn — the copy-on-write transaction
+// ---------------------------------------------------------------------------
+
+/// A write transaction: assert/retract clauses, then [`commit`](Self::commit).
+///
+/// The transaction copy-on-writes each page it dirties and interns new
+/// vocabulary into a private clone of the symbol table; nothing is
+/// visible to readers until commit installs the new versions atomically
+/// under the next epoch. Dropping without committing aborts with no
+/// trace. Writers are serialized by the store (one open transaction at a
+/// time); readers never wait for a transaction, open or committing
+/// (except under [`CommitMode::StopTheWorld`]).
+#[derive(Debug)]
+pub struct WriteTxn<'s> {
+    store: &'s MvccClauseStore,
+    base_epoch: u64,
+    /// Next clause id; ids are allocated densely and never reused.
+    len: usize,
+    /// Copy-on-write pages, by track index.
+    dirty: HashMap<usize, PageData>,
+    index: PredIndex,
+    symbols: SymbolTable,
+    _writer: MutexGuard<'s, ()>,
+}
+
+impl WriteTxn<'_> {
+    /// The committed epoch this transaction branched from.
+    pub fn base_epoch(&self) -> u64 {
+        self.base_epoch
+    }
+
+    /// Clause ids allocated so far (committed base plus this
+    /// transaction's asserts).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store (plus this transaction) holds no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The transaction's symbol table (base table plus any vocabulary
+    /// interned by [`assert_text`](Self::assert_text) so far).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// The copy-on-write page for `ti`, cloning the committed version on
+    /// first touch.
+    fn dirty_page(&mut self, ti: usize) -> &mut PageData {
+        self.dirty.entry(ti).or_insert_with(|| {
+            let v = self.store.versions();
+            // Writers are serialized and the committed state cannot move
+            // under an open transaction, so `current` IS the base page.
+            (*v.pages[ti].current).clone()
+        })
+    }
+
+    /// Assert `clause`, allocating the next clause id. The head and all
+    /// body goals must be callable terms (same rule as
+    /// [`ClauseDb::add_clause`]).
+    pub fn assert_clause(&mut self, clause: Clause) -> Result<ClauseId, MvccError> {
+        if clause.head.functor().is_none() {
+            return Err(MvccError::Uncallable("clause head".into()));
+        }
+        if let Some(i) = clause.body.iter().position(|g| g.functor().is_none()) {
+            return Err(MvccError::Uncallable(format!("body goal {i}")));
+        }
+        if self.len >= self.store.geometry.capacity() as usize {
+            return Err(MvccError::CapacityExhausted {
+                capacity: self.store.geometry.capacity() as usize,
+            });
+        }
+        let cid = ClauseId(self.len as u32);
+        let addr = self.store.geometry.addr_of_index(cid.0);
+        let ti = (addr.cylinder * self.store.geometry.n_sps + addr.sp) as usize;
+        let pred = clause.head_pred();
+        self.dirty_page(ti).clauses[addr.slot as usize] = Some(clause);
+        self.index.entry(pred).or_default().push(cid);
+        self.len += 1;
+        Ok(cid)
+    }
+
+    /// Parse `src` as clause text (facts and rules) and assert each
+    /// clause, interning any new constants or functors into the
+    /// transaction's symbol table — this is how the update lane
+    /// introduces vocabulary the read-only parse path keeps rejecting.
+    pub fn assert_text(&mut self, src: &str) -> Result<Vec<ClauseId>, MvccError> {
+        let clauses = parse_clauses_interning(&mut self.symbols, src)?;
+        clauses.into_iter().map(|c| self.assert_clause(c)).collect()
+    }
+
+    /// Retract clause `cid`: its block becomes an empty slot and it
+    /// leaves the candidate index at the commit epoch. Ids are never
+    /// reused. Retracting in-transaction asserts is allowed.
+    pub fn retract(&mut self, cid: ClauseId) -> Result<(), MvccError> {
+        if cid.index() >= self.len {
+            return Err(MvccError::NoSuchClause(cid));
+        }
+        let addr = self.store.geometry.addr_of_index(cid.0);
+        let ti = (addr.cylinder * self.store.geometry.n_sps + addr.sp) as usize;
+        let page = self.dirty_page(ti);
+        let Some(clause) = page.clauses[addr.slot as usize].take() else {
+            return Err(MvccError::AlreadyRetracted(cid));
+        };
+        let pred = clause.head_pred();
+        if let Some(ids) = self.index.get_mut(&pred) {
+            ids.retain(|&id| id != cid);
+        }
+        Ok(())
+    }
+
+    /// Commit: pay the simulated write I/O (one `track_load` per dirty
+    /// page), then install the new page versions, index, and symbol
+    /// table under the next epoch. Returns the new committed epoch (or
+    /// the unchanged one for an empty transaction).
+    ///
+    /// Under [`CommitMode::Mvcc`] the I/O sleep happens before any lock
+    /// is taken, and the install itself is a brief mutex hold — readers
+    /// keep resolving pages (old epochs through the stash) the whole
+    /// time. Under [`CommitMode::StopTheWorld`] the store-wide gate is
+    /// held across I/O *and* install.
+    pub fn commit(self) -> u64 {
+        let store = self.store;
+        if self.dirty.is_empty() {
+            // Nothing to install; symbol-only or empty transactions do
+            // not bump the epoch (no page version changed).
+            return self.base_epoch;
+        }
+        let io_ticks = self.dirty.len() as u64 * store.cache.cost().track_load;
+        let stall_ns = store.write_stall_ns_per_tick.load(Ordering::Relaxed);
+        let io = std::time::Duration::from_nanos(io_ticks * stall_ns);
+
+        let _gate = match store.commit_mode {
+            CommitMode::StopTheWorld => {
+                let gate = store.stw_gate.write().unwrap();
+                // The whole world waits out the write I/O.
+                if !io.is_zero() {
+                    std::thread::sleep(io);
+                }
+                Some(gate)
+            }
+            CommitMode::Mvcc => {
+                // Pay the I/O before touching any shared state.
+                if !io.is_zero() {
+                    std::thread::sleep(io);
+                }
+                None
+            }
+        };
+
+        let mut v = store.versions();
+        let new_epoch = v.committed + 1;
+        for (ti, page) in self.dirty {
+            let slot = &mut v.pages[ti];
+            let old = std::mem::replace(&mut slot.current, Arc::new(page));
+            slot.stash.push(StashedPage {
+                superseded_at: new_epoch,
+                data: old,
+            });
+            slot.current_since = new_epoch;
+        }
+        v.index = Arc::new(self.index);
+        v.symbols = Arc::new(self.symbols);
+        v.len = self.len;
+        v.committed = new_epoch;
+        v.retire();
+        store.commits.fetch_add(1, Ordering::Relaxed);
+        new_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blog_logic::{parse_program, parse_query_symbols};
+
+    const FAMILY: &str = "
+        gf(X,Z) :- f(X,Y), f(Y,Z).
+        gf(X,Z) :- f(X,Y), m(Y,Z).
+        f(curt,elain). f(sam,larry). f(dan,pat). f(larry,den).
+        f(pat,john). f(larry,doug).
+        m(elain,john). m(marian,elain). m(peg,den). m(peg,doug).
+        ?- gf(sam,G).
+    ";
+
+    fn store_config(capacity_tracks: usize) -> PagedStoreConfig {
+        PagedStoreConfig {
+            geometry: Geometry {
+                n_sps: 2,
+                n_cylinders: 8,
+                blocks_per_track: 2,
+            },
+            capacity_tracks,
+            ..PagedStoreConfig::default()
+        }
+    }
+
+    fn solutions(snap: &Snapshot<'_>, query: &str) -> Vec<String> {
+        let q = parse_query_symbols(snap.symbols(), query).unwrap();
+        let weights = blog_core::weight::WeightStore::new(
+            blog_core::weight::WeightParams::default(),
+        );
+        let mut local = std::collections::HashMap::new();
+        let mut view = blog_core::weight::WeightView::new(&mut local, &weights);
+        let r = blog_core::engine::best_first_with(
+            snap,
+            &q,
+            &mut view,
+            &blog_core::engine::BestFirstConfig::default(),
+        );
+        let mut texts: Vec<String> = r
+            .solutions
+            .iter()
+            .map(|s| s.solution.to_text_syms(snap.symbols()))
+            .collect();
+        texts.sort();
+        texts
+    }
+
+    #[test]
+    fn epoch_zero_matches_the_seed_database() {
+        let p = parse_program(FAMILY).unwrap();
+        let store = MvccClauseStore::new(&p.db, store_config(4), CommitMode::Mvcc);
+        assert_eq!(store.committed_epoch(), 0);
+        let snap = store.begin_read();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.clause_count(), p.db.len());
+        assert_eq!(solutions(&snap, "gf(sam,G)"), vec!["G = den", "G = doug"]);
+    }
+
+    #[test]
+    fn assert_is_invisible_until_commit_and_to_older_snapshots() {
+        let p = parse_program(FAMILY).unwrap();
+        let store = MvccClauseStore::new(&p.db, store_config(8), CommitMode::Mvcc);
+        let old = store.begin_read();
+
+        let mut txn = store.begin_write();
+        txn.assert_text("f(larry,zoe).").unwrap();
+        // Open transaction: nothing visible anywhere.
+        let mid = store.begin_read();
+        assert_eq!(mid.epoch(), 0);
+        assert_eq!(solutions(&mid, "gf(sam,G)"), vec!["G = den", "G = doug"]);
+        let epoch = txn.commit();
+        assert_eq!(epoch, 1);
+
+        // The old snapshot still sees epoch 0 (and can't even parse the
+        // new constant — its symbol table predates it).
+        assert_eq!(solutions(&old, "gf(sam,G)"), vec!["G = den", "G = doug"]);
+        assert!(parse_query_symbols(old.symbols(), "f(larry,zoe)").is_err());
+
+        // A fresh snapshot sees the new fact.
+        let new = store.begin_read();
+        assert_eq!(new.epoch(), 1);
+        assert_eq!(
+            solutions(&new, "gf(sam,G)"),
+            vec!["G = den", "G = doug", "G = zoe"]
+        );
+    }
+
+    #[test]
+    fn retract_removes_solutions_at_the_new_epoch_only() {
+        let p = parse_program(FAMILY).unwrap();
+        let store = MvccClauseStore::new(&p.db, store_config(8), CommitMode::Mvcc);
+        let old = store.begin_read();
+
+        // f(larry,den) is clause 5 in figure 1's program text.
+        let mut txn = store.begin_write();
+        txn.retract(ClauseId(5)).unwrap();
+        txn.commit();
+
+        assert_eq!(solutions(&old, "gf(sam,G)"), vec!["G = den", "G = doug"]);
+        let new = store.begin_read();
+        assert_eq!(solutions(&new, "gf(sam,G)"), vec!["G = doug"]);
+
+        // Double retract is an error.
+        let mut txn = store.begin_write();
+        assert_eq!(
+            txn.retract(ClauseId(5)),
+            Err(MvccError::AlreadyRetracted(ClauseId(5)))
+        );
+        assert_eq!(
+            txn.retract(ClauseId(999)),
+            Err(MvccError::NoSuchClause(ClauseId(999)))
+        );
+    }
+
+    #[test]
+    fn snapshot_resolves_pages_superseded_after_begin_read() {
+        // The stash's reason to exist: pin a snapshot, overwrite a page
+        // it has NOT touched yet, then touch it — the fetch must resolve
+        // through the stash to the pinned version.
+        let p = parse_program(FAMILY).unwrap();
+        let store = MvccClauseStore::new(&p.db, store_config(8), CommitMode::Mvcc);
+        let snap = store.begin_read();
+
+        let mut txn = store.begin_write();
+        txn.retract(ClauseId(3)).unwrap(); // f(sam,larry)
+        txn.commit();
+        assert!(store.stash_depth() > 0, "old version must be stashed");
+
+        // First touch of clause 3's page happens *after* the commit.
+        let c = snap.fetch_clause(ClauseId(3));
+        assert_eq!(c.head, p.db.clause(ClauseId(3)).head);
+        assert_eq!(solutions(&snap, "gf(sam,G)"), vec!["G = den", "G = doug"]);
+    }
+
+    #[test]
+    fn stash_drains_when_readers_drop() {
+        let p = parse_program(FAMILY).unwrap();
+        let store = MvccClauseStore::new(&p.db, store_config(8), CommitMode::Mvcc);
+        let s0 = store.begin_read();
+        let s0b = store.begin_read();
+
+        let mut txn = store.begin_write();
+        txn.assert_text("f(den,kim).").unwrap();
+        txn.commit();
+        let depth_while_pinned = store.stash_depth();
+        assert!(depth_while_pinned > 0);
+        assert_eq!(store.reader_count(), 2);
+
+        drop(s0);
+        assert_eq!(
+            store.stash_depth(),
+            depth_while_pinned,
+            "second epoch-0 reader still pins the stash"
+        );
+        drop(s0b);
+        assert_eq!(store.stash_depth(), 0, "no reader => stash drains");
+        let m = store.mvcc_stats();
+        assert_eq!(m.active_readers, 0);
+        assert!(m.pages_retired >= depth_while_pinned as u64);
+        assert_eq!(m.commits, 1);
+    }
+
+    #[test]
+    fn capacity_exhaustion_is_an_error_not_a_panic() {
+        let p = parse_program("f(a,b).").unwrap();
+        let cfg = PagedStoreConfig {
+            geometry: Geometry {
+                n_sps: 1,
+                n_cylinders: 1,
+                blocks_per_track: 2,
+            },
+            ..PagedStoreConfig::default()
+        };
+        let store = MvccClauseStore::new(&p.db, cfg, CommitMode::Mvcc);
+        let mut txn = store.begin_write();
+        txn.assert_text("f(b,c).").unwrap();
+        assert_eq!(
+            txn.assert_text("f(c,d)."),
+            Err(MvccError::CapacityExhausted { capacity: 2 })
+        );
+        // The transaction is still usable and commits what fit.
+        assert_eq!(txn.commit(), 1);
+        let snap = store.begin_read();
+        assert_eq!(snap.clause_count(), 2);
+    }
+
+    #[test]
+    fn empty_transaction_does_not_bump_the_epoch() {
+        let p = parse_program(FAMILY).unwrap();
+        let store = MvccClauseStore::new(&p.db, store_config(4), CommitMode::Mvcc);
+        let txn = store.begin_write();
+        assert_eq!(txn.commit(), 0);
+        assert_eq!(store.committed_epoch(), 0);
+        assert_eq!(store.mvcc_stats().commits, 0);
+    }
+
+    #[test]
+    fn abort_by_drop_leaves_no_trace() {
+        let p = parse_program(FAMILY).unwrap();
+        let store = MvccClauseStore::new(&p.db, store_config(8), CommitMode::Mvcc);
+        {
+            let mut txn = store.begin_write();
+            txn.assert_text("f(larry,ghost).").unwrap();
+            txn.retract(ClauseId(0)).unwrap();
+            // dropped uncommitted
+        }
+        assert_eq!(store.committed_epoch(), 0);
+        let snap = store.begin_read();
+        assert_eq!(snap.clause_count(), p.db.len());
+        assert!(parse_query_symbols(snap.symbols(), "f(larry,ghost)").is_err());
+        assert_eq!(solutions(&snap, "gf(sam,G)"), vec!["G = den", "G = doug"]);
+    }
+
+    #[test]
+    fn stop_the_world_mode_reaches_the_same_states() {
+        let p = parse_program(FAMILY).unwrap();
+        for mode in [CommitMode::Mvcc, CommitMode::StopTheWorld] {
+            let store = MvccClauseStore::new(&p.db, store_config(8), mode);
+            let old = store.begin_read();
+            let mut txn = store.begin_write();
+            txn.assert_text("f(larry,zoe).").unwrap();
+            txn.retract(ClauseId(5)).unwrap();
+            assert_eq!(txn.commit(), 1);
+            assert_eq!(
+                solutions(&old, "gf(sam,G)"),
+                vec!["G = den", "G = doug"],
+                "{mode:?}"
+            );
+            let new = store.begin_read();
+            assert_eq!(
+                solutions(&new, "gf(sam,G)"),
+                vec!["G = doug", "G = zoe"],
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_counters_match_the_readonly_store_at_epoch_zero() {
+        // The MVCC store must be access-stream identical to the
+        // read-only store until a write happens: same placement, same
+        // candidate order, same hit/miss counters for the same run.
+        let p = parse_program(FAMILY).unwrap();
+        let cfg = store_config(2);
+        let mvcc = MvccClauseStore::new(&p.db, cfg, CommitMode::Mvcc);
+        let paged = crate::paged::PagedClauseStore::new(&p.db, cfg);
+        let snap = mvcc.begin_read();
+        for i in 0..p.db.len() {
+            snap.fetch_clause(ClauseId(i as u32));
+            paged.fetch_clause(ClauseId(i as u32));
+        }
+        let (a, b) = (mvcc.stats(), paged.stats());
+        assert_eq!(a.accesses, b.accesses);
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.misses, b.misses);
+        assert_eq!(a.evictions, b.evictions);
+        assert_eq!(a.fault_ticks, b.fault_ticks);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer_never_tear() {
+        // Writers churn one predicate while reader threads repeatedly
+        // snapshot and verify they observe a consistent epoch: either
+        // both effects of a commit (assert+retract pair) or neither.
+        let p = parse_program("flag(off). other(x). ?- flag(S).").unwrap();
+        let cfg = PagedStoreConfig {
+            geometry: Geometry {
+                n_sps: 2,
+                n_cylinders: 16,
+                blocks_per_track: 2,
+            },
+            ..PagedStoreConfig::default()
+        };
+        let store = MvccClauseStore::new(&p.db, cfg, CommitMode::Mvcc);
+        let rounds = 30;
+        std::thread::scope(|scope| {
+            let store = &store;
+            scope.spawn(move || {
+                // Each commit retracts the current flag fact and asserts
+                // the next one — exactly one flag/1 fact per epoch.
+                let mut live = ClauseId(0);
+                for i in 0..rounds {
+                    let mut txn = store.begin_write();
+                    txn.retract(live).unwrap();
+                    let ids = txn
+                        .assert_text(&format!("flag(state{i})."))
+                        .unwrap();
+                    live = ids[0];
+                    txn.commit();
+                }
+            });
+            for _ in 0..3 {
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        let snap = store.begin_read();
+                        let sols = solutions(&snap, "flag(S)");
+                        assert_eq!(
+                            sols.len(),
+                            1,
+                            "every epoch has exactly one flag fact: {sols:?}"
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(store.committed_epoch(), rounds);
+        assert_eq!(store.stash_depth(), 0, "all readers gone => stash drained");
+    }
+}

@@ -12,7 +12,7 @@
 //! the cache. Every unification attempt touches the candidate clause's
 //! track: a resident track is a **hit**; a miss charges the cost model for
 //! the seek and track load and may **evict** a resident track, chosen by
-//! the configured [`ReplacementPolicy`] (LRU by default; see
+//! the configured [`ReplacementPolicy`](crate::policy::ReplacementPolicy) (LRU by default; see
 //! [`PolicyKind`] for the scan-resistant 2Q and the CLOCK approximation).
 //!
 //! Clause data itself always lives in the backing [`ClauseDb`] (the
@@ -23,14 +23,12 @@
 //! assert both halves of that claim.
 
 use std::borrow::Cow;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, TryLockError};
 
 use blog_logic::{BindingLookup, Clause, ClauseDb, ClauseId, ClauseSource, SourceStats, Term};
 use serde::Serialize;
 
-use crate::lru::Touch;
-use crate::policy::{PolicyKind, PolicyStats, ReplacementPolicy};
+use crate::cache::TrackCache;
+use crate::policy::{PolicyKind, PolicyStats};
 use crate::timing::{BlockAddr, CostModel, Geometry};
 
 /// Identity of one track: the unit of caching (and of disk transfer).
@@ -142,31 +140,16 @@ pub struct TouchOutcome {
     pub fault_ticks: u64,
 }
 
-/// Mutable cache state, behind one mutex so the store can implement
-/// [`ClauseSource`]'s `&self` methods (and be shared across threads).
-#[derive(Debug)]
-struct CacheState {
-    policy: Box<dyn ReplacementPolicy<TrackId>>,
-    /// Per-SP head position, for seek cost.
-    heads: Vec<u32>,
-    stats: PagedStoreStats,
-    /// Per-pool touch counters, grown on first use of each pool id.
-    pools: Vec<PoolTouchStats>,
-}
-
 /// A [`ClauseDb`] served through a policy-driven track cache with SPD
-/// cost accounting. See the module docs for the model.
+/// cost accounting. See the module docs for the model. The cache
+/// machinery itself lives in [`TrackCache`],
+/// shared with the MVCC backend.
 #[derive(Debug)]
 pub struct PagedClauseStore<'a> {
     db: &'a ClauseDb,
     geometry: Geometry,
-    cost: CostModel,
     policy_kind: PolicyKind,
-    inner: Mutex<CacheState>,
-    /// Lock-traffic meters, outside the mutex so a *contended* attempt
-    /// can be counted before the thread blocks on it.
-    lock_acquisitions: AtomicU64,
-    lock_contended: AtomicU64,
+    cache: TrackCache,
 }
 
 impl<'a> PagedClauseStore<'a> {
@@ -185,29 +168,13 @@ impl<'a> PagedClauseStore<'a> {
         PagedClauseStore {
             db,
             geometry: config.geometry,
-            cost: config.cost,
             policy_kind: config.policy,
-            inner: Mutex::new(CacheState {
-                policy: config.policy.build(config.capacity_tracks),
-                heads: vec![0; config.geometry.n_sps as usize],
-                stats: PagedStoreStats::default(),
-                pools: Vec::new(),
-            }),
-            lock_acquisitions: AtomicU64::new(0),
-            lock_contended: AtomicU64::new(0),
-        }
-    }
-
-    /// Take the cache mutex, metering acquisitions and contention.
-    fn lock(&self) -> MutexGuard<'_, CacheState> {
-        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
-        match self.inner.try_lock() {
-            Ok(guard) => guard,
-            Err(TryLockError::WouldBlock) => {
-                self.lock_contended.fetch_add(1, Ordering::Relaxed);
-                self.inner.lock().unwrap()
-            }
-            Err(TryLockError::Poisoned(p)) => panic!("paged store mutex poisoned: {p}"),
+            cache: TrackCache::new(
+                config.policy,
+                config.capacity_tracks,
+                config.geometry.n_sps,
+                config.cost,
+            ),
         }
     }
 
@@ -219,7 +186,7 @@ impl<'a> PagedClauseStore<'a> {
     /// The policy's own counters (a second view over the same accesses
     /// [`stats`](Self::stats) meters, minus the cost-model fields).
     pub fn policy_stats(&self) -> PolicyStats {
-        self.lock().policy.stats()
+        self.cache.policy_stats()
     }
 
     /// The backing database.
@@ -258,49 +225,7 @@ impl<'a> PagedClauseStore<'a> {
     /// covers the global and per-pool accounting; the pool counter table
     /// grows on first use of each pool id.
     pub fn touch_clause_for_pool(&self, cid: ClauseId, pool: Option<usize>) -> TouchOutcome {
-        let track = self.track_of(cid);
-        let mut state = self.lock();
-        state.stats.accesses += 1;
-        let outcome = match state.policy.access(track) {
-            Touch::Hit => {
-                state.stats.hits += 1;
-                TouchOutcome {
-                    hit: true,
-                    fault_ticks: 0,
-                }
-            }
-            Touch::Miss { evicted } => {
-                state.stats.misses += 1;
-                state.stats.evictions += u64::from(evicted.is_some());
-                // Seek the SP's head to the faulting cylinder, then load
-                // the track. Evictions are free: the database is
-                // read-only, so every cached track is clean.
-                let mut ticks = 0;
-                let head = state.heads[track.sp as usize];
-                if head != track.cylinder {
-                    let distance = head.abs_diff(track.cylinder) as u64;
-                    ticks += self.cost.seek_settle + distance * self.cost.seek_per_cylinder;
-                    state.heads[track.sp as usize] = track.cylinder;
-                }
-                ticks += self.cost.track_load;
-                state.stats.fault_ticks += ticks;
-                TouchOutcome {
-                    hit: false,
-                    fault_ticks: ticks,
-                }
-            }
-        };
-        if let Some(p) = pool {
-            if state.pools.len() <= p {
-                state.pools.resize(p + 1, PoolTouchStats::default());
-            }
-            let slot = &mut state.pools[p];
-            slot.accesses += 1;
-            slot.hits += u64::from(outcome.hit);
-            slot.misses += u64::from(!outcome.hit);
-            slot.fault_ticks += outcome.fault_ticks;
-        }
-        outcome
+        self.cache.touch(self.track_of(cid), pool)
     }
 
     /// A [`ClauseSource`] view of this store that attributes every touch
@@ -317,8 +242,7 @@ impl<'a> PagedClauseStore<'a> {
 
     /// This pool's touch counters (zeros for a pool never seen).
     pub fn pool_stats(&self, pool: usize) -> PoolTouchStats {
-        let state = self.lock();
-        state.pools.get(pool).copied().unwrap_or_default()
+        self.cache.pool_stats(pool)
     }
 
     /// Lock-traffic meters: `(acquisitions, contended acquisitions)`.
@@ -327,10 +251,7 @@ impl<'a> PagedClauseStore<'a> {
     /// without taking the cache mutex at all, so it never perturbs the
     /// contention it reports.
     pub fn lock_stats(&self) -> (u64, u64) {
-        (
-            self.lock_acquisitions.load(Ordering::Relaxed),
-            self.lock_contended.load(Ordering::Relaxed),
-        )
+        self.cache.lock_stats()
     }
 
     /// Replay a clause-access trace; returns the cumulative stats.
@@ -343,9 +264,7 @@ impl<'a> PagedClauseStore<'a> {
 
     /// Counters so far (lock-traffic meters included).
     pub fn stats(&self) -> PagedStoreStats {
-        let mut stats = self.lock().stats;
-        (stats.lock_acquisitions, stats.lock_contended) = self.lock_stats();
-        stats
+        self.cache.stats()
     }
 
     /// Reset counters — the store's and the policy's, which stay two
@@ -353,34 +272,22 @@ impl<'a> PagedClauseStore<'a> {
     /// meters; resident tracks and head positions persist (use
     /// [`clear`](Self::clear) to also drop the cache).
     pub fn reset_stats(&self) {
-        let mut state = self.lock();
-        state.stats = PagedStoreStats::default();
-        state.pools.clear();
-        *state.policy.stats_mut() = PolicyStats::default();
-        self.lock_acquisitions.store(0, Ordering::Relaxed);
-        self.lock_contended.store(0, Ordering::Relaxed);
+        self.cache.reset_stats();
     }
 
     /// Drop every resident track, park the heads, and reset counters.
     pub fn clear(&self) {
-        let mut state = self.lock();
-        state.policy.clear();
-        state.heads.fill(0);
-        state.stats = PagedStoreStats::default();
-        state.pools.clear();
-        self.lock_acquisitions.store(0, Ordering::Relaxed);
-        self.lock_contended.store(0, Ordering::Relaxed);
+        self.cache.clear();
     }
 
     /// Number of resident tracks.
     pub fn resident_tracks(&self) -> usize {
-        self.lock().policy.len()
+        self.cache.resident_tracks()
     }
 
     /// Whether clause `cid`'s track is resident (no recency effect).
     pub fn is_resident(&self, cid: ClauseId) -> bool {
-        let track = self.track_of(cid);
-        self.lock().policy.contains(&track)
+        self.cache.contains(&self.track_of(cid))
     }
 }
 

@@ -27,8 +27,8 @@ mod support;
 use std::fs;
 use std::path::PathBuf;
 
-use blog_logic::{ClauseId, Program};
-use blog_spd::{PagedClauseStore, PolicyKind};
+use blog_logic::{ClauseId, ClauseSource, Program};
+use blog_spd::{CommitMode, MvccClauseStore, PagedClauseStore, PolicyKind};
 
 use support::{family_workload, paged_config, queens_workload, record_access_trace};
 
@@ -229,6 +229,190 @@ fn queens_fixture_replays_against_goldens() {
             Golden { policy: PolicyKind::Clock, capacity_tracks: half, hits: 18036 },
         ],
     );
+}
+
+// ---------------------------------------------------------------------------
+// MVCC write path
+// ---------------------------------------------------------------------------
+
+/// Segments the family trace is split into (one commit between each).
+const MVCC_SEGMENTS: usize = 4;
+
+/// One write-path golden line: counters after segment `seg`'s replay and
+/// the commit that follows it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct MvccGolden {
+    policy: PolicyKind,
+    seg: usize,
+    epoch: u64,
+    accesses: u64,
+    hits: u64,
+    evictions: u64,
+    stash: usize,
+}
+
+/// Replay the family trace through an [`MvccClauseStore`] under `policy`
+/// at half the working-set capacity, committing one small transaction
+/// (retract the previous probe, assert a new one) between segments while
+/// an epoch-0 snapshot stays pinned — so the stash grows by exactly the
+/// committed page versions and nothing retires until the pin drops.
+fn mvcc_write_path_replay(
+    program: &Program,
+    trace: &[ClauseId],
+    policy: PolicyKind,
+) -> Vec<MvccGolden> {
+    let total_tracks = (program.db.len() as u32).div_ceil(BLOCKS_PER_TRACK) as usize;
+    let store = MvccClauseStore::new(
+        &program.db,
+        paged_config(
+            policy,
+            (total_tracks / 2).max(1),
+            BLOCKS_PER_TRACK,
+            program.db.len() + 2 * MVCC_SEGMENTS,
+        ),
+        CommitMode::Mvcc,
+    );
+    let pin = store.begin_read();
+    let chunk = trace.len().div_ceil(MVCC_SEGMENTS);
+    let mut out = Vec::new();
+    let mut last_probe: Option<ClauseId> = None;
+    for (seg, ids) in trace.chunks(chunk).enumerate() {
+        let snap = store.begin_read();
+        for &cid in ids {
+            let _ = snap.fetch_clause(cid);
+        }
+        drop(snap);
+        let mut txn = store.begin_write();
+        if let Some(old) = last_probe.take() {
+            txn.retract(old).unwrap();
+        }
+        last_probe = Some(txn.assert_text(&format!("mvcc_probe(s{seg}).")).unwrap()[0]);
+        let epoch = txn.commit();
+        let s = store.stats();
+        out.push(MvccGolden {
+            policy,
+            seg,
+            epoch,
+            accesses: s.accesses,
+            hits: s.hits,
+            evictions: store.policy_stats().evictions,
+            stash: store.stash_depth(),
+        });
+    }
+    // Dropping the epoch-0 pin retires every stashed version.
+    drop(pin);
+    assert_eq!(store.stash_depth(), 0, "{policy}: stash leak after pin drop");
+    out
+}
+
+fn mvcc_golden_line(g: &MvccGolden) -> String {
+    format!(
+        "{} seg={} epoch={} accesses={} hits={} evictions={} stash={}",
+        g.policy.name(),
+        g.seg,
+        g.epoch,
+        g.accesses,
+        g.hits,
+        g.evictions,
+        g.stash
+    )
+}
+
+fn parse_mvcc_golden(line: &str) -> MvccGolden {
+    let mut parts = line.split_whitespace();
+    let policy = PolicyKind::parse(parts.next().unwrap()).unwrap();
+    let mut field = |name: &str| -> u64 {
+        let kv = parts.next().unwrap_or_else(|| panic!("missing {name}: {line}"));
+        kv.strip_prefix(name)
+            .and_then(|v| v.strip_prefix('='))
+            .unwrap_or_else(|| panic!("bad field {kv}, wanted {name}: {line}"))
+            .parse()
+            .unwrap()
+    };
+    MvccGolden {
+        policy,
+        seg: field("seg") as usize,
+        epoch: field("epoch"),
+        accesses: field("accesses"),
+        hits: field("hits"),
+        evictions: field("evictions"),
+        stash: field("stash") as usize,
+    }
+}
+
+#[test]
+fn family_mvcc_write_path_replays_against_goldens() {
+    let program = family_workload();
+    let trace = load_or_regen(
+        "family_access.trace",
+        "family workload (generations=4, branching=3, seed=7)",
+        &program,
+    );
+    let path = fixture_path("family_mvcc_write.golden");
+    if std::env::var_os("REGEN_TRACE_FIXTURES").is_some() {
+        let mut out = String::new();
+        out.push_str("# MVCC write-path goldens: family trace in 4 segments, one\n");
+        out.push_str("# commit (retract previous probe + assert new) between segments,\n");
+        out.push_str("# an epoch-0 snapshot pinned throughout. Cache at half the\n");
+        out.push_str(&format!("# working set. clauses: {}\n", program.db.len()));
+        for kind in PolicyKind::ALL {
+            for g in mvcc_write_path_replay(&program, &trace, kind) {
+                out.push_str(&mvcc_golden_line(&g));
+                out.push('\n');
+            }
+        }
+        fs::write(&path, out).unwrap();
+        eprintln!("regenerated {}", path.display());
+    }
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with REGEN_TRACE_FIXTURES=1",
+            path.display()
+        )
+    });
+    let goldens: Vec<MvccGolden> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(parse_mvcc_golden)
+        .collect();
+    assert_eq!(goldens.len(), PolicyKind::ALL.len() * MVCC_SEGMENTS);
+
+    for kind in PolicyKind::ALL {
+        let got = mvcc_write_path_replay(&program, &trace, kind);
+        let want: Vec<&MvccGolden> = goldens.iter().filter(|g| g.policy == kind).collect();
+        assert_eq!(got.len(), want.len(), "{kind}: segment count drifted");
+        for (g, w) in got.iter().zip(&want) {
+            // Version bookkeeping is policy-independent: epoch, access
+            // count, and stash depth are exact for every policy.
+            assert_eq!(g.seg, w.seg, "{kind}");
+            assert_eq!(g.epoch, w.epoch, "{kind} seg {}: epoch drifted", g.seg);
+            assert_eq!(
+                g.accesses, w.accesses,
+                "{kind} seg {}: access count drifted",
+                g.seg
+            );
+            assert_eq!(g.stash, w.stash, "{kind} seg {}: stash depth drifted", g.seg);
+            if matches!(kind, PolicyKind::Lru | PolicyKind::Fifo) {
+                // Frozen semantics: exact.
+                assert_eq!(g.hits, w.hits, "{kind} seg {}: hits drifted", g.seg);
+                assert_eq!(
+                    g.evictions, w.evictions,
+                    "{kind} seg {}: evictions drifted",
+                    g.seg
+                );
+            } else {
+                let got_rate = g.hits as f64 / g.accesses as f64;
+                let want_rate = w.hits as f64 / w.accesses as f64;
+                assert!(
+                    (got_rate - want_rate).abs() <= TUNABLE_WINDOW,
+                    "{kind} seg {}: hit rate {got_rate:.4} outside golden {want_rate:.4} \
+                     ± {TUNABLE_WINDOW} (update the golden if the tuning change is intended)",
+                    g.seg
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -14,17 +14,21 @@
 //! - [`mapcolor`] — grid map coloring with `ne/2` disequality facts.
 //! - [`sessions`] — query *sequences* with controllable similarity drift,
 //!   the workload shape the paper's session concept (§5) targets.
+//! - [`churn`] — seeded assert/retract streams over the tenant mix, the
+//!   update half of the live-knowledge (MVCC) serving workload.
 //!
 //! Everything is emitted as program text and run through the real parser,
 //! so generated workloads exercise exactly the same pipeline as
 //! hand-written programs.
 
+pub mod churn;
 pub mod family;
 pub mod graph;
 pub mod mapcolor;
 pub mod queens;
 pub mod sessions;
 
+pub use churn::{churn_updates, ChurnOp, ChurnSpec, ChurnUpdate};
 pub use family::{family_program, family_source, FamilyMeta, FamilyParams};
 pub use graph::{dag_reach_program, DagParams};
 pub use mapcolor::{mapcolor_program, MapColorParams};
