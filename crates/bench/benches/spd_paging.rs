@@ -10,8 +10,8 @@ use std::hint::black_box;
 use blog_bench::spd_exp::{engine_run_through, t6b_geometry, t6b_total_tracks, traced_workload};
 use blog_logic::ClauseId;
 use blog_spd::{
-    build_spd_from_db, CostModel, Geometry, PageRequest, PagedClauseStore, PagedStoreConfig,
-    Pager, PolicyKind, SpMode,
+    build_spd_from_db, CostModel, Geometry, IndexPolicy, PageRequest, PagedClauseStore,
+    PagedStoreConfig, Pager, PolicyKind, SpMode,
 };
 
 fn bench_spd(c: &mut Criterion) {
@@ -97,6 +97,7 @@ fn bench_paged_store(c: &mut Criterion) {
             cost: CostModel::default(),
             capacity_tracks,
             policy: PolicyKind::Lru,
+            index: IndexPolicy::None,
         };
         group.bench_with_input(
             BenchmarkId::new("engine_through_cache", capacity_tracks),
@@ -133,6 +134,7 @@ fn bench_paged_store(c: &mut Criterion) {
                 cost: CostModel::default(),
                 capacity_tracks,
                 policy: PolicyKind::Lru,
+                index: IndexPolicy::None,
             },
         );
         let (_, _, s) = engine_run_through(&paged, &program);

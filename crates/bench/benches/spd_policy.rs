@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use blog_bench::spd_exp::{engine_run_through, t6b_geometry, t6b_total_tracks, traced_workload};
-use blog_spd::{CostModel, PagedClauseStore, PagedStoreConfig, PolicyKind};
+use blog_spd::{CostModel, IndexPolicy, PagedClauseStore, PagedStoreConfig, PolicyKind};
 
 fn bench_policies(c: &mut Criterion) {
     let (program, _, trace) = traced_workload();
@@ -21,11 +21,14 @@ fn bench_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("spd_policy");
     group.sample_size(20);
     for policy in PolicyKind::CACHE_SWEEP {
+        // Baseline selection: this group measures replacement policies,
+        // so the candidate stream must not depend on the index.
         let cfg = PagedStoreConfig {
             geometry,
             cost: CostModel::default(),
             capacity_tracks,
             policy,
+            index: IndexPolicy::None,
         };
         group.bench_with_input(
             BenchmarkId::new("engine_through_cache", policy.name()),
@@ -62,6 +65,7 @@ fn bench_policies(c: &mut Criterion) {
                 cost: CostModel::default(),
                 capacity_tracks,
                 policy,
+                index: IndexPolicy::None,
             },
         );
         let (_, _, s) = engine_run_through(&paged, &program);

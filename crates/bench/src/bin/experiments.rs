@@ -19,19 +19,20 @@
 //! `--writers=<n>` restricts the T10 MVCC-churn sweep's writer axis to
 //! `{0, n}` (baseline plus churn; the CI smoke path runs `t10
 //! --writers=2 --requests=50`); given without experiment ids it implies
-//! `t10`. `--json[=PATH]` writes the machine-readable rows of the
-//! experiments that emit them — the T7 state sweep to
-//! `BENCH_T7_STATE.json`, the T8f frontier sweep to
+//! `t10`. The T11 first-argument-index sweep honors `--requests` too
+//! (the CI smoke path runs `t11 --requests=50`). `--json[=PATH]` writes
+//! the machine-readable rows of the experiments that emit them — the T7
+//! state sweep to `BENCH_T7_STATE.json`, the T8f frontier sweep to
 //! `BENCH_T8_FRONTIER.json`, the T9 serving sweep to
-//! `BENCH_T9_SERVE.json`, and the T10 churn sweep to
-//! `BENCH_T10_MVCC.json` (or all into `PATH`, keyed by section, when an
-//! explicit path is given) — so PRs can record the perf trajectory as
-//! `BENCH_*.json` files.
+//! `BENCH_T9_SERVE.json`, the T10 churn sweep to `BENCH_T10_MVCC.json`,
+//! and the T11 index sweep to `BENCH_T11_INDEX.json` (or all into
+//! `PATH`, keyed by section, when an explicit path is given) — so PRs
+//! can record the perf trajectory as `BENCH_*.json` files.
 
 use blog_bench::report::Json;
 use blog_bench::{
-    andp_exp, figures, frontier_exp, machine_exp, mvcc_exp, serve_exp, sessions_exp, spd_exp,
-    state_exp, strategies, threads_exp,
+    andp_exp, figures, frontier_exp, index_exp, machine_exp, mvcc_exp, serve_exp, sessions_exp,
+    spd_exp, state_exp, strategies, threads_exp,
 };
 use blog_spd::PolicyKind;
 
@@ -109,7 +110,11 @@ fn main() {
         if writers.is_some() {
             args.push("t10".to_string());
         }
-        if json_path.is_some() && !args.iter().any(|a| a == "t8f" || a == "t9" || a == "t10") {
+        if json_path.is_some()
+            && !args
+                .iter()
+                .any(|a| a == "t8f" || a == "t9" || a == "t10" || a == "t11")
+        {
             args.push("t7".to_string());
         }
     }
@@ -119,10 +124,10 @@ fn main() {
         && !args.is_empty()
         && !args
             .iter()
-            .any(|a| a == "t7" || a == "t8f" || a == "t9" || a == "t10" || a == "all")
+            .any(|a| a == "t7" || a == "t8f" || a == "t9" || a == "t10" || a == "t11" || a == "all")
     {
         eprintln!(
-            "--json: include t7, t8f, t9 or t10 (the JSON-emitting experiments) in the id list"
+            "--json: include t7, t8f, t9, t10 or t11 (the JSON-emitting experiments) in the id list"
         );
         std::process::exit(2);
     }
@@ -199,6 +204,10 @@ fn main() {
     section("t10", "MVCC churn: readers vs concurrent writers vs stop-the-world", &mut || {
         t10_mvcc_rows = mvcc_exp::run_t10(writers, requests);
     });
+    let mut t11_index_rows: Vec<index_exp::IndexRow> = Vec::new();
+    section("t11", "first-argument bitmap index: touches and faults per solution", &mut || {
+        t11_index_rows = index_exp::run_t11(requests);
+    });
     section("a1", "ablation: infinity placement", &mut || {
         sessions_exp::run_a1();
     });
@@ -214,7 +223,7 @@ fn main() {
 
     if ran == 0 {
         eprintln!(
-            "unknown experiment id(s): {:?}\nknown: f1 f3 f4 w1 w2 t1 t2 t3 t4 t5 t6 t7 t8 t8f t9 t10 a1 a2 a3 a4 (or no args for all)\nflags: --policy=<lru|2q|clock|fifo> (restricts the T6c sweep), --workers=<n> (restricts the T8f sweep), --pools=<n> / --requests=<n> (restrict the T9 sweep), --writers=<n> (restricts the T10 sweep), --json[=PATH] (write machine-readable rows)",
+            "unknown experiment id(s): {:?}\nknown: f1 f3 f4 w1 w2 t1 t2 t3 t4 t5 t6 t7 t8 t8f t9 t10 t11 a1 a2 a3 a4 (or no args for all)\nflags: --policy=<lru|2q|clock|fifo> (restricts the T6c sweep), --workers=<n> (restricts the T8f sweep), --pools=<n> / --requests=<n> (restrict the T9/T11 sweeps), --writers=<n> (restricts the T10 sweep), --json[=PATH] (write machine-readable rows)",
             args
         );
         std::process::exit(2);
@@ -225,8 +234,9 @@ fn main() {
             && t8_frontier_rows.is_empty()
             && t9_serve_rows.is_empty()
             && t10_mvcc_rows.is_empty()
+            && t11_index_rows.is_empty()
         {
-            eprintln!("--json: no JSON-emitting experiment ran (include t7, t8f, t9 or t10)");
+            eprintln!("--json: no JSON-emitting experiment ran (include t7, t8f, t9, t10 or t11)");
             std::process::exit(2);
         }
         let write = |path: &str, doc: Json| {
@@ -276,6 +286,15 @@ fn main() {
                     )]),
                 );
             }
+            if !t11_index_rows.is_empty() {
+                write(
+                    "BENCH_T11_INDEX.json",
+                    Json::Obj(vec![(
+                        "t11_index".to_string(),
+                        index_exp::rows_to_json(&t11_index_rows),
+                    )]),
+                );
+            }
         } else {
             // Explicit path: one combined document, keyed by section.
             let mut fields = Vec::new();
@@ -301,6 +320,12 @@ fn main() {
                 fields.push((
                     "t10_mvcc".to_string(),
                     mvcc_exp::rows_to_json(&t10_mvcc_rows),
+                ));
+            }
+            if !t11_index_rows.is_empty() {
+                fields.push((
+                    "t11_index".to_string(),
+                    index_exp::rows_to_json(&t11_index_rows),
                 ));
             }
             write(&path, Json::Obj(fields));

@@ -19,10 +19,12 @@
 //! | T8 (frontier) | [`frontier_exp`] | frontier scaling: global-mutex vs sharded chain stores |
 //! | T9 | [`serve_exp`] | serving sweep: offered load × pools × routing over one shared store |
 //! | T10 | [`mvcc_exp`] | MVCC churn: reader latency under concurrent writers vs stop-the-world |
+//! | T11 | [`index_exp`] | first-argument bitmap index: clause touches and faults per solution |
 
 pub mod andp_exp;
 pub mod figures;
 pub mod frontier_exp;
+pub mod index_exp;
 pub mod machine_exp;
 pub mod mvcc_exp;
 pub mod report;

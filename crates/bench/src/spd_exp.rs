@@ -10,8 +10,8 @@ use blog_core::engine::{best_first, best_first_with, BestFirstConfig};
 use blog_core::weight::{WeightParams, WeightStore, WeightView};
 use blog_logic::{ClauseId, ClauseSource, Program, SourceStats};
 use blog_spd::{
-    build_spd_from_db, CostModel, Geometry, PagedClauseStore, PagedStoreConfig, PagedStoreStats,
-    Pager, PagerStats, PolicyKind, SpMode,
+    build_spd_from_db, CostModel, Geometry, IndexPolicy, PagedClauseStore, PagedStoreConfig,
+    PagedStoreStats, Pager, PagerStats, PolicyKind, SpMode,
 };
 use blog_workloads::{family_program, FamilyParams};
 
@@ -226,6 +226,9 @@ pub fn run_t6b() -> Vec<PagedRow> {
                 cost: CostModel::default(),
                 capacity_tracks,
                 policy: PolicyKind::Lru,
+                // T5's capacity sweep is the pre-index baseline; keep its
+                // access counts comparable across report generations.
+                index: IndexPolicy::None,
             },
         );
         let (nodes_expanded, solutions, stats) = engine_run_through(&paged, &program);
@@ -341,6 +344,7 @@ pub fn run_t6c(only: Option<PolicyKind>) -> Vec<PolicyRow> {
                         cost: CostModel::default(),
                         capacity_tracks,
                         policy,
+                        index: IndexPolicy::None,
                     },
                 );
                 let (nodes_expanded, solutions, _) = engine_run_through(&paged, &program);

@@ -70,7 +70,7 @@ pub use solve::{
     bfs_all, dfs_all, iterative_deepening, CancelToken, SearchStats, Solution, SolveConfig,
     SolveResult,
 };
-pub use store::{ClauseDb, IndexMode};
+pub use store::{arg_key, ArgKey, ClauseDb, IndexMode};
 pub use symbol::{Sym, SymbolTable};
 pub use term::{Term, VarId};
 pub use unify::unify;

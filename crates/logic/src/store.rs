@@ -38,14 +38,24 @@ pub enum IndexMode {
 }
 
 /// First-argument index key: the principal functor of a bound argument.
+///
+/// Public so secondary indexes (the bitmap clause index in `blog-spd`)
+/// can key on exactly the same discriminator the database's own
+/// first-argument index uses — the differential oracle tests rely on
+/// both sides agreeing on what "the leading functor" means.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-enum ArgKey {
+pub enum ArgKey {
+    /// A constant (`sam`).
     Atom(Sym),
+    /// An integer (`42`).
     Int(i64),
+    /// A compound term's principal functor (`point/2`).
     Struct(Sym, u32),
 }
 
-fn arg_key(t: &Term) -> Option<ArgKey> {
+/// The [`ArgKey`] of a (dereferenced) term, `None` for unbound variables
+/// — which match any head, so they cannot narrow a candidate set.
+pub fn arg_key(t: &Term) -> Option<ArgKey> {
     match t {
         Term::Var(_) => None,
         Term::Atom(s) => Some(ArgKey::Atom(*s)),

@@ -56,7 +56,7 @@ mod server;
 mod stats;
 pub mod tuning;
 
-pub use blog_spd::CommitMode;
+pub use blog_spd::{CommitMode, IndexPolicy};
 pub use request::{
     Outcome, QueryRequest, QueryResponse, SessionId, UpdateOp, UpdateOutcome, UpdateRequest,
     UpdateResponse,

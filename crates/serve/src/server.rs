@@ -10,7 +10,9 @@ use blog_core::engine::{best_first_with, BestFirstConfig};
 use blog_core::weight::{WeightParams, WeightStore, WeightView};
 use blog_logic::{parse_query_symbols, CancelToken, ClauseDb, ClauseId, SolveConfig};
 use blog_parallel::{par_best_first_with, FrontierPolicy, ParallelConfig};
-use blog_spd::{CommitMode, MvccClauseStore, MvccError, PagedStoreConfig, PagedStoreStats};
+use blog_spd::{
+    CommitMode, IndexPolicy, MvccClauseStore, MvccError, PagedStoreConfig, PagedStoreStats,
+};
 
 use crate::request::{
     Outcome, QueryRequest, QueryResponse, UpdateOutcome, UpdateRequest, UpdateResponse,
@@ -87,6 +89,12 @@ pub struct ServeConfig {
     /// [`CommitMode::StopTheWorld`] baseline (every clause fetch waits
     /// out the commit) — the T10 ablation.
     pub commit: CommitMode,
+    /// Candidate-selection policy for the server's store (applied to the
+    /// store config at construction, so serving sweeps flip it in one
+    /// place): [`blog_spd::IndexPolicy::FirstArg`] narrows by the goal's
+    /// bound first argument through the per-epoch bitmap index;
+    /// [`blog_spd::IndexPolicy::None`] is the scan-everything baseline.
+    pub index: IndexPolicy,
     /// How often the deadline reaper rescans in-flight requests.
     pub reaper_poll: Duration,
 }
@@ -101,6 +109,7 @@ impl Default for ServeConfig {
             solve: SolveConfig::all(),
             stall_ns_per_tick: 0,
             commit: CommitMode::Mvcc,
+            index: IndexPolicy::default(),
             reaper_poll: Duration::from_micros(200),
         }
     }
@@ -169,7 +178,7 @@ impl QueryServer {
         if let ExecMode::OrParallel { n_workers, .. } = config.exec {
             assert!(n_workers >= 1, "need at least one worker per request");
         }
-        let store = MvccClauseStore::new(db, store_config, config.commit);
+        let store = MvccClauseStore::new(db, store_config.with_index(config.index), config.commit);
         store.set_write_stall(config.stall_ns_per_tick);
         QueryServer {
             weights,
@@ -430,6 +439,7 @@ impl QueryServer {
             .filter(|r| matches!(r.outcome, Outcome::Cancelled { .. }))
             .count();
         let mvcc_after = self.store.mvcc_stats();
+        let store = stats_delta(store_before, self.store.stats());
         let stats = ServeStats {
             wall_s,
             requests: total,
@@ -445,7 +455,10 @@ impl QueryServer {
             commits: mvcc_after.commits - mvcc_before.commits,
             final_epoch: mvcc_after.committed_epoch,
             per_pool,
-            store: stats_delta(store_before, self.store.stats()),
+            index_hits: store.index_hits,
+            index_prunes: store.index_prunes,
+            candidates_scanned: store.candidates_scanned,
+            store,
             warm,
             cold,
         };
@@ -611,5 +624,8 @@ fn stats_delta(before: PagedStoreStats, after: PagedStoreStats) -> PagedStoreSta
         fault_ticks: after.fault_ticks - before.fault_ticks,
         lock_acquisitions: after.lock_acquisitions - before.lock_acquisitions,
         lock_contended: after.lock_contended.saturating_sub(before.lock_contended),
+        index_hits: after.index_hits - before.index_hits,
+        index_prunes: after.index_prunes - before.index_prunes,
+        candidates_scanned: after.candidates_scanned - before.candidates_scanned,
     }
 }

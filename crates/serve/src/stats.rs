@@ -88,6 +88,16 @@ pub struct ServeStats {
     /// The shared store's counters over the run (deltas, lock meters
     /// included).
     pub store: PagedStoreStats,
+    /// Candidate resolutions that went through the first-argument bitmap
+    /// index (copy of `store.index_hits`, hoisted so report tables can
+    /// cite it without digging into the store block).
+    pub index_hits: u64,
+    /// Candidates the index pruned before any unification attempt
+    /// (copy of `store.index_prunes`).
+    pub index_prunes: u64,
+    /// Candidates handed to engines over the run (copy of
+    /// `store.candidates_scanned`).
+    pub candidates_scanned: u64,
     /// Store traffic of *warm* requests (session had already completed
     /// a request on the serving pool).
     pub warm: WarmthSplit,

@@ -1,0 +1,450 @@
+//! Compressed hierarchical clause-id bitmaps with popcount rank
+//! navigation — the set representation behind the first-argument clause
+//! index ([`bitidx`](crate::bitidx)).
+//!
+//! A [`ClauseBitmap`] stores a set of clause ids in two levels, in the
+//! style of hierarchical sparse arrays (dense tree + rank-indexed
+//! levels):
+//!
+//! - **Leaf words**: only the *nonzero* 64-bit words of the flat bitmap
+//!   are stored, densely packed in ascending chunk order.
+//! - **Summary level**: one bit per leaf chunk (so one summary word
+//!   covers 64 × 64 = 4096 ids) saying whether that chunk has a stored
+//!   leaf word, plus a cumulative-popcount `ranks` array. Locating a
+//!   chunk's leaf word is `ranks[s] + popcount(summary[s] & below(bit))`
+//!   — rank navigation, no search.
+//!
+//! Membership, insertion, and removal are `O(1)` popcount arithmetic
+//! plus (for structural changes) a dense `Vec` shift — acceptable
+//! because mutation happens only on store build and per-commit
+//! copy-on-write rebuilds, never on the query path.
+//!
+//! The query path's primitive is [`intersect_union`]: a **lazy**
+//! iterator over `a ∩ (b ∪ c)` that ANDs summary words first and leaf
+//! words second, yielding set bits in ascending order without
+//! materializing any intermediate bitmap. Ascending clause-id order *is*
+//! program order (ids are allocated densely in insertion order), which
+//! is the candidate-order contract every engine relies on.
+
+use blog_logic::ClauseId;
+
+/// Ids per leaf word (one summary word therefore spans 64 × 64 ids).
+const WORD_BITS: usize = 64;
+
+/// A compressed set of clause ids. See the module docs for the layout.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct ClauseBitmap {
+    /// Bit `c % 64` of `summary[c / 64]` is set iff leaf chunk `c` has a
+    /// stored (nonzero) word. Trailing zero summary words are allowed
+    /// (an insert far out grows the level; removals do not shrink it).
+    summary: Vec<u64>,
+    /// `ranks[s]` = number of stored leaf words before summary word `s`
+    /// (cumulative popcount of `summary[..s]`).
+    ranks: Vec<u32>,
+    /// The nonzero leaf words, dense, in ascending chunk order.
+    leaves: Vec<u64>,
+    /// Cached set-bit count.
+    len: u32,
+}
+
+impl ClauseBitmap {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from ascending (or arbitrary) ids.
+    pub fn from_ids<I: IntoIterator<Item = ClauseId>>(ids: I) -> Self {
+        let mut bm = Self::new();
+        for id in ids {
+            bm.insert(id);
+        }
+        bm
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The dense index of chunk `chunk`'s leaf word, if stored.
+    fn leaf_index(&self, chunk: usize) -> Option<usize> {
+        let (s, bit) = (chunk / WORD_BITS, chunk % WORD_BITS);
+        let word = *self.summary.get(s)?;
+        if word & (1u64 << bit) == 0 {
+            return None;
+        }
+        let below = word & ((1u64 << bit) - 1);
+        Some(self.ranks[s] as usize + below.count_ones() as usize)
+    }
+
+    /// Whether `id` is in the set.
+    pub fn contains(&self, id: ClauseId) -> bool {
+        let i = id.0 as usize;
+        match self.leaf_index(i / WORD_BITS) {
+            Some(li) => self.leaves[li] & (1u64 << (i % WORD_BITS)) != 0,
+            None => false,
+        }
+    }
+
+    /// Insert `id`; returns whether it was newly inserted.
+    pub fn insert(&mut self, id: ClauseId) -> bool {
+        let i = id.0 as usize;
+        let chunk = i / WORD_BITS;
+        let mask = 1u64 << (i % WORD_BITS);
+        if let Some(li) = self.leaf_index(chunk) {
+            if self.leaves[li] & mask != 0 {
+                return false;
+            }
+            self.leaves[li] |= mask;
+            self.len += 1;
+            return true;
+        }
+        // New chunk: grow the summary level if needed, splice the leaf
+        // word in at its rank, and bump every later rank.
+        let (s, bit) = (chunk / WORD_BITS, chunk % WORD_BITS);
+        if s >= self.summary.len() {
+            self.summary.resize(s + 1, 0);
+            // Ranks of empty trailing words equal the total leaf count.
+            self.ranks.resize(s + 1, self.leaves.len() as u32);
+        }
+        let below = self.summary[s] & ((1u64 << bit) - 1);
+        let li = self.ranks[s] as usize + below.count_ones() as usize;
+        self.leaves.insert(li, mask);
+        self.summary[s] |= 1u64 << bit;
+        for r in &mut self.ranks[s + 1..] {
+            *r += 1;
+        }
+        self.len += 1;
+        true
+    }
+
+    /// Remove `id`; returns whether it was present.
+    pub fn remove(&mut self, id: ClauseId) -> bool {
+        let i = id.0 as usize;
+        let chunk = i / WORD_BITS;
+        let mask = 1u64 << (i % WORD_BITS);
+        let Some(li) = self.leaf_index(chunk) else {
+            return false;
+        };
+        if self.leaves[li] & mask == 0 {
+            return false;
+        }
+        self.leaves[li] &= !mask;
+        self.len -= 1;
+        if self.leaves[li] == 0 {
+            // Chunk emptied: unsplice the leaf and fix the ranks.
+            let (s, bit) = (chunk / WORD_BITS, chunk % WORD_BITS);
+            self.leaves.remove(li);
+            self.summary[s] &= !(1u64 << bit);
+            for r in &mut self.ranks[s + 1..] {
+                *r -= 1;
+            }
+        }
+        true
+    }
+
+    /// The leaf word of chunk `chunk` (zero when not stored).
+    fn word(&self, chunk: usize) -> u64 {
+        self.leaf_index(chunk).map_or(0, |li| self.leaves[li])
+    }
+
+    /// Summary word `s` (zero past the end).
+    fn summary_word(&self, s: usize) -> u64 {
+        self.summary.get(s).copied().unwrap_or(0)
+    }
+
+    /// Iterate the set ids in ascending order.
+    pub fn iter(&self) -> BitmapIter<'_> {
+        BitmapIter {
+            bm: self,
+            s: 0,
+            summary_rest: self.summary_word(0),
+            next_leaf: 0,
+            chunk: 0,
+            word_rest: 0,
+        }
+    }
+}
+
+/// Ascending iterator over one bitmap (walks the dense leaf array once;
+/// rank navigation is implicit in the walk order).
+#[derive(Debug)]
+pub struct BitmapIter<'a> {
+    bm: &'a ClauseBitmap,
+    /// Current summary word index.
+    s: usize,
+    /// Unconsumed bits of the current summary word.
+    summary_rest: u64,
+    /// Dense index of the next leaf word to consume.
+    next_leaf: usize,
+    /// Chunk of the word currently being drained.
+    chunk: usize,
+    /// Unconsumed bits of that word.
+    word_rest: u64,
+}
+
+impl Iterator for BitmapIter<'_> {
+    type Item = ClauseId;
+
+    fn next(&mut self) -> Option<ClauseId> {
+        loop {
+            if self.word_rest != 0 {
+                let bit = self.word_rest.trailing_zeros() as usize;
+                self.word_rest &= self.word_rest - 1;
+                return Some(ClauseId((self.chunk * WORD_BITS + bit) as u32));
+            }
+            while self.summary_rest == 0 {
+                self.s += 1;
+                if self.s >= self.bm.summary.len() {
+                    return None;
+                }
+                self.summary_rest = self.bm.summary[self.s];
+            }
+            let bit = self.summary_rest.trailing_zeros() as usize;
+            self.summary_rest &= self.summary_rest - 1;
+            self.chunk = self.s * WORD_BITS + bit;
+            self.word_rest = self.bm.leaves[self.next_leaf];
+            self.next_leaf += 1;
+        }
+    }
+}
+
+/// Lazy `a ∩ (b ∪ c)` over three bitmaps (`c` optional), ascending.
+///
+/// Summary words are ANDed first, so whole 4096-id spans absent from
+/// either side are skipped without touching a leaf; surviving chunks AND
+/// (OR) leaf words and yield set bits. Nothing is materialized — not the
+/// union, not the intersection — which is what makes candidate selection
+/// free of per-goal allocation until the caller collects the result.
+pub fn intersect_union<'a>(
+    a: &'a ClauseBitmap,
+    b: &'a ClauseBitmap,
+    c: Option<&'a ClauseBitmap>,
+) -> IntersectUnion<'a> {
+    let n = a.summary.len().min(match c {
+        Some(c) => b.summary.len().max(c.summary.len()),
+        None => b.summary.len(),
+    });
+    IntersectUnion {
+        a,
+        b,
+        c,
+        n_summary: n,
+        s: 0,
+        summary_rest: 0,
+        chunk: 0,
+        word_rest: 0,
+        primed: false,
+    }
+}
+
+/// Iterator state for [`intersect_union`].
+#[derive(Debug)]
+pub struct IntersectUnion<'a> {
+    a: &'a ClauseBitmap,
+    b: &'a ClauseBitmap,
+    c: Option<&'a ClauseBitmap>,
+    /// Summary words worth visiting (min of the operands' coverage).
+    n_summary: usize,
+    s: usize,
+    /// Unconsumed bits of the current ANDed summary word.
+    summary_rest: u64,
+    chunk: usize,
+    word_rest: u64,
+    primed: bool,
+}
+
+impl IntersectUnion<'_> {
+    fn summary_at(&self, s: usize) -> u64 {
+        let rhs = match self.c {
+            Some(c) => self.b.summary_word(s) | c.summary_word(s),
+            None => self.b.summary_word(s),
+        };
+        self.a.summary_word(s) & rhs
+    }
+}
+
+impl Iterator for IntersectUnion<'_> {
+    type Item = ClauseId;
+
+    fn next(&mut self) -> Option<ClauseId> {
+        loop {
+            if self.word_rest != 0 {
+                let bit = self.word_rest.trailing_zeros() as usize;
+                self.word_rest &= self.word_rest - 1;
+                return Some(ClauseId((self.chunk * WORD_BITS + bit) as u32));
+            }
+            while self.summary_rest == 0 {
+                if self.primed {
+                    self.s += 1;
+                }
+                self.primed = true;
+                if self.s >= self.n_summary {
+                    return None;
+                }
+                self.summary_rest = self.summary_at(self.s);
+            }
+            let bit = self.summary_rest.trailing_zeros() as usize;
+            self.summary_rest &= self.summary_rest - 1;
+            self.chunk = self.s * WORD_BITS + bit;
+            let rhs = match self.c {
+                Some(c) => self.b.word(self.chunk) | c.word(self.chunk),
+                None => self.b.word(self.chunk),
+            };
+            self.word_rest = self.a.word(self.chunk) & rhs;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn ids(v: &[u32]) -> Vec<ClauseId> {
+        v.iter().map(|&i| ClauseId(i)).collect()
+    }
+
+    fn collect(bm: &ClauseBitmap) -> Vec<u32> {
+        bm.iter().map(|c| c.0).collect()
+    }
+
+    #[test]
+    fn empty_bitmap_has_nothing() {
+        let bm = ClauseBitmap::new();
+        assert!(bm.is_empty());
+        assert_eq!(bm.len(), 0);
+        assert!(!bm.contains(ClauseId(0)));
+        assert!(!bm.contains(ClauseId(100_000)));
+        assert_eq!(collect(&bm), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn single_bit_trees() {
+        // A lone bit at each structurally interesting position: word 0,
+        // the last bit of a word, the first bit past a word edge, past a
+        // summary-word edge, and far out (forcing empty summary words in
+        // between — "empty levels").
+        for pos in [0u32, 1, 63, 64, 65, 4095, 4096, 4097, 200_000] {
+            let mut bm = ClauseBitmap::new();
+            assert!(bm.insert(ClauseId(pos)));
+            assert!(!bm.insert(ClauseId(pos)), "double insert at {pos}");
+            assert_eq!(bm.len(), 1, "at {pos}");
+            assert!(bm.contains(ClauseId(pos)));
+            assert!(!bm.contains(ClauseId(pos ^ 1)), "at {pos}");
+            assert_eq!(collect(&bm), vec![pos]);
+            assert!(bm.remove(ClauseId(pos)));
+            assert!(!bm.remove(ClauseId(pos)), "double remove at {pos}");
+            assert!(bm.is_empty());
+            assert_eq!(collect(&bm), Vec::<u32>::new());
+        }
+    }
+
+    #[test]
+    fn word_edge_63_64_65_navigation() {
+        // 63 and 64 land in different leaf words of the same summary
+        // word; ranks must route each to its own word.
+        let mut bm = ClauseBitmap::from_ids(ids(&[63, 64, 65]));
+        assert_eq!(bm.len(), 3);
+        assert!(bm.contains(ClauseId(63)));
+        assert!(bm.contains(ClauseId(64)));
+        assert!(bm.contains(ClauseId(65)));
+        assert!(!bm.contains(ClauseId(62)));
+        assert!(!bm.contains(ClauseId(66)));
+        assert_eq!(collect(&bm), vec![63, 64, 65]);
+        // Remove the whole second word; 63 must survive untouched.
+        assert!(bm.remove(ClauseId(64)));
+        assert!(bm.remove(ClauseId(65)));
+        assert_eq!(collect(&bm), vec![63]);
+    }
+
+    #[test]
+    fn summary_edge_4095_4096_4097() {
+        // 4095 is the last id of summary word 0; 4096 opens summary
+        // word 1. Rank arithmetic must not leak between summary words.
+        let bm = ClauseBitmap::from_ids(ids(&[4095, 4096, 4097]));
+        assert_eq!(collect(&bm), vec![4095, 4096, 4097]);
+        assert!(!bm.contains(ClauseId(4094)));
+        assert!(!bm.contains(ClauseId(4098)));
+    }
+
+    #[test]
+    fn out_of_order_inserts_iterate_ascending() {
+        let bm = ClauseBitmap::from_ids(ids(&[500, 3, 64, 4097, 0, 63]));
+        assert_eq!(collect(&bm), vec![0, 3, 63, 64, 500, 4097]);
+    }
+
+    #[test]
+    fn empty_middle_summary_words_are_skipped() {
+        // Ids only in summary words 0 and 3: words 1 and 2 stay zero and
+        // both iteration and membership must skip them.
+        let bm = ClauseBitmap::from_ids(ids(&[10, 3 * 4096 + 7]));
+        assert_eq!(collect(&bm), vec![10, 3 * 4096 + 7]);
+        assert!(!bm.contains(ClauseId(4096 + 10)));
+        assert!(!bm.contains(ClauseId(2 * 4096 + 10)));
+    }
+
+    #[test]
+    fn intersect_union_matches_btreeset_model() {
+        let a_ids = [0u32, 1, 63, 64, 65, 127, 128, 4095, 4096, 9000];
+        let b_ids = [1u32, 64, 127, 4096, 8999];
+        let c_ids = [0u32, 65, 9000, 20_000];
+        let a = ClauseBitmap::from_ids(ids(&a_ids));
+        let b = ClauseBitmap::from_ids(ids(&b_ids));
+        let c = ClauseBitmap::from_ids(ids(&c_ids));
+
+        let sa: BTreeSet<u32> = a_ids.into_iter().collect();
+        let sb: BTreeSet<u32> = b_ids.into_iter().collect();
+        let sc: BTreeSet<u32> = c_ids.into_iter().collect();
+
+        // Two-way: a ∩ b.
+        let want2: Vec<u32> = sa.intersection(&sb).copied().collect();
+        let got2: Vec<u32> = intersect_union(&a, &b, None).map(|x| x.0).collect();
+        assert_eq!(got2, want2);
+
+        // Three-way: a ∩ (b ∪ c).
+        let bc: BTreeSet<u32> = sb.union(&sc).copied().collect();
+        let want3: Vec<u32> = sa.intersection(&bc).copied().collect();
+        let got3: Vec<u32> = intersect_union(&a, &b, Some(&c)).map(|x| x.0).collect();
+        assert_eq!(got3, want3);
+    }
+
+    #[test]
+    fn intersect_with_empty_is_empty() {
+        let a = ClauseBitmap::from_ids(ids(&[1, 2, 3, 4096]));
+        let empty = ClauseBitmap::new();
+        assert_eq!(intersect_union(&a, &empty, None).count(), 0);
+        assert_eq!(intersect_union(&empty, &a, None).count(), 0);
+        // Empty union side with a populated c still works.
+        let got: Vec<u32> = intersect_union(&a, &empty, Some(&a)).map(|x| x.0).collect();
+        assert_eq!(got, vec![1, 2, 3, 4096]);
+    }
+
+    #[test]
+    fn summary_bit_without_leaf_overlap_yields_nothing() {
+        // 0 and 63 share a leaf chunk but not a bit: the summary AND
+        // passes, the leaf AND must still reject.
+        let a = ClauseBitmap::from_ids(ids(&[0]));
+        let b = ClauseBitmap::from_ids(ids(&[63]));
+        assert_eq!(intersect_union(&a, &b, None).count(), 0);
+    }
+
+    #[test]
+    fn removal_keeps_ranks_consistent() {
+        // Build three chunks, drop the middle one, and verify navigation
+        // into the third still lands on the right word.
+        let mut bm = ClauseBitmap::from_ids(ids(&[5, 70, 135]));
+        assert!(bm.remove(ClauseId(70)));
+        assert_eq!(collect(&bm), vec![5, 135]);
+        assert!(bm.contains(ClauseId(135)));
+        assert!(!bm.contains(ClauseId(70)));
+        assert!(bm.insert(ClauseId(70)));
+        assert_eq!(collect(&bm), vec![5, 70, 135]);
+    }
+}

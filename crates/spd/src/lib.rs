@@ -35,6 +35,8 @@
 //! and the paging statistics reflect the search's real access stream
 //! rather than a canned trace.
 
+pub mod bitidx;
+pub mod bitmap;
 pub mod block;
 pub mod bridge;
 pub mod cache;
@@ -46,6 +48,8 @@ pub mod policy;
 pub mod spd;
 pub mod timing;
 
+pub use bitidx::{BitmapClauseIndex, IndexCounters, IndexPolicy, IndexedCandidates};
+pub use bitmap::{intersect_union, ClauseBitmap};
 pub use block::{Block, BlockId, NamedPointer};
 pub use bridge::{build_spd_from_db, DbLayout};
 pub use cache::TrackCache;

@@ -48,6 +48,7 @@ use blog_logic::{
 };
 use serde::Serialize;
 
+use crate::bitidx::{BitmapClauseIndex, IndexCounters, IndexPolicy, IndexedCandidates};
 use crate::cache::TrackCache;
 use crate::paged::{PagedStoreConfig, PagedStoreStats, PoolTouchStats, TrackId};
 use crate::policy::PolicyStats;
@@ -113,6 +114,11 @@ struct VersionState {
     /// One slot per track, indexed by `cylinder * n_sps + sp`.
     pages: Vec<PageSlot>,
     index: Arc<PredIndex>,
+    /// First-argument bitmap index for this epoch, rebuilt copy-on-write
+    /// per commit and swapped exactly like `index` (always maintained so
+    /// a policy flip never needs a rebuild; consulted only under
+    /// [`IndexPolicy::FirstArg`]).
+    bitidx: Arc<BitmapClauseIndex>,
     symbols: Arc<SymbolTable>,
     /// Clause count: ids `0..len` have been allocated (some retracted).
     len: usize,
@@ -212,6 +218,9 @@ pub struct MvccClauseStore {
     geometry: Geometry,
     policy_kind: crate::policy::PolicyKind,
     commit_mode: CommitMode,
+    index_policy: IndexPolicy,
+    /// Candidate-selection meters (atomics — selection never locks).
+    index_counters: IndexCounters,
     cache: TrackCache,
     versions: Mutex<VersionState>,
     /// Serializes writers (one transaction at a time).
@@ -253,16 +262,20 @@ impl MvccClauseStore {
             n_tracks
         ];
         let mut index: PredIndex = HashMap::new();
+        let mut bitidx = BitmapClauseIndex::default();
         for (i, clause) in db.clauses().iter().enumerate() {
             let addr = g.addr_of_index(i as u32);
             let ti = (addr.cylinder * g.n_sps + addr.sp) as usize;
             pages[ti].clauses[addr.slot as usize] = Some(clause.clone());
             index.entry(clause.head_pred()).or_default().push(ClauseId(i as u32));
+            bitidx.insert_clause(ClauseId(i as u32), clause);
         }
         MvccClauseStore {
             geometry: g,
             policy_kind: config.policy,
             commit_mode: mode,
+            index_policy: config.index,
+            index_counters: IndexCounters::default(),
             cache: TrackCache::new(config.policy, config.capacity_tracks, g.n_sps, config.cost),
             versions: Mutex::new(VersionState {
                 pages: pages
@@ -274,6 +287,7 @@ impl MvccClauseStore {
                     })
                     .collect(),
                 index: Arc::new(index),
+                bitidx: Arc::new(bitidx),
                 symbols: Arc::new(db.symbols().clone()),
                 len: db.len(),
                 committed: 0,
@@ -315,6 +329,11 @@ impl MvccClauseStore {
         self.policy_kind
     }
 
+    /// Which candidate-selection policy snapshots resolve through.
+    pub fn index_policy(&self) -> IndexPolicy {
+        self.index_policy
+    }
+
     /// The disk geometry (fixed at construction; asserts consume its
     /// remaining block capacity).
     pub fn geometry(&self) -> Geometry {
@@ -343,6 +362,7 @@ impl MvccClauseStore {
             len: v.len,
             symbols: Arc::clone(&v.symbols),
             index: Arc::clone(&v.index),
+            bitidx: Arc::clone(&v.bitidx),
             resolved: (0..n_tracks).map(|_| OnceLock::new()).collect(),
             pool: None,
             stall_ns_per_tick: 0,
@@ -362,6 +382,7 @@ impl MvccClauseStore {
             len: v.len,
             dirty: HashMap::new(),
             index: (*v.index).clone(),
+            bitidx: (*v.bitidx).clone(),
             symbols: (*v.symbols).clone(),
             _writer: guard,
         }
@@ -430,10 +451,16 @@ impl MvccClauseStore {
         self.versions().len
     }
 
-    /// Track-cache counters (lock-traffic meters included) — the same
-    /// surface as [`PagedClauseStore::stats`](crate::paged::PagedClauseStore::stats).
+    /// Track-cache counters (lock-traffic and candidate-selection meters
+    /// included) — the same surface as
+    /// [`PagedClauseStore::stats`](crate::paged::PagedClauseStore::stats).
     pub fn stats(&self) -> PagedStoreStats {
-        self.cache.stats()
+        let mut s = self.cache.stats();
+        let (hits, prunes, scanned) = self.index_counters.snapshot();
+        s.index_hits = hits;
+        s.index_prunes = prunes;
+        s.candidates_scanned = scanned;
+        s
     }
 
     /// The replacement policy's own counters.
@@ -452,9 +479,11 @@ impl MvccClauseStore {
         self.cache.lock_stats()
     }
 
-    /// Reset cache counters (residency persists; versions unaffected).
+    /// Reset cache and candidate-selection counters (residency persists;
+    /// versions unaffected).
     pub fn reset_stats(&self) {
         self.cache.reset_stats();
+        self.index_counters.reset();
     }
 
     /// Number of resident tracks in the cache.
@@ -482,6 +511,10 @@ pub struct Snapshot<'s> {
     len: usize,
     symbols: Arc<SymbolTable>,
     index: Arc<PredIndex>,
+    /// The pinned epoch's first-argument bitmap index: a commit landing
+    /// after `begin_read` swaps the store's `Arc` but cannot change what
+    /// this snapshot resolves candidates through.
+    bitidx: Arc<BitmapClauseIndex>,
     /// Per-track page resolution cache (`OnceLock` so `fetch_clause` can
     /// stay `&self` and the returned `&Clause` borrows from the
     /// snapshot).
@@ -576,18 +609,24 @@ impl ClauseSource for Snapshot<'_> {
     fn candidate_clauses<'a>(
         &'a self,
         goal: &Term,
-        _bindings: &dyn BindingLookup,
+        bindings: &dyn BindingLookup,
     ) -> Cow<'a, [ClauseId]> {
         // Candidate lists ride in the caller's block (figure 4), already
         // paid for when the caller was fetched — same accounting as the
-        // read-only store. The index is pinned with the snapshot, so a
-        // concurrent commit cannot leak clauses from another epoch in.
-        match goal.functor() {
-            Some(pred) => Cow::Borrowed(
-                self.index.get(&pred).map(Vec::as_slice).unwrap_or(&[]),
-            ),
-            None => Cow::Borrowed(&[][..]),
+        // read-only store. Both indexes are pinned with the snapshot, so
+        // a concurrent commit cannot leak clauses from another epoch in.
+        let full = match goal.functor() {
+            Some(pred) => self.index.get(&pred).map(Vec::as_slice).unwrap_or(&[]),
+            None => &[][..],
+        };
+        if self.store.index_policy == IndexPolicy::FirstArg {
+            if let IndexedCandidates::Narrowed(ids) = self.bitidx.lookup(goal, bindings) {
+                self.store.index_counters.record_indexed(full.len(), ids.len());
+                return Cow::Owned(ids);
+            }
         }
+        self.store.index_counters.record_scan(full.len());
+        Cow::Borrowed(full)
     }
 
     fn clause_count(&self) -> usize {
@@ -636,6 +675,9 @@ pub struct WriteTxn<'s> {
     /// Copy-on-write pages, by track index.
     dirty: HashMap<usize, PageData>,
     index: PredIndex,
+    /// Copy-on-write first-argument bitmap index, patched incrementally
+    /// by asserts and retracts and installed whole at commit.
+    bitidx: BitmapClauseIndex,
     symbols: SymbolTable,
     _writer: MutexGuard<'s, ()>,
 }
@@ -693,6 +735,7 @@ impl WriteTxn<'_> {
         let addr = self.store.geometry.addr_of_index(cid.0);
         let ti = (addr.cylinder * self.store.geometry.n_sps + addr.sp) as usize;
         let pred = clause.head_pred();
+        self.bitidx.insert_clause(cid, &clause);
         self.dirty_page(ti).clauses[addr.slot as usize] = Some(clause);
         self.index.entry(pred).or_default().push(cid);
         self.len += 1;
@@ -725,6 +768,7 @@ impl WriteTxn<'_> {
         if let Some(ids) = self.index.get_mut(&pred) {
             ids.retain(|&id| id != cid);
         }
+        self.bitidx.remove_clause(cid, &clause);
         Ok(())
     }
 
@@ -779,6 +823,7 @@ impl WriteTxn<'_> {
             slot.current_since = new_epoch;
         }
         v.index = Arc::new(self.index);
+        v.bitidx = Arc::new(self.bitidx);
         v.symbols = Arc::new(self.symbols);
         v.len = self.len;
         v.committed = new_epoch;
@@ -921,6 +966,37 @@ mod tests {
         let c = snap.fetch_clause(ClauseId(3));
         assert_eq!(c.head, p.db.clause(ClauseId(3)).head);
         assert_eq!(solutions(&snap, "gf(sam,G)"), vec!["G = den", "G = doug"]);
+    }
+
+    #[test]
+    fn pinned_snapshot_resolves_candidates_through_its_epochs_bitmap_index() {
+        // The bitmap index must be epoch-consistent, not just the pages:
+        // a reader pinned at epoch 0 keeps narrowing through epoch 0's
+        // index after later commits retract and assert clauses for the
+        // very same functor.
+        let p = parse_program(FAMILY).unwrap();
+        let store = MvccClauseStore::new(&p.db, store_config(8), CommitMode::Mvcc);
+        assert_eq!(store.index_policy(), crate::bitidx::IndexPolicy::FirstArg);
+        let old = store.begin_read();
+
+        let mut txn = store.begin_write();
+        txn.retract(ClauseId(3)).unwrap(); // f(sam,larry)
+        let new_ids = txn.assert_text("f(sam,zoe).").unwrap();
+        txn.commit();
+
+        let q = parse_query_symbols(old.symbols(), "f(sam,Q)").unwrap();
+        let bindings = blog_logic::Bindings::new();
+        let old_ids = old.candidate_clauses(&q.goals[0], &bindings).into_owned();
+        assert_eq!(old_ids, vec![ClauseId(3)], "epoch-0 index still lists it");
+
+        let new = store.begin_read();
+        let q2 = parse_query_symbols(new.symbols(), "f(sam,Q)").unwrap();
+        let got = new.candidate_clauses(&q2.goals[0], &bindings).into_owned();
+        assert_eq!(got, new_ids, "epoch-1 index lists only the replacement");
+
+        // And the meters saw two indexed resolutions.
+        let s = store.stats();
+        assert_eq!(s.index_hits, 2);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use std::borrow::Cow;
 use blog_logic::{BindingLookup, Clause, ClauseDb, ClauseId, ClauseSource, SourceStats, Term};
 use serde::Serialize;
 
+use crate::bitidx::{BitmapClauseIndex, IndexCounters, IndexPolicy, IndexedCandidates};
 use crate::cache::TrackCache;
 use crate::policy::{PolicyKind, PolicyStats};
 use crate::timing::{BlockAddr, CostModel, Geometry};
@@ -51,6 +52,9 @@ pub struct PagedStoreConfig {
     pub capacity_tracks: usize,
     /// Replacement algorithm deciding which track a fault evicts.
     pub policy: PolicyKind,
+    /// Candidate-selection policy (first-argument bitmap index by
+    /// default; `None` is the scan-everything baseline).
+    pub index: IndexPolicy,
 }
 
 impl Default for PagedStoreConfig {
@@ -60,6 +64,7 @@ impl Default for PagedStoreConfig {
             cost: CostModel::default(),
             capacity_tracks: 8,
             policy: PolicyKind::Lru,
+            index: IndexPolicy::default(),
         }
     }
 }
@@ -68,6 +73,11 @@ impl PagedStoreConfig {
     /// This configuration with a different replacement policy.
     pub fn with_policy(self, policy: PolicyKind) -> Self {
         PagedStoreConfig { policy, ..self }
+    }
+
+    /// This configuration with a different candidate-selection policy.
+    pub fn with_index(self, index: IndexPolicy) -> Self {
+        PagedStoreConfig { index, ..self }
     }
 }
 
@@ -92,6 +102,16 @@ pub struct PagedStoreStats {
     /// a serving fleet the `contended / acquisitions` ratio attributes
     /// slowdowns to store contention rather than scheduling.
     pub lock_contended: u64,
+    /// `candidate_clauses` calls resolved through the first-argument
+    /// bitmap index (zero under [`IndexPolicy::None`] and for goals
+    /// whose first argument was unbound).
+    pub index_hits: u64,
+    /// Candidates the index removed versus the full predicate range —
+    /// unification attempts (and their clause touches) that never
+    /// happened.
+    pub index_prunes: u64,
+    /// Candidates actually handed to engines, under either policy.
+    pub candidates_scanned: u64,
 }
 
 impl PagedStoreStats {
@@ -150,6 +170,11 @@ pub struct PagedClauseStore<'a> {
     geometry: Geometry,
     policy_kind: PolicyKind,
     cache: TrackCache,
+    /// First-argument bitmap index, built once over the (static) backing
+    /// database when the config asks for it.
+    bitidx: Option<BitmapClauseIndex>,
+    /// Candidate-selection meters (atomics — selection never locks).
+    index_counters: IndexCounters,
 }
 
 impl<'a> PagedClauseStore<'a> {
@@ -175,12 +200,49 @@ impl<'a> PagedClauseStore<'a> {
                 config.geometry.n_sps,
                 config.cost,
             ),
+            bitidx: match config.index {
+                IndexPolicy::None => None,
+                IndexPolicy::FirstArg => Some(BitmapClauseIndex::from_db(db)),
+            },
+            index_counters: IndexCounters::default(),
         }
     }
 
     /// Which replacement algorithm this store runs.
     pub fn policy_kind(&self) -> PolicyKind {
         self.policy_kind
+    }
+
+    /// Which candidate-selection policy this store runs.
+    pub fn index_policy(&self) -> IndexPolicy {
+        if self.bitidx.is_some() {
+            IndexPolicy::FirstArg
+        } else {
+            IndexPolicy::None
+        }
+    }
+
+    /// Resolve a goal's candidates: through the bitmap index when the
+    /// policy is `FirstArg` and the goal's first argument is bound,
+    /// otherwise the full predicate range. Selection costs no page
+    /// touch either way — candidate lists ride in the caller's block —
+    /// but only the metered [`fetch_clause`](ClauseSource::fetch_clause)
+    /// calls that *follow* differ, which is the entire point.
+    fn candidates<'s>(
+        &'s self,
+        goal: &Term,
+        bindings: &dyn BindingLookup,
+    ) -> Cow<'s, [ClauseId]> {
+        if let Some(idx) = &self.bitidx {
+            if let IndexedCandidates::Narrowed(ids) = idx.lookup(goal, bindings) {
+                let full = self.db.candidates_for(goal).len();
+                self.index_counters.record_indexed(full, ids.len());
+                return Cow::Owned(ids);
+            }
+        }
+        let full = self.db.candidates_for_resolved(goal, bindings);
+        self.index_counters.record_scan(full.len());
+        full
     }
 
     /// The policy's own counters (a second view over the same accesses
@@ -262,22 +324,30 @@ impl<'a> PagedClauseStore<'a> {
         self.stats()
     }
 
-    /// Counters so far (lock-traffic meters included).
+    /// Counters so far (lock-traffic and candidate-selection meters
+    /// included).
     pub fn stats(&self) -> PagedStoreStats {
-        self.cache.stats()
+        let mut s = self.cache.stats();
+        let (hits, prunes, scanned) = self.index_counters.snapshot();
+        s.index_hits = hits;
+        s.index_prunes = prunes;
+        s.candidates_scanned = scanned;
+        s
     }
 
     /// Reset counters — the store's and the policy's, which stay two
-    /// views over the same accesses, plus the per-pool and lock-traffic
-    /// meters; resident tracks and head positions persist (use
-    /// [`clear`](Self::clear) to also drop the cache).
+    /// views over the same accesses, plus the per-pool, lock-traffic and
+    /// candidate-selection meters; resident tracks and head positions
+    /// persist (use [`clear`](Self::clear) to also drop the cache).
     pub fn reset_stats(&self) {
         self.cache.reset_stats();
+        self.index_counters.reset();
     }
 
     /// Drop every resident track, park the heads, and reset counters.
     pub fn clear(&self) {
         self.cache.clear();
+        self.index_counters.reset();
     }
 
     /// Number of resident tracks.
@@ -353,7 +423,7 @@ impl ClauseSource for PoolView<'_, '_> {
     ) -> Cow<'a, [ClauseId]> {
         // As for the store itself: candidate lists ride in the caller's
         // block, already paid for when the caller was fetched.
-        self.store.db.candidates_for_resolved(goal, bindings)
+        self.store.candidates(goal, bindings)
     }
 
     fn clause_count(&self) -> usize {
@@ -391,7 +461,7 @@ impl ClauseSource for PagedClauseStore<'_> {
         // Candidate lists are the figure-4 pointers stored *in the
         // caller's block*, which the search touched when it fetched the
         // caller; reading them costs no extra fault.
-        self.db.candidates_for_resolved(goal, bindings)
+        self.candidates(goal, bindings)
     }
 
     fn clause_count(&self) -> usize {
@@ -428,6 +498,8 @@ mod tests {
     ";
 
     fn small_config(capacity_tracks: usize) -> PagedStoreConfig {
+        // Index pinned off: these tests are about paging, and the
+        // baseline keeps their counters policy-independent.
         PagedStoreConfig {
             geometry: Geometry {
                 n_sps: 2,
@@ -437,6 +509,7 @@ mod tests {
             cost: CostModel::default(),
             capacity_tracks,
             policy: PolicyKind::Lru,
+            index: IndexPolicy::None,
         }
     }
 
@@ -657,6 +730,54 @@ mod tests {
         // but the accounting must show zero new fault ticks).
         view.fetch_clause(ClauseId(0));
         assert_eq!(view.stats().fault_ticks, ticks);
+    }
+
+    #[test]
+    fn indexed_store_narrows_and_meters_candidates() {
+        let p = parse_program(FAMILY).unwrap();
+        let baseline = PagedClauseStore::new(&p.db, small_config(4));
+        let indexed =
+            PagedClauseStore::new(&p.db, small_config(4).with_index(IndexPolicy::FirstArg));
+        assert_eq!(baseline.index_policy(), IndexPolicy::None);
+        assert_eq!(indexed.index_policy(), IndexPolicy::FirstArg);
+
+        let mut db = p.db.clone();
+        let query = blog_logic::parse_query(&mut db, "f(sam,Q)").unwrap();
+        let goal = &query.goals[0];
+        let bindings = blog_logic::Bindings::new();
+
+        let full = baseline.candidate_clauses(goal, &bindings).into_owned();
+        let narrowed = indexed.candidate_clauses(goal, &bindings).into_owned();
+        assert_eq!(full.len(), 6, "f/2 has six clauses");
+        assert_eq!(narrowed, vec![ClauseId(3)], "only f(sam,larry) can match");
+
+        let bs = baseline.stats();
+        assert_eq!((bs.index_hits, bs.index_prunes), (0, 0));
+        assert_eq!(bs.candidates_scanned, 6);
+        let is = indexed.stats();
+        assert_eq!((is.index_hits, is.index_prunes, is.candidates_scanned), (1, 5, 1));
+        // Selection itself never touches a page.
+        assert_eq!(is.accesses, 0);
+
+        indexed.reset_stats();
+        let is = indexed.stats();
+        assert_eq!((is.index_hits, is.index_prunes, is.candidates_scanned), (0, 0, 0));
+    }
+
+    #[test]
+    fn indexed_store_falls_back_when_first_arg_unbound() {
+        let p = parse_program(FAMILY).unwrap();
+        let indexed =
+            PagedClauseStore::new(&p.db, small_config(4).with_index(IndexPolicy::FirstArg));
+        let mut db = p.db.clone();
+        let query = blog_logic::parse_query(&mut db, "f(X,Y)").unwrap();
+        let got = indexed
+            .candidate_clauses(&query.goals[0], &blog_logic::Bindings::new())
+            .into_owned();
+        assert_eq!(got.len(), 6, "unbound first arg sees every f/2 clause");
+        let s = indexed.stats();
+        assert_eq!(s.index_hits, 0, "fallback is not an index hit");
+        assert_eq!(s.candidates_scanned, 6);
     }
 
     #[test]

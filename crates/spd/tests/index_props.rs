@@ -1,0 +1,482 @@
+//! Differential index-oracle battery for the first-argument bitmap
+//! index.
+//!
+//! The index is an *optimization contract*: for any program and any
+//! goal, the candidate list a store hands the engines must be exactly
+//! what a brute-force scan of the predicate range — keeping every
+//! clause whose raw head first-argument key is absent or equal to the
+//! goal's dereferenced key — would produce, in the same (program)
+//! order. Three independent implementations are held to that single
+//! oracle on generated programs and goal streams:
+//!
+//! - the bitmap index inside `PagedClauseStore` (`IndexPolicy::FirstArg`),
+//!   across all four replacement policies;
+//! - the per-epoch bitmap index inside an `MvccClauseStore` snapshot;
+//! - the `ClauseDb`'s own merge-based `FirstArgIndex`
+//!   (`IndexMode::FirstArg`).
+//!
+//! Baseline stores (`IndexPolicy::None`) must keep returning the full
+//! predicate range untouched. Goals arrive with their first argument
+//! ground in the source text, bound through a flat [`Bindings`] chain,
+//! bound through live [`DeltaBindings`], bound through a frozen
+//! [`BindingFrame`] (both `StateRepr`s' read paths), or unbound — the
+//! unbound forms must fall back to the full range, which is the
+//! satellite regression: a variable-headed goal sees *every* clause.
+//!
+//! Also here: the `ClauseBitmap` vs `BTreeSet` model property on the
+//! shared shrink-friendly id generator, and engine-level runs proving
+//! solution sets are index-invariant under both `StateRepr`s.
+//!
+//! Case counts honor the `PROPTEST_CASES` environment variable (the CI
+//! profile sets a reduced count; see `.github/workflows/ci.yml`).
+
+mod support;
+
+use std::collections::{BTreeSet, HashMap};
+
+use blog_core::engine::{best_first_with, BestFirstConfig};
+use blog_core::weight::{WeightParams, WeightStore, WeightView};
+use blog_logic::{
+    arg_key, parse_program, parse_query, BindingFrame, BindingLookup, BindingWrite, Bindings,
+    ClauseDb, ClauseId, ClauseSource, DeltaBindings, IndexMode, Program, SolveConfig, StateRepr,
+    Term, Trail, VarId, DEFAULT_FLATTEN_THRESHOLD,
+};
+use blog_spd::{
+    ClauseBitmap, CommitMode, IndexPolicy, MvccClauseStore, PagedClauseStore, PolicyKind,
+};
+use proptest::prelude::*;
+
+use support::{arb_clause_ids, paged_config};
+
+// ---------------------------------------------------------------------------
+// Bitmap vs BTreeSet model
+// ---------------------------------------------------------------------------
+
+fn bitmap_of(ids: &BTreeSet<u32>) -> ClauseBitmap {
+    ClauseBitmap::from_ids(ids.iter().map(|&i| ClauseId(i)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Insert/remove/contains/len/iter against the obvious model.
+    #[test]
+    fn bitmap_matches_btreeset_model(ids in arb_clause_ids(), removals in arb_clause_ids()) {
+        let mut bm = bitmap_of(&ids);
+        let mut model = ids.clone();
+        prop_assert_eq!(bm.len(), model.len());
+
+        for r in &removals {
+            prop_assert_eq!(bm.remove(ClauseId(*r)), model.remove(r));
+        }
+        prop_assert_eq!(bm.len(), model.len());
+        prop_assert_eq!(bm.is_empty(), model.is_empty());
+
+        // Membership agrees on every id we ever mentioned (hits and
+        // misses both), and iteration is exactly the sorted model.
+        for probe in ids.iter().chain(removals.iter()) {
+            prop_assert_eq!(bm.contains(ClauseId(*probe)), model.contains(probe));
+        }
+        let got: Vec<u32> = bm.iter().map(|c| c.0).collect();
+        let want: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(got, want);
+
+        // Re-inserting everything removed restores the original set.
+        for r in &removals {
+            bm.insert(ClauseId(*r));
+            model.insert(*r);
+        }
+        if model == ids {
+            let got: Vec<u32> = bm.iter().map(|c| c.0).collect();
+            let want: Vec<u32> = ids.iter().copied().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// The lazy `a ∩ (b ∪ c)` iterator against set algebra on the model.
+    #[test]
+    fn intersect_union_matches_model(
+        a in arb_clause_ids(),
+        b in arb_clause_ids(),
+        c in arb_clause_ids(),
+    ) {
+        let (bm_a, bm_b, bm_c) = (bitmap_of(&a), bitmap_of(&b), bitmap_of(&c));
+
+        let got: Vec<u32> = blog_spd::intersect_union(&bm_a, &bm_b, Some(&bm_c))
+            .map(|id| id.0)
+            .collect();
+        let want: Vec<u32> = a
+            .iter()
+            .filter(|i| b.contains(i) || c.contains(i))
+            .copied()
+            .collect();
+        prop_assert_eq!(got, want);
+
+        let got2: Vec<u32> = blog_spd::intersect_union(&bm_a, &bm_b, None)
+            .map(|id| id.0)
+            .collect();
+        let want2: Vec<u32> = a.intersection(&b).copied().collect();
+        prop_assert_eq!(got2, want2);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generated programs + goal streams
+// ---------------------------------------------------------------------------
+
+const ATOMS: [&str; 4] = ["a", "b", "c", "d"];
+
+/// Predicates the generator defines; goal selectors beyond this table
+/// produce unknown-predicate / wrong-arity probes.
+const PREDS: [(&str, usize); 3] = [("p", 2), ("q", 1), ("r", 3)];
+
+/// Render the head first-argument for clause `ci` from selector `sel`.
+///
+/// The table covers every [`blog_logic::ArgKey`] shape plus the two
+/// unkeyed forms: atoms, ints, structs of two arities, a struct with a
+/// variable *inside* (still keyed — the key is the principal functor
+/// only), and a bare variable (unkeyed: matches any goal key).
+fn first_arg_src(sel: u8, ci: usize) -> String {
+    match sel % 12 {
+        s @ 0..=3 => ATOMS[s as usize].to_string(),
+        s @ 4..=6 => format!("{}", s - 4),
+        7 => "s(a)".to_string(),
+        8 => "s(b)".to_string(),
+        9 => "t(a, z)".to_string(),
+        10 => format!("s(W{ci})"),
+        _ => format!("V{ci}"),
+    }
+}
+
+/// Render one generated clause as source text.
+fn clause_src(pred_sel: u8, arg_sel: u8, ci: usize) -> String {
+    let (name, arity) = PREDS[pred_sel as usize % PREDS.len()];
+    let mut args = vec![first_arg_src(arg_sel, ci)];
+    args.extend((1..arity).map(|_| "z".to_string()));
+    format!("{name}({}).\n", args.join(", "))
+}
+
+/// Render one goal's source text with the first argument spelled
+/// `first` (a ground key, or a variable name). Selectors past the known
+/// predicates probe an unknown predicate and a wrong arity.
+fn goal_src(pred_sel: u8, first: &str) -> String {
+    match pred_sel % 5 {
+        s @ 0..=2 => {
+            let (name, arity) = PREDS[s as usize];
+            let mut args = vec![first.to_string()];
+            args.extend((1..arity).map(|i| format!("G{i}")));
+            format!("{name}({})", args.join(", "))
+        }
+        3 => format!("nosuch({first})"),
+        // p/1 — right functor, wrong arity: a distinct predicate.
+        _ => format!("p({first})"),
+    }
+}
+
+/// Goal first-argument selectors reuse the clause table and extend it
+/// with keys no clause head uses (unknown atom / int / struct).
+fn goal_first_src(sel: u8) -> String {
+    match sel % 15 {
+        12 => "zed".to_string(),
+        13 => "99".to_string(),
+        14 => "u(a)".to_string(),
+        s => first_arg_src(s, 9000),
+    }
+}
+
+/// The brute-force oracle: the full predicate range, filtered by the
+/// goal's dereferenced first-argument key against each clause's **raw**
+/// head key (clause variables are clause-local — they are never
+/// dereferenced through the goal's bindings). Unkeyed heads survive any
+/// goal key; an unkeyed goal keeps the full range.
+fn oracle_candidates(db: &ClauseDb, goal: &Term, bindings: &dyn BindingLookup) -> Vec<ClauseId> {
+    let full = db.candidates_for(goal).to_vec();
+    let Term::Struct(_, args) = goal else {
+        return full;
+    };
+    let Some(key) = arg_key(bindings.walk(&args[0])) else {
+        return full;
+    };
+    full.into_iter()
+        .filter(|id| match &db.clause(*id).head {
+            Term::Struct(_, hargs) => arg_key(&hargs[0]).is_none_or(|hk| hk == key),
+            _ => true,
+        })
+        .collect()
+}
+
+/// One goal in the three binding presentations the stores must treat
+/// identically: key ground in the source text, key reached through a
+/// binding chain, or first argument unbound.
+struct GoalCase {
+    /// The goal term whose first argument is written ground (absent for
+    /// variable-first-arg selectors).
+    inline: Option<Term>,
+    /// The goal term whose first argument is the variable `Q`.
+    var_goal: Term,
+    /// `Q`'s id in `var_goal`.
+    q: VarId,
+    /// The ground key term to bind `Q` to (absent when the selector
+    /// asked for an unbound first argument).
+    key_term: Option<Term>,
+}
+
+/// Parse the two goal forms against a scratch clone of `db`, so probe
+/// symbols (`zed`, `nosuch`, …) intern consistently without mutating
+/// the database the stores were built over.
+fn build_goal_case(db: &ClauseDb, pred_sel: u8, key_sel: u8) -> GoalCase {
+    let mut scratch = db.clone();
+    let first = goal_first_src(key_sel);
+    let unbound = key_sel % 15 == 11;
+
+    let var_q = parse_query(&mut scratch, &goal_src(pred_sel, "Q")).unwrap();
+    let var_goal = var_q.goals[0].clone();
+    let q = match &var_goal {
+        Term::Struct(_, args) => match &args[0] {
+            Term::Var(v) => *v,
+            other => panic!("Q parsed as {other:?}"),
+        },
+        other => panic!("goal parsed as {other:?}"),
+    };
+
+    if unbound {
+        return GoalCase {
+            inline: None,
+            var_goal,
+            q,
+            key_term: None,
+        };
+    }
+    let inline_q = parse_query(&mut scratch, &goal_src(pred_sel, &first)).unwrap();
+    let inline = inline_q.goals[0].clone();
+    let key_term = match &inline {
+        Term::Struct(_, args) => args[0].clone(),
+        other => panic!("goal parsed as {other:?}"),
+    };
+    GoalCase {
+        inline: Some(inline),
+        var_goal,
+        q,
+        key_term: Some(key_term),
+    }
+}
+
+/// Every (goal, bindings) presentation for one case: the engines read
+/// candidates through flat trail-backed `Bindings` under
+/// `StateRepr::Cloned` and through `DeltaBindings` / frozen
+/// `BindingFrame`s under `StateRepr::Shared`, so the differential check
+/// runs the lookup through all of them. The bound presentations route
+/// `Q` through a two-step chain (`Q -> M -> key`) so `walk` has real
+/// dereferencing to do.
+fn check_case(
+    case: &GoalCase,
+    check: &mut dyn FnMut(&Term, &dyn BindingLookup) -> Result<(), TestCaseError>,
+) -> Result<(), TestCaseError> {
+    // Ground in the text; nothing bound.
+    if let Some(inline) = &case.inline {
+        check(inline, &Bindings::new())?;
+    }
+
+    let mid = VarId(case.q.0 + 101);
+    match &case.key_term {
+        Some(key) => {
+            // Flat bindings, chained.
+            let mut flat = Bindings::new();
+            let mut trail = Trail::new();
+            flat.bind(&mut trail, case.q, Term::Var(mid));
+            flat.bind(&mut trail, mid, key.clone());
+            check(&case.var_goal, &flat)?;
+
+            // Live delta over the root frame.
+            let root = BindingFrame::root();
+            let mut delta = DeltaBindings::new(&root);
+            let mut trail = Trail::new();
+            delta.bind(&mut trail, case.q, Term::Var(mid));
+            delta.bind(&mut trail, mid, key.clone());
+            check(&case.var_goal, &delta)?;
+
+            // Frozen frames, at the default threshold and with
+            // flattening forced on every freeze.
+            let (frame, _) = delta.freeze(DEFAULT_FLATTEN_THRESHOLD);
+            check(&case.var_goal, &*frame)?;
+            let root2 = BindingFrame::root();
+            let mut delta2 = DeltaBindings::new(&root2);
+            let mut trail = Trail::new();
+            delta2.bind(&mut trail, case.q, Term::Var(mid));
+            delta2.bind(&mut trail, mid, key.clone());
+            let (flattened, _) = delta2.freeze(0);
+            check(&case.var_goal, &*flattened)?;
+        }
+        None => {
+            // Unbound, and unbound-through-a-chain: both must fall back.
+            check(&case.var_goal, &Bindings::new())?;
+            let mut flat = Bindings::new();
+            let mut trail = Trail::new();
+            flat.bind(&mut trail, case.q, Term::Var(mid));
+            check(&case.var_goal, &flat)?;
+        }
+    }
+    Ok(())
+}
+
+fn program_from(clauses: &[(u8, u8)]) -> Program {
+    let mut src = String::new();
+    for (ci, (pred_sel, arg_sel)) in clauses.iter().enumerate() {
+        src.push_str(&clause_src(*pred_sel, *arg_sel, ci));
+    }
+    src.push_str("?- q(a).\n");
+    parse_program(&src).expect("generated program parses")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The differential property: on arbitrary programs and goal
+    /// streams, every indexed store equals the brute-force oracle and
+    /// every baseline store equals the full predicate range — ids *and*
+    /// order — across all four replacement policies, the MVCC snapshot
+    /// path, the db's own first-argument index, and every binding
+    /// representation.
+    #[test]
+    fn indexed_candidates_equal_brute_force_oracle(
+        clauses in proptest::collection::vec((0u8..3, 0u8..12), 1..24),
+        goals in proptest::collection::vec((0u8..5, 0u8..15), 1..8),
+    ) {
+        let p = program_from(&clauses);
+        let n = p.db.len();
+
+        // The db's own merge-based index is the third implementation
+        // under test.
+        let mut db_fa = p.db.clone();
+        db_fa.set_index_mode(IndexMode::FirstArg);
+
+        let paged_fa: Vec<PagedClauseStore<'_>> = PolicyKind::ALL
+            .iter()
+            .map(|&pk| {
+                PagedClauseStore::new(
+                    &p.db,
+                    paged_config(pk, 2, 4, n).with_index(IndexPolicy::FirstArg),
+                )
+            })
+            .collect();
+        let paged_none =
+            PagedClauseStore::new(&p.db, paged_config(PolicyKind::Lru, 2, 4, n));
+        let mvcc_fa = MvccClauseStore::new(
+            &p.db,
+            paged_config(PolicyKind::TwoQ, 2, 4, n).with_index(IndexPolicy::FirstArg),
+            CommitMode::Mvcc,
+        );
+        let mvcc_none = MvccClauseStore::new(
+            &p.db,
+            paged_config(PolicyKind::TwoQ, 2, 4, n),
+            CommitMode::Mvcc,
+        );
+        let snap_fa = mvcc_fa.begin_read();
+        let snap_none = mvcc_none.begin_read();
+
+        for (pred_sel, key_sel) in &goals {
+            let case = build_goal_case(&p.db, *pred_sel, *key_sel);
+            check_case(&case, &mut |goal, bindings| {
+                let oracle = oracle_candidates(&p.db, goal, bindings);
+                let full = p.db.candidates_for(goal);
+
+                // The oracle itself honors the order contract: a
+                // strictly ascending subsequence of the full range.
+                prop_assert!(oracle.windows(2).all(|w| w[0] < w[1]));
+
+                for store in &paged_fa {
+                    let got = store.candidate_clauses(goal, bindings);
+                    prop_assert_eq!(got.as_ref(), oracle.as_slice());
+                }
+                let got = snap_fa.candidate_clauses(goal, bindings);
+                prop_assert_eq!(got.as_ref(), oracle.as_slice());
+                let got = db_fa.candidates_for_resolved(goal, bindings);
+                prop_assert_eq!(got.as_ref(), oracle.as_slice());
+
+                // Baselines: the untouched predicate range.
+                let got = paged_none.candidate_clauses(goal, bindings);
+                prop_assert_eq!(got.as_ref(), full);
+                let got = snap_none.candidate_clauses(goal, bindings);
+                prop_assert_eq!(got.as_ref(), full);
+                Ok(())
+            })?;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level regression: unbound first args see every clause
+// ---------------------------------------------------------------------------
+
+const FAMILY: &str = "
+    gf(X,Z) :- f(X,Y), f(Y,Z).
+    gf(X,Z) :- f(X,Y), m(Y,Z).
+    f(curt,elain).  f(sam,larry).
+    f(dan,pat).     f(larry,den).
+    f(pat,john).    f(larry,doug).
+    m(elain,john).  m(marian,elain).
+    m(peg,den).     m(peg,doug).
+";
+
+fn family_query(query: &str) -> Program {
+    parse_program(&format!("{FAMILY}\n?- {query}.\n")).unwrap()
+}
+
+/// Best-first solutions through a paged store under an explicit
+/// `StateRepr`, plus the store's stats.
+fn paged_run(
+    program: &Program,
+    index: IndexPolicy,
+    repr: StateRepr,
+) -> (Vec<String>, blog_spd::PagedStoreStats) {
+    let cfg = paged_config(PolicyKind::Lru, 2, 4, program.db.len()).with_index(index);
+    let paged = PagedClauseStore::new(&program.db, cfg);
+    let store = WeightStore::new(WeightParams::default());
+    let mut local = HashMap::new();
+    let mut view = WeightView::new(&mut local, &store);
+    let bf = BestFirstConfig {
+        solve: SolveConfig::all().with_state_repr(repr),
+        ..BestFirstConfig::default()
+    };
+    let r = best_first_with(&paged, &program.queries[0], &mut view, &bf);
+    let mut texts = r.solution_texts(&program.db);
+    texts.sort();
+    (texts, paged.stats())
+}
+
+/// Satellite regression: a goal whose first argument is an unbound
+/// variable must see **every** clause of its predicate — under both
+/// state representations — so indexing never loses solutions the full
+/// scan would find. The fallback is visible in the meters: zero index
+/// hits, identical candidate traffic to the unindexed baseline.
+#[test]
+fn var_headed_goals_see_every_clause_under_both_reprs() {
+    let p = family_query("f(A,B)");
+    let (base, base_stats) = paged_run(&p, IndexPolicy::None, StateRepr::Cloned);
+    assert_eq!(base.len(), 6, "all six f/2 facts answer f(A,B)");
+
+    for repr in [StateRepr::Cloned, StateRepr::shared()] {
+        let (sols, stats) = paged_run(&p, IndexPolicy::FirstArg, repr);
+        assert_eq!(sols, base);
+        assert_eq!(stats.index_hits, 0, "unbound first arg never narrows");
+        assert_eq!(stats.candidates_scanned, base_stats.candidates_scanned);
+    }
+}
+
+/// The complement: a ground first argument narrows (hits and prunes
+/// are nonzero) and the solution set still matches the unindexed run,
+/// under both state representations.
+#[test]
+fn bound_goals_narrow_without_changing_solutions() {
+    let p = family_query("gf(sam,G)");
+    let (base, base_stats) = paged_run(&p, IndexPolicy::None, StateRepr::Cloned);
+    assert!(!base.is_empty());
+
+    for repr in [StateRepr::Cloned, StateRepr::shared()] {
+        let (sols, stats) = paged_run(&p, IndexPolicy::FirstArg, repr);
+        assert_eq!(sols, base);
+        assert!(stats.index_hits > 0, "ground subgoals resolve indexed");
+        assert!(stats.index_prunes > 0, "f(sam,_) prunes the f/2 range");
+        assert!(stats.candidates_scanned < base_stats.candidates_scanned);
+    }
+}

@@ -20,6 +20,11 @@
 //! - **Version-state consistency** — `mvcc_stats()` agrees with the
 //!   driver's own bookkeeping: committed epoch, active readers, stash
 //!   depth, and monotone retirement counters.
+//! - **Epoch-pinned indexing** — the store runs `IndexPolicy::FirstArg`,
+//!   so a reader pinned at epoch E must resolve bound-first-argument
+//!   candidates through E's bitmap index even after later commits churn
+//!   the same functor: the candidate ids for `f(a0,Q)` are recomputed
+//!   from E's clause texts at every step.
 //!
 //! Case counts honor the `PROPTEST_CASES` environment variable (the CI
 //! profile sets a reduced count; see `.github/workflows/ci.yml`).
@@ -29,10 +34,12 @@ use std::collections::HashMap;
 use blog_core::engine::{best_first_with, BestFirstConfig};
 use blog_core::weight::{WeightParams, WeightStore, WeightView};
 use blog_logic::{
-    clause_to_source, parse_program, parse_query_symbols, ClauseId, ClauseSource, Program,
+    clause_to_source, parse_program, parse_query_symbols, Bindings, ClauseId, ClauseSource,
+    Program,
 };
 use blog_spd::{
-    CommitMode, CostModel, Geometry, MvccClauseStore, PagedStoreConfig, PolicyKind, Snapshot,
+    CommitMode, CostModel, Geometry, IndexPolicy, MvccClauseStore, PagedStoreConfig, PolicyKind,
+    Snapshot,
 };
 use proptest::prelude::*;
 
@@ -65,6 +72,10 @@ fn store_config(policy: PolicyKind, capacity_tracks: usize) -> PagedStoreConfig 
         cost: CostModel::default(),
         capacity_tracks,
         policy,
+        // The indexed path: schedules churn f/2 with bound first
+        // arguments, so every epoch's bitmap index is exercised and the
+        // solution-set assertions prove it never changes an answer.
+        index: IndexPolicy::FirstArg,
     }
 }
 
@@ -292,6 +303,32 @@ fn check_schedule(
             let e = snap.epoch();
             let map = &epochs[e as usize];
             prop_assert_eq!(snap.clause_count(), map.len());
+
+            // The epoch's bitmap index, not the committed one: the
+            // candidate ids for a bound first argument are exactly the
+            // live `f(a0,_)` facts *of this snapshot's epoch*, in id
+            // order, no matter how many commits churned `f/2` since.
+            let cq = parse_query_symbols(snap.symbols(), "f(a0,Q)")
+                .expect("candidate probe parses");
+            let got: Vec<u32> = snap
+                .candidate_clauses(&cq.goals[0], &Bindings::new())
+                .iter()
+                .map(|c| c.0)
+                .collect();
+            let want: Vec<u32> = map
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.as_deref().is_some_and(|t| t.starts_with("f(a0,")))
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(
+                got,
+                want,
+                "{}@{}: epoch {} candidate set diverged",
+                policy,
+                capacity_tracks,
+                e
+            );
             for (qi, query) in QUERIES.iter().enumerate() {
                 let expect = truth
                     .entry((e, qi))

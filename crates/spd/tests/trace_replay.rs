@@ -24,11 +24,14 @@
 
 mod support;
 
+use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
 
+use blog_core::engine::{best_first_with, BestFirstConfig};
+use blog_core::weight::{WeightParams, WeightStore, WeightView};
 use blog_logic::{ClauseId, ClauseSource, Program};
-use blog_spd::{CommitMode, MvccClauseStore, PagedClauseStore, PolicyKind};
+use blog_spd::{CommitMode, IndexPolicy, MvccClauseStore, PagedClauseStore, PolicyKind};
 
 use support::{family_workload, paged_config, queens_workload, record_access_trace};
 
@@ -411,6 +414,194 @@ fn family_mvcc_write_path_replays_against_goldens() {
                     g.seg
                 );
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Indexed candidate selection
+// ---------------------------------------------------------------------------
+
+/// One indexed-run golden line: the whole counter picture of a live
+/// best-first run through a `FirstArg` store at half working-set
+/// capacity. Unlike the replay goldens above, the *access stream itself*
+/// is what's under test here — it is produced by indexed candidate
+/// selection, so an index bug shows up as a drifted access or
+/// index-counter line before any hit-rate wobble.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct IndexedGolden {
+    policy: PolicyKind,
+    accesses: u64,
+    hits: u64,
+    evictions: u64,
+    index_hits: u64,
+    index_prunes: u64,
+    candidates_scanned: u64,
+    solutions: usize,
+}
+
+/// Untrained best-first run of the family workload's first query through
+/// a paged store under `policy` and `index`, at half the working set.
+fn indexed_family_run(
+    program: &Program,
+    policy: PolicyKind,
+    index: IndexPolicy,
+) -> IndexedGolden {
+    let total_tracks = (program.db.len() as u32).div_ceil(BLOCKS_PER_TRACK) as usize;
+    let cfg = paged_config(
+        policy,
+        (total_tracks / 2).max(1),
+        BLOCKS_PER_TRACK,
+        program.db.len(),
+    )
+    .with_index(index);
+    let store = PagedClauseStore::new(&program.db, cfg);
+    let weights = WeightStore::new(WeightParams::default());
+    let mut local = HashMap::new();
+    let mut view = WeightView::new(&mut local, &weights);
+    let r = best_first_with(
+        &store,
+        &program.queries[0],
+        &mut view,
+        &BestFirstConfig::default(),
+    );
+    let s = store.stats();
+    IndexedGolden {
+        policy,
+        accesses: s.accesses,
+        hits: s.hits,
+        evictions: store.policy_stats().evictions,
+        index_hits: s.index_hits,
+        index_prunes: s.index_prunes,
+        candidates_scanned: s.candidates_scanned,
+        solutions: r.solutions.len(),
+    }
+}
+
+fn indexed_golden_line(g: &IndexedGolden) -> String {
+    format!(
+        "{} accesses={} hits={} evictions={} index_hits={} index_prunes={} scanned={} solutions={}",
+        g.policy.name(),
+        g.accesses,
+        g.hits,
+        g.evictions,
+        g.index_hits,
+        g.index_prunes,
+        g.candidates_scanned,
+        g.solutions
+    )
+}
+
+fn parse_indexed_golden(line: &str) -> IndexedGolden {
+    let mut parts = line.split_whitespace();
+    let policy = PolicyKind::parse(parts.next().unwrap()).unwrap();
+    let mut field = |name: &str| -> u64 {
+        let kv = parts.next().unwrap_or_else(|| panic!("missing {name}: {line}"));
+        kv.strip_prefix(name)
+            .and_then(|v| v.strip_prefix('='))
+            .unwrap_or_else(|| panic!("bad field {kv}, wanted {name}: {line}"))
+            .parse()
+            .unwrap()
+    };
+    IndexedGolden {
+        policy,
+        accesses: field("accesses"),
+        hits: field("hits"),
+        evictions: field("evictions"),
+        index_hits: field("index_hits"),
+        index_prunes: field("index_prunes"),
+        candidates_scanned: field("scanned"),
+        solutions: field("solutions") as usize,
+    }
+}
+
+#[test]
+fn family_indexed_run_replays_against_goldens() {
+    let program = family_workload();
+    let path = fixture_path("family_indexed.golden");
+    if std::env::var_os("REGEN_TRACE_FIXTURES").is_some() {
+        let mut out = String::new();
+        out.push_str("# Indexed-run goldens: untrained best-first on the family\n");
+        out.push_str("# workload (generations=4, branching=3, seed=7) through a\n");
+        out.push_str("# FirstArg paged store at half the working set. The access\n");
+        out.push_str("# stream is index-determined, so accesses and the index\n");
+        out.push_str(&format!(
+            "# counters are exact for every policy. clauses: {}\n",
+            program.db.len()
+        ));
+        for kind in PolicyKind::ALL {
+            out.push_str(&indexed_golden_line(&indexed_family_run(
+                &program,
+                kind,
+                IndexPolicy::FirstArg,
+            )));
+            out.push('\n');
+        }
+        fs::write(&path, out).unwrap();
+        eprintln!("regenerated {}", path.display());
+    }
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with REGEN_TRACE_FIXTURES=1",
+            path.display()
+        )
+    });
+    let goldens: Vec<IndexedGolden> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(parse_indexed_golden)
+        .collect();
+    assert_eq!(goldens.len(), PolicyKind::ALL.len());
+
+    let baseline = indexed_family_run(&program, PolicyKind::Lru, IndexPolicy::None);
+    for w in &goldens {
+        let g = indexed_family_run(&program, w.policy, IndexPolicy::FirstArg);
+
+        // The candidate stream is determined by the index, not the
+        // replacement policy: the engine-work picture is exact for every
+        // policy, and it must show the index actually pruning.
+        assert_eq!(g.accesses, w.accesses, "{}: access count drifted", w.policy);
+        assert_eq!(g.index_hits, w.index_hits, "{}: index_hits drifted", w.policy);
+        assert_eq!(
+            g.index_prunes, w.index_prunes,
+            "{}: index_prunes drifted",
+            w.policy
+        );
+        assert_eq!(
+            g.candidates_scanned, w.candidates_scanned,
+            "{}: candidates_scanned drifted",
+            w.policy
+        );
+        assert!(g.index_prunes > 0, "{}: index never pruned", w.policy);
+        assert!(
+            g.accesses < baseline.accesses,
+            "{}: indexed run touched no fewer clauses than baseline ({} >= {})",
+            w.policy,
+            g.accesses,
+            baseline.accesses
+        );
+        // Index transparency at the answer level, per policy.
+        assert_eq!(
+            g.solutions, baseline.solutions,
+            "{}: solution count diverged from the unindexed run",
+            w.policy
+        );
+        assert_eq!(g.solutions, w.solutions, "{}: solution count drifted", w.policy);
+
+        if matches!(w.policy, PolicyKind::Lru | PolicyKind::Fifo) {
+            // Frozen semantics: exact.
+            assert_eq!(g.hits, w.hits, "{}: hits drifted", w.policy);
+            assert_eq!(g.evictions, w.evictions, "{}: evictions drifted", w.policy);
+        } else {
+            let got_rate = g.hits as f64 / g.accesses as f64;
+            let want_rate = w.hits as f64 / w.accesses as f64;
+            assert!(
+                (got_rate - want_rate).abs() <= TUNABLE_WINDOW,
+                "{}: hit rate {got_rate:.4} outside golden {want_rate:.4} ± {TUNABLE_WINDOW} \
+                 (update the golden if the tuning change is intended)",
+                w.policy
+            );
         }
     }
 }
