@@ -1,0 +1,104 @@
+//! The `serve_cache` group: the answer cache's serving-path win in
+//! isolation. One warmed server per mode serves the same Zipf-skewed
+//! repeated-query mix — `off` runs every request through the engine,
+//! `precise` serves the repeats from the answer cache, and
+//! `precise-churn` interleaves a commit per batch so a slice of entries
+//! is re-filled each round. Unlike the T12 experiment (open-loop
+//! arrivals, sustainable-rate asserts), this measures the closed-batch
+//! cost of the cache lookup/fill path itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use blog_serve::tuning::churn_store_config;
+use blog_serve::{
+    CacheConfig, CacheMode, QueryRequest, QueryServer, ServeConfig, UpdateOp,
+};
+use blog_workloads::{
+    tenant_mix_program, tenant_mix_requests, FamilyParams, TenantMix, TenantRequest,
+};
+
+fn mix() -> TenantMix {
+    TenantMix {
+        n_tenants: 4,
+        queries_per_tenant: 8,
+        drift: 0.15,
+        burst: 1,
+        zipf_s: Some(1.2),
+        family: FamilyParams {
+            generations: 3,
+            branching: 3,
+            ..FamilyParams::default()
+        },
+        ..TenantMix::default()
+    }
+}
+
+fn requests_of(originals: &[TenantRequest]) -> Vec<QueryRequest> {
+    originals
+        .iter()
+        .map(|r| QueryRequest::new(r.tenant as u64, r.text.clone()).with_tenant(r.tenant as u32))
+        .collect()
+}
+
+fn bench_serve_cache(c: &mut Criterion) {
+    let m = mix();
+    let (p, metas) = tenant_mix_program(&m);
+    let originals = tenant_mix_requests(&m, &metas);
+    let mut group = c.benchmark_group("serve_cache");
+    group.sample_size(10);
+    for (label, mode, churn) in [
+        ("off", CacheMode::Off, false),
+        ("precise", CacheMode::Precise, false),
+        ("precise-churn", CacheMode::Precise, true),
+    ] {
+        // One long-lived server per mode: the cache (and the store's
+        // tracks) stay warm across iterations, so the measured loop is
+        // the steady serving path, not first-touch fills.
+        let server = QueryServer::new(
+            &p.db,
+            churn_store_config(p.db.len(), 1024),
+            ServeConfig {
+                n_pools: 2,
+                cache: CacheConfig {
+                    mode,
+                    ..CacheConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+        );
+        let mut round = 0u64;
+        let mut last: Option<blog_logic::ClauseId> = None;
+        group.bench_with_input(
+            BenchmarkId::new(label, originals.len()),
+            &originals,
+            |b, originals| {
+                b.iter(|| {
+                    if churn {
+                        // Touch the last tenant's predicate so its
+                        // entries invalidate and re-fill every round;
+                        // retract the previous round's fact so the
+                        // store never grows past one churn clause.
+                        let mut ops = Vec::new();
+                        if let Some(id) = last.take() {
+                            ops.push(UpdateOp::Retract { id });
+                        }
+                        let fact = format!("t3_f(p1_0, churn{round}).");
+                        round += 1;
+                        ops.push(UpdateOp::Assert { text: fact });
+                        let (_, asserted) = server
+                            .apply_update(&ops)
+                            .expect("churn transaction commits");
+                        last = Some(asserted[0]);
+                    }
+                    let report = server.serve(requests_of(originals));
+                    black_box(report.stats.requests);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_cache);
+criterion_main!(benches);

@@ -19,20 +19,24 @@
 //! `--writers=<n>` restricts the T10 MVCC-churn sweep's writer axis to
 //! `{0, n}` (baseline plus churn; the CI smoke path runs `t10
 //! --writers=2 --requests=50`); given without experiment ids it implies
-//! `t10`. The T11 first-argument-index sweep honors `--requests` too
-//! (the CI smoke path runs `t11 --requests=50`). `--json[=PATH]` writes
-//! the machine-readable rows of the experiments that emit them — the T7
-//! state sweep to `BENCH_T7_STATE.json`, the T8f frontier sweep to
-//! `BENCH_T8_FRONTIER.json`, the T9 serving sweep to
-//! `BENCH_T9_SERVE.json`, the T10 churn sweep to `BENCH_T10_MVCC.json`,
-//! and the T11 index sweep to `BENCH_T11_INDEX.json` (or all into
-//! `PATH`, keyed by section, when an explicit path is given) — so PRs
-//! can record the perf trajectory as `BENCH_*.json` files.
+//! `t10`. The T11 first-argument-index sweep and the T12 answer-cache
+//! sweep honor `--requests` too (the CI smoke paths run `t11
+//! --requests=50` and `t12 --requests=50`; a capped T12 also skips its
+//! headline asserts — too few Poisson arrivals for a stable p99).
+//! `--json[=PATH]` writes the machine-readable rows of the experiments
+//! that emit them — the T7 state sweep to `BENCH_T7_STATE.json`, the
+//! T8f frontier sweep to `BENCH_T8_FRONTIER.json`, the T9 serving sweep
+//! to `BENCH_T9_SERVE.json`, the T10 churn sweep to
+//! `BENCH_T10_MVCC.json`, the T11 index sweep to
+//! `BENCH_T11_INDEX.json`, and the T12 cache sweep to
+//! `BENCH_T12_CACHE.json` (or all into `PATH`, keyed by section, when
+//! an explicit path is given) — so PRs can record the perf trajectory
+//! as `BENCH_*.json` files.
 
 use blog_bench::report::Json;
 use blog_bench::{
-    andp_exp, figures, frontier_exp, index_exp, machine_exp, mvcc_exp, serve_exp, sessions_exp,
-    spd_exp, state_exp, strategies, threads_exp,
+    andp_exp, cache_exp, figures, frontier_exp, index_exp, machine_exp, mvcc_exp, serve_exp,
+    sessions_exp, spd_exp, state_exp, strategies, threads_exp,
 };
 use blog_spd::PolicyKind;
 
@@ -113,7 +117,7 @@ fn main() {
         if json_path.is_some()
             && !args
                 .iter()
-                .any(|a| a == "t8f" || a == "t9" || a == "t10" || a == "t11")
+                .any(|a| a == "t8f" || a == "t9" || a == "t10" || a == "t11" || a == "t12")
         {
             args.push("t7".to_string());
         }
@@ -122,12 +126,18 @@ fn main() {
     // JSON-emitting section, rather than after minutes of other sweeps.
     if json_path.is_some()
         && !args.is_empty()
-        && !args
-            .iter()
-            .any(|a| a == "t7" || a == "t8f" || a == "t9" || a == "t10" || a == "t11" || a == "all")
+        && !args.iter().any(|a| {
+            a == "t7"
+                || a == "t8f"
+                || a == "t9"
+                || a == "t10"
+                || a == "t11"
+                || a == "t12"
+                || a == "all"
+        })
     {
         eprintln!(
-            "--json: include t7, t8f, t9, t10 or t11 (the JSON-emitting experiments) in the id list"
+            "--json: include t7, t8f, t9, t10, t11 or t12 (the JSON-emitting experiments) in the id list"
         );
         std::process::exit(2);
     }
@@ -208,6 +218,10 @@ fn main() {
     section("t11", "first-argument bitmap index: touches and faults per solution", &mut || {
         t11_index_rows = index_exp::run_t11(requests);
     });
+    let mut t12_cache_rows: Vec<cache_exp::CacheRow> = Vec::new();
+    section("t12", "answer cache: open-loop sustainable rate + invalidation precision", &mut || {
+        t12_cache_rows = cache_exp::run_t12(requests);
+    });
     section("a1", "ablation: infinity placement", &mut || {
         sessions_exp::run_a1();
     });
@@ -223,7 +237,7 @@ fn main() {
 
     if ran == 0 {
         eprintln!(
-            "unknown experiment id(s): {:?}\nknown: f1 f3 f4 w1 w2 t1 t2 t3 t4 t5 t6 t7 t8 t8f t9 t10 t11 a1 a2 a3 a4 (or no args for all)\nflags: --policy=<lru|2q|clock|fifo> (restricts the T6c sweep), --workers=<n> (restricts the T8f sweep), --pools=<n> / --requests=<n> (restrict the T9/T11 sweeps), --writers=<n> (restricts the T10 sweep), --json[=PATH] (write machine-readable rows)",
+            "unknown experiment id(s): {:?}\nknown: f1 f3 f4 w1 w2 t1 t2 t3 t4 t5 t6 t7 t8 t8f t9 t10 t11 t12 a1 a2 a3 a4 (or no args for all)\nflags: --policy=<lru|2q|clock|fifo> (restricts the T6c sweep), --workers=<n> (restricts the T8f sweep), --pools=<n> / --requests=<n> (restrict the T9/T11/T12 sweeps), --writers=<n> (restricts the T10 sweep), --json[=PATH] (write machine-readable rows)",
             args
         );
         std::process::exit(2);
@@ -235,8 +249,11 @@ fn main() {
             && t9_serve_rows.is_empty()
             && t10_mvcc_rows.is_empty()
             && t11_index_rows.is_empty()
+            && t12_cache_rows.is_empty()
         {
-            eprintln!("--json: no JSON-emitting experiment ran (include t7, t8f, t9, t10 or t11)");
+            eprintln!(
+                "--json: no JSON-emitting experiment ran (include t7, t8f, t9, t10, t11 or t12)"
+            );
             std::process::exit(2);
         }
         let write = |path: &str, doc: Json| {
@@ -295,6 +312,15 @@ fn main() {
                     )]),
                 );
             }
+            if !t12_cache_rows.is_empty() {
+                write(
+                    "BENCH_T12_CACHE.json",
+                    Json::Obj(vec![(
+                        "t12_cache".to_string(),
+                        cache_exp::rows_to_json(&t12_cache_rows),
+                    )]),
+                );
+            }
         } else {
             // Explicit path: one combined document, keyed by section.
             let mut fields = Vec::new();
@@ -326,6 +352,12 @@ fn main() {
                 fields.push((
                     "t11_index".to_string(),
                     index_exp::rows_to_json(&t11_index_rows),
+                ));
+            }
+            if !t12_cache_rows.is_empty() {
+                fields.push((
+                    "t12_cache".to_string(),
+                    cache_exp::rows_to_json(&t12_cache_rows),
                 ));
             }
             write(&path, Json::Obj(fields));

@@ -20,8 +20,10 @@
 //! | T9 | [`serve_exp`] | serving sweep: offered load × pools × routing over one shared store |
 //! | T10 | [`mvcc_exp`] | MVCC churn: reader latency under concurrent writers vs stop-the-world |
 //! | T11 | [`index_exp`] | first-argument bitmap index: clause touches and faults per solution |
+//! | T12 | [`cache_exp`] | answer cache: open-loop sustainable rate, invalidation precision, governed admission |
 
 pub mod andp_exp;
+pub mod cache_exp;
 pub mod figures;
 pub mod frontier_exp;
 pub mod index_exp;

@@ -1,0 +1,116 @@
+//! Canonical query rendering — the answer-cache key derivation.
+//!
+//! Two query texts that differ only in variable spelling (`gf(sam, G)` /
+//! `gf(sam, Who)`) denote the same question and must hit the same cache
+//! entry; two queries that differ in structure anywhere must not. The
+//! canonical form renders the goal conjunction with every variable
+//! replaced by its **first-occurrence index** (`_0`, `_1`, …), atoms and
+//! functors by their interned names, and no whitespace — a total,
+//! injective-on-meaning encoding that is stable across epochs (the
+//! symbol table is append-only, so a name never changes spelling).
+//!
+//! The full canonical string is used as the key (not a hash of it), so
+//! key collisions are impossible rather than improbable.
+
+use std::collections::HashMap;
+
+use crate::parser::Query;
+use crate::symbol::SymbolTable;
+use crate::term::{Term, VarId};
+
+/// Render `query` in canonical form: goals joined by `;`, variables
+/// numbered by first occurrence across the whole conjunction.
+///
+/// Canonicalization is alpha-invariant — `gf(X, Y)` and `gf(A, B)`
+/// canonicalize identically, while `gf(X, X)` (a repeated variable) does
+/// not, because the second occurrence renders as `_0` rather than `_1`.
+/// Atom and functor names cannot collide with the `_n` variable form or
+/// with integer literals: the parser rejects atoms starting with `_`, an
+/// uppercase letter, or a digit.
+pub fn canonical_query(symbols: &SymbolTable, query: &Query) -> String {
+    let mut out = String::new();
+    let mut remap: HashMap<VarId, usize> = HashMap::new();
+    for (i, goal) in query.goals.iter().enumerate() {
+        if i > 0 {
+            out.push(';');
+        }
+        write_canon(symbols, goal, &mut remap, &mut out);
+    }
+    out
+}
+
+fn write_canon(
+    symbols: &SymbolTable,
+    t: &Term,
+    remap: &mut HashMap<VarId, usize>,
+    out: &mut String,
+) {
+    match t {
+        Term::Var(v) => {
+            let next = remap.len();
+            let n = *remap.entry(*v).or_insert(next);
+            out.push('_');
+            out.push_str(&n.to_string());
+        }
+        Term::Int(n) => out.push_str(&n.to_string()),
+        Term::Atom(s) => out.push_str(symbols.name(*s)),
+        Term::Struct(f, args) => {
+            out.push_str(symbols.name(*f));
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_canon(symbols, a, remap, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_program, parse_query_shared};
+
+    fn canon(src: &str, query: &str) -> String {
+        let p = parse_program(src).unwrap();
+        let q = parse_query_shared(&p.db, query).unwrap();
+        canonical_query(p.db.symbols(), &q)
+    }
+
+    const DB: &str = "gf(a,b). f(a,b). pair(a,b).";
+
+    #[test]
+    fn alpha_equivalent_queries_share_a_key() {
+        assert_eq!(canon(DB, "gf(a, G)"), canon(DB, "gf(a,  Who)"));
+        assert_eq!(canon(DB, "gf(X, Y)"), canon(DB, "gf(A, B)"));
+        assert_eq!(canon(DB, "gf(a, G)"), "gf(a,_0)");
+    }
+
+    #[test]
+    fn repeated_variables_are_distinguished_from_fresh_ones() {
+        assert_ne!(canon(DB, "pair(X, X)"), canon(DB, "pair(X, Y)"));
+        assert_eq!(canon(DB, "pair(X, X)"), "pair(_0,_0)");
+        assert_eq!(canon(DB, "pair(X, Y)"), "pair(_0,_1)");
+    }
+
+    #[test]
+    fn structure_differences_keep_keys_apart() {
+        assert_ne!(canon(DB, "gf(a, G)"), canon(DB, "f(a, G)"));
+        assert_ne!(canon(DB, "gf(a, G)"), canon(DB, "gf(b, G)"));
+        assert_ne!(canon(DB, "gf(a, G)"), canon(DB, "gf(G, a)"));
+    }
+
+    #[test]
+    fn conjunctions_number_variables_across_goals() {
+        // The shared variable Y must render identically in both goals.
+        let c = canon(DB, "f(X, Y), gf(Y, Z)");
+        assert_eq!(c, "f(_0,_1);gf(_1,_2)");
+    }
+
+    #[test]
+    fn canonical_form_is_whitespace_insensitive() {
+        assert_eq!(canon(DB, "f( a , G )"), canon(DB, "f(a,G)"));
+    }
+}

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod bindings;
+pub mod canon;
 pub mod clause;
 pub mod frames;
 pub mod goals;
@@ -54,6 +55,7 @@ pub mod term;
 pub mod unify;
 
 pub use bindings::{BindingLookup, BindingWrite, Bindings, Trail};
+pub use canon::canonical_query;
 pub use clause::{Clause, ClauseId};
 pub use frames::{BindingFrame, DeltaBindings, DEFAULT_FLATTEN_THRESHOLD};
 pub use goals::GoalStack;

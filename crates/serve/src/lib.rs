@@ -45,21 +45,46 @@
 //! deadline reaper thread trips the token of any in-flight request past
 //! its deadline, and the engine returns with whatever solutions it had.
 //!
+//! **Serving v2** adds three coupled pieces on top of that scheduler:
+//!
+//! - An **answer cache** ([`AnswerCache`], tabling-lite): complete
+//!   solution sets are memoized under the query's canonical
+//!   (alpha-invariant) text and an epoch-validity window, and
+//!   invalidated *per predicate* — a commit only drops entries whose
+//!   recorded dependency footprint intersects the transaction's touched
+//!   `(pred, arity)` set ([`CacheMode::Precise`];
+//!   [`CacheMode::ClearAll`] is the invalidate-everything ablation).
+//!   Hits bypass the engines entirely and are tagged
+//!   [`ServedFrom::Cache`].
+//! - A **streaming front door** ([`QueryServer::serve_open`],
+//!   [`Submitter`]): requests are submitted while the pools are already
+//!   draining — open-loop arrivals, mid-flight overflow stealing, the
+//!   same deadline reaper — instead of the closed-batch
+//!   [`serve`](QueryServer::serve) admission (now a wrapper).
+//! - A **memory governor** ([`CacheConfig::budget_bytes`]): one
+//!   store-wide byte budget covers cache entries and per-request
+//!   admission reservations; cache entries are evicted LRU under
+//!   pressure, and submissions that cannot fit are refused with
+//!   [`Outcome::Overloaded`] rather than queued.
+//!
 //! [`ServeStats`] reports the serving picture — per-pool throughput and
-//! p50/p99 latency, queue depths, admission overflow, store hit rate
-//! split warm-vs-cold by session — so the T9 sweep can attribute wins to
-//! scheduling and losses to store contention (the store's lock meters)
+//! p50/p99 latency, queue depths, admission overflow, answer-cache
+//! hits/fills/invalidations, store hit rate split warm-vs-cold by
+//! session — so the T9/T12 sweeps can attribute wins to scheduling and
+//! caching and losses to store contention (the store's lock meters)
 //! rather than guessing.
 
+mod cache;
 mod request;
 mod server;
 mod stats;
 pub mod tuning;
 
 pub use blog_spd::{CommitMode, IndexPolicy};
+pub use cache::{AnswerCache, CacheConfig, CacheKey, CacheMode, CacheStats};
 pub use request::{
-    Outcome, QueryRequest, QueryResponse, SessionId, UpdateOp, UpdateOutcome, UpdateRequest,
-    UpdateResponse,
+    Outcome, QueryRequest, QueryResponse, ServedFrom, SessionId, UpdateOp, UpdateOutcome,
+    UpdateRequest, UpdateResponse,
 };
-pub use server::{ExecMode, QueryServer, Routing, ServeConfig};
+pub use server::{Admission, ExecMode, QueryServer, Routing, ServeConfig, Submitter};
 pub use stats::{PoolReport, ServeReport, ServeStats, WarmthSplit};

@@ -96,6 +96,11 @@ pub enum Outcome {
         /// Parse error text.
         error: String,
     },
+    /// The memory governor refused the submission: the store-wide byte
+    /// budget could not fit the request's reservation even after
+    /// evicting the answer cache. The request never reached a pool —
+    /// back off and resubmit.
+    Overloaded,
 }
 
 impl Outcome {
@@ -105,12 +110,33 @@ impl Outcome {
     }
 
     /// The rendered solutions, however the request ended (empty for
-    /// rejections).
+    /// rejections and governor refusals).
     pub fn solutions(&self) -> &[String] {
         match self {
             Outcome::Completed { solutions } => solutions,
             Outcome::Cancelled { partial } => partial,
-            Outcome::Rejected { .. } => &[],
+            Outcome::Rejected { .. } | Outcome::Overloaded => &[],
+        }
+    }
+}
+
+/// Where a completed answer came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServedFrom {
+    /// A search engine ran against an epoch-pinned snapshot.
+    Engine,
+    /// The answer cache: a prior complete enumeration of the same
+    /// canonical query, still valid at this request's epoch, was
+    /// returned without touching any engine.
+    Cache,
+}
+
+impl ServedFrom {
+    /// Machine-readable label for sweep tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServedFrom::Engine => "engine",
+            ServedFrom::Cache => "cache",
         }
     }
 }
@@ -139,9 +165,13 @@ pub struct QueryResponse {
     pub queue_wait: Duration,
     /// Time the pool spent executing (parse + search + render).
     pub service: Duration,
-    /// Whether this session had already completed a request *on this
-    /// pool* — the warm path affinity routing is supposed to produce.
+    /// Whether this request rode prior work: the session had already
+    /// completed a request *on this pool* (track warmth produced by
+    /// affinity routing), or the answer came straight from the answer
+    /// cache ([`served_from`](Self::served_from) says which).
     pub warm: bool,
+    /// Whether the answer came from an engine run or the answer cache.
+    pub served_from: ServedFrom,
     /// Clause touches this request routed through the shared store.
     pub store_accesses: u64,
     /// How many of those touches hit a resident track.

@@ -1,21 +1,26 @@
-//! The scheduler: pool queues, affinity routing, overflow admission,
-//! the deadline reaper, the update lane, and the per-pool execution loop.
+//! The scheduler: the open submit/drain loop, pool queues, affinity
+//! routing, overflow admission, the deadline reaper, the update lane,
+//! the answer cache, and the memory governor.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use blog_core::engine::{best_first_with, BestFirstConfig};
 use blog_core::weight::{WeightParams, WeightStore, WeightView};
-use blog_logic::{parse_query_symbols, CancelToken, ClauseDb, ClauseId, SolveConfig};
+use blog_logic::{
+    canonical_query, parse_query_symbols, CancelToken, ClauseDb, ClauseId, SolveConfig,
+};
 use blog_parallel::{par_best_first_with, FrontierPolicy, ParallelConfig};
 use blog_spd::{
     CommitMode, IndexPolicy, MvccClauseStore, MvccError, PagedStoreConfig, PagedStoreStats,
 };
 
+use crate::cache::{AnswerCache, CacheConfig, CacheKey, CacheStats};
 use crate::request::{
-    Outcome, QueryRequest, QueryResponse, UpdateOutcome, UpdateRequest, UpdateResponse,
+    Outcome, QueryRequest, QueryResponse, ServedFrom, UpdateOp, UpdateOutcome, UpdateRequest,
+    UpdateResponse,
 };
 use crate::stats::{percentile_ms, warmth_splits, PoolReport, ServeReport, ServeStats};
 
@@ -97,6 +102,10 @@ pub struct ServeConfig {
     pub index: IndexPolicy,
     /// How often the deadline reaper rescans in-flight requests.
     pub reaper_poll: Duration,
+    /// Answer cache and memory governor (see [`CacheConfig`]); default
+    /// [`CacheMode::Off`](crate::CacheMode::Off) and ungoverned, which
+    /// reproduces the pre-cache server exactly.
+    pub cache: CacheConfig,
 }
 
 impl Default for ServeConfig {
@@ -111,6 +120,7 @@ impl Default for ServeConfig {
             commit: CommitMode::Mvcc,
             index: IndexPolicy::default(),
             reaper_poll: Duration::from_micros(200),
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -124,12 +134,228 @@ struct Job {
     enqueued: Instant,
 }
 
+/// One pool's open queue: jobs, a wakeup for its worker, and live
+/// depth/peak gauges (depth is what overflow stealing compares).
+struct PoolQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    depth: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl PoolQueue {
+    fn new() -> PoolQueue {
+        PoolQueue {
+            jobs: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            depth: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Submission/completion ledger (under one mutex so
+/// [`Submitter::quiesce`] can wait on it).
+#[derive(Default)]
+struct Progress {
+    queued: usize,
+    finished: usize,
+}
+
+/// Everything one open serve run shares between the driver, the pool
+/// workers, and the reaper.
+struct OpenState {
+    queues: Vec<PoolQueue>,
+    /// `true` while the driver may still submit; flipping it (with every
+    /// queue's condvar notified under its lock) releases idle workers.
+    accepting: AtomicBool,
+    progress: Mutex<Progress>,
+    /// Notified on every completion (for `quiesce`).
+    idle: Condvar,
+    next_query: AtomicUsize,
+    next_update: AtomicUsize,
+    overflow: AtomicU64,
+    /// Deadlines of in-flight requests, grown by submissions, pruned by
+    /// the reaper as they fire.
+    reaper_watch: Mutex<Vec<(Instant, CancelToken)>>,
+    /// Responses for submissions the governor refused (they never reach
+    /// a pool queue).
+    overloaded: Mutex<Vec<QueryResponse>>,
+    updates: Mutex<Vec<UpdateResponse>>,
+}
+
+impl OpenState {
+    fn new(n_pools: usize) -> OpenState {
+        OpenState {
+            queues: (0..n_pools).map(|_| PoolQueue::new()).collect(),
+            accepting: AtomicBool::new(true),
+            progress: Mutex::new(Progress::default()),
+            idle: Condvar::new(),
+            next_query: AtomicUsize::new(0),
+            next_update: AtomicUsize::new(0),
+            overflow: AtomicU64::new(0),
+            reaper_watch: Mutex::new(Vec::new()),
+            overloaded: Mutex::new(Vec::new()),
+            updates: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        let p = self.progress.lock().unwrap();
+        p.queued - p.finished
+    }
+}
+
+/// The immediate verdict of one [`Submitter::submit`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Admission {
+    /// Admitted onto `pool`'s queue; the response will carry index
+    /// `request`.
+    Queued {
+        /// Request index in the run (response order).
+        request: usize,
+        /// The pool the request was routed (or overflow-diverted) to.
+        pool: usize,
+    },
+    /// Refused by the memory governor: the store-wide byte budget cannot
+    /// fit another request reservation even after evicting the whole
+    /// answer cache. An [`Outcome::Overloaded`] response is already
+    /// recorded under `request` — back off and resubmit later.
+    Overloaded {
+        /// Request index in the run (response order).
+        request: usize,
+    },
+}
+
+/// The open front door of a running [`QueryServer::serve_open`] call:
+/// submit queries and apply updates **while the pools are draining**.
+/// Shareable across driver threads (`&Submitter` is `Send + Sync`).
+pub struct Submitter<'a> {
+    server: &'a QueryServer,
+    state: &'a OpenState,
+    t0: Instant,
+}
+
+impl Submitter<'_> {
+    /// When this serve run started (the zero point of
+    /// [`UpdateRequest::not_before`]-style delays).
+    pub fn started(&self) -> Instant {
+        self.t0
+    }
+
+    /// Submit one query: the memory governor reserves its bytes (or
+    /// refuses — [`Admission::Overloaded`]), routing picks its pool
+    /// (overflow stealing consults **live** queue depths, so it fires
+    /// mid-flight), and its deadline joins the reaper's watch list. The
+    /// queue's worker is woken; the response is collected by the
+    /// enclosing [`QueryServer::serve_open`] call.
+    pub fn submit(&self, request: QueryRequest) -> Admission {
+        let state = self.state;
+        let n_pools = state.queues.len();
+        let idx = state.next_query.fetch_add(1, Ordering::Relaxed);
+        let mut pool = self.server.route(request.session.0);
+        if let Some(threshold) = self.server.config.overflow_threshold {
+            if state.queues[pool].depth.load(Ordering::Relaxed) >= threshold {
+                let shortest = (0..n_pools)
+                    .min_by_key(|&p| state.queues[p].depth.load(Ordering::Relaxed))
+                    .expect("n_pools >= 1");
+                if state.queues[shortest].depth.load(Ordering::Relaxed)
+                    < state.queues[pool].depth.load(Ordering::Relaxed)
+                {
+                    pool = shortest;
+                    state.overflow.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if !self.server.cache.try_admit() {
+            state.overloaded.lock().unwrap().push(QueryResponse {
+                request: idx,
+                session: request.session,
+                tenant: request.tenant,
+                pool,
+                epoch: self.server.store.committed_epoch(),
+                outcome: Outcome::Overloaded,
+                stats: blog_logic::SearchStats::default(),
+                queue_wait: Duration::ZERO,
+                service: Duration::ZERO,
+                warm: false,
+                served_from: ServedFrom::Engine,
+                store_accesses: 0,
+                store_hits: 0,
+            });
+            return Admission::Overloaded { request: idx };
+        }
+        let now = Instant::now();
+        let cancel = CancelToken::new();
+        let deadline = request.deadline.map(|d| now + d);
+        if let Some(at) = deadline {
+            state.reaper_watch.lock().unwrap().push((at, cancel.clone()));
+        }
+        state.progress.lock().unwrap().queued += 1;
+        let q = &state.queues[pool];
+        {
+            let mut jobs = q.jobs.lock().unwrap();
+            jobs.push_back(Job {
+                idx,
+                request,
+                cancel,
+                deadline,
+                enqueued: now,
+            });
+            let depth = q.depth.fetch_add(1, Ordering::Relaxed) + 1;
+            q.peak.fetch_max(depth, Ordering::Relaxed);
+            q.available.notify_one();
+        }
+        Admission::Queued { request: idx, pool }
+    }
+
+    /// Apply one update batch on the caller's thread (the update lane of
+    /// an open run): commits between epochs while queries run, and the
+    /// answer cache is notified in commit order.
+    pub fn update(&self, session: crate::SessionId, ops: &[UpdateOp]) -> UpdateResponse {
+        let idx = self.state.next_update.fetch_add(1, Ordering::Relaxed);
+        let response = match self.server.apply_update(ops) {
+            Ok((epoch, asserted)) => UpdateResponse {
+                request: idx,
+                session,
+                epoch,
+                outcome: UpdateOutcome::Committed { asserted },
+            },
+            Err(e) => UpdateResponse {
+                request: idx,
+                session,
+                epoch: self.server.store.committed_epoch(),
+                outcome: UpdateOutcome::Rejected {
+                    error: e.to_string(),
+                },
+            },
+        };
+        self.state.updates.lock().unwrap().push(response.clone());
+        response
+    }
+
+    /// Queries submitted but not yet answered.
+    pub fn pending(&self) -> usize {
+        self.state.in_flight()
+    }
+
+    /// Block until every query submitted so far has a response — the
+    /// deterministic barrier interleaved commit/query schedules need.
+    pub fn quiesce(&self) {
+        let mut prog = self.state.progress.lock().unwrap();
+        while prog.finished < prog.queued {
+            prog = self.state.idle.wait(prog).unwrap();
+        }
+    }
+}
+
 /// The multi-session query server. See the crate docs for the model.
 ///
 /// The server owns a snapshot-isolated [`MvccClauseStore`] seeded from
 /// the clause database at construction (the database itself is not
-/// retained — the store's epoch-0 state *is* the database), plus a
-/// frozen [`WeightStore`] snapshot. Queries execute against per-request
+/// retained — the store's epoch-0 state *is* the database), a frozen
+/// [`WeightStore`] snapshot, and an [`AnswerCache`] governed by the
+/// store-wide byte budget. Queries execute against per-request
 /// epoch-pinned snapshots; the update lane
 /// ([`serve_mixed`](Self::serve_mixed), [`apply_update`](Self::apply_update))
 /// commits asserts and retracts between epochs without blocking readers.
@@ -138,6 +364,7 @@ struct Job {
 pub struct QueryServer {
     weights: WeightStore,
     store: MvccClauseStore,
+    cache: AnswerCache,
     config: ServeConfig,
     /// Session → pool that last completed one of its requests (the
     /// warmth ledger; persists across batches).
@@ -145,6 +372,10 @@ pub struct QueryServer {
     /// Round-robin cursor (persists across batches so consecutive
     /// batches keep rotating).
     rr_next: AtomicUsize,
+    /// Serializes [`apply_update`](Self::apply_update) commits *and*
+    /// their cache notifications, so [`AnswerCache::on_commit`] observes
+    /// base/new epoch pairs in true commit order.
+    update_order: Mutex<()>,
 }
 
 impl QueryServer {
@@ -180,12 +411,15 @@ impl QueryServer {
         }
         let store = MvccClauseStore::new(db, store_config.with_index(config.index), config.commit);
         store.set_write_stall(config.stall_ns_per_tick);
+        let cache = AnswerCache::new(config.cache.clone());
         QueryServer {
             weights,
             store,
+            cache,
             config,
             sessions: Mutex::new(HashMap::new()),
             rr_next: AtomicUsize::new(0),
+            update_order: Mutex::new(()),
         }
     }
 
@@ -193,6 +427,12 @@ impl QueryServer {
     /// batches).
     pub fn store(&self) -> &MvccClauseStore {
         &self.store
+    }
+
+    /// The answer cache (for inspecting hit/fill/invalidation counters
+    /// between batches).
+    pub fn answer_cache(&self) -> &AnswerCache {
+        &self.cache
     }
 
     /// The server's configuration.
@@ -218,11 +458,16 @@ impl QueryServer {
     /// This is the update lane's primitive; it can also be called
     /// directly — including from other threads while
     /// [`serve`](Self::serve) is running, which is exactly the churn the
-    /// T10 experiment measures.
+    /// T10/T12 experiments measure. Commits through this path notify the
+    /// answer cache with the transaction's touched predicates, in commit
+    /// order (commits that bypass it — a raw
+    /// [`MvccClauseStore::begin_write`] — leave the cache behind, which
+    /// is safe: lagging entries expire instead of ever serving stale).
     pub fn apply_update(
         &self,
         ops: &[crate::request::UpdateOp],
     ) -> Result<(u64, Vec<ClauseId>), MvccError> {
+        let _order = self.update_order.lock().unwrap();
         let mut txn = self.store.begin_write();
         let mut asserted = Vec::new();
         for op in ops {
@@ -233,14 +478,19 @@ impl QueryServer {
                 crate::request::UpdateOp::Retract { id } => txn.retract(*id)?,
             }
         }
-        Ok((txn.commit(), asserted))
+        let base = txn.base_epoch();
+        let touched = txn.touched_preds();
+        let epoch = txn.commit();
+        self.cache.on_commit(base, epoch, &touched);
+        Ok((epoch, asserted))
     }
 
     /// Serve a read-only batch of requests to completion and report.
     ///
-    /// The whole batch is admitted first (the *offered load*), then the
-    /// pools drain their queues concurrently; the call returns when
-    /// every request has a response. Responses come back in batch order.
+    /// A convenience wrapper over [`serve_open`](Self::serve_open): the
+    /// whole batch is submitted (the *offered load*) while the pools
+    /// drain concurrently; the call returns when every request has a
+    /// response. Responses come back in batch order.
     pub fn serve(&self, requests: Vec<QueryRequest>) -> ServeReport {
         self.serve_mixed(requests, Vec::new())
     }
@@ -252,55 +502,59 @@ impl QueryServer {
     /// between epochs. Every query response carries the
     /// [`epoch`](QueryResponse::epoch) it executed at; its solutions are
     /// exactly the sequential solution set of that epoch's snapshot.
+    ///
+    /// Implemented on the open loop: requests are submitted while the
+    /// pools are already draining, exactly as a network front end would
+    /// deliver them.
     pub fn serve_mixed(
         &self,
         requests: Vec<QueryRequest>,
         updates: Vec<UpdateRequest>,
     ) -> ServeReport {
+        let (report, ()) = self.serve_open(move |s| {
+            std::thread::scope(|scope| {
+                if !updates.is_empty() {
+                    let updates = &updates;
+                    scope.spawn(move || {
+                        for update in updates {
+                            if let Some(delay) = update.not_before {
+                                let at = s.started() + delay;
+                                let now = Instant::now();
+                                if now < at {
+                                    std::thread::sleep(at - now);
+                                }
+                            }
+                            s.update(update.session, &update.ops);
+                        }
+                    });
+                }
+                for request in requests {
+                    s.submit(request);
+                }
+            });
+        });
+        report
+    }
+
+    /// Run an **open** serving session: pool workers and the deadline
+    /// reaper start immediately, then `driver` runs on the calling thread
+    /// with a [`Submitter`] — submitting queries, applying updates, and
+    /// pacing arrivals however it likes (Poisson load generators, network
+    /// accept loops, interleaved commit/query schedules). When `driver`
+    /// returns, admission closes, the pools drain what remains, and the
+    /// report covers **every** submission, including the ones the memory
+    /// governor refused ([`Outcome::Overloaded`]).
+    ///
+    /// Returns the report and the driver's own result.
+    pub fn serve_open<R>(&self, driver: impl FnOnce(&Submitter<'_>) -> R) -> (ServeReport, R) {
         let n_pools = self.config.n_pools;
         let t0 = Instant::now();
-
-        // --- Admission: route every request, overflow-diverting off
-        // deep queues onto the currently shortest one.
-        let mut queues: Vec<VecDeque<Job>> = (0..n_pools).map(|_| VecDeque::new()).collect();
-        let mut overflow_admissions = 0u64;
-        let mut reaper_watch: Vec<(Instant, CancelToken)> = Vec::new();
-        for (idx, request) in requests.into_iter().enumerate() {
-            let mut pool = self.route(request.session.0);
-            if let Some(threshold) = self.config.overflow_threshold {
-                if queues[pool].len() >= threshold {
-                    let shortest = (0..n_pools)
-                        .min_by_key(|&p| queues[p].len())
-                        .expect("n_pools >= 1");
-                    if queues[shortest].len() < queues[pool].len() {
-                        pool = shortest;
-                        overflow_admissions += 1;
-                    }
-                }
-            }
-            let now = Instant::now();
-            let cancel = CancelToken::new();
-            let deadline = request.deadline.map(|d| now + d);
-            if let Some(at) = deadline {
-                reaper_watch.push((at, cancel.clone()));
-            }
-            queues[pool].push_back(Job {
-                idx,
-                request,
-                cancel,
-                deadline,
-                enqueued: now,
-            });
-        }
-        let queue_peaks: Vec<usize> = queues.iter().map(VecDeque::len).collect();
-        let total: usize = queue_peaks.iter().sum();
+        let state = OpenState::new(n_pools);
         let store_before = self.store.stats();
         let mvcc_before = self.store.mvcc_stats();
+        let cache_before = self.cache.stats();
         let pools_before: Vec<_> = (0..n_pools).map(|p| self.store.pool_stats(p)).collect();
 
-        // --- Drain: one thread per pool, the update lane, plus a
-        // deadline reaper.
-        let remaining = AtomicUsize::new(total);
         // Live pool-thread count, decremented by a drop guard so the
         // reaper still exits (and the scope can propagate the panic)
         // when a pool thread unwinds without draining its queue.
@@ -311,90 +565,104 @@ impl QueryServer {
                 self.0.fetch_sub(1, Ordering::Release);
             }
         }
-        let queues: Vec<Mutex<VecDeque<Job>>> = queues.into_iter().map(Mutex::new).collect();
+
         let mut per_pool_responses: Vec<Vec<QueryResponse>> = Vec::with_capacity(n_pools);
-        let mut update_responses: Vec<UpdateResponse> = Vec::new();
+        let mut driver_result: Option<R> = None;
         std::thread::scope(|scope| {
+            let state = &state;
+            let pools_alive = &pools_alive;
             let handles: Vec<_> = (0..n_pools)
                 .map(|p| {
-                    let queue = &queues[p];
-                    let remaining = &remaining;
-                    let pools_alive = &pools_alive;
                     scope.spawn(move || {
                         let _alive = AliveGuard(pools_alive);
+                        let queue = &state.queues[p];
                         let mut out = Vec::new();
                         loop {
-                            let job = queue.lock().unwrap().pop_front();
+                            let job = {
+                                let mut jobs = queue.jobs.lock().unwrap();
+                                loop {
+                                    if let Some(job) = jobs.pop_front() {
+                                        queue.depth.fetch_sub(1, Ordering::Relaxed);
+                                        break Some(job);
+                                    }
+                                    if !state.accepting.load(Ordering::Acquire) {
+                                        break None;
+                                    }
+                                    jobs = queue.available.wait(jobs).unwrap();
+                                }
+                            };
                             let Some(job) = job else { break };
                             out.push(self.execute(p, job));
-                            remaining.fetch_sub(1, Ordering::Release);
+                            self.cache.release();
+                            let mut prog = state.progress.lock().unwrap();
+                            prog.finished += 1;
+                            state.idle.notify_all();
                         }
                         out
                     })
                 })
                 .collect();
-            let update_lane = (!updates.is_empty()).then(|| {
-                let updates = &updates;
-                scope.spawn(move || {
-                    let mut out = Vec::with_capacity(updates.len());
-                    for (idx, update) in updates.iter().enumerate() {
-                        if let Some(delay) = update.not_before {
-                            let at = t0 + delay;
-                            let now = Instant::now();
-                            if now < at {
-                                std::thread::sleep(at - now);
-                            }
-                        }
-                        let outcome = match self.apply_update(&update.ops) {
-                            Ok((epoch, asserted)) => UpdateResponse {
-                                request: idx,
-                                session: update.session,
-                                epoch,
-                                outcome: UpdateOutcome::Committed { asserted },
-                            },
-                            Err(e) => UpdateResponse {
-                                request: idx,
-                                session: update.session,
-                                epoch: self.store.committed_epoch(),
-                                outcome: UpdateOutcome::Rejected {
-                                    error: e.to_string(),
-                                },
-                            },
-                        };
-                        out.push(outcome);
-                    }
-                    out
-                })
-            });
-            if !reaper_watch.is_empty() {
-                let remaining = &remaining;
-                let pools_alive = &pools_alive;
-                let watch = &reaper_watch;
+            {
                 let poll = self.config.reaper_poll;
-                scope.spawn(move || {
-                    while remaining.load(Ordering::Acquire) > 0
-                        && pools_alive.load(Ordering::Acquire) > 0
-                    {
-                        let now = Instant::now();
-                        for (at, token) in watch {
-                            if now >= *at {
-                                token.cancel();
-                            }
+                scope.spawn(move || loop {
+                    let now = Instant::now();
+                    state.reaper_watch.lock().unwrap().retain(|(at, token)| {
+                        if now >= *at {
+                            token.cancel();
+                            false
+                        } else {
+                            true
                         }
-                        std::thread::sleep(poll);
+                    });
+                    let open = state.accepting.load(Ordering::Acquire);
+                    if (!open && state.in_flight() == 0)
+                        || pools_alive.load(Ordering::Acquire) == 0
+                    {
+                        break;
                     }
+                    std::thread::sleep(poll);
                 });
             }
+
+            // Closes admission when dropped: workers drain what is queued
+            // and exit. Taking each queue's lock before notifying closes
+            // the race with a worker that just observed `accepting ==
+            // true` and is about to wait. A drop guard (not a plain
+            // statement) so a panicking driver still releases the
+            // workers and the scope can propagate its panic instead of
+            // deadlocking on join.
+            struct CloseGuard<'a>(&'a OpenState);
+            impl Drop for CloseGuard<'_> {
+                fn drop(&mut self) {
+                    self.0.accepting.store(false, Ordering::Release);
+                    for queue in &self.0.queues {
+                        let _jobs = queue.jobs.lock().unwrap();
+                        queue.available.notify_all();
+                    }
+                }
+            }
+            let close = CloseGuard(state);
+
+            let submitter = Submitter {
+                server: self,
+                state,
+                t0,
+            };
+            driver_result = Some(driver(&submitter));
+
+            drop(close);
             for h in handles {
                 per_pool_responses.push(h.join().expect("pool thread panicked"));
-            }
-            if let Some(h) = update_lane {
-                update_responses = h.join().expect("update lane panicked");
             }
         });
         let wall_s = t0.elapsed().as_secs_f64();
 
         // --- Report assembly.
+        let queue_peaks: Vec<usize> = state
+            .queues
+            .iter()
+            .map(|q| q.peak.load(Ordering::Relaxed))
+            .collect();
         let mut per_pool = Vec::with_capacity(n_pools);
         for (p, responses) in per_pool_responses.iter().enumerate() {
             let latencies: Vec<f64> = responses
@@ -418,40 +686,57 @@ impl QueryServer {
                 },
             });
         }
-        let mut responses: Vec<QueryResponse> =
-            per_pool_responses.into_iter().flatten().collect();
+        let mut responses: Vec<QueryResponse> = per_pool_responses.into_iter().flatten().collect();
+        responses.extend(state.overloaded.into_inner().unwrap());
         responses.sort_by_key(|r| r.request);
-        let service_ms: Vec<f64> = responses
+        let mut update_responses = state.updates.into_inner().unwrap();
+        update_responses.sort_by_key(|r| r.request);
+        let total = responses.len();
+        // Latency percentiles cover requests that reached a pool;
+        // governor-refused submissions never ran and would only dilute
+        // the signal with zeros.
+        let executed: Vec<&QueryResponse> = responses
+            .iter()
+            .filter(|r| !matches!(r.outcome, Outcome::Overloaded))
+            .collect();
+        let service_ms: Vec<f64> = executed
             .iter()
             .map(|r| r.service.as_secs_f64() * 1e3)
             .collect();
-        let wait_ms: Vec<f64> = responses
+        let wait_ms: Vec<f64> = executed
             .iter()
             .map(|r| r.queue_wait.as_secs_f64() * 1e3)
             .collect();
         let (warm, cold) = warmth_splits(&responses);
-        let completed = responses
-            .iter()
-            .filter(|r| r.outcome.is_completed())
-            .count();
+        let completed = responses.iter().filter(|r| r.outcome.is_completed()).count();
         let cancelled = responses
             .iter()
             .filter(|r| matches!(r.outcome, Outcome::Cancelled { .. }))
             .count();
+        let rejected = responses
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Rejected { .. }))
+            .count();
+        let overloaded = responses
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Overloaded))
+            .count();
         let mvcc_after = self.store.mvcc_stats();
         let store = stats_delta(store_before, self.store.stats());
+        let cache = CacheStats::delta(cache_before, self.cache.stats());
         let stats = ServeStats {
             wall_s,
             requests: total,
             completed,
             cancelled,
-            rejected: total - completed - cancelled,
+            rejected,
+            overloaded,
             throughput_rps: if wall_s > 0.0 { total as f64 / wall_s } else { 0.0 },
             p50_ms: percentile_ms(&service_ms, 0.5),
             p99_ms: percentile_ms(&service_ms, 0.99),
             wait_p50_ms: percentile_ms(&wait_ms, 0.5),
             wait_p99_ms: percentile_ms(&wait_ms, 0.99),
-            overflow_admissions,
+            overflow_admissions: state.overflow.load(Ordering::Relaxed),
             commits: mvcc_after.commits - mvcc_before.commits,
             final_epoch: mvcc_after.committed_epoch,
             per_pool,
@@ -459,14 +744,16 @@ impl QueryServer {
             index_prunes: store.index_prunes,
             candidates_scanned: store.candidates_scanned,
             store,
+            cache,
             warm,
             cold,
         };
-        ServeReport {
+        let report = ServeReport {
             responses,
             updates: update_responses,
             stats,
-        }
+        };
+        (report, driver_result.expect("driver ran"))
     }
 
     /// Execute one job on pool `p`.
@@ -474,7 +761,7 @@ impl QueryServer {
         let started = Instant::now();
         let queue_wait = started - job.enqueued;
         let session = job.request.session;
-        let warm = self
+        let warm_before = self
             .sessions
             .lock()
             .unwrap()
@@ -486,7 +773,7 @@ impl QueryServer {
         // the reaper already tripped) is answered without touching an
         // engine (load shedding).
         let shed = job.deadline.is_some_and(|at| started >= at) || job.cancel.is_cancelled();
-        let (outcome, stats, epoch) = if shed {
+        let (outcome, stats, epoch, served_from) = if shed {
             job.cancel.cancel();
             (
                 Outcome::Cancelled {
@@ -494,6 +781,7 @@ impl QueryServer {
                 },
                 blog_logic::SearchStats::default(),
                 self.store.committed_epoch(),
+                ServedFrom::Engine,
             )
         } else {
             // Pin the epoch *before* parsing: the query is admitted at
@@ -501,7 +789,7 @@ impl QueryServer {
             // mentioning vocabulary from a later epoch rejects, exactly
             // as it would have sequentially), and executed against its
             // pages whatever commits land meanwhile.
-            let snap = self
+            let mut snap = self
                 .store
                 .begin_read()
                 .for_pool(p)
@@ -514,6 +802,7 @@ impl QueryServer {
                     },
                     blog_logic::SearchStats::default(),
                     epoch,
+                    ServedFrom::Engine,
                 ),
                 Ok(query) => {
                     let mut solve = self.config.solve.clone();
@@ -523,67 +812,116 @@ impl QueryServer {
                     if job.request.max_solutions.is_some() {
                         solve.max_solutions = job.request.max_solutions;
                     }
-                    let budget = solve.max_nodes;
-                    let (mut texts, stats) = match self.config.exec {
-                        ExecMode::Sequential => {
-                            let mut overlay = HashMap::new();
-                            let mut wview = WeightView::new(&mut overlay, &self.weights);
-                            let cfg = BestFirstConfig {
-                                solve,
-                                learn: false,
-                                cancel: Some(job.cancel.clone()),
-                                ..BestFirstConfig::default()
-                            };
-                            let r = best_first_with(&snap, &query, &mut wview, &cfg);
-                            (
-                                r.solutions
-                                    .iter()
-                                    .map(|s| s.solution.to_text_syms(snap.symbols()))
-                                    .collect::<Vec<_>>(),
-                                r.stats,
-                            )
-                        }
-                        ExecMode::OrParallel { n_workers, policy } => {
-                            let cfg = ParallelConfig {
-                                n_workers,
-                                policy,
-                                solve,
-                                learn: false,
-                                cancel: Some(job.cancel.clone()),
-                                ..ParallelConfig::default()
-                            };
-                            let r = par_best_first_with(&snap, &query, &self.weights, &cfg);
-                            (
-                                r.solutions
-                                    .iter()
-                                    .map(|s| s.solution.to_text_syms(snap.symbols()))
-                                    .collect::<Vec<_>>(),
-                                r.stats,
-                            )
-                        }
-                    };
-                    texts.sort();
-                    // Classify from what actually stopped the engine, not
-                    // from the token alone: a reaper firing *after* the
-                    // search ran to its natural end (or to its node
-                    // budget) must not relabel a finished answer.
-                    let budget_exhausted =
-                        budget.is_some_and(|b| stats.nodes_expanded >= b);
-                    let cancelled =
-                        stats.truncated && !budget_exhausted && job.cancel.is_cancelled();
-                    if cancelled {
-                        (Outcome::Cancelled { partial: texts }, stats, epoch)
+                    // The cache key is the canonical (alpha-invariant)
+                    // query text plus every limit that shapes the
+                    // solution set.
+                    let key = self.cache.enabled().then(|| CacheKey {
+                        canon: canonical_query(snap.symbols(), &query),
+                        max_nodes: solve.max_nodes,
+                        max_solutions: solve.max_solutions,
+                        max_depth: solve.max_depth,
+                    });
+                    let hit = key.as_ref().and_then(|k| self.cache.lookup(k, epoch));
+                    if let Some(solutions) = hit {
+                        // Answer-cache hit: the engine is bypassed
+                        // entirely; the cached set is provably the
+                        // sequential solution set of this epoch.
+                        (
+                            Outcome::Completed {
+                                solutions: (*solutions).clone(),
+                            },
+                            blog_logic::SearchStats::default(),
+                            epoch,
+                            ServedFrom::Cache,
+                        )
                     } else {
-                        (Outcome::Completed { solutions: texts }, stats, epoch)
+                        if key.is_some() {
+                            snap = snap.recording_deps();
+                        }
+                        let budget = solve.max_nodes;
+                        let cap = solve.max_solutions;
+                        let (mut texts, stats) = match self.config.exec {
+                            ExecMode::Sequential => {
+                                let mut overlay = HashMap::new();
+                                let mut wview = WeightView::new(&mut overlay, &self.weights);
+                                let cfg = BestFirstConfig {
+                                    solve,
+                                    learn: false,
+                                    cancel: Some(job.cancel.clone()),
+                                    ..BestFirstConfig::default()
+                                };
+                                let r = best_first_with(&snap, &query, &mut wview, &cfg);
+                                (
+                                    r.solutions
+                                        .iter()
+                                        .map(|s| s.solution.to_text_syms(snap.symbols()))
+                                        .collect::<Vec<_>>(),
+                                    r.stats,
+                                )
+                            }
+                            ExecMode::OrParallel { n_workers, policy } => {
+                                let cfg = ParallelConfig {
+                                    n_workers,
+                                    policy,
+                                    solve,
+                                    learn: false,
+                                    cancel: Some(job.cancel.clone()),
+                                    ..ParallelConfig::default()
+                                };
+                                let r = par_best_first_with(&snap, &query, &self.weights, &cfg);
+                                (
+                                    r.solutions
+                                        .iter()
+                                        .map(|s| s.solution.to_text_syms(snap.symbols()))
+                                        .collect::<Vec<_>>(),
+                                    r.stats,
+                                )
+                            }
+                        };
+                        texts.sort();
+                        // Classify from what actually stopped the engine,
+                        // not from the token alone: a reaper firing
+                        // *after* the search ran to its natural end (or to
+                        // its node budget) must not relabel a finished
+                        // answer.
+                        let budget_exhausted = budget.is_some_and(|b| stats.nodes_expanded >= b);
+                        let cancelled =
+                            stats.truncated && !budget_exhausted && job.cancel.is_cancelled();
+                        if cancelled {
+                            (Outcome::Cancelled { partial: texts }, stats, epoch, ServedFrom::Engine)
+                        } else {
+                            // Memoize only **complete** enumerations:
+                            // truncated, depth-cut, or solution-capped
+                            // results depend on expansion order (the
+                            // OR-parallel engine's is nondeterministic)
+                            // and must never be served to a later request.
+                            let complete = !stats.truncated
+                                && !stats.depth_cutoff
+                                && cap.is_none_or(|c| texts.len() < c);
+                            if complete {
+                                if let Some(k) = key {
+                                    let solutions = Arc::new(texts.clone());
+                                    self.cache.fill(k, epoch, snap.recorded_deps(), solutions);
+                                }
+                            }
+                            (
+                                Outcome::Completed { solutions: texts },
+                                stats,
+                                epoch,
+                                ServedFrom::Engine,
+                            )
+                        }
                     }
                 }
             }
         };
         // The pool has now seen this session — but only if an engine ran:
-        // a parse rejection or an expired-in-queue shed touched none of
-        // the session's tracks, so marking it warm would dilute the
-        // warm-vs-cold split the serving report exists to measure.
-        if !matches!(outcome, Outcome::Rejected { .. }) && !shed {
+        // a parse rejection, an expired-in-queue shed, or an answer-cache
+        // hit touched none of the session's tracks, so marking it warm
+        // would dilute the warm-vs-cold split the serving report exists
+        // to measure.
+        if !matches!(outcome, Outcome::Rejected { .. }) && !shed && served_from == ServedFrom::Engine
+        {
             self.sessions.lock().unwrap().insert(session.0, p);
         }
         let pool_after = self.store.pool_stats(p);
@@ -597,7 +935,11 @@ impl QueryServer {
             stats,
             queue_wait,
             service: started.elapsed(),
-            warm,
+            // Warm = the session's tracks were already resident on this
+            // pool, or the answer itself was served from the cache — both
+            // are §5's "later searches become more efficient".
+            warm: warm_before || served_from == ServedFrom::Cache,
+            served_from,
             store_accesses: pool_after.accesses - pool_before.accesses,
             store_hits: pool_after.hits - pool_before.hits,
         }

@@ -4,6 +4,7 @@
 use blog_spd::{PagedStoreStats, PoolTouchStats};
 use serde::Serialize;
 
+use crate::cache::CacheStats;
 use crate::request::QueryResponse;
 
 /// One pool's slice of a serve run.
@@ -65,6 +66,9 @@ pub struct ServeStats {
     pub cancelled: usize,
     /// Requests rejected at parse.
     pub rejected: usize,
+    /// Submissions refused by the memory governor (they never reached a
+    /// pool; excluded from the latency percentiles below).
+    pub overloaded: usize,
     /// Requests per second of wall-clock.
     pub throughput_rps: f64,
     /// Median service latency, milliseconds.
@@ -98,6 +102,9 @@ pub struct ServeStats {
     /// Candidates handed to engines over the run (copy of
     /// `store.candidates_scanned`).
     pub candidates_scanned: u64,
+    /// Answer-cache counters over the run (deltas; byte gauges are the
+    /// end-of-run values).
+    pub cache: CacheStats,
     /// Store traffic of *warm* requests (session had already completed
     /// a request on the serving pool).
     pub warm: WarmthSplit,
@@ -135,7 +142,10 @@ pub(crate) fn warmth_splits(responses: &[QueryResponse]) -> (WarmthSplit, Warmth
     let mut warm = WarmthSplit::default();
     let mut cold = WarmthSplit::default();
     for r in responses {
-        if matches!(r.outcome, crate::Outcome::Rejected { .. }) {
+        if matches!(
+            r.outcome,
+            crate::Outcome::Rejected { .. } | crate::Outcome::Overloaded
+        ) {
             continue;
         }
         if r.warm {

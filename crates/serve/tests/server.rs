@@ -9,7 +9,10 @@ use blog_core::engine::{best_first, BestFirstConfig};
 use blog_core::weight::{WeightParams, WeightStore, WeightView};
 use blog_logic::{parse_program, parse_query_shared, Program, SolveConfig};
 use blog_parallel::FrontierPolicy;
-use blog_serve::{ExecMode, Outcome, QueryRequest, QueryServer, Routing, ServeConfig};
+use blog_serve::{
+    Admission, CacheConfig, CacheMode, ExecMode, Outcome, QueryRequest, QueryServer, Routing,
+    ServeConfig, ServedFrom, SessionId, UpdateOp,
+};
 use blog_spd::{Geometry, PagedStoreConfig, PolicyKind};
 use blog_workloads::{tenant_mix_program, tenant_mix_requests, FamilyParams, TenantMix};
 
@@ -338,8 +341,12 @@ fn serve_stats_are_internally_consistent() {
     let report = server.serve(requests);
     let s = &report.stats;
     assert_eq!(s.requests, 15);
-    assert_eq!(s.completed + s.cancelled + s.rejected, s.requests);
+    assert_eq!(
+        s.completed + s.cancelled + s.rejected + s.overloaded,
+        s.requests
+    );
     assert_eq!(s.rejected, 0);
+    assert_eq!(s.overloaded, 0);
     assert_eq!(
         s.per_pool.iter().map(|p| p.served).sum::<usize>(),
         s.requests
@@ -423,4 +430,203 @@ fn tenant_mix_affinity_beats_round_robin_on_warm_hits() {
         aff.warm.hit_rate(),
         aff.cold.hit_rate()
     );
+}
+
+fn cached_config(mode: CacheMode) -> ServeConfig {
+    ServeConfig {
+        cache: CacheConfig {
+            mode,
+            ..CacheConfig::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn answer_cache_hits_bypass_the_engine() {
+    let p = parse_program(FAMILY).unwrap();
+    let server = QueryServer::new(
+        &p.db,
+        store_cfg(p.db.len(), 8),
+        cached_config(CacheMode::Precise),
+    );
+    let first = server.serve(vec![QueryRequest::new(1, "gf(sam, G)")]);
+    assert_eq!(first.responses[0].served_from, ServedFrom::Engine);
+    assert_eq!(first.stats.cache.fills, 1);
+    assert_eq!(first.stats.cache.hits, 0);
+    // An alpha-variant of the same query from a *different* session hits
+    // the cache: no engine, no store traffic, exact answers.
+    let second = server.serve(vec![QueryRequest::new(2, "gf(sam, Who)")]);
+    let r = &second.responses[0];
+    assert_eq!(r.served_from, ServedFrom::Cache);
+    assert_eq!(r.outcome.solutions(), sequential_solutions(&p, "gf(sam, G)"));
+    assert_eq!(r.stats.nodes_expanded, 0, "hit bypasses the engine");
+    assert_eq!(r.store_accesses, 0, "hit touches no tracks");
+    assert!(r.warm, "a cache hit is a warm response");
+    assert_eq!(second.stats.cache.hits, 1);
+    assert_eq!(second.stats.cache.fills, 0);
+}
+
+#[test]
+fn commits_invalidate_touched_predicates_and_spare_the_rest() {
+    let p = parse_program(FAMILY).unwrap();
+    let server = QueryServer::new(
+        &p.db,
+        store_cfg(p.db.len(), 8),
+        cached_config(CacheMode::Precise),
+    );
+    // Two entries: gf/2 depends on {gf, f, m}; m(peg, X) on {m} only.
+    server.serve(vec![
+        QueryRequest::new(1, "gf(sam, G)"),
+        QueryRequest::new(2, "m(peg, X)"),
+    ]);
+    // Commit touching f/2 only.
+    server
+        .apply_update(&[UpdateOp::Assert {
+            text: "f(larry,zoe).".into(),
+        }])
+        .unwrap();
+    let report = server.serve(vec![
+        QueryRequest::new(3, "gf(sam, G)"),
+        QueryRequest::new(4, "m(peg, X)"),
+    ]);
+    let gf = &report.responses[0];
+    let m = &report.responses[1];
+    assert_eq!(
+        gf.served_from,
+        ServedFrom::Engine,
+        "gf depends on the touched f/2 — its entry must die"
+    );
+    assert!(
+        gf.outcome
+            .solutions()
+            .iter()
+            .any(|s| s.contains("zoe")),
+        "re-run sees the committed fact: {:?}",
+        gf.outcome.solutions()
+    );
+    assert_eq!(
+        m.served_from,
+        ServedFrom::Cache,
+        "m/2 is disjoint from the commit — its entry survives"
+    );
+    assert_eq!(report.stats.cache.invalidations, 0, "invalidation happened at commit time");
+
+    // The ClearAll ablation drops both under the same schedule.
+    let server = QueryServer::new(
+        &p.db,
+        store_cfg(p.db.len(), 8),
+        cached_config(CacheMode::ClearAll),
+    );
+    server.serve(vec![
+        QueryRequest::new(1, "gf(sam, G)"),
+        QueryRequest::new(2, "m(peg, X)"),
+    ]);
+    server
+        .apply_update(&[UpdateOp::Assert {
+            text: "f(larry,zoe).".into(),
+        }])
+        .unwrap();
+    let report = server.serve(vec![
+        QueryRequest::new(3, "gf(sam, G)"),
+        QueryRequest::new(4, "m(peg, X)"),
+    ]);
+    for r in &report.responses {
+        assert_eq!(
+            r.served_from,
+            ServedFrom::Engine,
+            "clear-all keeps nothing across a commit"
+        );
+    }
+}
+
+#[test]
+fn open_loop_interleaves_submissions_and_commits_deterministically() {
+    let p = parse_program(FAMILY).unwrap();
+    let server = QueryServer::new(
+        &p.db,
+        store_cfg(p.db.len(), 8),
+        cached_config(CacheMode::Precise),
+    );
+    let (report, marker) = server.serve_open(|s| {
+        let a = s.submit(QueryRequest::new(1, "gf(sam, G)"));
+        assert!(matches!(a, Admission::Queued { request: 0, .. }));
+        s.quiesce();
+        s.update(
+            SessionId(9),
+            &[UpdateOp::Assert {
+                text: "f(larry,zoe).".into(),
+            }],
+        );
+        s.submit(QueryRequest::new(1, "gf(sam, G)"));
+        s.quiesce();
+        assert_eq!(s.pending(), 0);
+        42
+    });
+    assert_eq!(marker, 42, "driver result is returned");
+    assert_eq!(report.responses.len(), 2);
+    assert_eq!(report.updates.len(), 1);
+    assert_eq!(report.stats.commits, 1);
+    let before = &report.responses[0];
+    let after = &report.responses[1];
+    assert!(before.epoch < after.epoch, "second query sees the commit");
+    assert!(!before.outcome.solutions().iter().any(|s| s.contains("zoe")));
+    assert!(after.outcome.solutions().iter().any(|s| s.contains("zoe")));
+    // Same canonical query, but the commit invalidated the entry: both
+    // ran on an engine, and the second filled a fresh window.
+    assert_eq!(after.served_from, ServedFrom::Engine);
+    assert_eq!(report.stats.cache.invalidations, 1);
+    assert_eq!(report.stats.cache.fills, 2);
+}
+
+#[test]
+fn governor_refuses_submissions_past_the_byte_budget() {
+    // Budget fits exactly one request reservation; a slow in-flight
+    // request therefore forces the next submission to be refused.
+    let p = parse_program(
+        "
+        edge(a,b). edge(b,a).
+        path(X,Y) :- edge(X,Y).
+        path(X,Z) :- edge(X,Y), path(Y,Z).
+    ",
+    )
+    .unwrap();
+    let server = QueryServer::new(
+        &p.db,
+        store_cfg(p.db.len(), 4),
+        ServeConfig {
+            n_pools: 1,
+            cache: CacheConfig {
+                mode: CacheMode::Precise,
+                budget_bytes: Some(16 * 1024),
+                request_reserve_bytes: 16 * 1024,
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let (report, ()) = server.serve_open(|s| {
+        let a = s.submit(QueryRequest::new(1, "path(a, X)").with_max_nodes(3_000));
+        assert!(matches!(a, Admission::Queued { .. }));
+        let b = s.submit(QueryRequest::new(2, "path(a, X)"));
+        assert!(
+            matches!(b, Admission::Overloaded { request: 1 }),
+            "budget holds one reservation: {b:?}"
+        );
+        // Once the first request finishes, its reservation frees and
+        // admission recovers.
+        s.quiesce();
+        let c = s.submit(QueryRequest::new(3, "gf(a, X)"));
+        assert!(matches!(c, Admission::Queued { .. }), "{c:?}");
+    });
+    assert_eq!(report.responses.len(), 3);
+    assert_eq!(report.stats.overloaded, 1);
+    assert_eq!(
+        report.stats.completed + report.stats.cancelled + report.stats.rejected
+            + report.stats.overloaded,
+        report.stats.requests
+    );
+    let refused = &report.responses[1];
+    assert!(matches!(refused.outcome, Outcome::Overloaded));
+    assert_eq!(refused.stats.nodes_expanded, 0);
+    assert_eq!(refused.store_accesses, 0);
 }

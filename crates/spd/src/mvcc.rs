@@ -38,7 +38,7 @@
 //! serving churn suite.
 
 use std::borrow::Cow;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
 
@@ -366,6 +366,7 @@ impl MvccClauseStore {
             resolved: (0..n_tracks).map(|_| OnceLock::new()).collect(),
             pool: None,
             stall_ns_per_tick: 0,
+            deps: None,
         }
     }
 
@@ -384,6 +385,7 @@ impl MvccClauseStore {
             index: (*v.index).clone(),
             bitidx: (*v.bitidx).clone(),
             symbols: (*v.symbols).clone(),
+            touched: BTreeSet::new(),
             _writer: guard,
         }
     }
@@ -521,6 +523,13 @@ pub struct Snapshot<'s> {
     resolved: Vec<OnceLock<Arc<PageData>>>,
     pool: Option<usize>,
     stall_ns_per_tick: u64,
+    /// When enabled (see [`recording_deps`](Self::recording_deps)), every
+    /// predicate whose candidate set a query resolves through this
+    /// snapshot is collected here — the query's **dependency footprint**,
+    /// which an answer cache compares against committing transactions'
+    /// touched predicates. Behind a mutex because the OR-parallel engine
+    /// shares one snapshot across worker threads.
+    deps: Option<Mutex<BTreeSet<(Sym, u32)>>>,
 }
 
 impl<'s> Snapshot<'s> {
@@ -537,6 +546,29 @@ impl<'s> Snapshot<'s> {
     pub fn with_stall(mut self, ns_per_tick: u64) -> Self {
         self.stall_ns_per_tick = ns_per_tick;
         self
+    }
+
+    /// This snapshot with dependency recording on: every
+    /// `candidate_clauses` resolution notes the goal's `(functor, arity)`
+    /// pair. A commit can only change the candidate sets of the
+    /// predicates it asserts or retracts, so the first divergence between
+    /// this epoch's search tree and a later epoch's must occur at a goal
+    /// whose predicate the commit touched — if no recorded predicate was
+    /// touched, a *complete* (untruncated, uncancelled) result is
+    /// verbatim valid at the later epoch. That footprint-disjointness
+    /// rule is the answer cache's invalidation contract.
+    pub fn recording_deps(mut self) -> Self {
+        self.deps = Some(Mutex::new(BTreeSet::new()));
+        self
+    }
+
+    /// The predicates recorded so far (sorted; empty when recording was
+    /// never enabled).
+    pub fn recorded_deps(&self) -> Vec<(Sym, u32)> {
+        match &self.deps {
+            Some(deps) => deps.lock().unwrap().iter().copied().collect(),
+            None => Vec::new(),
+        }
     }
 
     /// The epoch this snapshot is pinned at.
@@ -616,7 +648,12 @@ impl ClauseSource for Snapshot<'_> {
         // read-only store. Both indexes are pinned with the snapshot, so
         // a concurrent commit cannot leak clauses from another epoch in.
         let full = match goal.functor() {
-            Some(pred) => self.index.get(&pred).map(Vec::as_slice).unwrap_or(&[]),
+            Some(pred) => {
+                if let Some(deps) = &self.deps {
+                    deps.lock().unwrap().insert(pred);
+                }
+                self.index.get(&pred).map(Vec::as_slice).unwrap_or(&[])
+            }
             None => &[][..],
         };
         if self.store.index_policy == IndexPolicy::FirstArg {
@@ -679,6 +716,10 @@ pub struct WriteTxn<'s> {
     /// by asserts and retracts and installed whole at commit.
     bitidx: BitmapClauseIndex,
     symbols: SymbolTable,
+    /// Head predicates of every assert and retract in this transaction —
+    /// the commit's *touched set*, which an answer cache intersects with
+    /// cached queries' dependency footprints to invalidate precisely.
+    touched: BTreeSet<(Sym, u32)>,
     _writer: MutexGuard<'s, ()>,
 }
 
@@ -703,6 +744,15 @@ impl WriteTxn<'_> {
     /// interned by [`assert_text`](Self::assert_text) so far).
     pub fn symbols(&self) -> &SymbolTable {
         &self.symbols
+    }
+
+    /// Head predicates of every assert and retract so far (sorted).
+    /// A commit can only change the candidate sets of these predicates,
+    /// so a cached result whose dependency footprint (see
+    /// [`Snapshot::recording_deps`]) is disjoint from this set is still
+    /// valid at the committed epoch.
+    pub fn touched_preds(&self) -> Vec<(Sym, u32)> {
+        self.touched.iter().copied().collect()
     }
 
     /// The copy-on-write page for `ti`, cloning the committed version on
@@ -738,6 +788,7 @@ impl WriteTxn<'_> {
         self.bitidx.insert_clause(cid, &clause);
         self.dirty_page(ti).clauses[addr.slot as usize] = Some(clause);
         self.index.entry(pred).or_default().push(cid);
+        self.touched.insert(pred);
         self.len += 1;
         Ok(cid)
     }
@@ -769,6 +820,7 @@ impl WriteTxn<'_> {
             ids.retain(|&id| id != cid);
         }
         self.bitidx.remove_clause(cid, &clause);
+        self.touched.insert(pred);
         Ok(())
     }
 
@@ -997,6 +1049,55 @@ mod tests {
         // And the meters saw two indexed resolutions.
         let s = store.stats();
         assert_eq!(s.index_hits, 2);
+    }
+
+    #[test]
+    fn write_txn_reports_its_touched_predicates() {
+        let p = parse_program(FAMILY).unwrap();
+        let store = MvccClauseStore::new(&p.db, store_config(8), CommitMode::Mvcc);
+        let mut txn = store.begin_write();
+        assert!(txn.touched_preds().is_empty());
+        txn.assert_text("f(larry,zoe).").unwrap();
+        txn.retract(ClauseId(8)).unwrap(); // m(elain,john)
+        let touched = txn.touched_preds();
+        let mut names: Vec<(String, u32)> = touched
+            .iter()
+            .map(|&(s, a)| (txn.symbols().name(s).to_string(), a))
+            .collect();
+        names.sort();
+        assert_eq!(names, vec![("f".to_string(), 2), ("m".to_string(), 2)]);
+        // Asserting the same predicate again does not duplicate it.
+        txn.assert_text("f(zoe,ann).").unwrap();
+        assert_eq!(txn.touched_preds().len(), 2);
+    }
+
+    #[test]
+    fn snapshot_records_dependency_footprints_when_asked() {
+        let p = parse_program(FAMILY).unwrap();
+        let store = MvccClauseStore::new(&p.db, store_config(8), CommitMode::Mvcc);
+
+        // Off by default: nothing recorded.
+        let plain = store.begin_read();
+        solutions(&plain, "gf(sam,G)");
+        assert!(plain.recorded_deps().is_empty());
+
+        // Recording: the gf query resolves gf/2, f/2, and m/2 goals.
+        let snap = store.begin_read().recording_deps();
+        solutions(&snap, "gf(sam,G)");
+        let mut names: Vec<(String, u32)> = snap
+            .recorded_deps()
+            .iter()
+            .map(|&(s, a)| (snap.symbols().name(s).to_string(), a))
+            .collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                ("f".to_string(), 2),
+                ("gf".to_string(), 2),
+                ("m".to_string(), 2)
+            ]
+        );
     }
 
     #[test]

@@ -104,6 +104,16 @@ pub struct TenantMix {
     /// burst. Arrival order round-robins bursts across tenants until
     /// every stream is drained.
     pub burst: usize,
+    /// Zipf skew over tenants. `None` (the default) keeps the classic
+    /// round-robin burst interleave where every tenant issues exactly
+    /// `queries_per_tenant` queries. `Some(s)` draws each burst's tenant
+    /// from a Zipf distribution over tenant rank (`P(t) ∝ 1/(t+1)^s`):
+    /// tenant 0 is the hot tenant issuing most of the traffic, the tail
+    /// tenants stay cold — the repeated-query-heavy population an answer
+    /// cache feeds on. The total request count is unchanged
+    /// (`n_tenants × queries_per_tenant`); only its split across tenants
+    /// skews.
+    pub zipf_s: Option<f64>,
     /// RNG seed for subject walks and predicate choice.
     pub seed: u64,
 }
@@ -121,6 +131,7 @@ impl Default for TenantMix {
             drift: 0.25,
             deep_share: 0.0,
             burst: 3,
+            zipf_s: None,
             seed: 1,
         }
     }
@@ -166,12 +177,69 @@ pub fn tenant_mix_program(mix: &TenantMix) -> (Program, Vec<FamilyMeta>) {
     (program, metas)
 }
 
+/// One tenant's drifting subject walk, generated a query at a time (so
+/// Zipf arrival schedules can draw on one tenant far past
+/// `queries_per_tenant` without pregenerating everything).
+struct TenantWalker<'a> {
+    tenant: usize,
+    rng: SmallRng,
+    subjects: Vec<&'a str>,
+    deep_subjects: Vec<&'a str>,
+    drift: f64,
+    deep_share: f64,
+    current: usize,
+}
+
+impl<'a> TenantWalker<'a> {
+    fn new(mix: &TenantMix, t: usize, meta: &'a FamilyMeta, deep_share: f64) -> TenantWalker<'a> {
+        let mut rng = SmallRng::seed_from_u64(mix.seed.wrapping_add(0x9E37 * t as u64));
+        let subjects = meta.grandparents();
+        assert!(!subjects.is_empty());
+        let current = rng.gen_range(0..subjects.len());
+        TenantWalker {
+            tenant: t,
+            rng,
+            subjects,
+            deep_subjects: meta.great_grandparents(),
+            drift: mix.drift,
+            deep_share,
+            current,
+        }
+    }
+
+    fn next(&mut self) -> TenantRequest {
+        if self.rng.gen::<f64>() < self.drift {
+            self.current = self.rng.gen_range(0..self.subjects.len());
+        }
+        let deep = !self.deep_subjects.is_empty() && self.rng.gen::<f64>() < self.deep_share;
+        let t = self.tenant;
+        let (pred, subject_idx, subject) = if deep {
+            // Great-grandparents are a prefix of the grandparent pool,
+            // so the walk index folds onto it.
+            let i = self.current % self.deep_subjects.len();
+            ("ggf", i, self.deep_subjects[i])
+        } else {
+            ("gf", self.current, self.subjects[self.current])
+        };
+        TenantRequest {
+            tenant: t,
+            text: format!("t{t}_{pred}({subject}, G)"),
+            subject: subject_idx,
+            deep,
+        }
+    }
+}
+
 /// Generate the burst-interleaved arrival stream for `mix`.
 ///
 /// Each tenant's subject walk is independent and deterministic in
-/// `mix.seed`; the returned order is the *offered* order a server admits
-/// requests in: `burst` queries from tenant 0, `burst` from tenant 1, …,
-/// wrapping until all `n_tenants × queries_per_tenant` are emitted.
+/// `mix.seed`. With [`zipf_s`](TenantMix::zipf_s) unset, the returned
+/// order is the *offered* order a server admits requests in: `burst`
+/// queries from tenant 0, `burst` from tenant 1, …, wrapping until all
+/// `n_tenants × queries_per_tenant` are emitted. With `zipf_s: Some(s)`,
+/// each burst's tenant is instead drawn Zipf-distributed over tenant
+/// rank — tenant 0 hot, the tail cold — and per-tenant counts float
+/// while the total stays `n_tenants × queries_per_tenant`.
 pub fn tenant_mix_requests(mix: &TenantMix, metas: &[FamilyMeta]) -> Vec<TenantRequest> {
     assert_eq!(metas.len(), mix.n_tenants, "one meta per tenant");
     assert!(mix.burst >= 1, "burst must be at least 1");
@@ -180,46 +248,44 @@ pub fn tenant_mix_requests(mix: &TenantMix, metas: &[FamilyMeta]) -> Vec<TenantR
     } else {
         0.0
     };
-    // Per-tenant streams first, then interleave.
-    let mut streams: Vec<std::collections::VecDeque<TenantRequest>> = Vec::new();
-    for (t, meta) in metas.iter().enumerate() {
-        let mut rng = SmallRng::seed_from_u64(mix.seed.wrapping_add(0x9E37 * t as u64));
-        let subjects = meta.grandparents();
-        let deep_subjects = meta.great_grandparents();
-        assert!(!subjects.is_empty());
-        let mut current = rng.gen_range(0..subjects.len());
-        let mut stream = std::collections::VecDeque::new();
-        for _ in 0..mix.queries_per_tenant {
-            if rng.gen::<f64>() < mix.drift {
-                current = rng.gen_range(0..subjects.len());
-            }
-            let deep = !deep_subjects.is_empty() && rng.gen::<f64>() < deep_share;
-            let (pred, subject_idx, subject) = if deep {
-                // Great-grandparents are a prefix of the grandparent
-                // pool, so the walk index folds onto it.
-                let i = current % deep_subjects.len();
-                ("ggf", i, deep_subjects[i])
-            } else {
-                ("gf", current, subjects[current])
-            };
-            stream.push_back(TenantRequest {
-                tenant: t,
-                text: format!("t{t}_{pred}({subject}, G)"),
-                subject: subject_idx,
-                deep,
-            });
-        }
-        streams.push(stream);
-    }
-    // Burst-interleaved round-robin drain.
-    let total: usize = streams.iter().map(|s| s.len()).sum();
+    let mut walkers: Vec<TenantWalker<'_>> = metas
+        .iter()
+        .enumerate()
+        .map(|(t, meta)| TenantWalker::new(mix, t, meta, deep_share))
+        .collect();
+    let total = mix.n_tenants * mix.queries_per_tenant;
     let mut out = Vec::with_capacity(total);
-    while out.len() < total {
-        for stream in streams.iter_mut() {
-            for _ in 0..mix.burst {
-                match stream.pop_front() {
-                    Some(r) => out.push(r),
-                    None => break,
+    match mix.zipf_s {
+        None => {
+            // Classic round-robin bursts, each tenant capped at its
+            // stream length.
+            let mut remaining: Vec<usize> = vec![mix.queries_per_tenant; mix.n_tenants];
+            while out.len() < total {
+                for (walker, left) in walkers.iter_mut().zip(remaining.iter_mut()) {
+                    let take = mix.burst.min(*left);
+                    for _ in 0..take {
+                        out.push(walker.next());
+                    }
+                    *left -= take;
+                }
+            }
+        }
+        Some(s) => {
+            assert!(s > 0.0, "zipf_s must be positive");
+            // Cumulative Zipf weights over tenant rank; a dedicated RNG
+            // keeps the arrival schedule independent of the walks.
+            let mut cum = Vec::with_capacity(mix.n_tenants);
+            let mut sum = 0.0;
+            for t in 0..mix.n_tenants {
+                sum += 1.0 / ((t + 1) as f64).powf(s);
+                cum.push(sum);
+            }
+            let mut arrivals = SmallRng::seed_from_u64(mix.seed.wrapping_add(0x51_7C_C1));
+            while out.len() < total {
+                let u: f64 = arrivals.gen::<f64>() * sum;
+                let t = cum.partition_point(|&c| c < u).min(mix.n_tenants - 1);
+                for _ in 0..mix.burst.min(total - out.len()) {
+                    out.push(walkers[t].next());
                 }
             }
         }
@@ -380,6 +446,58 @@ mod tests {
             assert!(r.text.contains("_ggf("), "{}", r.text);
             assert!(blog_logic::parse_query_shared(&p.db, &r.text).is_ok());
         }
+    }
+
+    #[test]
+    fn zipf_arrivals_skew_toward_the_hot_tenant() {
+        let mix = TenantMix {
+            n_tenants: 6,
+            queries_per_tenant: 32,
+            zipf_s: Some(1.5),
+            ..TenantMix::default()
+        };
+        let (p, metas) = tenant_mix_program(&mix);
+        let requests = tenant_mix_requests(&mix, &metas);
+        // Total offered load is unchanged; only its split skews.
+        assert_eq!(requests.len(), 6 * 32);
+        let mut counts = vec![0usize; 6];
+        for r in &requests {
+            counts[r.tenant] += 1;
+        }
+        assert!(
+            counts[0] > requests.len() / 3,
+            "tenant 0 is hot: {counts:?}"
+        );
+        assert!(
+            counts[0] > 3 * counts[5].max(1),
+            "the tail is cold: {counts:?}"
+        );
+        // Still runnable against the merged program.
+        for r in requests.iter().take(10) {
+            assert!(blog_logic::parse_query_shared(&p.db, &r.text).is_ok());
+        }
+        // And deterministic per seed.
+        let again = tenant_mix_requests(&mix, &metas);
+        assert_eq!(
+            requests.iter().map(|r| &r.text).collect::<Vec<_>>(),
+            again.iter().map(|r| &r.text).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zipf_none_keeps_the_classic_interleave() {
+        // The None path must stay byte-identical to the legacy
+        // round-robin generator (T9's published numbers depend on it).
+        let legacy = TenantMix {
+            n_tenants: 2,
+            queries_per_tenant: 4,
+            burst: 2,
+            ..TenantMix::default()
+        };
+        let (_, metas) = tenant_mix_program(&legacy);
+        let requests = tenant_mix_requests(&legacy, &metas);
+        let tenants: Vec<usize> = requests.iter().map(|r| r.tenant).collect();
+        assert_eq!(tenants, vec![0, 0, 1, 1, 0, 0, 1, 1]);
     }
 
     #[test]

@@ -1,0 +1,28 @@
+use b_log::serve::{
+    CacheConfig, CacheMode, QueryRequest, QueryServer, ServeConfig,
+    ServedFrom, SessionId, UpdateOp,
+};
+use b_log::spd::PagedStoreConfig;
+
+#[test]
+fn readme_serving_v2_snippet() {
+    let program = b_log::logic::parse_program(b_log::workloads::PAPER_FIGURE_1).unwrap();
+    let config = ServeConfig {
+        cache: CacheConfig { mode: CacheMode::Precise, ..CacheConfig::default() },
+        ..ServeConfig::default()
+    };
+    let server = QueryServer::new(&program.db, PagedStoreConfig::default(), config);
+
+    let (report, ()) = server.serve_open(|s| {
+        s.submit(QueryRequest::new(1, "gf(sam, G)"));
+        s.quiesce();
+        s.submit(QueryRequest::new(2, "gf(sam, Who)"));
+        s.quiesce();
+        s.update(SessionId(9), &[UpdateOp::Assert { text: "f(larry,ann).".into() }]);
+        s.submit(QueryRequest::new(3, "gf(sam, G)"));
+    });
+    assert_eq!(report.responses[1].served_from, ServedFrom::Cache);
+    assert_eq!(report.responses[1].stats.nodes_expanded, 0);
+    assert_eq!(report.responses[2].outcome.solutions().len(), 3);
+    assert_eq!(report.stats.cache.hits, 1);
+}
