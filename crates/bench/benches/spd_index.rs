@@ -25,6 +25,7 @@ fn bench_index(c: &mut Criterion) {
         capacity_tracks,
         policy: PolicyKind::Lru,
         index,
+        fault: None,
     };
     // A ground goal with a bound first argument: any fact's own head
     // (facts are ground, so the key is bound without any bindings).

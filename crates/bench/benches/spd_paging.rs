@@ -98,13 +98,14 @@ fn bench_paged_store(c: &mut Criterion) {
             capacity_tracks,
             policy: PolicyKind::Lru,
             index: IndexPolicy::None,
+            fault: None,
         };
         group.bench_with_input(
             BenchmarkId::new("engine_through_cache", capacity_tracks),
             &capacity_tracks,
             |b, _| {
                 b.iter_batched(
-                    || PagedClauseStore::new(&program.db, cfg),
+                    || PagedClauseStore::new(&program.db, cfg.clone()),
                     |paged| black_box(engine_run_through(&paged, &program)),
                     criterion::BatchSize::SmallInput,
                 )
@@ -115,7 +116,7 @@ fn bench_paged_store(c: &mut Criterion) {
             &capacity_tracks,
             |b, _| {
                 b.iter_batched(
-                    || PagedClauseStore::new(&program.db, cfg),
+                    || PagedClauseStore::new(&program.db, cfg.clone()),
                     |paged| black_box(paged.replay(&trace)),
                     criterion::BatchSize::SmallInput,
                 )
@@ -135,6 +136,7 @@ fn bench_paged_store(c: &mut Criterion) {
                 capacity_tracks,
                 policy: PolicyKind::Lru,
                 index: IndexPolicy::None,
+                fault: None,
             },
         );
         let (_, _, s) = engine_run_through(&paged, &program);

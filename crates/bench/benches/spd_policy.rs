@@ -29,13 +29,14 @@ fn bench_policies(c: &mut Criterion) {
             capacity_tracks,
             policy,
             index: IndexPolicy::None,
+            fault: None,
         };
         group.bench_with_input(
             BenchmarkId::new("engine_through_cache", policy.name()),
             &policy,
             |b, _| {
                 b.iter_batched(
-                    || PagedClauseStore::new(&program.db, cfg),
+                    || PagedClauseStore::new(&program.db, cfg.clone()),
                     |paged| black_box(engine_run_through(&paged, &program)),
                     criterion::BatchSize::SmallInput,
                 )
@@ -46,7 +47,7 @@ fn bench_policies(c: &mut Criterion) {
             &policy,
             |b, _| {
                 b.iter_batched(
-                    || PagedClauseStore::new(&program.db, cfg),
+                    || PagedClauseStore::new(&program.db, cfg.clone()),
                     |paged| black_box(paged.replay(&trace)),
                     criterion::BatchSize::SmallInput,
                 )
@@ -66,6 +67,7 @@ fn bench_policies(c: &mut Criterion) {
                 capacity_tracks,
                 policy,
                 index: IndexPolicy::None,
+                fault: None,
             },
         );
         let (_, _, s) = engine_run_through(&paged, &program);

@@ -19,23 +19,26 @@
 //! `--writers=<n>` restricts the T10 MVCC-churn sweep's writer axis to
 //! `{0, n}` (baseline plus churn; the CI smoke path runs `t10
 //! --writers=2 --requests=50`); given without experiment ids it implies
-//! `t10`. The T11 first-argument-index sweep and the T12 answer-cache
-//! sweep honor `--requests` too (the CI smoke paths run `t11
-//! --requests=50` and `t12 --requests=50`; a capped T12 also skips its
-//! headline asserts — too few Poisson arrivals for a stable p99).
+//! `t10`. The T11 first-argument-index sweep, the T12 answer-cache
+//! sweep and the T13 chaos sweep honor `--requests` too (the CI smoke
+//! paths run `t11 --requests=50`, `t12 --requests=50` and `t13
+//! --requests=50`; capped T12/T13 runs also skip their headline asserts
+//! — too few arrivals for a stable p99 or availability estimate).
 //! `--json[=PATH]` writes the machine-readable rows of the experiments
 //! that emit them — the T7 state sweep to `BENCH_T7_STATE.json`, the
 //! T8f frontier sweep to `BENCH_T8_FRONTIER.json`, the T9 serving sweep
 //! to `BENCH_T9_SERVE.json`, the T10 churn sweep to
 //! `BENCH_T10_MVCC.json`, the T11 index sweep to
-//! `BENCH_T11_INDEX.json`, and the T12 cache sweep to
-//! `BENCH_T12_CACHE.json` (or all into `PATH`, keyed by section, when
+//! `BENCH_T11_INDEX.json`, the T12 cache sweep to
+//! `BENCH_T12_CACHE.json`, and the T13 chaos sweep to
+//! `BENCH_T13_CHAOS.json` (or all into `PATH`, keyed by section, when
 //! an explicit path is given) — so PRs can record the perf trajectory
 //! as `BENCH_*.json` files.
 
 use blog_bench::report::Json;
 use blog_bench::{
-    andp_exp, cache_exp, figures, frontier_exp, index_exp, machine_exp, mvcc_exp, serve_exp,
+    andp_exp, cache_exp, chaos_exp, figures, frontier_exp, index_exp, machine_exp, mvcc_exp,
+    serve_exp,
     sessions_exp, spd_exp, state_exp, strategies, threads_exp,
 };
 use blog_spd::PolicyKind;
@@ -117,7 +120,9 @@ fn main() {
         if json_path.is_some()
             && !args
                 .iter()
-                .any(|a| a == "t8f" || a == "t9" || a == "t10" || a == "t11" || a == "t12")
+                .any(|a| {
+                    a == "t8f" || a == "t9" || a == "t10" || a == "t11" || a == "t12" || a == "t13"
+                })
         {
             args.push("t7".to_string());
         }
@@ -133,11 +138,12 @@ fn main() {
                 || a == "t10"
                 || a == "t11"
                 || a == "t12"
+                || a == "t13"
                 || a == "all"
         })
     {
         eprintln!(
-            "--json: include t7, t8f, t9, t10, t11 or t12 (the JSON-emitting experiments) in the id list"
+            "--json: include t7, t8f, t9, t10, t11, t12 or t13 (the JSON-emitting experiments) in the id list"
         );
         std::process::exit(2);
     }
@@ -222,6 +228,10 @@ fn main() {
     section("t12", "answer cache: open-loop sustainable rate + invalidation precision", &mut || {
         t12_cache_rows = cache_exp::run_t12(requests);
     });
+    let mut t13_chaos_rows: Vec<chaos_exp::ChaosRow> = Vec::new();
+    section("t13", "chaos: availability under injected faults + degraded serving", &mut || {
+        t13_chaos_rows = chaos_exp::run_t13(requests);
+    });
     section("a1", "ablation: infinity placement", &mut || {
         sessions_exp::run_a1();
     });
@@ -237,7 +247,7 @@ fn main() {
 
     if ran == 0 {
         eprintln!(
-            "unknown experiment id(s): {:?}\nknown: f1 f3 f4 w1 w2 t1 t2 t3 t4 t5 t6 t7 t8 t8f t9 t10 t11 t12 a1 a2 a3 a4 (or no args for all)\nflags: --policy=<lru|2q|clock|fifo> (restricts the T6c sweep), --workers=<n> (restricts the T8f sweep), --pools=<n> / --requests=<n> (restrict the T9/T11/T12 sweeps), --writers=<n> (restricts the T10 sweep), --json[=PATH] (write machine-readable rows)",
+            "unknown experiment id(s): {:?}\nknown: f1 f3 f4 w1 w2 t1 t2 t3 t4 t5 t6 t7 t8 t8f t9 t10 t11 t12 t13 a1 a2 a3 a4 (or no args for all)\nflags: --policy=<lru|2q|clock|fifo> (restricts the T6c sweep), --workers=<n> (restricts the T8f sweep), --pools=<n> / --requests=<n> (restrict the T9/T11/T12/T13 sweeps), --writers=<n> (restricts the T10 sweep), --json[=PATH] (write machine-readable rows)",
             args
         );
         std::process::exit(2);
@@ -250,9 +260,10 @@ fn main() {
             && t10_mvcc_rows.is_empty()
             && t11_index_rows.is_empty()
             && t12_cache_rows.is_empty()
+            && t13_chaos_rows.is_empty()
         {
             eprintln!(
-                "--json: no JSON-emitting experiment ran (include t7, t8f, t9, t10, t11 or t12)"
+                "--json: no JSON-emitting experiment ran (include t7, t8f, t9, t10, t11, t12 or t13)"
             );
             std::process::exit(2);
         }
@@ -321,6 +332,15 @@ fn main() {
                     )]),
                 );
             }
+            if !t13_chaos_rows.is_empty() {
+                write(
+                    "BENCH_T13_CHAOS.json",
+                    Json::Obj(vec![(
+                        "t13_chaos".to_string(),
+                        chaos_exp::rows_to_json(&t13_chaos_rows),
+                    )]),
+                );
+            }
         } else {
             // Explicit path: one combined document, keyed by section.
             let mut fields = Vec::new();
@@ -358,6 +378,12 @@ fn main() {
                 fields.push((
                     "t12_cache".to_string(),
                     cache_exp::rows_to_json(&t12_cache_rows),
+                ));
+            }
+            if !t13_chaos_rows.is_empty() {
+                fields.push((
+                    "t13_chaos".to_string(),
+                    chaos_exp::rows_to_json(&t13_chaos_rows),
                 ));
             }
             write(&path, Json::Obj(fields));

@@ -299,7 +299,7 @@ fn verify_against_oracle(
     let mut epochs: Vec<u64> = report
         .responses
         .iter()
-        .filter(|r| !matches!(r.outcome, Outcome::Overloaded))
+        .filter(|r| !matches!(r.outcome, Outcome::Overloaded { .. }))
         .map(|r| r.epoch)
         .collect();
     epochs.sort_unstable();
@@ -335,7 +335,7 @@ fn verify_against_oracle(
         let oracle = parse_program(&src).expect("oracle program parses");
         let mut truth: HashMap<&str, Vec<String>> = HashMap::new();
         for r in report.responses.iter().filter(|r| r.epoch == epoch) {
-            if matches!(r.outcome, Outcome::Overloaded) {
+            if matches!(r.outcome, Outcome::Overloaded { .. }) {
                 continue;
             }
             let text = originals[r.request].text.as_str();
@@ -360,7 +360,7 @@ fn sojourns_ms(report: &ServeReport) -> Vec<f64> {
     report
         .responses
         .iter()
-        .filter(|r| !matches!(r.outcome, Outcome::Overloaded))
+        .filter(|r| !matches!(r.outcome, Outcome::Overloaded { .. }))
         .map(|r| (r.queue_wait + r.service).as_secs_f64() * 1e3)
         .collect()
 }

@@ -1,0 +1,553 @@
+//! T13: the chaos experiment — availability of the resilient request
+//! path under an injected fault storm, with the no-retry ablation as
+//! the control, and degraded cache-only serving measured through an
+//! open circuit breaker.
+//!
+//! The workload is the serving regime's [`TenantMix`] run as a closed
+//! batch against a server whose paged store carries a seeded
+//! [`FaultPlan`]: every clause-track touch may fail with a transient
+//! read error at the swept rate. **Resilient** mode retries each faulted
+//! attempt against a fresh snapshot (exponential backoff, generous
+//! budget) behind the panic shield; the **no-retry** ablation runs the
+//! identical plan with a zero retry budget, so every storm that reaches
+//! a request turns into an [`Outcome::Failed`]. The headline is
+//! *availability* — completed requests over admitted requests — at each
+//! fault rate, resilient versus ablated, plus the retry counts and p99
+//! latency that availability costs.
+//!
+//! The breaker phase stages the degraded path deterministically: a
+//! single-pool server fills its answer cache fault-free (the fault
+//! window opens *after* the fill batch's measured touch count, T6's
+//! probe-replay trick), then a batch of uncached queries meets a
+//! rate-1.0 storm — the pool's breaker trips open — and a final batch
+//! of previously-cached queries is served entirely from the answer
+//! cache while the breaker is still open: `degraded_cache_hits`, zero
+//! store touches, zero new faults.
+//!
+//! Correctness is asserted, not assumed: **every completed response in
+//! every phase** — retried, rerouted, or cache-served — is diffed
+//! against the fault-free sequential oracle of its query. Failed
+//! responses must carry empty solution sets and machine-readable
+//! [`RetryAdvice`](blog_serve::RetryAdvice). Resilience is never
+//! allowed to buy availability with wrong answers.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use blog_core::engine::{best_first_with, BestFirstConfig};
+use blog_core::weight::{WeightParams, WeightStore, WeightView};
+use blog_logic::{parse_query_shared, ClauseDb, Program};
+use blog_serve::tuning::churn_store_config;
+use blog_serve::{
+    BreakerConfig, CacheConfig, CacheMode, ExecMode, FaultPlan, FaultSite, Outcome, QueryRequest,
+    QueryServer, RetryPolicy, ServeConfig, ServeReport, ServedFrom,
+};
+use blog_workloads::{tenant_mix_program, tenant_mix_requests, FamilyParams, TenantMix};
+
+use crate::report::{f2, pct, Json, Table};
+
+/// Transient-fault rates swept (per-touch probability). The top rate is
+/// chosen so the resilient mode's retry budget still makes completion a
+/// statistical certainty, while the no-retry ablation — whose per-request
+/// survival is `(1-rate)^touches` — visibly collapses.
+pub const RATE_SWEEP: [f64; 4] = [0.0, 0.002, 0.005, 0.01];
+
+/// Availability floor asserted for resilient mode at every swept rate.
+pub const AVAILABILITY_SLO: f64 = 0.99;
+
+/// Requests per swept point (capped by `--requests` on the CI smoke
+/// path, which also skips the headline asserts).
+const LOAD: usize = 240;
+
+/// Tenants in the mix.
+const N_TENANTS: usize = 4;
+
+/// Resilient mode's retry ladder: budgeted deep because a retried
+/// attempt is cheap (it aborts on its first fault, after ~1/rate
+/// touches) and the sweep's availability floor is a hard assert.
+fn resilient_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 200,
+        base_backoff: Duration::from_micros(20),
+        max_backoff: Duration::from_micros(500),
+    }
+}
+
+/// A breaker that never opens — the sweep measures retries, not
+/// shedding; the breaker phase configures its own.
+fn no_breaker() -> BreakerConfig {
+    BreakerConfig {
+        failure_threshold: u32::MAX,
+        cooldown: Duration::from_secs(10),
+    }
+}
+
+/// One measured point.
+#[derive(Clone, Debug)]
+pub struct ChaosRow {
+    /// Phase: `fault-sweep` or `breaker`.
+    pub phase: &'static str,
+    /// Mode label (`no-retry` / `resilient`; breaker phase: `fill` /
+    /// `storm` / `degraded`).
+    pub mode: &'static str,
+    /// Per-touch transient fault rate of this point's plan.
+    pub fault_rate: f64,
+    /// Requests admitted.
+    pub requests: usize,
+    /// Requests that completed with a (verified) full answer.
+    pub completed: usize,
+    /// Requests that failed (retry budget exhausted, or breaker open
+    /// with no cached answer).
+    pub failed: usize,
+    /// completed / requests.
+    pub availability: f64,
+    /// Engine attempts re-run after a transient fault.
+    pub retries: u64,
+    /// Transient faults the store injected over the run.
+    pub transient_faults: u64,
+    /// Circuit-breaker open transitions.
+    pub breaker_opens: u64,
+    /// Requests answered from the answer cache while the pool's breaker
+    /// was open (the degraded path).
+    pub degraded_cache_hits: u64,
+    /// p99 service latency, ms.
+    pub p99_ms: f64,
+    /// Wall-clock, seconds.
+    pub wall_s: f64,
+    /// Total solutions returned (every one oracle-verified).
+    pub solutions: u64,
+}
+
+fn mix(total: usize) -> TenantMix {
+    TenantMix {
+        n_tenants: N_TENANTS,
+        queries_per_tenant: total.div_ceil(N_TENANTS),
+        drift: 0.15,
+        burst: 1,
+        family: FamilyParams {
+            generations: 3,
+            branching: 3,
+            ..FamilyParams::default()
+        },
+        ..TenantMix::default()
+    }
+}
+
+/// Fault-free sequential solutions of `text`, sorted — the oracle every
+/// completed response is diffed against (the sweep has no writers, so
+/// every response executes at the seed epoch and one oracle per
+/// distinct query text suffices).
+fn oracle_solutions(db: &ClauseDb, text: &str) -> Vec<String> {
+    let q = parse_query_shared(db, text).expect("oracle query parses");
+    let weights = WeightStore::new(WeightParams::default());
+    let mut overlay = HashMap::new();
+    let mut view = WeightView::new(&mut overlay, &weights);
+    let cfg = BestFirstConfig {
+        learn: false,
+        ..BestFirstConfig::default()
+    };
+    let r = best_first_with(db, &q, &mut view, &cfg);
+    let mut texts: Vec<String> = r.solutions.iter().map(|s| s.solution.to_text(db)).collect();
+    texts.sort();
+    texts
+}
+
+/// Diff every completed response against the fault-free oracle; check
+/// every failed response returned no solutions and carries advice.
+/// Returns the verified solution total.
+fn verify_responses(
+    p: &Program,
+    texts: &[String],
+    report: &ServeReport,
+    context: &str,
+) -> u64 {
+    let mut truth: HashMap<&str, Vec<String>> = HashMap::new();
+    let mut solutions = 0u64;
+    for r in &report.responses {
+        let text = texts[r.request].as_str();
+        match &r.outcome {
+            Outcome::Completed { .. } => {
+                let expect = truth
+                    .entry(text)
+                    .or_insert_with(|| oracle_solutions(&p.db, text));
+                assert_eq!(
+                    r.outcome.solutions(),
+                    expect.as_slice(),
+                    "T13 equivalence violated ({context}): request {} ({text}, {})",
+                    r.request,
+                    r.served_from.label(),
+                );
+                solutions += r.outcome.solutions().len() as u64;
+            }
+            Outcome::Failed { advice, .. } => {
+                assert!(
+                    r.outcome.solutions().is_empty(),
+                    "T13 ({context}): a failed request leaked partial solutions"
+                );
+                assert!(
+                    advice.retryable,
+                    "T13 ({context}): transient-only faults must advise retrying"
+                );
+            }
+            other => panic!("T13 ({context}): unexpected outcome {other:?}"),
+        }
+    }
+    solutions
+}
+
+fn row_from(
+    phase: &'static str,
+    mode: &'static str,
+    fault_rate: f64,
+    report: &ServeReport,
+    solutions: u64,
+) -> ChaosRow {
+    let s = &report.stats;
+    assert_eq!(
+        s.completed + s.cancelled + s.rejected + s.overloaded + s.failed,
+        s.requests,
+        "T13 outcome accounting must balance ({phase}/{mode})"
+    );
+    assert_eq!(s.rejected, 0, "generated queries always parse");
+    assert_eq!(s.cancelled, 0, "no deadlines in the chaos phases");
+    ChaosRow {
+        phase,
+        mode,
+        fault_rate,
+        requests: s.requests,
+        completed: s.completed,
+        failed: s.failed,
+        availability: if s.requests == 0 {
+            0.0
+        } else {
+            s.completed as f64 / s.requests as f64
+        },
+        retries: s.retries,
+        transient_faults: s.store.transient_faults,
+        breaker_opens: s.breaker_opens,
+        degraded_cache_hits: s.degraded_cache_hits,
+        p99_ms: s.p99_ms,
+        wall_s: s.wall_s,
+        solutions,
+    }
+}
+
+/// One sweep point: fresh server carrying the seeded plan, the whole
+/// tenant-mix batch, every completed response oracle-verified.
+fn measure_sweep_point(
+    p: &Program,
+    texts: &[String],
+    requests: &[QueryRequest],
+    rate: f64,
+    resilient: bool,
+) -> ChaosRow {
+    let fault = (rate > 0.0)
+        .then(|| FaultPlan::new(0xC4A05 ^ rate.to_bits()).with_site(FaultSite::transient_read(rate)));
+    let server = QueryServer::new(
+        &p.db,
+        churn_store_config(p.db.len(), 64),
+        ServeConfig {
+            n_pools: 2,
+            fault,
+            retry: if resilient {
+                resilient_retry()
+            } else {
+                RetryPolicy::none()
+            },
+            breaker: no_breaker(),
+            // Cache off: every request must cross the faulting store, so
+            // availability measures the retry ladder, not memoization.
+            cache: CacheConfig {
+                mode: CacheMode::Off,
+                ..CacheConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let mode = if resilient { "resilient" } else { "no-retry" };
+    let report = server.serve(requests.to_vec());
+    let solutions = verify_responses(p, texts, &report, &format!("fault-sweep {mode} @{rate}"));
+    row_from("fault-sweep", mode, rate, &report, solutions)
+}
+
+/// The breaker phase: fill the answer cache fault-free, trip the
+/// breaker with a rate-1.0 storm on uncached queries, then serve the
+/// cached queries *through the open breaker*. Returns the three rows.
+fn measure_breaker_phase(p: &Program, texts: &[String]) -> Vec<ChaosRow> {
+    // Split the distinct query texts: the first half fills the cache,
+    // the second half (uncached) meets the storm.
+    let mut distinct: Vec<&str> = Vec::new();
+    for t in texts {
+        if !distinct.contains(&t.as_str()) {
+            distinct.push(t);
+        }
+    }
+    assert!(distinct.len() >= 4, "breaker phase needs >= 4 distinct queries");
+    let (cached, uncached) = distinct.split_at(distinct.len() / 2);
+    let batch = |qs: &[&str]| -> (Vec<String>, Vec<QueryRequest>) {
+        (
+            qs.iter().map(|t| t.to_string()).collect(),
+            qs.iter()
+                .enumerate()
+                .map(|(i, t)| QueryRequest::new(i as u64, *t))
+                .collect(),
+        )
+    };
+    let config = |fault: Option<FaultPlan>| ServeConfig {
+        // One pool + sequential engine: the global touch sequence is
+        // deterministic, so the probe-measured fault window below lands
+        // exactly after the fill batch.
+        n_pools: 1,
+        exec: ExecMode::Sequential,
+        fault,
+        retry: RetryPolicy::none(),
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(30),
+        },
+        cache: CacheConfig {
+            mode: CacheMode::Precise,
+            ..CacheConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let store_cfg = || churn_store_config(p.db.len(), 64);
+
+    // Probe: measure the fill batch's touch count on an identical
+    // fault-free server, so the storm's window can open right after it.
+    let (fill_texts, fill_batch) = batch(cached);
+    let probe = QueryServer::new(&p.db, store_cfg(), config(None));
+    let fill_touches = probe.serve(fill_batch.clone()).stats.store.accesses;
+
+    let plan = FaultPlan::new(0xB4EA4E4)
+        .with_site(FaultSite::transient_read(1.0).between(fill_touches, u64::MAX));
+    let server = QueryServer::new(&p.db, store_cfg(), config(Some(plan)));
+    let mut rows = Vec::new();
+
+    // Fill: replays the probe's touches inside the fault-free window.
+    let fill = server.serve(fill_batch);
+    assert_eq!(
+        fill.stats.store.transient_faults, 0,
+        "the fill batch must land before the fault window opens"
+    );
+    let sols = verify_responses(p, &fill_texts, &fill, "breaker fill");
+    assert_eq!(fill.stats.completed, fill.stats.requests);
+    rows.push(row_from("breaker", "fill", 0.0, &fill, sols));
+
+    // Storm: uncached queries cross the store, every touch faults, the
+    // pool's breaker trips open.
+    let (storm_texts, storm_batch) = batch(uncached);
+    let storm = server.serve(storm_batch);
+    let sols = verify_responses(p, &storm_texts, &storm, "breaker storm");
+    assert_eq!(storm.stats.failed, storm.stats.requests);
+    assert!(storm.stats.breaker_opens >= 1, "the storm must trip the breaker");
+    rows.push(row_from("breaker", "storm", 1.0, &storm, sols));
+
+    // Degraded: the breaker is still open (30 s cooldown), yet every
+    // cached query is answered — from the cache, touching no storage.
+    let (deg_texts, deg_batch) = batch(cached);
+    let degraded = server.serve(deg_batch);
+    let sols = verify_responses(p, &deg_texts, &degraded, "breaker degraded");
+    assert_eq!(degraded.stats.completed, degraded.stats.requests);
+    assert_eq!(
+        degraded.stats.degraded_cache_hits,
+        degraded.stats.requests as u64,
+        "every degraded answer must come from the cache"
+    );
+    assert!(degraded
+        .responses
+        .iter()
+        .all(|r| r.served_from == ServedFrom::Cache));
+    assert_eq!(
+        degraded.stats.store.transient_faults, 0,
+        "the degraded path must touch no storage"
+    );
+    rows.push(row_from("breaker", "degraded", 1.0, &degraded, sols));
+    rows
+}
+
+/// Run the T13 sweep. `max_requests` caps the per-point load (the CI
+/// smoke path runs `t13 --requests=50`, which also skips the headline
+/// asserts — too few requests for a stable availability estimate).
+pub fn run_t13(max_requests: Option<usize>) -> Vec<ChaosRow> {
+    let load = max_requests.unwrap_or(LOAD).max(N_TENANTS * 4);
+    let full = load >= LOAD;
+    let m = mix(load);
+    let (p, metas) = tenant_mix_program(&m);
+    let originals = tenant_mix_requests(&m, &metas);
+    let texts: Vec<String> = originals.iter().map(|r| r.text.clone()).collect();
+    let requests: Vec<QueryRequest> = originals
+        .iter()
+        .map(|r| QueryRequest::new(r.tenant as u64, r.text.clone()).with_tenant(r.tenant as u32))
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(&[
+        "phase", "mode", "rate", "requests", "done", "failed", "avail", "retries", "faults",
+        "opens", "degraded", "p99 ms",
+    ]);
+    let tabulate = |row: &ChaosRow, table: &mut Table| {
+        table.row(vec![
+            row.phase.to_string(),
+            row.mode.to_string(),
+            format!("{:.3}", row.fault_rate),
+            row.requests.to_string(),
+            row.completed.to_string(),
+            row.failed.to_string(),
+            pct(row.availability),
+            row.retries.to_string(),
+            row.transient_faults.to_string(),
+            row.breaker_opens.to_string(),
+            row.degraded_cache_hits.to_string(),
+            f2(row.p99_ms),
+        ]);
+    };
+
+    // --- Phase 1: fault rate x mode.
+    for resilient in [false, true] {
+        for &rate in &RATE_SWEEP {
+            let row = measure_sweep_point(&p, &texts, &requests, rate, resilient);
+            tabulate(&row, &mut table);
+            rows.push(row);
+        }
+    }
+
+    // --- Phase 2: breaker-open degraded serving.
+    for row in measure_breaker_phase(&p, &texts) {
+        tabulate(&row, &mut table);
+        rows.push(row);
+    }
+    table.print();
+
+    let avail = |mode: &str, rate: f64| {
+        rows.iter()
+            .find(|r| r.phase == "fault-sweep" && r.mode == mode && r.fault_rate == rate)
+            .map(|r| r.availability)
+            .expect("swept point exists")
+    };
+    let top = RATE_SWEEP[RATE_SWEEP.len() - 1];
+    println!(
+        "(availability at rate {top}: resilient {}, no-retry ablation {}; every completed \
+         response — retried and cache-served included — diffed against the fault-free \
+         sequential oracle)",
+        pct(avail("resilient", top)),
+        pct(avail("no-retry", top)),
+    );
+    if full {
+        for &rate in &RATE_SWEEP {
+            assert!(
+                avail("resilient", rate) >= AVAILABILITY_SLO,
+                "availability regression: resilient mode at rate {rate} is under {AVAILABILITY_SLO}"
+            );
+        }
+        assert!(
+            avail("no-retry", top) < avail("resilient", top) - 0.05,
+            "the no-retry ablation must be measurably less available at rate {top}"
+        );
+        let retried: u64 = rows
+            .iter()
+            .filter(|r| r.mode == "resilient" && r.fault_rate > 0.0)
+            .map(|r| r.retries)
+            .sum();
+        assert!(retried > 0, "resilient availability must come from retries");
+    }
+    rows
+}
+
+/// The T13 rows plus the headline summary as JSON (for
+/// `BENCH_T13_CHAOS.json`).
+pub fn rows_to_json(rows: &[ChaosRow]) -> Json {
+    let arr = Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("phase".into(), Json::str(r.phase)),
+                    ("mode".into(), Json::str(r.mode)),
+                    ("fault_rate".into(), Json::Num(r.fault_rate)),
+                    ("requests".into(), Json::int(r.requests as u64)),
+                    ("completed".into(), Json::int(r.completed as u64)),
+                    ("failed".into(), Json::int(r.failed as u64)),
+                    ("availability".into(), Json::Num(r.availability)),
+                    ("retries".into(), Json::int(r.retries)),
+                    ("transient_faults".into(), Json::int(r.transient_faults)),
+                    ("breaker_opens".into(), Json::int(r.breaker_opens)),
+                    (
+                        "degraded_cache_hits".into(),
+                        Json::int(r.degraded_cache_hits),
+                    ),
+                    ("p99_ms".into(), Json::Num(r.p99_ms)),
+                    ("wall_s".into(), Json::Num(r.wall_s)),
+                    ("solutions".into(), Json::int(r.solutions)),
+                ])
+            })
+            .collect(),
+    );
+    let top = RATE_SWEEP[RATE_SWEEP.len() - 1];
+    let avail = |mode: &str| {
+        rows.iter()
+            .find(|r| r.phase == "fault-sweep" && r.mode == mode && r.fault_rate == top)
+            .map(|r| r.availability)
+            .unwrap_or(0.0)
+    };
+    let degraded: u64 = rows
+        .iter()
+        .filter(|r| r.phase == "breaker")
+        .map(|r| r.degraded_cache_hits)
+        .sum();
+    let summary = Json::Obj(vec![
+        ("availability_slo".into(), Json::Num(AVAILABILITY_SLO)),
+        ("top_fault_rate".into(), Json::Num(top)),
+        ("availability_resilient".into(), Json::Num(avail("resilient"))),
+        ("availability_no_retry".into(), Json::Num(avail("no-retry"))),
+        ("degraded_cache_hits".into(), Json::int(degraded)),
+    ]);
+    Json::Obj(vec![("rows".into(), arr), ("summary".into(), summary)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_point_is_available_and_verified() {
+        let m = mix(16);
+        let (p, metas) = tenant_mix_program(&m);
+        let originals = tenant_mix_requests(&m, &metas);
+        let texts: Vec<String> = originals.iter().map(|r| r.text.clone()).collect();
+        let requests: Vec<QueryRequest> = originals
+            .iter()
+            .map(|r| QueryRequest::new(r.tenant as u64, r.text.clone()))
+            .collect();
+        let row = measure_sweep_point(&p, &texts, &requests, 0.01, true);
+        assert_eq!(row.completed, row.requests, "resilient mode completes: {row:?}");
+        assert!(row.solutions > 0);
+    }
+
+    #[test]
+    fn breaker_phase_serves_degraded() {
+        let m = mix(16);
+        let (p, metas) = tenant_mix_program(&m);
+        let originals = tenant_mix_requests(&m, &metas);
+        let texts: Vec<String> = originals.iter().map(|r| r.text.clone()).collect();
+        let rows = measure_breaker_phase(&p, &texts);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[1].breaker_opens >= 1);
+        assert!(rows[2].degraded_cache_hits > 0);
+    }
+
+    #[test]
+    fn json_rows_render_with_summary() {
+        let m = mix(16);
+        let (p, metas) = tenant_mix_program(&m);
+        let originals = tenant_mix_requests(&m, &metas);
+        let texts: Vec<String> = originals.iter().map(|r| r.text.clone()).collect();
+        let requests: Vec<QueryRequest> = originals
+            .iter()
+            .map(|r| QueryRequest::new(r.tenant as u64, r.text.clone()))
+            .collect();
+        let row = measure_sweep_point(&p, &texts, &requests, 0.0, true);
+        let json = rows_to_json(&[row]).render();
+        assert!(json.contains("\"phase\":\"fault-sweep\""));
+        assert!(json.contains("\"availability_resilient\":"));
+    }
+}

@@ -193,6 +193,7 @@ fn store_config(n_clauses: usize, index: IndexPolicy) -> PagedStoreConfig {
         capacity_tracks: (tracks_needed as usize / 2).max(1),
         policy: PolicyKind::Lru,
         index,
+        fault: None,
     }
 }
 

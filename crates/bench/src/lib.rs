@@ -21,9 +21,11 @@
 //! | T10 | [`mvcc_exp`] | MVCC churn: reader latency under concurrent writers vs stop-the-world |
 //! | T11 | [`index_exp`] | first-argument bitmap index: clause touches and faults per solution |
 //! | T12 | [`cache_exp`] | answer cache: open-loop sustainable rate, invalidation precision, governed admission |
+//! | T13 | [`chaos_exp`] | chaos: availability under injected faults, retries vs no-retry, degraded cache-only serving |
 
 pub mod andp_exp;
 pub mod cache_exp;
+pub mod chaos_exp;
 pub mod figures;
 pub mod frontier_exp;
 pub mod index_exp;

@@ -229,6 +229,7 @@ pub fn run_t6b() -> Vec<PagedRow> {
                 // T5's capacity sweep is the pre-index baseline; keep its
                 // access counts comparable across report generations.
                 index: IndexPolicy::None,
+                fault: None,
             },
         );
         let (nodes_expanded, solutions, stats) = engine_run_through(&paged, &program);
@@ -345,6 +346,7 @@ pub fn run_t6c(only: Option<PolicyKind>) -> Vec<PolicyRow> {
                         capacity_tracks,
                         policy,
                         index: IndexPolicy::None,
+                        fault: None,
                     },
                 );
                 let (nodes_expanded, solutions, _) = engine_run_through(&paged, &program);

@@ -20,7 +20,7 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use blog_logic::node::ExpandStats;
-use blog_logic::{expand_via, Query, SearchNode, SearchStats, SolveConfig, Solution};
+use blog_logic::{try_expand_via, Query, SearchNode, SearchStats, SolveConfig, Solution};
 use blog_logic::{ClauseDb, ClauseSource};
 use serde::Serialize;
 
@@ -149,6 +149,12 @@ pub struct BlogResult {
     /// Arcs of popped chains in pop order (empty unless
     /// [`BestFirstConfig::record_trace`] was set).
     pub trace: Vec<blog_logic::PointerKey>,
+    /// The storage fault that aborted the search, if one did. `Some`
+    /// only when searching a fault-planned source: the run stopped at
+    /// the fault (with `stats.truncated` set), and `solutions` holds
+    /// whatever closed before it — callers must treat the set as
+    /// partial, never complete.
+    pub store_error: Option<blog_logic::StoreError>,
 }
 
 impl BlogResult {
@@ -239,6 +245,7 @@ pub fn best_first_with<S: ClauseSource + ?Sized>(
     seq += 1;
 
     let mut trace: Vec<blog_logic::PointerKey> = Vec::new();
+    let mut store_error: Option<blog_logic::StoreError> = None;
 
     while let Some(Reverse(entry)) = heap.pop() {
         if config.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
@@ -311,7 +318,18 @@ pub fn best_first_with<S: ClauseSource + ?Sized>(
 
         stats.nodes_expanded += 1;
         let mut est = ExpandStats::default();
-        let children = expand_via(source, &chain.node, &mut est);
+        let children = match try_expand_via(source, &chain.node, &mut est) {
+            Ok(children) => children,
+            Err(e) => {
+                // A storage fault aborts the search at the faulted
+                // expansion: the solution set so far is incomplete, so
+                // mark the run truncated and surface the error for the
+                // caller's retry/fail decision.
+                stats.truncated = true;
+                store_error = Some(e);
+                break;
+            }
+        };
         stats.unify_attempts += est.unify_attempts;
         stats.unify_successes += est.unify_successes;
         stats.bytes_copied += est.bytes_copied;
@@ -354,6 +372,7 @@ pub fn best_first_with<S: ClauseSource + ?Sized>(
         stats,
         blog,
         trace,
+        store_error,
     }
 }
 

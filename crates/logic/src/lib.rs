@@ -60,9 +60,10 @@ pub use clause::{Clause, ClauseId};
 pub use frames::{BindingFrame, DeltaBindings, DEFAULT_FLATTEN_THRESHOLD};
 pub use goals::GoalStack;
 pub use node::{
-    expand, expand_via, Caller, Expansion, Goal, NodeState, PointerKey, SearchNode, StateRepr,
+    expand, expand_via, try_expand_via, Caller, Expansion, Goal, NodeState, PointerKey, SearchNode,
+    StateRepr,
 };
-pub use source::{ClauseSource, SourceStats};
+pub use source::{ClauseSource, SourceStats, StoreError, StoreErrorKind};
 pub use parser::{
     parse_clauses_interning, parse_program, parse_query, parse_query_shared,
     parse_query_symbols, ParseError, Program, Query,

@@ -39,7 +39,7 @@ use crate::bindings::{BindingLookup, Bindings, Trail};
 use crate::clause::ClauseId;
 use crate::frames::{BindingFrame, DeltaBindings, FreezeStats, DEFAULT_FLATTEN_THRESHOLD};
 use crate::goals::GoalStack;
-use crate::source::ClauseSource;
+use crate::source::{ClauseSource, StoreError};
 use crate::store::ClauseDb;
 use crate::term::{Term, VarId};
 use crate::unify::unify;
@@ -348,15 +348,34 @@ pub fn expand_via<S: ClauseSource + ?Sized>(
     node: &SearchNode,
     stats: &mut ExpandStats,
 ) -> Vec<Expansion> {
+    match try_expand_via(source, node, stats) {
+        Ok(out) => out,
+        Err(e) => panic!("expand_via on a faulting source: {e}"),
+    }
+}
+
+/// [`expand_via`], with storage faults surfaced instead of panicking.
+///
+/// Engines on the serving path expand through this form so an injected
+/// [`StoreError`] from a fault-planned backend propagates as a value the
+/// retry/breaker machinery can classify. On `Err` the children sprouted
+/// before the fault are discarded — the caller abandons the whole
+/// expansion and either retries the request against a fresh snapshot or
+/// fails it; partial expansions are never searched.
+pub fn try_expand_via<S: ClauseSource + ?Sized>(
+    source: &S,
+    node: &SearchNode,
+    stats: &mut ExpandStats,
+) -> Result<Vec<Expansion>, StoreError> {
     let Some(goal) = node.first_goal() else {
-        return Vec::new();
+        return Ok(Vec::new());
     };
     // Dereference the goal far enough to know its functor: the goal term
     // as stored may be a variable bound to a structure by an earlier step.
     // `walk_cow` borrows from the goal (not the store) when the walk goes
     // nowhere, so nothing is cloned on the common already-resolved path.
     let goal_term = node.walk_cow(&goal.term);
-    let candidates = source.candidate_clauses(&goal_term, node.lookup());
+    let candidates = source.try_candidate_clauses(&goal_term, node.lookup())?;
     let mut out = Vec::with_capacity(candidates.len());
     let mut trail = Trail::with_capacity(8);
     let arc_for = |cid: ClauseId| PointerKey {
@@ -369,7 +388,7 @@ pub fn expand_via<S: ClauseSource + ?Sized>(
         NodeState::Cloned { goals, bindings } => {
             for &cid in candidates.iter() {
                 stats.unify_attempts += 1;
-                let clause = source.fetch_clause(cid);
+                let clause = source.try_fetch_clause(cid)?;
                 let base = node.next_var;
                 let renamed_head = clause.head.offset_vars(base);
 
@@ -420,7 +439,7 @@ pub fn expand_via<S: ClauseSource + ?Sized>(
             let mut delta = DeltaBindings::new(frame);
             for &cid in candidates.iter() {
                 stats.unify_attempts += 1;
-                let clause = source.fetch_clause(cid);
+                let clause = source.try_fetch_clause(cid)?;
                 let base = node.next_var;
                 let renamed_head = clause.head.offset_vars(base);
 
@@ -457,7 +476,7 @@ pub fn expand_via<S: ClauseSource + ?Sized>(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -15,11 +15,72 @@
 //! `blog-spd` assert exactly that.
 
 use std::borrow::Cow;
+use std::fmt;
 
 use crate::bindings::BindingLookup;
 use crate::clause::{Clause, ClauseId};
 use crate::store::ClauseDb;
 use crate::term::Term;
+
+/// How a storage fault should be treated by whoever observes it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreErrorKind {
+    /// The access failed this time but may succeed if reissued — a
+    /// dropped page read, a timed-out seek. Retryable.
+    Transient,
+    /// The underlying medium is damaged at this address: every retry
+    /// will fail the same way. Not retryable.
+    Permanent,
+}
+
+/// A typed storage failure surfaced by a fallible [`ClauseSource`].
+///
+/// Fault-free backends never construct one; the paged/MVCC backends in
+/// `blog-spd` return them when a configured fault plan fires, and the
+/// serving layer decides between retrying ([`StoreErrorKind::Transient`])
+/// and failing the request ([`StoreErrorKind::Permanent`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreError {
+    /// Retryability class of the failure.
+    pub kind: StoreErrorKind,
+    /// Human-readable site description (e.g. `"transient read fault at
+    /// track 12"`), for logs and `Outcome::Failed` payloads.
+    pub detail: String,
+}
+
+impl StoreError {
+    /// A retryable fault at the described site.
+    pub fn transient(detail: impl Into<String>) -> Self {
+        StoreError {
+            kind: StoreErrorKind::Transient,
+            detail: detail.into(),
+        }
+    }
+
+    /// A non-retryable fault at the described site.
+    pub fn permanent(detail: impl Into<String>) -> Self {
+        StoreError {
+            kind: StoreErrorKind::Permanent,
+            detail: detail.into(),
+        }
+    }
+
+    /// Whether a retry of the failed access could succeed.
+    pub fn is_transient(&self) -> bool {
+        self.kind == StoreErrorKind::Transient
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            StoreErrorKind::Transient => write!(f, "transient store fault: {}", self.detail),
+            StoreErrorKind::Permanent => write!(f, "permanent store fault: {}", self.detail),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
 
 /// Backend-agnostic access counters a [`ClauseSource`] may expose.
 ///
@@ -61,17 +122,50 @@ impl SourceStats {
 pub trait ClauseSource: Sync {
     /// Fetch a clause block. For paged backends this is *the* accounted
     /// access: one call is one block touch.
-    fn fetch_clause(&self, id: ClauseId) -> &Clause;
+    ///
+    /// Infallible convenience form: backends with a configured fault
+    /// plan panic here on an injected fault, so fault-aware callers
+    /// (the serving layer) go through
+    /// [`try_fetch_clause`](ClauseSource::try_fetch_clause) instead.
+    fn fetch_clause(&self, id: ClauseId) -> &Clause {
+        match self.try_fetch_clause(id) {
+            Ok(c) => c,
+            Err(e) => panic!("fetch_clause on a faulting source: {e}"),
+        }
+    }
+
+    /// Fallible clause fetch. Fault-free backends (everything except a
+    /// store with an active fault plan) always return `Ok`.
+    fn try_fetch_clause(&self, id: ClauseId) -> Result<&Clause, StoreError>;
 
     /// Candidate resolvers for a goal under the backend's index mode,
     /// dereferencing through `bindings` — any binding representation, so
     /// the same backend serves cloned-store and frame-chain searches (see
     /// [`ClauseDb::candidates_for_resolved`]).
+    ///
+    /// Infallible convenience form of
+    /// [`try_candidate_clauses`](ClauseSource::try_candidate_clauses);
+    /// panics on an injected fault like
+    /// [`fetch_clause`](ClauseSource::fetch_clause).
     fn candidate_clauses<'a>(
         &'a self,
         goal: &Term,
         bindings: &dyn BindingLookup,
-    ) -> Cow<'a, [ClauseId]>;
+    ) -> Cow<'a, [ClauseId]> {
+        match self.try_candidate_clauses(goal, bindings) {
+            Ok(c) => c,
+            Err(e) => panic!("candidate_clauses on a faulting source: {e}"),
+        }
+    }
+
+    /// Fallible candidate lookup. Fault-free backends always return
+    /// `Ok`; backends whose index consults storage may surface a
+    /// [`StoreError`] under an active fault plan.
+    fn try_candidate_clauses<'a>(
+        &'a self,
+        goal: &Term,
+        bindings: &dyn BindingLookup,
+    ) -> Result<Cow<'a, [ClauseId]>, StoreError>;
 
     /// Number of clause blocks in the source.
     fn clause_count(&self) -> usize;
@@ -96,12 +190,26 @@ impl ClauseSource for ClauseDb {
     }
 
     #[inline]
+    fn try_fetch_clause(&self, id: ClauseId) -> Result<&Clause, StoreError> {
+        Ok(self.clause(id))
+    }
+
+    #[inline]
     fn candidate_clauses<'a>(
         &'a self,
         goal: &Term,
         bindings: &dyn BindingLookup,
     ) -> Cow<'a, [ClauseId]> {
         self.candidates_for_resolved(goal, bindings)
+    }
+
+    #[inline]
+    fn try_candidate_clauses<'a>(
+        &'a self,
+        goal: &Term,
+        bindings: &dyn BindingLookup,
+    ) -> Result<Cow<'a, [ClauseId]>, StoreError> {
+        Ok(self.candidates_for_resolved(goal, bindings))
     }
 
     #[inline]
@@ -138,6 +246,34 @@ mod tests {
         let p = parse_program("p(a).").unwrap();
         assert_eq!(p.db.backend_name(), "clause-db");
         assert_eq!(p.db.source_stats(), None);
+    }
+
+    #[test]
+    fn fallible_surface_is_ok_on_fault_free_sources() {
+        let p = parse_program("p(a). p(b). q(X) :- p(X).").unwrap();
+        let db = &p.db;
+        let b = Bindings::new();
+        let q_goal = p.db.clause(ClauseId(2)).body[0].clone();
+        assert_eq!(
+            db.try_fetch_clause(ClauseId(0)).unwrap().head,
+            db.clause(ClauseId(0)).head
+        );
+        assert_eq!(
+            db.try_candidate_clauses(&q_goal, &b).unwrap().as_ref(),
+            db.candidates_for_resolved(&q_goal, &b).as_ref()
+        );
+    }
+
+    #[test]
+    fn store_error_classification_and_display() {
+        let t = StoreError::transient("read fault at track 3");
+        let p = StoreError::permanent("track 7 damaged");
+        assert!(t.is_transient());
+        assert!(!p.is_transient());
+        assert_eq!(t.to_string(), "transient store fault: read fault at track 3");
+        assert_eq!(p.to_string(), "permanent store fault: track 7 damaged");
+        assert_eq!(t.kind, StoreErrorKind::Transient);
+        assert_eq!(p.kind, StoreErrorKind::Permanent);
     }
 
     #[test]

@@ -27,8 +27,8 @@ use blog_core::util::SplitMix64;
 use blog_core::weight::{Bound, WeightParams, WeightState, WeightStore, WeightView};
 use blog_logic::node::ExpandStats;
 use blog_logic::{
-    expand_via, CancelToken, ClauseDb, ClauseSource, PointerKey, Query, SearchNode, SearchStats,
-    Solution, SolveConfig,
+    try_expand_via, CancelToken, ClauseDb, ClauseSource, PointerKey, Query, SearchNode,
+    SearchStats, Solution, SolveConfig, StoreError,
 };
 use parking_lot::Mutex;
 
@@ -94,6 +94,12 @@ pub struct ParallelResult {
     /// The weight overlay learned from this query (empty when
     /// `learn == false`); merge it into a session or store as desired.
     pub learned: HashMap<PointerKey, WeightState>,
+    /// The first storage fault any worker hit, if one did. `Some` only
+    /// when searching a fault-planned source: the run aborted (every
+    /// worker drained via the frontier's abort flag, `stats.truncated`
+    /// set) and `solutions` holds whatever closed before the fault —
+    /// callers must treat the set as partial, never complete.
+    pub store_error: Option<StoreError>,
 }
 
 struct SharedCtx<'a, S: ClauseSource + ?Sized> {
@@ -104,6 +110,9 @@ struct SharedCtx<'a, S: ClauseSource + ?Sized> {
     incumbent: AtomicU64,
     nodes: AtomicU64,
     solutions: Mutex<Vec<BoundedSolution>>,
+    /// First storage fault observed by any worker (first writer wins;
+    /// later faults are aftershocks of the same abort).
+    store_error: Mutex<Option<StoreError>>,
     var_names: Arc<Vec<String>>,
     n_query_vars: u32,
 }
@@ -209,7 +218,23 @@ fn step<S: ClauseSource + ?Sized>(
 
     out.stats.nodes_expanded += 1;
     let mut est = ExpandStats::default();
-    let children = expand_via(ctx.source, &chain.node, &mut est);
+    let children = match try_expand_via(ctx.source, &chain.node, &mut est) {
+        Ok(children) => children,
+        Err(e) => {
+            // A storage fault aborts the whole query: record the first
+            // error, mark the run truncated, and drain every worker
+            // through the frontier's abort flag (the same path a node
+            // budget or cancel uses), so no worker strands.
+            let mut slot = ctx.store_error.lock();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+            drop(slot);
+            out.stats.truncated = true;
+            ctx.frontier.abort();
+            return Step::Done;
+        }
+    };
     out.stats.unify_attempts += est.unify_attempts;
     out.stats.unify_successes += est.unify_successes;
     out.stats.bytes_copied += est.bytes_copied;
@@ -317,6 +342,7 @@ pub fn par_best_first_with<S: ClauseSource + ?Sized>(
         incumbent: AtomicU64::new(u64::MAX),
         nodes: AtomicU64::new(0),
         solutions: Mutex::new(Vec::new()),
+        store_error: Mutex::new(None),
         var_names: Arc::new(query.var_names.clone()),
         n_query_vars: query.var_names.len() as u32,
     };
@@ -367,6 +393,7 @@ pub fn par_best_first_with<S: ClauseSource + ?Sized>(
 
     let solutions = ctx.solutions.into_inner();
     stats.solutions = solutions.len() as u64;
+    let store_error = ctx.store_error.into_inner();
     ParallelResult {
         solutions,
         stats,
@@ -374,6 +401,7 @@ pub fn par_best_first_with<S: ClauseSource + ?Sized>(
         counters,
         per_worker_expanded,
         learned,
+        store_error,
     }
 }
 

@@ -32,6 +32,8 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use crate::server::lock_unpoisoned;
+
 use blog_logic::Sym;
 use serde::Serialize;
 
@@ -263,7 +265,7 @@ impl AnswerCache {
         if !self.enabled() {
             return None;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.counters.lookups += 1;
         inner.tick += 1;
         let tick = inner.tick;
@@ -291,7 +293,7 @@ impl AnswerCache {
             return;
         }
         let bytes = entry_bytes(&key, &deps, &solutions);
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         if let Some(old) = inner.entries.get(&key) {
             if old.valid_to >= epoch {
                 // A fresher result for this key is already resident; a
@@ -337,7 +339,7 @@ impl AnswerCache {
         if !self.enabled() || new_epoch == base {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         let clear_all = self.config.mode == CacheMode::ClearAll;
         let mut freed = 0usize;
         let mut invalidations = 0u64;
@@ -380,7 +382,7 @@ impl AnswerCache {
             return true;
         };
         let need = self.config.request_reserve_bytes;
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         if inner.make_room(budget, need) {
             inner.reserved_bytes += need;
             true
@@ -395,13 +397,13 @@ impl AnswerCache {
         if self.config.budget_bytes.is_none() {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.reserved_bytes -= self.config.request_reserve_bytes;
     }
 
     /// Snapshot of the counters and gauges.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock_unpoisoned(&self.inner);
         CacheStats {
             lookups: inner.counters.lookups,
             hits: inner.counters.hits,

@@ -67,6 +67,22 @@
 //!   pressure, and submissions that cannot fit are refused with
 //!   [`Outcome::Overloaded`] rather than queued.
 //!
+//! **Resilience** hardens the request path against a faulty store. A
+//! deterministic [`FaultPlan`] ([`ServeConfig::fault`]) injects
+//! transient read errors, permanent track damage, latency spikes and
+//! worker panics at the paging layer; per-request retries with
+//! exponential backoff ([`RetryPolicy`]) absorb the transient ones, a
+//! panic shield turns an unwinding engine into an [`Outcome::Failed`]
+//! instead of a stranded pool worker, a per-pool circuit breaker
+//! ([`BreakerConfig`]) routes admissions around pools that storage keeps
+//! defeating, and while a breaker is open the pool still answers from
+//! valid answer-cache entries — degraded cache-only serving. Every
+//! failure-ish outcome carries machine-readable [`RetryAdvice`]. The
+//! invariant throughout: a response is the pinned epoch's exact
+//! sequential solution set, an honest `Cancelled` partial, or a
+//! `Failed` — never a silently shortened answer (the T13 chaos
+//! experiment enforces this against a per-epoch oracle).
+//!
 //! [`ServeStats`] reports the serving picture — per-pool throughput and
 //! p50/p99 latency, queue depths, admission overflow, answer-cache
 //! hits/fills/invalidations, store hit rate split warm-vs-cold by
@@ -80,11 +96,13 @@ mod server;
 mod stats;
 pub mod tuning;
 
-pub use blog_spd::{CommitMode, IndexPolicy};
+pub use blog_spd::{CommitMode, FaultKind, FaultPlan, FaultScope, FaultSite, IndexPolicy};
 pub use cache::{AnswerCache, CacheConfig, CacheKey, CacheMode, CacheStats};
 pub use request::{
-    Outcome, QueryRequest, QueryResponse, ServedFrom, SessionId, UpdateOp, UpdateOutcome,
-    UpdateRequest, UpdateResponse,
+    Outcome, QueryRequest, QueryResponse, RetryAdvice, ServedFrom, SessionId, UpdateOp,
+    UpdateOutcome, UpdateRequest, UpdateResponse,
 };
-pub use server::{Admission, ExecMode, QueryServer, Routing, ServeConfig, Submitter};
+pub use server::{
+    Admission, BreakerConfig, ExecMode, QueryServer, RetryPolicy, Routing, ServeConfig, Submitter,
+};
 pub use stats::{PoolReport, ServeReport, ServeStats, WarmthSplit};

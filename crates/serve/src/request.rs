@@ -73,6 +73,39 @@ impl QueryRequest {
     }
 }
 
+/// Machine-readable client backoff hint, carried by the outcomes a
+/// client may want to resubmit after ([`Outcome::Overloaded`],
+/// [`Outcome::Failed`]) — so open-loop drivers can implement
+/// client-side backoff without parsing error strings.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetryAdvice {
+    /// Whether resubmitting can possibly succeed. `false` means the
+    /// failure is permanent (damaged storage, an unparseable state) and
+    /// the client should surface the error instead of retrying.
+    pub retryable: bool,
+    /// How long to wait before resubmitting (zero when `retryable` is
+    /// `false`, or when the server has no reason to ask for a delay).
+    pub retry_after: Duration,
+}
+
+impl RetryAdvice {
+    /// "Resubmit after `delay`."
+    pub fn after(delay: Duration) -> RetryAdvice {
+        RetryAdvice {
+            retryable: true,
+            retry_after: delay,
+        }
+    }
+
+    /// "Do not resubmit — this will keep failing."
+    pub fn give_up() -> RetryAdvice {
+        RetryAdvice {
+            retryable: false,
+            retry_after: Duration::ZERO,
+        }
+    }
+}
+
 /// How a request ended.
 #[derive(Clone, Debug)]
 pub enum Outcome {
@@ -99,8 +132,23 @@ pub enum Outcome {
     /// The memory governor refused the submission: the store-wide byte
     /// budget could not fit the request's reservation even after
     /// evicting the answer cache. The request never reached a pool —
-    /// back off and resubmit.
-    Overloaded,
+    /// back off per `advice` and resubmit.
+    Overloaded {
+        /// When to resubmit.
+        advice: RetryAdvice,
+    },
+    /// The request ran but could not produce a trustworthy answer: the
+    /// store faulted past the retry budget, the storage is permanently
+    /// damaged, the executing engine panicked, or the pool's circuit
+    /// breaker was open with no valid cache entry to serve. **No partial
+    /// solutions are returned** — a failed request never reports a
+    /// half-enumerated set as if it were the answer.
+    Failed {
+        /// Human-readable failure description.
+        error: String,
+        /// Whether (and when) resubmitting could succeed.
+        advice: RetryAdvice,
+    },
 }
 
 impl Outcome {
@@ -110,12 +158,20 @@ impl Outcome {
     }
 
     /// The rendered solutions, however the request ended (empty for
-    /// rejections and governor refusals).
+    /// rejections, governor refusals and failures).
     pub fn solutions(&self) -> &[String] {
         match self {
             Outcome::Completed { solutions } => solutions,
             Outcome::Cancelled { partial } => partial,
-            Outcome::Rejected { .. } | Outcome::Overloaded => &[],
+            Outcome::Rejected { .. } | Outcome::Overloaded { .. } | Outcome::Failed { .. } => &[],
+        }
+    }
+
+    /// The backoff hint, for the outcomes that carry one.
+    pub fn retry_advice(&self) -> Option<RetryAdvice> {
+        match self {
+            Outcome::Overloaded { advice } | Outcome::Failed { advice, .. } => Some(*advice),
+            _ => None,
         }
     }
 }

@@ -3,26 +3,43 @@
 //! the answer cache, and the memory governor.
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use blog_core::engine::{best_first_with, BestFirstConfig};
 use blog_core::weight::{WeightParams, WeightStore, WeightView};
 use blog_logic::{
-    canonical_query, parse_query_symbols, CancelToken, ClauseDb, ClauseId, SolveConfig,
+    canonical_query, parse_query_symbols, CancelToken, ClauseDb, ClauseId, SearchStats,
+    SolveConfig,
 };
 use blog_parallel::{par_best_first_with, FrontierPolicy, ParallelConfig};
 use blog_spd::{
-    CommitMode, IndexPolicy, MvccClauseStore, MvccError, PagedStoreConfig, PagedStoreStats,
+    CommitMode, FaultPlan, IndexPolicy, MvccClauseStore, MvccError, PagedStoreConfig,
+    PagedStoreStats,
 };
 
 use crate::cache::{AnswerCache, CacheConfig, CacheKey, CacheStats};
 use crate::request::{
-    Outcome, QueryRequest, QueryResponse, ServedFrom, UpdateOp, UpdateOutcome, UpdateRequest,
-    UpdateResponse,
+    Outcome, QueryRequest, QueryResponse, RetryAdvice, ServedFrom, UpdateOp, UpdateOutcome,
+    UpdateRequest, UpdateResponse,
 };
 use crate::stats::{percentile_ms, warmth_splits, PoolReport, ServeReport, ServeStats};
+
+/// Lock a mutex, recovering from poisoning.
+///
+/// Invariant that makes the recovery sound: every critical section in
+/// this crate leaves its protected data consistent at each statement
+/// boundary (counters bump atomically, collections push whole elements),
+/// so a thread that panicked while holding a lock — an injected engine
+/// panic, an assert in a driver callback — cannot have left torn state
+/// behind. Propagating the poison instead would let one isolated request
+/// failure strand every worker sharing the lock, which is exactly what
+/// the panic-isolation path exists to prevent.
+pub(crate) fn lock_unpoisoned<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// How requests map to pools.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -61,6 +78,77 @@ pub enum ExecMode {
         /// Frontier sharing policy for those workers.
         policy: FrontierPolicy,
     },
+}
+
+/// Per-request retry budget for transient storage faults and engine
+/// panics. Attempt `n` (0-based retry count) backs off for
+/// `base_backoff * 2^n` capped at `max_backoff`, plus a deterministic
+/// per-request jitter of up to 25% so a burst of faulted requests does
+/// not re-converge on the store in lockstep.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Extra engine attempts after the first (0 = never retry — the T13
+    /// ablation).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (first fault fails the request).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// Per-pool circuit breaker configuration. A pool whose requests keep
+/// failing against storage (retry budgets exhausted, permanent faults,
+/// engine panics) trips open: new requests on that pool are served from
+/// the answer cache only (or failed fast) instead of queueing behind a
+/// sick disk path, and admissions reroute to healthy pools. After
+/// `cooldown` the next request probes the pool (half-open); one success
+/// closes the breaker, one failure re-opens it.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive request-level storage failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker routes around the pool before probing.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(25),
+        }
+    }
+}
+
+/// One pool's breaker state. Failures are counted at *request*
+/// granularity (a request that recovered via retries is a success), so
+/// transient noise the retry budget absorbs never trips the breaker —
+/// only requests that storage actually defeated do.
+#[derive(Clone, Copy, Debug)]
+enum BreakerState {
+    Closed { consecutive: u32 },
+    Open { since: Instant },
+    HalfOpen,
 }
 
 /// Server configuration.
@@ -106,6 +194,15 @@ pub struct ServeConfig {
     /// [`CacheMode::Off`](crate::CacheMode::Off) and ungoverned, which
     /// reproduces the pre-cache server exactly.
     pub cache: CacheConfig,
+    /// Deterministic storage fault schedule (see [`FaultPlan`]). When
+    /// `Some`, it overrides whatever plan the store config carries — one
+    /// knob for serving chaos experiments. `None` leaves the store
+    /// config's plan (usually also `None`: a fault-free store).
+    pub fault: Option<FaultPlan>,
+    /// Retry budget for transient storage faults and engine panics.
+    pub retry: RetryPolicy,
+    /// Per-pool circuit breaker (see [`BreakerConfig`]).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServeConfig {
@@ -121,6 +218,9 @@ impl Default for ServeConfig {
             index: IndexPolicy::default(),
             reaper_poll: Duration::from_micros(200),
             cache: CacheConfig::default(),
+            fault: None,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -201,7 +301,7 @@ impl OpenState {
     }
 
     fn in_flight(&self) -> usize {
-        let p = self.progress.lock().unwrap();
+        let p = lock_unpoisoned(&self.progress);
         p.queued - p.finished
     }
 }
@@ -267,14 +367,34 @@ impl Submitter<'_> {
                 }
             }
         }
+        // Breaker reroute: a pool whose breaker is open and still
+        // cooling gets no new work while any healthy pool exists —
+        // affinity warmth is worth less than an answer. (When the
+        // cooldown has elapsed, the request is allowed through as the
+        // half-open probe; when every pool is sick, the routed pool
+        // keeps it and serves degraded.)
+        if self.server.breaker_cooling(pool) {
+            let healthy = (0..n_pools)
+                .filter(|&q| q != pool && !self.server.breaker_cooling(q))
+                .min_by_key(|&q| state.queues[q].depth.load(Ordering::Relaxed));
+            if let Some(alt) = healthy {
+                pool = alt;
+                self.server.breaker_reroutes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         if !self.server.cache.try_admit() {
-            state.overloaded.lock().unwrap().push(QueryResponse {
+            lock_unpoisoned(&state.overloaded).push(QueryResponse {
                 request: idx,
                 session: request.session,
                 tenant: request.tenant,
                 pool,
                 epoch: self.server.store.committed_epoch(),
-                outcome: Outcome::Overloaded,
+                outcome: Outcome::Overloaded {
+                    // The governor frees bytes as in-flight requests
+                    // finish; one service quantum is a sensible earliest
+                    // resubmit.
+                    advice: RetryAdvice::after(self.server.config.retry.base_backoff),
+                },
                 stats: blog_logic::SearchStats::default(),
                 queue_wait: Duration::ZERO,
                 service: Duration::ZERO,
@@ -289,12 +409,12 @@ impl Submitter<'_> {
         let cancel = CancelToken::new();
         let deadline = request.deadline.map(|d| now + d);
         if let Some(at) = deadline {
-            state.reaper_watch.lock().unwrap().push((at, cancel.clone()));
+            lock_unpoisoned(&state.reaper_watch).push((at, cancel.clone()));
         }
-        state.progress.lock().unwrap().queued += 1;
+        lock_unpoisoned(&state.progress).queued += 1;
         let q = &state.queues[pool];
         {
-            let mut jobs = q.jobs.lock().unwrap();
+            let mut jobs = lock_unpoisoned(&q.jobs);
             jobs.push_back(Job {
                 idx,
                 request,
@@ -330,7 +450,7 @@ impl Submitter<'_> {
                 },
             },
         };
-        self.state.updates.lock().unwrap().push(response.clone());
+        lock_unpoisoned(&self.state.updates).push(response.clone());
         response
     }
 
@@ -342,9 +462,13 @@ impl Submitter<'_> {
     /// Block until every query submitted so far has a response — the
     /// deterministic barrier interleaved commit/query schedules need.
     pub fn quiesce(&self) {
-        let mut prog = self.state.progress.lock().unwrap();
+        let mut prog = lock_unpoisoned(&self.state.progress);
         while prog.finished < prog.queued {
-            prog = self.state.idle.wait(prog).unwrap();
+            prog = self
+                .state
+                .idle
+                .wait(prog)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
 }
@@ -376,6 +500,15 @@ pub struct QueryServer {
     /// their cache notifications, so [`AnswerCache::on_commit`] observes
     /// base/new epoch pairs in true commit order.
     update_order: Mutex<()>,
+    /// One circuit breaker per pool (state persists across batches: a
+    /// pool that tripped at the end of one run is still sick at the
+    /// start of the next).
+    breakers: Vec<Mutex<BreakerState>>,
+    /// Cumulative resilience meters (serve runs report deltas).
+    retries: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_reroutes: AtomicU64,
+    degraded_cache_hits: AtomicU64,
 }
 
 impl QueryServer {
@@ -409,9 +542,16 @@ impl QueryServer {
         if let ExecMode::OrParallel { n_workers, .. } = config.exec {
             assert!(n_workers >= 1, "need at least one worker per request");
         }
-        let store = MvccClauseStore::new(db, store_config.with_index(config.index), config.commit);
+        let mut store_config = store_config.with_index(config.index);
+        if config.fault.is_some() {
+            store_config = store_config.with_fault(config.fault.clone());
+        }
+        let store = MvccClauseStore::new(db, store_config, config.commit);
         store.set_write_stall(config.stall_ns_per_tick);
         let cache = AnswerCache::new(config.cache.clone());
+        let breakers = (0..config.n_pools)
+            .map(|_| Mutex::new(BreakerState::Closed { consecutive: 0 }))
+            .collect();
         QueryServer {
             weights,
             store,
@@ -420,6 +560,11 @@ impl QueryServer {
             sessions: Mutex::new(HashMap::new()),
             rr_next: AtomicUsize::new(0),
             update_order: Mutex::new(()),
+            breakers,
+            retries: AtomicU64::new(0),
+            breaker_opens: AtomicU64::new(0),
+            breaker_reroutes: AtomicU64::new(0),
+            degraded_cache_hits: AtomicU64::new(0),
         }
     }
 
@@ -450,6 +595,78 @@ impl QueryServer {
         }
     }
 
+    /// Whether pool `p`'s breaker is open and still inside its cooldown
+    /// (the admission-time reroute predicate; does not transition state).
+    fn breaker_cooling(&self, p: usize) -> bool {
+        match *lock_unpoisoned(&self.breakers[p]) {
+            BreakerState::Open { since } => since.elapsed() < self.config.breaker.cooldown,
+            _ => false,
+        }
+    }
+
+    /// Execution-time breaker gate for pool `p`: `None` = run an engine
+    /// (closed, or open-and-cooled — the state moves to half-open and
+    /// this request is the probe); `Some(remaining)` = the breaker is
+    /// open for another `remaining`, serve degraded.
+    fn breaker_admit(&self, p: usize) -> Option<Duration> {
+        let mut state = lock_unpoisoned(&self.breakers[p]);
+        match *state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => None,
+            BreakerState::Open { since } => {
+                let elapsed = since.elapsed();
+                if elapsed >= self.config.breaker.cooldown {
+                    *state = BreakerState::HalfOpen;
+                    None
+                } else {
+                    Some(self.config.breaker.cooldown - elapsed)
+                }
+            }
+        }
+    }
+
+    /// A request on pool `p` got a real answer out of storage: reset the
+    /// failure streak (and close a half-open breaker — the probe passed).
+    fn breaker_success(&self, p: usize) {
+        *lock_unpoisoned(&self.breakers[p]) = BreakerState::Closed { consecutive: 0 };
+    }
+
+    /// A request on pool `p` was defeated by storage (retry budget
+    /// exhausted, permanent fault, or engine panic): extend the streak,
+    /// tripping the breaker at the threshold; a failed half-open probe
+    /// re-opens immediately.
+    fn breaker_failure(&self, p: usize) {
+        let mut state = lock_unpoisoned(&self.breakers[p]);
+        match *state {
+            BreakerState::Closed { consecutive } => {
+                let consecutive = consecutive + 1;
+                if consecutive >= self.config.breaker.failure_threshold {
+                    *state = BreakerState::Open { since: Instant::now() };
+                    self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    *state = BreakerState::Closed { consecutive };
+                }
+            }
+            BreakerState::HalfOpen => {
+                *state = BreakerState::Open { since: Instant::now() };
+                self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+            }
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based) of request `idx`:
+    /// exponential in the attempt, capped, plus a deterministic
+    /// per-(request, attempt) jitter of up to 25%.
+    fn backoff_delay(&self, idx: usize, attempt: u32) -> Duration {
+        let policy = &self.config.retry;
+        let exp = policy
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let capped = exp.min(policy.max_backoff);
+        let jitter = splitmix(((idx as u64) << 8) ^ attempt as u64) % 256;
+        capped + capped.mul_f64(jitter as f64 / 1024.0)
+    }
+
     /// Apply one batch of ops as a single atomic transaction and commit.
     /// Returns the committed epoch and the clause ids allocated by the
     /// asserts; on any failing op the transaction is dropped (nothing
@@ -467,7 +684,7 @@ impl QueryServer {
         &self,
         ops: &[crate::request::UpdateOp],
     ) -> Result<(u64, Vec<ClauseId>), MvccError> {
-        let _order = self.update_order.lock().unwrap();
+        let _order = lock_unpoisoned(&self.update_order);
         let mut txn = self.store.begin_write();
         let mut asserted = Vec::new();
         for op in ops {
@@ -554,6 +771,10 @@ impl QueryServer {
         let mvcc_before = self.store.mvcc_stats();
         let cache_before = self.cache.stats();
         let pools_before: Vec<_> = (0..n_pools).map(|p| self.store.pool_stats(p)).collect();
+        let retries_before = self.retries.load(Ordering::Relaxed);
+        let breaker_opens_before = self.breaker_opens.load(Ordering::Relaxed);
+        let breaker_reroutes_before = self.breaker_reroutes.load(Ordering::Relaxed);
+        let degraded_before = self.degraded_cache_hits.load(Ordering::Relaxed);
 
         // Live pool-thread count, decremented by a drop guard so the
         // reaper still exits (and the scope can propagate the panic)
@@ -579,7 +800,7 @@ impl QueryServer {
                         let mut out = Vec::new();
                         loop {
                             let job = {
-                                let mut jobs = queue.jobs.lock().unwrap();
+                                let mut jobs = lock_unpoisoned(&queue.jobs);
                                 loop {
                                     if let Some(job) = jobs.pop_front() {
                                         queue.depth.fetch_sub(1, Ordering::Relaxed);
@@ -588,13 +809,16 @@ impl QueryServer {
                                     if !state.accepting.load(Ordering::Acquire) {
                                         break None;
                                     }
-                                    jobs = queue.available.wait(jobs).unwrap();
+                                    jobs = queue
+                                        .available
+                                        .wait(jobs)
+                                        .unwrap_or_else(|poisoned| poisoned.into_inner());
                                 }
                             };
                             let Some(job) = job else { break };
                             out.push(self.execute(p, job));
                             self.cache.release();
-                            let mut prog = state.progress.lock().unwrap();
+                            let mut prog = lock_unpoisoned(&state.progress);
                             prog.finished += 1;
                             state.idle.notify_all();
                         }
@@ -606,7 +830,7 @@ impl QueryServer {
                 let poll = self.config.reaper_poll;
                 scope.spawn(move || loop {
                     let now = Instant::now();
-                    state.reaper_watch.lock().unwrap().retain(|(at, token)| {
+                    lock_unpoisoned(&state.reaper_watch).retain(|(at, token)| {
                         if now >= *at {
                             token.cancel();
                             false
@@ -636,7 +860,7 @@ impl QueryServer {
                 fn drop(&mut self) {
                     self.0.accepting.store(false, Ordering::Release);
                     for queue in &self.0.queues {
-                        let _jobs = queue.jobs.lock().unwrap();
+                        let _jobs = lock_unpoisoned(&queue.jobs);
                         queue.available.notify_all();
                     }
                 }
@@ -687,9 +911,17 @@ impl QueryServer {
             });
         }
         let mut responses: Vec<QueryResponse> = per_pool_responses.into_iter().flatten().collect();
-        responses.extend(state.overloaded.into_inner().unwrap());
+        responses.extend(
+            state
+                .overloaded
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        );
         responses.sort_by_key(|r| r.request);
-        let mut update_responses = state.updates.into_inner().unwrap();
+        let mut update_responses = state
+            .updates
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         update_responses.sort_by_key(|r| r.request);
         let total = responses.len();
         // Latency percentiles cover requests that reached a pool;
@@ -697,7 +929,7 @@ impl QueryServer {
         // the signal with zeros.
         let executed: Vec<&QueryResponse> = responses
             .iter()
-            .filter(|r| !matches!(r.outcome, Outcome::Overloaded))
+            .filter(|r| !matches!(r.outcome, Outcome::Overloaded { .. }))
             .collect();
         let service_ms: Vec<f64> = executed
             .iter()
@@ -719,7 +951,11 @@ impl QueryServer {
             .count();
         let overloaded = responses
             .iter()
-            .filter(|r| matches!(r.outcome, Outcome::Overloaded))
+            .filter(|r| matches!(r.outcome, Outcome::Overloaded { .. }))
+            .count();
+        let failed = responses
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Failed { .. }))
             .count();
         let mvcc_after = self.store.mvcc_stats();
         let store = stats_delta(store_before, self.store.stats());
@@ -731,6 +967,13 @@ impl QueryServer {
             cancelled,
             rejected,
             overloaded,
+            failed,
+            retries: self.retries.load(Ordering::Relaxed) - retries_before,
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed) - breaker_opens_before,
+            breaker_reroutes: self.breaker_reroutes.load(Ordering::Relaxed)
+                - breaker_reroutes_before,
+            degraded_cache_hits: self.degraded_cache_hits.load(Ordering::Relaxed)
+                - degraded_before,
             throughput_rps: if wall_s > 0.0 { total as f64 / wall_s } else { 0.0 },
             p50_ms: percentile_ms(&service_ms, 0.5),
             p99_ms: percentile_ms(&service_ms, 0.99),
@@ -761,10 +1004,7 @@ impl QueryServer {
         let started = Instant::now();
         let queue_wait = started - job.enqueued;
         let session = job.request.session;
-        let warm_before = self
-            .sessions
-            .lock()
-            .unwrap()
+        let warm_before = lock_unpoisoned(&self.sessions)
             .get(&session.0)
             .is_some_and(|&home| home == p);
         let pool_before = self.store.pool_stats(p);
@@ -779,150 +1019,25 @@ impl QueryServer {
                 Outcome::Cancelled {
                     partial: Vec::new(),
                 },
-                blog_logic::SearchStats::default(),
+                SearchStats::default(),
                 self.store.committed_epoch(),
                 ServedFrom::Engine,
             )
+        } else if let Some(remaining) = self.breaker_admit(p) {
+            self.execute_degraded(p, &job, remaining)
         } else {
-            // Pin the epoch *before* parsing: the query is admitted at
-            // this snapshot, parsed against its symbol table (so text
-            // mentioning vocabulary from a later epoch rejects, exactly
-            // as it would have sequentially), and executed against its
-            // pages whatever commits land meanwhile.
-            let mut snap = self
-                .store
-                .begin_read()
-                .for_pool(p)
-                .with_stall(self.config.stall_ns_per_tick);
-            let epoch = snap.epoch();
-            match parse_query_symbols(snap.symbols(), &job.request.text) {
-                Err(e) => (
-                    Outcome::Rejected {
-                        error: e.to_string(),
-                    },
-                    blog_logic::SearchStats::default(),
-                    epoch,
-                    ServedFrom::Engine,
-                ),
-                Ok(query) => {
-                    let mut solve = self.config.solve.clone();
-                    if job.request.max_nodes.is_some() {
-                        solve.max_nodes = job.request.max_nodes;
-                    }
-                    if job.request.max_solutions.is_some() {
-                        solve.max_solutions = job.request.max_solutions;
-                    }
-                    // The cache key is the canonical (alpha-invariant)
-                    // query text plus every limit that shapes the
-                    // solution set.
-                    let key = self.cache.enabled().then(|| CacheKey {
-                        canon: canonical_query(snap.symbols(), &query),
-                        max_nodes: solve.max_nodes,
-                        max_solutions: solve.max_solutions,
-                        max_depth: solve.max_depth,
-                    });
-                    let hit = key.as_ref().and_then(|k| self.cache.lookup(k, epoch));
-                    if let Some(solutions) = hit {
-                        // Answer-cache hit: the engine is bypassed
-                        // entirely; the cached set is provably the
-                        // sequential solution set of this epoch.
-                        (
-                            Outcome::Completed {
-                                solutions: (*solutions).clone(),
-                            },
-                            blog_logic::SearchStats::default(),
-                            epoch,
-                            ServedFrom::Cache,
-                        )
-                    } else {
-                        if key.is_some() {
-                            snap = snap.recording_deps();
-                        }
-                        let budget = solve.max_nodes;
-                        let cap = solve.max_solutions;
-                        let (mut texts, stats) = match self.config.exec {
-                            ExecMode::Sequential => {
-                                let mut overlay = HashMap::new();
-                                let mut wview = WeightView::new(&mut overlay, &self.weights);
-                                let cfg = BestFirstConfig {
-                                    solve,
-                                    learn: false,
-                                    cancel: Some(job.cancel.clone()),
-                                    ..BestFirstConfig::default()
-                                };
-                                let r = best_first_with(&snap, &query, &mut wview, &cfg);
-                                (
-                                    r.solutions
-                                        .iter()
-                                        .map(|s| s.solution.to_text_syms(snap.symbols()))
-                                        .collect::<Vec<_>>(),
-                                    r.stats,
-                                )
-                            }
-                            ExecMode::OrParallel { n_workers, policy } => {
-                                let cfg = ParallelConfig {
-                                    n_workers,
-                                    policy,
-                                    solve,
-                                    learn: false,
-                                    cancel: Some(job.cancel.clone()),
-                                    ..ParallelConfig::default()
-                                };
-                                let r = par_best_first_with(&snap, &query, &self.weights, &cfg);
-                                (
-                                    r.solutions
-                                        .iter()
-                                        .map(|s| s.solution.to_text_syms(snap.symbols()))
-                                        .collect::<Vec<_>>(),
-                                    r.stats,
-                                )
-                            }
-                        };
-                        texts.sort();
-                        // Classify from what actually stopped the engine,
-                        // not from the token alone: a reaper firing
-                        // *after* the search ran to its natural end (or to
-                        // its node budget) must not relabel a finished
-                        // answer.
-                        let budget_exhausted = budget.is_some_and(|b| stats.nodes_expanded >= b);
-                        let cancelled =
-                            stats.truncated && !budget_exhausted && job.cancel.is_cancelled();
-                        if cancelled {
-                            (Outcome::Cancelled { partial: texts }, stats, epoch, ServedFrom::Engine)
-                        } else {
-                            // Memoize only **complete** enumerations:
-                            // truncated, depth-cut, or solution-capped
-                            // results depend on expansion order (the
-                            // OR-parallel engine's is nondeterministic)
-                            // and must never be served to a later request.
-                            let complete = !stats.truncated
-                                && !stats.depth_cutoff
-                                && cap.is_none_or(|c| texts.len() < c);
-                            if complete {
-                                if let Some(k) = key {
-                                    let solutions = Arc::new(texts.clone());
-                                    self.cache.fill(k, epoch, snap.recorded_deps(), solutions);
-                                }
-                            }
-                            (
-                                Outcome::Completed { solutions: texts },
-                                stats,
-                                epoch,
-                                ServedFrom::Engine,
-                            )
-                        }
-                    }
-                }
-            }
+            self.execute_attempts(p, &job)
         };
-        // The pool has now seen this session — but only if an engine ran:
-        // a parse rejection, an expired-in-queue shed, or an answer-cache
-        // hit touched none of the session's tracks, so marking it warm
-        // would dilute the warm-vs-cold split the serving report exists
-        // to measure.
-        if !matches!(outcome, Outcome::Rejected { .. }) && !shed && served_from == ServedFrom::Engine
+        // The pool has now seen this session — but only if an engine ran
+        // to an answer: a parse rejection, an expired-in-queue shed, a
+        // failure, or an answer-cache hit touched none of the session's
+        // tracks, so marking it warm would dilute the warm-vs-cold split
+        // the serving report exists to measure.
+        if !matches!(outcome, Outcome::Rejected { .. } | Outcome::Failed { .. })
+            && !shed
+            && served_from == ServedFrom::Engine
         {
-            self.sessions.lock().unwrap().insert(session.0, p);
+            lock_unpoisoned(&self.sessions).insert(session.0, p);
         }
         let pool_after = self.store.pool_stats(p);
         QueryResponse {
@@ -944,6 +1059,284 @@ impl QueryServer {
             store_hits: pool_after.hits - pool_before.hits,
         }
     }
+
+    /// Serve one request with pool `p`'s breaker open: the engine — and
+    /// the sick storage path behind it — is never touched. A still-valid
+    /// answer-cache entry for the canonical query answers the request
+    /// anyway ([`ServedFrom::Cache`], counted as a degraded cache hit);
+    /// anything else fails fast, with the breaker's remaining cooldown
+    /// as the client's retry hint.
+    fn execute_degraded(
+        &self,
+        p: usize,
+        job: &Job,
+        remaining: Duration,
+    ) -> (Outcome, SearchStats, u64, ServedFrom) {
+        // Pinning a snapshot reads no pages: the symbol table and epoch
+        // live in memory, so parse + cache lookup are safe against any
+        // storage fault.
+        let snap = self.store.begin_read().for_pool(p);
+        let epoch = snap.epoch();
+        match parse_query_symbols(snap.symbols(), &job.request.text) {
+            Err(e) => (
+                Outcome::Rejected {
+                    error: e.to_string(),
+                },
+                SearchStats::default(),
+                epoch,
+                ServedFrom::Engine,
+            ),
+            Ok(query) => {
+                let mut solve = self.config.solve.clone();
+                if job.request.max_nodes.is_some() {
+                    solve.max_nodes = job.request.max_nodes;
+                }
+                if job.request.max_solutions.is_some() {
+                    solve.max_solutions = job.request.max_solutions;
+                }
+                let key = self.cache.enabled().then(|| CacheKey {
+                    canon: canonical_query(snap.symbols(), &query),
+                    max_nodes: solve.max_nodes,
+                    max_solutions: solve.max_solutions,
+                    max_depth: solve.max_depth,
+                });
+                match key.as_ref().and_then(|k| self.cache.lookup(k, epoch)) {
+                    Some(solutions) => {
+                        self.degraded_cache_hits.fetch_add(1, Ordering::Relaxed);
+                        (
+                            Outcome::Completed {
+                                solutions: (*solutions).clone(),
+                            },
+                            SearchStats::default(),
+                            epoch,
+                            ServedFrom::Cache,
+                        )
+                    }
+                    None => (
+                        Outcome::Failed {
+                            error: format!(
+                                "pool {p} circuit breaker open; no cached answer covers epoch {epoch}"
+                            ),
+                            advice: RetryAdvice::after(remaining),
+                        },
+                        SearchStats::default(),
+                        epoch,
+                        ServedFrom::Engine,
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Run one request's engine attempts on pool `p`: a fresh
+    /// epoch-pinned snapshot per attempt, a panic shield around the
+    /// engine, and the retry budget absorbing transient storage faults.
+    ///
+    /// The soundness rule of the whole path: a response is either the
+    /// pinned epoch's **exact** sequential solution set (engine ran
+    /// fault-free; cache fills only happen here), an honestly-labelled
+    /// `Cancelled` partial, or a `Failed` — partial solutions from a
+    /// faulted or panicked attempt are discarded, never served as if
+    /// they were the answer.
+    fn execute_attempts(&self, p: usize, job: &Job) -> (Outcome, SearchStats, u64, ServedFrom) {
+        let mut attempt: u32 = 0;
+        loop {
+            // Pin the epoch *before* parsing: the query is admitted at
+            // this snapshot, parsed against its symbol table (so text
+            // mentioning vocabulary from a later epoch rejects, exactly
+            // as it would have sequentially), and executed against its
+            // pages whatever commits land meanwhile. A retry pins a
+            // *fresh* snapshot — commits may have landed during the
+            // backoff, and the response's epoch tag must match the pages
+            // the successful attempt actually read.
+            let mut snap = self
+                .store
+                .begin_read()
+                .for_pool(p)
+                .with_stall(self.config.stall_ns_per_tick);
+            let epoch = snap.epoch();
+            let query = match parse_query_symbols(snap.symbols(), &job.request.text) {
+                Err(e) => {
+                    return (
+                        Outcome::Rejected {
+                            error: e.to_string(),
+                        },
+                        SearchStats::default(),
+                        epoch,
+                        ServedFrom::Engine,
+                    )
+                }
+                Ok(query) => query,
+            };
+            let mut solve = self.config.solve.clone();
+            if job.request.max_nodes.is_some() {
+                solve.max_nodes = job.request.max_nodes;
+            }
+            if job.request.max_solutions.is_some() {
+                solve.max_solutions = job.request.max_solutions;
+            }
+            // The cache key is the canonical (alpha-invariant) query
+            // text plus every limit that shapes the solution set.
+            let key = self.cache.enabled().then(|| CacheKey {
+                canon: canonical_query(snap.symbols(), &query),
+                max_nodes: solve.max_nodes,
+                max_solutions: solve.max_solutions,
+                max_depth: solve.max_depth,
+            });
+            let hit = key.as_ref().and_then(|k| self.cache.lookup(k, epoch));
+            if let Some(solutions) = hit {
+                // Answer-cache hit: the engine is bypassed entirely; the
+                // cached set is provably the sequential solution set of
+                // this epoch. The breaker is left alone — a hit probes
+                // nothing about the pool's storage path.
+                return (
+                    Outcome::Completed {
+                        solutions: (*solutions).clone(),
+                    },
+                    SearchStats::default(),
+                    epoch,
+                    ServedFrom::Cache,
+                );
+            }
+            if key.is_some() {
+                snap = snap.recording_deps();
+            }
+            let budget = solve.max_nodes;
+            let cap = solve.max_solutions;
+            // The engine runs behind a panic shield: an injected storage
+            // panic (FaultKind::Panic) or any engine bug fails this
+            // *attempt* instead of unwinding through the pool worker —
+            // which would strand the queue's condvar waiters and take
+            // every later request on the pool down with it.
+            let run = catch_unwind(AssertUnwindSafe(|| match self.config.exec {
+                ExecMode::Sequential => {
+                    let mut overlay = HashMap::new();
+                    let mut wview = WeightView::new(&mut overlay, &self.weights);
+                    let cfg = BestFirstConfig {
+                        solve,
+                        learn: false,
+                        cancel: Some(job.cancel.clone()),
+                        ..BestFirstConfig::default()
+                    };
+                    let r = best_first_with(&snap, &query, &mut wview, &cfg);
+                    let texts = r
+                        .solutions
+                        .iter()
+                        .map(|s| s.solution.to_text_syms(snap.symbols()))
+                        .collect::<Vec<_>>();
+                    (texts, r.stats, r.store_error)
+                }
+                ExecMode::OrParallel { n_workers, policy } => {
+                    let cfg = ParallelConfig {
+                        n_workers,
+                        policy,
+                        solve,
+                        learn: false,
+                        cancel: Some(job.cancel.clone()),
+                        ..ParallelConfig::default()
+                    };
+                    let r = par_best_first_with(&snap, &query, &self.weights, &cfg);
+                    let texts = r
+                        .solutions
+                        .iter()
+                        .map(|s| s.solution.to_text_syms(snap.symbols()))
+                        .collect::<Vec<_>>();
+                    (texts, r.stats, r.store_error)
+                }
+            }));
+            let retry_left = attempt < self.config.retry.max_retries && !job.cancel.is_cancelled();
+            match run {
+                Err(payload) => {
+                    // Panic isolation. The attempt's snapshot is gone and
+                    // every lock it could have poisoned recovers (see
+                    // `lock_unpoisoned`); injected panics are positional
+                    // in the fault schedule, so a retry draws fresh luck
+                    // exactly like a transient read fault.
+                    if retry_left {
+                        attempt += 1;
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(self.backoff_delay(job.idx, attempt));
+                        continue;
+                    }
+                    self.breaker_failure(p);
+                    return (
+                        Outcome::Failed {
+                            error: format!("engine panicked: {}", panic_text(&payload)),
+                            advice: RetryAdvice::after(self.config.breaker.cooldown),
+                        },
+                        SearchStats::default(),
+                        epoch,
+                        ServedFrom::Engine,
+                    );
+                }
+                Ok((_, stats, Some(e))) => {
+                    // The engine aborted on a storage fault; whatever it
+                    // had enumerated is discarded (see the method docs).
+                    if e.is_transient() && retry_left {
+                        attempt += 1;
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(self.backoff_delay(job.idx, attempt));
+                        continue;
+                    }
+                    self.breaker_failure(p);
+                    let advice = if e.is_transient() {
+                        RetryAdvice::after(self.backoff_delay(job.idx, attempt + 1))
+                    } else {
+                        RetryAdvice::give_up()
+                    };
+                    return (
+                        Outcome::Failed {
+                            error: e.to_string(),
+                            advice,
+                        },
+                        stats,
+                        epoch,
+                        ServedFrom::Engine,
+                    );
+                }
+                Ok((mut texts, stats, None)) => {
+                    self.breaker_success(p);
+                    texts.sort();
+                    // Classify from what actually stopped the engine,
+                    // not from the token alone: a reaper firing *after*
+                    // the search ran to its natural end (or to its node
+                    // budget) must not relabel a finished answer.
+                    let budget_exhausted = budget.is_some_and(|b| stats.nodes_expanded >= b);
+                    let cancelled =
+                        stats.truncated && !budget_exhausted && job.cancel.is_cancelled();
+                    if cancelled {
+                        return (
+                            Outcome::Cancelled { partial: texts },
+                            stats,
+                            epoch,
+                            ServedFrom::Engine,
+                        );
+                    }
+                    // Memoize only **complete** enumerations: truncated,
+                    // depth-cut, or solution-capped results depend on
+                    // expansion order (the OR-parallel engine's is
+                    // nondeterministic) and must never be served to a
+                    // later request. Fault-free by construction here, so
+                    // an injected fault can never pollute the cache.
+                    let complete = !stats.truncated
+                        && !stats.depth_cutoff
+                        && cap.is_none_or(|c| texts.len() < c);
+                    if complete {
+                        if let Some(k) = key {
+                            let solutions = Arc::new(texts.clone());
+                            self.cache.fill(k, epoch, snap.recorded_deps(), solutions);
+                        }
+                    }
+                    return (
+                        Outcome::Completed { solutions: texts },
+                        stats,
+                        epoch,
+                        ServedFrom::Engine,
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// SplitMix64 finalizer: spreads consecutive session ids uniformly over
@@ -954,6 +1347,18 @@ fn splitmix(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
+}
+
+/// Best-effort text of a caught panic payload (panics raise `&str` or
+/// `String` in practice; anything else gets a placeholder).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Field-wise `after - before` of the store counters.
@@ -969,5 +1374,9 @@ fn stats_delta(before: PagedStoreStats, after: PagedStoreStats) -> PagedStoreSta
         index_hits: after.index_hits - before.index_hits,
         index_prunes: after.index_prunes - before.index_prunes,
         candidates_scanned: after.candidates_scanned - before.candidates_scanned,
+        transient_faults: after.transient_faults - before.transient_faults,
+        permanent_faults: after.permanent_faults - before.permanent_faults,
+        latency_spikes: after.latency_spikes - before.latency_spikes,
+        latency_spike_ticks: after.latency_spike_ticks - before.latency_spike_ticks,
     }
 }

@@ -69,6 +69,22 @@ pub struct ServeStats {
     /// Submissions refused by the memory governor (they never reached a
     /// pool; excluded from the latency percentiles below).
     pub overloaded: usize,
+    /// Requests that ran but could not produce a trustworthy answer:
+    /// retry budget exhausted on transient storage faults, permanently
+    /// damaged storage, an engine panic, or an open circuit breaker with
+    /// no cached answer ([`Outcome::Failed`](crate::Outcome::Failed)).
+    pub failed: usize,
+    /// Engine attempts re-run after a transient storage fault or an
+    /// engine panic (each retry is one extra attempt beyond the first).
+    pub retries: u64,
+    /// Closed→open (and half-open→open) circuit-breaker transitions.
+    pub breaker_opens: u64,
+    /// Admissions diverted off their routed pool because its breaker was
+    /// open and still cooling.
+    pub breaker_reroutes: u64,
+    /// Requests answered from the answer cache while their pool's
+    /// breaker was open — the degraded cache-only serving path.
+    pub degraded_cache_hits: u64,
     /// Requests per second of wall-clock.
     pub throughput_rps: f64,
     /// Median service latency, milliseconds.
@@ -144,7 +160,9 @@ pub(crate) fn warmth_splits(responses: &[QueryResponse]) -> (WarmthSplit, Warmth
     for r in responses {
         if matches!(
             r.outcome,
-            crate::Outcome::Rejected { .. } | crate::Outcome::Overloaded
+            crate::Outcome::Rejected { .. }
+                | crate::Outcome::Overloaded { .. }
+                | crate::Outcome::Failed { .. }
         ) {
             continue;
         }

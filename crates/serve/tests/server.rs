@@ -626,7 +626,267 @@ fn governor_refuses_submissions_past_the_byte_budget() {
         report.stats.requests
     );
     let refused = &report.responses[1];
-    assert!(matches!(refused.outcome, Outcome::Overloaded));
+    assert!(matches!(refused.outcome, Outcome::Overloaded { .. }));
     assert_eq!(refused.stats.nodes_expanded, 0);
     assert_eq!(refused.store_accesses, 0);
+}
+
+// --- Resilience: retries, panic isolation, breakers, degraded serving.
+
+use blog_serve::{BreakerConfig, FaultPlan, FaultSite, RetryPolicy};
+
+/// A retry policy tuned for tests: a deep budget and near-zero backoff.
+fn eager_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 50,
+        base_backoff: Duration::from_micros(10),
+        max_backoff: Duration::from_micros(100),
+    }
+}
+
+/// A breaker that effectively never trips (for tests isolating retries).
+fn no_breaker() -> BreakerConfig {
+    BreakerConfig {
+        failure_threshold: u32::MAX,
+        cooldown: Duration::from_secs(10),
+    }
+}
+
+#[test]
+fn transient_faults_are_absorbed_by_retries() {
+    let p = parse_program(FAMILY).unwrap();
+    let server = QueryServer::new(
+        &p.db,
+        store_cfg(p.db.len(), 4),
+        ServeConfig {
+            n_pools: 1,
+            fault: Some(FaultPlan::transient(42, 0.05)),
+            retry: eager_retry(),
+            breaker: no_breaker(),
+            ..ServeConfig::default()
+        },
+    );
+    let report = server.serve(vec![
+        QueryRequest::new(1, "gf(sam, G)"),
+        QueryRequest::new(2, "gf(curt, G)"),
+        QueryRequest::new(1, "gf(sam, G)"),
+    ]);
+    assert_eq!(report.stats.completed, 3, "retries mask every transient fault");
+    assert_eq!(report.stats.failed, 0);
+    assert!(report.stats.store.transient_faults > 0, "the plan actually fired");
+    assert!(report.stats.retries > 0, "recovery took retries");
+    for (r, text) in report.responses.iter().zip(["gf(sam, G)", "gf(curt, G)", "gf(sam, G)"]) {
+        assert_eq!(
+            r.outcome.solutions(),
+            sequential_solutions(&p, text),
+            "a retried answer is still the exact sequential solution set"
+        );
+    }
+}
+
+#[test]
+fn no_retry_ablation_fails_instead_of_answering_wrong() {
+    let p = parse_program(FAMILY).unwrap();
+    let server = QueryServer::new(
+        &p.db,
+        store_cfg(p.db.len(), 4),
+        ServeConfig {
+            n_pools: 1,
+            fault: Some(FaultPlan::transient(42, 0.05)),
+            retry: RetryPolicy::none(),
+            breaker: no_breaker(),
+            ..ServeConfig::default()
+        },
+    );
+    let report = server.serve(vec![
+        QueryRequest::new(1, "gf(sam, G)"),
+        QueryRequest::new(2, "gf(curt, G)"),
+        QueryRequest::new(1, "gf(sam, G)"),
+    ]);
+    assert_eq!(report.stats.retries, 0);
+    assert!(report.stats.failed > 0, "same schedule, no retries: requests fail");
+    for r in &report.responses {
+        match &r.outcome {
+            Outcome::Completed { solutions } => {
+                // A lucky fault-free request still answers exactly.
+                let text = if r.session == SessionId(2) { "gf(curt, G)" } else { "gf(sam, G)" };
+                assert_eq!(solutions, &sequential_solutions(&p, text));
+            }
+            Outcome::Failed { advice, .. } => {
+                assert!(advice.retryable, "transient failures invite resubmission");
+                assert!(r.outcome.solutions().is_empty(), "no partial answers");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn permanent_damage_fails_with_give_up_advice() {
+    let p = parse_program(FAMILY).unwrap();
+    let server = QueryServer::new(
+        &p.db,
+        store_cfg(p.db.len(), 4),
+        ServeConfig {
+            n_pools: 1,
+            fault: Some(FaultPlan::new(7).with_site(FaultSite::permanent_track(1.0))),
+            retry: eager_retry(),
+            breaker: no_breaker(),
+            ..ServeConfig::default()
+        },
+    );
+    let report = server.serve(vec![
+        QueryRequest::new(1, "gf(sam, G)"),
+        QueryRequest::new(2, "gf(curt, G)"),
+    ]);
+    assert_eq!(report.stats.failed, 2, "damaged medium: retrying is useless");
+    assert_eq!(report.stats.completed, 0);
+    for r in &report.responses {
+        let Some(advice) = r.outcome.retry_advice() else {
+            panic!("expected Failed, got {:?}", r.outcome);
+        };
+        assert!(!advice.retryable, "permanent faults say give up");
+    }
+}
+
+#[test]
+fn injected_panics_are_isolated_to_the_request() {
+    let p = parse_program(FAMILY).unwrap();
+    let server = QueryServer::new(
+        &p.db,
+        store_cfg(p.db.len(), 4),
+        ServeConfig {
+            n_pools: 1,
+            fault: Some(FaultPlan::new(3).with_site(FaultSite::panic(1.0))),
+            retry: RetryPolicy::none(),
+            breaker: no_breaker(),
+            ..ServeConfig::default()
+        },
+    );
+    // Both requests panic inside the engine; the pool worker survives
+    // both (the second executes, the batch drains, the call returns).
+    let report = server.serve(vec![
+        QueryRequest::new(1, "gf(sam, G)"),
+        QueryRequest::new(2, "gf(curt, G)"),
+    ]);
+    assert_eq!(report.stats.failed, 2);
+    for r in &report.responses {
+        match &r.outcome {
+            Outcome::Failed { error, .. } => {
+                assert!(error.contains("panic"), "{error}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn open_breaker_serves_cached_answers_degraded() {
+    let p = parse_program(FAMILY).unwrap();
+    let config = ServeConfig {
+        n_pools: 1,
+        retry: RetryPolicy::none(),
+        breaker: BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(30),
+        },
+        cache: CacheConfig {
+            mode: CacheMode::Precise,
+            budget_bytes: None,
+            request_reserve_bytes: 1024,
+        },
+        ..ServeConfig::default()
+    };
+    // Measure the cache-filling batch's touch count on an identical
+    // fault-free server, then schedule a hard transient storm from the
+    // very next touch: the fill runs clean, everything after it fails.
+    let probe = QueryServer::new(&p.db, store_cfg(p.db.len(), 4), config.clone());
+    let fill_touches = probe
+        .serve(vec![QueryRequest::new(1, "gf(sam, G)")])
+        .stats
+        .store
+        .accesses;
+    let plan = FaultPlan::new(11)
+        .with_site(FaultSite::transient_read(1.0).between(fill_touches, u64::MAX));
+    let server = QueryServer::new(
+        &p.db,
+        store_cfg(p.db.len(), 4),
+        ServeConfig {
+            fault: Some(plan),
+            ..config
+        },
+    );
+    // Batch 1: fill the cache while storage is healthy.
+    let fill = server.serve(vec![QueryRequest::new(1, "gf(sam, G)")]);
+    assert_eq!(fill.stats.completed, 1);
+    assert_eq!(fill.stats.store.transient_faults, 0, "storm starts after the fill");
+    // Batch 2: three uncached queries fail against the storm and trip
+    // the pool's breaker.
+    let storm = server.serve(vec![
+        QueryRequest::new(2, "gf(curt, G)"),
+        QueryRequest::new(3, "gf(curt, G)"),
+        QueryRequest::new(4, "gf(curt, G)"),
+    ]);
+    assert_eq!(storm.stats.failed, 3);
+    assert_eq!(storm.stats.breaker_opens, 1, "third consecutive failure trips");
+    // Batch 3: the breaker is open — the cached query is still answered
+    // (degraded cache-only serving); the uncached one fails fast with a
+    // cooldown hint, touching no storage.
+    let degraded = server.serve(vec![
+        QueryRequest::new(1, "gf(sam, G)"),
+        QueryRequest::new(5, "gf(curt, G)"),
+    ]);
+    assert_eq!(degraded.stats.degraded_cache_hits, 1);
+    let hit = &degraded.responses[0];
+    assert_eq!(hit.served_from, ServedFrom::Cache);
+    assert_eq!(hit.outcome.solutions(), sequential_solutions(&p, "gf(sam, G)"));
+    let miss = &degraded.responses[1];
+    match &miss.outcome {
+        Outcome::Failed { advice, .. } => {
+            assert!(advice.retryable);
+            assert!(advice.retry_after > Duration::ZERO, "come back after cooldown");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    assert_eq!(degraded.stats.store.transient_faults, 0, "degraded path reads no pages");
+}
+
+#[test]
+fn breaker_reroutes_admissions_to_healthy_pools() {
+    let p = parse_program(FAMILY).unwrap();
+    // Pool 1's path to the disk is permanently sick; pool 0 is fine.
+    let plan = FaultPlan::new(5).with_site(FaultSite::transient_read(1.0).for_pool(1));
+    let server = QueryServer::new(
+        &p.db,
+        store_cfg(p.db.len(), 4),
+        ServeConfig {
+            n_pools: 2,
+            routing: Routing::RoundRobin,
+            fault: Some(plan),
+            retry: RetryPolicy::none(),
+            breaker: BreakerConfig {
+                failure_threshold: 1,
+                cooldown: Duration::from_secs(30),
+            },
+            ..ServeConfig::default()
+        },
+    );
+    // Paced one at a time so each admission sees the breaker state the
+    // previous request left behind.
+    let (report, ()) = server.serve_open(|s| {
+        for i in 0..6 {
+            s.submit(QueryRequest::new(100 + i, "gf(sam, G)"));
+            s.quiesce();
+        }
+    });
+    assert_eq!(report.stats.failed, 1, "only pool 1's first victim fails");
+    assert!(
+        report.stats.breaker_reroutes >= 1,
+        "later round-robin admissions to pool 1 divert to pool 0"
+    );
+    for r in &report.responses {
+        if r.outcome.is_completed() {
+            assert_eq!(r.outcome.solutions(), sequential_solutions(&p, "gf(sam, G)"));
+        }
+    }
 }

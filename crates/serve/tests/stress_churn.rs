@@ -425,3 +425,165 @@ fn repeated_churn_batches_retire_everything() {
         );
     });
 }
+
+// ---------------------------------------------------------------------------
+// Fault storm: injected storage faults + writer churn, under the watchdog
+// ---------------------------------------------------------------------------
+
+use blog_serve::{BreakerConfig, FaultPlan, FaultSite, RetryPolicy};
+
+/// Writer churn and a three-kind fault storm (transient reads, latency
+/// spikes, injected engine panics) at once: the serving layer must stay
+/// live (watchdog), leak nothing, answer every request exactly once, and
+/// every response it *does* complete must still be the exact sequential
+/// solution set of its epoch — resilience never buys availability with
+/// wrong answers.
+#[test]
+fn fault_storm_with_writer_churn_is_live_and_exact() {
+    with_watchdog("fault storm (2 writers, 2 pools)", || {
+        let m = mix();
+        let (p, metas) = tenant_mix_program(&m);
+        let originals = tenant_mix_requests(&m, &metas);
+        let query_texts: Vec<String> = originals.iter().map(|r| r.text.clone()).collect();
+        let queries: Vec<QueryRequest> = originals
+            .iter()
+            .map(|r| {
+                QueryRequest::new(r.tenant as u64, r.text.clone()).with_tenant(r.tenant as u32)
+            })
+            .collect();
+
+        let plan = FaultPlan::new(0xD15EA5E)
+            .with_site(FaultSite::transient_read(0.03))
+            .with_site(FaultSite::latency_spike(0.02, 5))
+            .with_site(FaultSite::panic(0.002));
+        let server = QueryServer::new(
+            &p.db,
+            store_cfg(p.db.len(), 1024),
+            ServeConfig {
+                n_pools: 2,
+                fault: Some(plan),
+                retry: RetryPolicy {
+                    max_retries: 50,
+                    base_backoff: Duration::from_micros(10),
+                    max_backoff: Duration::from_micros(200),
+                },
+                breaker: BreakerConfig {
+                    failure_threshold: u32::MAX,
+                    cooldown: Duration::from_secs(1),
+                },
+                ..ServeConfig::default()
+            },
+        );
+
+        let stop = AtomicBool::new(false);
+        let mut logs: Vec<CommitLog> = Vec::new();
+        let mut report = None;
+        std::thread::scope(|scope| {
+            let (server, stop, metas) = (&server, &stop, &metas);
+            let handles: Vec<_> = (0..2)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let tenant = w % metas.len();
+                        let parent =
+                            &metas[tenant].persons[1][w % metas[tenant].persons[1].len()];
+                        let mut own: Vec<(u32, String)> = Vec::new();
+                        let mut log: Vec<CommitLog> = Vec::new();
+                        let mut i = 0usize;
+                        while !stop.load(Ordering::Acquire) && log.len() < 40 {
+                            if own.len() < 3 {
+                                let text = format!("t{tenant}_f({parent},s{w}x{i}).");
+                                i += 1;
+                                let (epoch, ids) = server
+                                    .apply_update(&[UpdateOp::Assert { text: text.clone() }])
+                                    .expect("headroom covers every writer");
+                                own.push((ids[0].0, text.clone()));
+                                log.push((epoch, vec![(ids[0].0, text)], vec![]));
+                            } else {
+                                let (id, _) = own.remove(0);
+                                let (epoch, _) = server
+                                    .apply_update(&[UpdateOp::Retract { id: ClauseId(id) }])
+                                    .expect("own asserts are live");
+                                log.push((epoch, vec![], vec![id]));
+                            }
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        log
+                    })
+                })
+                .collect();
+            report = Some(server.serve(queries));
+            stop.store(true, Ordering::Release);
+            for h in handles {
+                logs.extend(h.join().expect("writer thread panicked"));
+            }
+        });
+        let report = report.expect("serve ran");
+
+        // Liveness + bookkeeping: every request answered exactly once,
+        // no stranded worker (the batch returned), nothing leaked.
+        assert_eq!(
+            report.stats.completed
+                + report.stats.cancelled
+                + report.stats.rejected
+                + report.stats.overloaded
+                + report.stats.failed,
+            report.stats.requests,
+            "every submission gets exactly one outcome"
+        );
+        assert!(report.stats.store.transient_faults > 0, "the storm fired");
+        assert!(report.stats.retries > 0, "retries did the absorbing");
+        assert!(report.stats.completed > 0, "the storm was survivable");
+        assert_eq!(server.store().reader_count(), 0, "leaked epoch pin");
+        assert_eq!(server.store().stash_depth(), 0, "stash leak after batch");
+
+        // Soundness: completed responses (only) replay against the
+        // per-epoch oracle; Failed ones returned no solutions at all.
+        for r in &report.responses {
+            if !r.outcome.is_completed() {
+                assert!(r.outcome.solutions().is_empty() || matches!(r.outcome, blog_serve::Outcome::Cancelled { .. }));
+            }
+        }
+        let completed: Vec<blog_serve::QueryResponse> = report
+            .responses
+            .iter()
+            .filter(|r| r.outcome.is_completed())
+            .cloned()
+            .collect();
+        verify_per_epoch(&p, &query_texts, &completed, logs, "fault storm");
+    });
+}
+
+/// A driver that panics mid-flight (after submitting work) must not
+/// strand the pool workers on their queue condvars: admission closes via
+/// the drop guard, the pools drain, the panic propagates to the caller,
+/// and the server keeps serving afterwards.
+#[test]
+fn driver_panic_mid_flight_releases_workers() {
+    with_watchdog("driver panic mid-flight", || {
+        let p = parse_program(
+            "
+            gf(X,Z) :- f(X,Y), f(Y,Z).
+            f(curt,elain). f(sam,larry). f(larry,den). f(larry,doug).
+        ",
+        )
+        .unwrap();
+        let server = QueryServer::new(&p.db, store_cfg(p.db.len(), 64), ServeConfig::default());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            server.serve_open(|s| {
+                s.submit(QueryRequest::new(1, "gf(sam, G)"));
+                s.submit(QueryRequest::new(2, "gf(sam, G)"));
+                panic!("driver fell over mid-flight");
+            })
+        }));
+        assert!(result.is_err(), "the driver's panic must propagate");
+        // Workers were released (no deadlocked join), queues drained, and
+        // the server still answers exactly.
+        let report = server.serve(vec![QueryRequest::new(3, "gf(sam, G)")]);
+        assert_eq!(report.stats.completed, 1);
+        assert_eq!(
+            report.responses[0].outcome.solutions(),
+            sequential_solutions(&p, "gf(sam, G)").as_slice()
+        );
+        assert_eq!(server.store().reader_count(), 0, "no stranded epoch pins");
+    });
+}

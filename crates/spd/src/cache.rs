@@ -19,6 +19,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, TryLockError};
 
+use blog_logic::StoreError;
+
+use crate::fault::{FaultPlan, FaultState};
 use crate::paged::{PagedStoreStats, PoolTouchStats, TouchOutcome, TrackId};
 use crate::policy::{PolicyKind, PolicyStats, ReplacementPolicy};
 use crate::timing::CostModel;
@@ -45,6 +48,10 @@ pub struct TrackCache {
     /// can be counted before the thread blocks on it.
     lock_acquisitions: AtomicU64,
     lock_contended: AtomicU64,
+    /// Fault-injection state, outside the mutex so decisions (including
+    /// injected panics) happen before it is taken and can never poison
+    /// the cache core. `None` = fault-free (the default).
+    faults: Option<FaultState>,
 }
 
 impl TrackCache {
@@ -61,19 +68,40 @@ impl TrackCache {
             }),
             lock_acquisitions: AtomicU64::new(0),
             lock_contended: AtomicU64::new(0),
+            faults: None,
         }
     }
 
+    /// This cache with fault injection under `plan` (`None` = fault-free).
+    pub fn with_faults(mut self, plan: Option<FaultPlan>) -> Self {
+        self.faults = plan.map(FaultState::new);
+        self
+    }
+
+    /// Whether a fault plan is configured.
+    pub fn has_fault_plan(&self) -> bool {
+        self.faults.is_some()
+    }
+
     /// Take the cache mutex, metering acquisitions and contention.
+    ///
+    /// Recovers from poisoning: every critical section below keeps its
+    /// counters and policy state self-consistent at each statement (no
+    /// invariant spans a panic point), and injected [`FaultKind::Panic`]
+    /// (crate::fault::FaultKind::Panic) fires before the mutex is taken
+    /// — so a poisoned flag only means some *other* panic unwound a
+    /// holder, and continuing with the data is sound.
     fn lock(&self) -> MutexGuard<'_, CacheCore> {
         self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
         match self.inner.try_lock() {
             Ok(guard) => guard,
             Err(TryLockError::WouldBlock) => {
                 self.lock_contended.fetch_add(1, Ordering::Relaxed);
-                self.inner.lock().unwrap()
+                self.inner
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
             }
-            Err(TryLockError::Poisoned(p)) => panic!("paged store mutex poisoned: {p}"),
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
         }
     }
 
@@ -82,10 +110,40 @@ impl TrackCache {
     /// fault cost (seek if the SP's head moves, plus the track load) and
     /// both counter sets; the pool counter table grows on first use of
     /// each pool id.
+    ///
+    /// Infallible form for fault-free caches; panics if a configured
+    /// [`FaultPlan`] injects an error (fault-aware callers go through
+    /// [`try_touch`](Self::try_touch)).
     pub fn touch(&self, track: TrackId, pool: Option<usize>) -> TouchOutcome {
+        match self.try_touch(track, pool) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("touch on a faulting cache: {e}"),
+        }
+    }
+
+    /// [`touch`](Self::touch), with injected faults surfaced as values.
+    ///
+    /// With no fault plan this never returns `Err`. With one, the plan
+    /// decides *before* the cache mutex is taken: an injected error
+    /// consumes a touch-sequence number but leaves the replacement
+    /// policy, head positions and hit/miss counters untouched (faults
+    /// are metered separately), so the cache's golden traces are
+    /// unchanged by the attempt. An injected latency spike lets the
+    /// touch proceed and adds its extra ticks to the outcome's
+    /// `fault_ticks` (stall-slept like any miss by latency-simulating
+    /// callers) and to the spike meters.
+    pub fn try_touch(
+        &self,
+        track: TrackId,
+        pool: Option<usize>,
+    ) -> Result<TouchOutcome, StoreError> {
+        let spike = match &self.faults {
+            Some(f) => f.decide(track, pool)?,
+            None => 0,
+        };
         let mut state = self.lock();
         state.stats.accesses += 1;
-        let outcome = match state.policy.access(track) {
+        let mut outcome = match state.policy.access(track) {
             crate::lru::Touch::Hit => {
                 state.stats.hits += 1;
                 TouchOutcome {
@@ -115,6 +173,15 @@ impl TrackCache {
                 }
             }
         };
+        if spike > 0 {
+            // Spike ticks ride in `fault_ticks` (globally, per pool and
+            // in the outcome, so stall sleeps include them) and are
+            // additionally broken out in the spike meters.
+            outcome.fault_ticks += spike;
+            state.stats.fault_ticks += spike;
+            state.stats.latency_spikes += 1;
+            state.stats.latency_spike_ticks += spike;
+        }
         if let Some(p) = pool {
             if state.pools.len() <= p {
                 state.pools.resize(p + 1, PoolTouchStats::default());
@@ -125,7 +192,7 @@ impl TrackCache {
             slot.misses += u64::from(!outcome.hit);
             slot.fault_ticks += outcome.fault_ticks;
         }
-        outcome
+        Ok(outcome)
     }
 
     /// The cost model faults are charged under.
@@ -155,18 +222,25 @@ impl TrackCache {
         )
     }
 
-    /// Counters so far (lock-traffic meters folded in; the fold's own
-    /// lock acquisition is included, matching the historical behavior).
+    /// Counters so far (lock-traffic and fault meters folded in; the
+    /// fold's own lock acquisition is included, matching the historical
+    /// behavior).
     pub fn stats(&self) -> PagedStoreStats {
         let mut stats = self.lock().stats;
         (stats.lock_acquisitions, stats.lock_contended) = self.lock_stats();
+        if let Some(f) = &self.faults {
+            stats.transient_faults = f.transient_faults.load(Ordering::Relaxed);
+            stats.permanent_faults = f.permanent_faults.load(Ordering::Relaxed);
+        }
         stats
     }
 
     /// Reset counters — the cache's and the policy's, which stay two
-    /// views over the same accesses, plus the per-pool and lock-traffic
-    /// meters; resident tracks and head positions persist (use
-    /// [`clear`](Self::clear) to also drop the cache).
+    /// views over the same accesses, plus the per-pool, lock-traffic and
+    /// fault meters; resident tracks and head positions persist (use
+    /// [`clear`](Self::clear) to also drop the cache). The fault plan's
+    /// *schedule position* and damaged-track set persist too: resetting
+    /// statistics does not repair the medium.
     pub fn reset_stats(&self) {
         let mut state = self.lock();
         state.stats = PagedStoreStats::default();
@@ -174,9 +248,15 @@ impl TrackCache {
         *state.policy.stats_mut() = PolicyStats::default();
         self.lock_acquisitions.store(0, Ordering::Relaxed);
         self.lock_contended.store(0, Ordering::Relaxed);
+        if let Some(f) = &self.faults {
+            f.transient_faults.store(0, Ordering::Relaxed);
+            f.permanent_faults.store(0, Ordering::Relaxed);
+        }
     }
 
-    /// Drop every resident track, park the heads, and reset counters.
+    /// Drop every resident track, park the heads, and reset counters
+    /// (fault schedule position and damage persist, as for
+    /// [`reset_stats`](Self::reset_stats)).
     pub fn clear(&self) {
         let mut state = self.lock();
         state.policy.clear();
@@ -185,6 +265,10 @@ impl TrackCache {
         state.pools.clear();
         self.lock_acquisitions.store(0, Ordering::Relaxed);
         self.lock_contended.store(0, Ordering::Relaxed);
+        if let Some(f) = &self.faults {
+            f.transient_faults.store(0, Ordering::Relaxed);
+            f.permanent_faults.store(0, Ordering::Relaxed);
+        }
     }
 
     /// Number of resident tracks.

@@ -40,6 +40,7 @@ pub mod bitmap;
 pub mod block;
 pub mod bridge;
 pub mod cache;
+pub mod fault;
 pub mod lru;
 pub mod mvcc;
 pub mod paged;
@@ -53,6 +54,7 @@ pub use bitmap::{intersect_union, ClauseBitmap};
 pub use block::{Block, BlockId, NamedPointer};
 pub use bridge::{build_spd_from_db, DbLayout};
 pub use cache::TrackCache;
+pub use fault::{FaultKind, FaultPlan, FaultScope, FaultSite};
 pub use lru::{LruSet, Touch};
 pub use mvcc::{CommitMode, MvccClauseStore, MvccError, MvccStats, Snapshot, WriteTxn};
 pub use paged::{

@@ -44,7 +44,7 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
 
 use blog_logic::{
     parse_clauses_interning, BindingLookup, Clause, ClauseDb, ClauseId, ClauseSource, ParseError,
-    SourceStats, Sym, SymbolTable, Term,
+    SourceStats, StoreError, Sym, SymbolTable, Term,
 };
 use serde::Serialize;
 
@@ -276,7 +276,8 @@ impl MvccClauseStore {
             commit_mode: mode,
             index_policy: config.index,
             index_counters: IndexCounters::default(),
-            cache: TrackCache::new(config.policy, config.capacity_tracks, g.n_sps, config.cost),
+            cache: TrackCache::new(config.policy, config.capacity_tracks, g.n_sps, config.cost)
+                .with_faults(config.fault),
             versions: Mutex::new(VersionState {
                 pages: pages
                     .into_iter()
@@ -618,31 +619,39 @@ impl Drop for Snapshot<'_> {
 }
 
 impl ClauseSource for Snapshot<'_> {
-    fn fetch_clause(&self, id: ClauseId) -> &Clause {
+    fn try_fetch_clause(&self, id: ClauseId) -> Result<&Clause, StoreError> {
         // Under the stop-the-world baseline a committing writer blocks
         // every fetch for its whole commit; under MVCC the gate is never
-        // write-locked, so readers sail through.
+        // write-locked, so readers sail through. A poisoned gate means a
+        // committing writer panicked mid-STW swap — readers cannot
+        // verify the swap completed, so fail the fetch rather than risk
+        // a torn read (MVCC snapshots are immune by construction).
         let _gate = match self.store.commit_mode {
-            CommitMode::StopTheWorld => Some(self.store.stw_gate.read().unwrap()),
+            CommitMode::StopTheWorld => Some(self.store.stw_gate.read().map_err(|_| {
+                StoreError::permanent("stop-the-world writer panicked mid-commit")
+            })?),
             CommitMode::Mvcc => None,
         };
-        let outcome = self.store.cache.touch(self.store.track_of(id), self.pool);
+        let outcome = self
+            .store
+            .cache
+            .try_touch(self.store.track_of(id), self.pool)?;
         if self.stall_ns_per_tick > 0 && outcome.fault_ticks > 0 {
             std::thread::sleep(std::time::Duration::from_nanos(
                 outcome.fault_ticks * self.stall_ns_per_tick,
             ));
         }
         let addr = self.store.geometry.addr_of_index(id.0);
-        self.page_for(id).clauses[addr.slot as usize]
+        Ok(self.page_for(id).clauses[addr.slot as usize]
             .as_ref()
-            .expect("fetched a clause not visible at this snapshot's epoch")
+            .expect("fetched a clause not visible at this snapshot's epoch"))
     }
 
-    fn candidate_clauses<'a>(
+    fn try_candidate_clauses<'a>(
         &'a self,
         goal: &Term,
         bindings: &dyn BindingLookup,
-    ) -> Cow<'a, [ClauseId]> {
+    ) -> Result<Cow<'a, [ClauseId]>, StoreError> {
         // Candidate lists ride in the caller's block (figure 4), already
         // paid for when the caller was fetched — same accounting as the
         // read-only store. Both indexes are pinned with the snapshot, so
@@ -659,11 +668,11 @@ impl ClauseSource for Snapshot<'_> {
         if self.store.index_policy == IndexPolicy::FirstArg {
             if let IndexedCandidates::Narrowed(ids) = self.bitidx.lookup(goal, bindings) {
                 self.store.index_counters.record_indexed(full.len(), ids.len());
-                return Cow::Owned(ids);
+                return Ok(Cow::Owned(ids));
             }
         }
         self.store.index_counters.record_scan(full.len());
-        Cow::Borrowed(full)
+        Ok(Cow::Borrowed(full))
     }
 
     fn clause_count(&self) -> usize {
@@ -1210,7 +1219,7 @@ mod tests {
         // candidate order, same hit/miss counters for the same run.
         let p = parse_program(FAMILY).unwrap();
         let cfg = store_config(2);
-        let mvcc = MvccClauseStore::new(&p.db, cfg, CommitMode::Mvcc);
+        let mvcc = MvccClauseStore::new(&p.db, cfg.clone(), CommitMode::Mvcc);
         let paged = crate::paged::PagedClauseStore::new(&p.db, cfg);
         let snap = mvcc.begin_read();
         for i in 0..p.db.len() {

@@ -24,11 +24,14 @@
 
 use std::borrow::Cow;
 
-use blog_logic::{BindingLookup, Clause, ClauseDb, ClauseId, ClauseSource, SourceStats, Term};
+use blog_logic::{
+    BindingLookup, Clause, ClauseDb, ClauseId, ClauseSource, SourceStats, StoreError, Term,
+};
 use serde::Serialize;
 
 use crate::bitidx::{BitmapClauseIndex, IndexCounters, IndexPolicy, IndexedCandidates};
 use crate::cache::TrackCache;
+use crate::fault::FaultPlan;
 use crate::policy::{PolicyKind, PolicyStats};
 use crate::timing::{BlockAddr, CostModel, Geometry};
 
@@ -42,7 +45,7 @@ pub struct TrackId {
 }
 
 /// Configuration for a [`PagedClauseStore`].
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize)]
 pub struct PagedStoreConfig {
     /// Disk layout; `blocks_per_track` is the page size in clauses.
     pub geometry: Geometry,
@@ -55,6 +58,9 @@ pub struct PagedStoreConfig {
     /// Candidate-selection policy (first-argument bitmap index by
     /// default; `None` is the scan-everything baseline).
     pub index: IndexPolicy,
+    /// Deterministic fault-injection schedule (`None` — the default —
+    /// is a fault-free store; see [`FaultPlan`]).
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for PagedStoreConfig {
@@ -65,6 +71,7 @@ impl Default for PagedStoreConfig {
             capacity_tracks: 8,
             policy: PolicyKind::Lru,
             index: IndexPolicy::default(),
+            fault: None,
         }
     }
 }
@@ -78,6 +85,11 @@ impl PagedStoreConfig {
     /// This configuration with a different candidate-selection policy.
     pub fn with_index(self, index: IndexPolicy) -> Self {
         PagedStoreConfig { index, ..self }
+    }
+
+    /// This configuration with a fault-injection schedule.
+    pub fn with_fault(self, fault: Option<FaultPlan>) -> Self {
+        PagedStoreConfig { fault, ..self }
     }
 }
 
@@ -112,6 +124,19 @@ pub struct PagedStoreStats {
     pub index_prunes: u64,
     /// Candidates actually handed to engines, under either policy.
     pub candidates_scanned: u64,
+    /// Injected transient read faults (the touch failed but a retry may
+    /// succeed). Zero without a [`FaultPlan`].
+    pub transient_faults: u64,
+    /// Injected permanent track faults, including every touch of an
+    /// already-damaged track. Zero without a [`FaultPlan`].
+    pub permanent_faults: u64,
+    /// Touches an injected latency spike slowed down (the touch itself
+    /// succeeded).
+    pub latency_spikes: u64,
+    /// Extra ticks those spikes charged — also included in
+    /// [`fault_ticks`](Self::fault_ticks), so stall accounting needs no
+    /// special case.
+    pub latency_spike_ticks: u64,
 }
 
 impl PagedStoreStats {
@@ -199,7 +224,8 @@ impl<'a> PagedClauseStore<'a> {
                 config.capacity_tracks,
                 config.geometry.n_sps,
                 config.cost,
-            ),
+            )
+            .with_faults(config.fault),
             bitidx: match config.index {
                 IndexPolicy::None => None,
                 IndexPolicy::FirstArg => Some(BitmapClauseIndex::from_db(db)),
@@ -288,6 +314,17 @@ impl<'a> PagedClauseStore<'a> {
     /// grows on first use of each pool id.
     pub fn touch_clause_for_pool(&self, cid: ClauseId, pool: Option<usize>) -> TouchOutcome {
         self.cache.touch(self.track_of(cid), pool)
+    }
+
+    /// [`touch_clause_for_pool`](Self::touch_clause_for_pool), with
+    /// injected faults surfaced as values instead of panics. Never
+    /// `Err` without a configured [`FaultPlan`].
+    pub fn try_touch_clause_for_pool(
+        &self,
+        cid: ClauseId,
+        pool: Option<usize>,
+    ) -> Result<TouchOutcome, StoreError> {
+        self.cache.try_touch(self.track_of(cid), pool)
     }
 
     /// A [`ClauseSource`] view of this store that attributes every touch
@@ -406,24 +443,25 @@ impl<'s, 'db> PoolView<'s, 'db> {
 }
 
 impl ClauseSource for PoolView<'_, '_> {
-    fn fetch_clause(&self, id: ClauseId) -> &Clause {
-        let outcome = self.store.touch_clause_for_pool(id, Some(self.pool));
+    fn try_fetch_clause(&self, id: ClauseId) -> Result<&Clause, StoreError> {
+        let outcome = self.store.try_touch_clause_for_pool(id, Some(self.pool))?;
         if self.stall_ns_per_tick > 0 && outcome.fault_ticks > 0 {
             std::thread::sleep(std::time::Duration::from_nanos(
                 outcome.fault_ticks * self.stall_ns_per_tick,
             ));
         }
-        self.store.db.clause(id)
+        Ok(self.store.db.clause(id))
     }
 
-    fn candidate_clauses<'a>(
+    fn try_candidate_clauses<'a>(
         &'a self,
         goal: &Term,
         bindings: &dyn BindingLookup,
-    ) -> Cow<'a, [ClauseId]> {
+    ) -> Result<Cow<'a, [ClauseId]>, StoreError> {
         // As for the store itself: candidate lists ride in the caller's
-        // block, already paid for when the caller was fetched.
-        self.store.candidates(goal, bindings)
+        // block, already paid for when the caller was fetched — so
+        // selection itself cannot fault.
+        Ok(self.store.candidates(goal, bindings))
     }
 
     fn clause_count(&self) -> usize {
@@ -448,20 +486,20 @@ impl ClauseSource for PoolView<'_, '_> {
 }
 
 impl ClauseSource for PagedClauseStore<'_> {
-    fn fetch_clause(&self, id: ClauseId) -> &Clause {
-        self.touch_clause(id);
-        self.db.clause(id)
+    fn try_fetch_clause(&self, id: ClauseId) -> Result<&Clause, StoreError> {
+        self.try_touch_clause_for_pool(id, None)?;
+        Ok(self.db.clause(id))
     }
 
-    fn candidate_clauses<'a>(
+    fn try_candidate_clauses<'a>(
         &'a self,
         goal: &Term,
         bindings: &dyn BindingLookup,
-    ) -> Cow<'a, [ClauseId]> {
+    ) -> Result<Cow<'a, [ClauseId]>, StoreError> {
         // Candidate lists are the figure-4 pointers stored *in the
         // caller's block*, which the search touched when it fetched the
         // caller; reading them costs no extra fault.
-        self.candidates(goal, bindings)
+        Ok(self.candidates(goal, bindings))
     }
 
     fn clause_count(&self) -> usize {
@@ -510,6 +548,7 @@ mod tests {
             capacity_tracks,
             policy: PolicyKind::Lru,
             index: IndexPolicy::None,
+            fault: None,
         }
     }
 
@@ -517,7 +556,7 @@ mod tests {
     fn placement_matches_spd_array() {
         let p = parse_program(FAMILY).unwrap();
         let cfg = small_config(4);
-        let store = PagedClauseStore::new(&p.db, cfg);
+        let store = PagedClauseStore::new(&p.db, cfg.clone());
         let weights =
             blog_core::weight::WeightStore::new(blog_core::weight::WeightParams::default());
         let (spd, layout) = crate::bridge::build_spd_from_db(
@@ -778,6 +817,58 @@ mod tests {
         let s = indexed.stats();
         assert_eq!(s.index_hits, 0, "fallback is not an index hit");
         assert_eq!(s.candidates_scanned, 6);
+    }
+
+    #[test]
+    fn fault_plan_surfaces_typed_errors_and_meters_them() {
+        use crate::fault::{FaultPlan, FaultSite};
+        let p = parse_program(FAMILY).unwrap();
+        let cfg = small_config(4).with_fault(Some(FaultPlan::transient(17, 1.0)));
+        let store = PagedClauseStore::new(&p.db, cfg);
+        let err = store.try_fetch_clause(ClauseId(0)).unwrap_err();
+        assert!(err.is_transient());
+        let s = store.stats();
+        assert_eq!(s.transient_faults, 1);
+        // A faulted touch is not an access: the policy never saw it.
+        assert_eq!(s.accesses, 0);
+        assert!(!store.is_resident(ClauseId(0)));
+
+        // Permanent damage sticks across retries.
+        let cfg = small_config(4).with_fault(Some(
+            FaultPlan::new(3).with_site(FaultSite::permanent_track(1.0).between(0, 1)),
+        ));
+        let store = PagedClauseStore::new(&p.db, cfg);
+        assert!(!store.try_fetch_clause(ClauseId(0)).unwrap_err().is_transient());
+        assert!(!store.try_fetch_clause(ClauseId(0)).unwrap_err().is_transient());
+        assert_eq!(store.stats().permanent_faults, 2);
+    }
+
+    #[test]
+    fn latency_spike_charges_ticks_but_succeeds() {
+        use crate::fault::{FaultPlan, FaultSite};
+        let p = parse_program(FAMILY).unwrap();
+        let cfg = small_config(4)
+            .with_fault(Some(FaultPlan::new(1).with_site(FaultSite::latency_spike(1.0, 500))));
+        let store = PagedClauseStore::new(&p.db, cfg);
+        let out = store.try_touch_clause_for_pool(ClauseId(0), Some(0)).unwrap();
+        assert!(out.fault_ticks >= 500, "spike ticks flow into the outcome");
+        let s = store.stats();
+        assert_eq!(s.latency_spikes, 1);
+        assert_eq!(s.latency_spike_ticks, 500);
+        assert_eq!(s.accesses, 1, "a spiked touch still counts as an access");
+        assert_eq!(s.transient_faults + s.permanent_faults, 0);
+        // Pool attribution includes the spike, and global fault_ticks
+        // still balances against the per-pool sum.
+        assert_eq!(store.pool_stats(0).fault_ticks, s.fault_ticks);
+    }
+
+    #[test]
+    fn fault_free_config_never_errors_through_the_fallible_surface() {
+        let p = parse_program(FAMILY).unwrap();
+        let store = PagedClauseStore::new(&p.db, small_config(2));
+        for i in 0..p.db.len() {
+            assert!(store.try_fetch_clause(ClauseId(i as u32)).is_ok());
+        }
     }
 
     #[test]

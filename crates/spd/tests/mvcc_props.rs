@@ -76,6 +76,7 @@ fn store_config(policy: PolicyKind, capacity_tracks: usize) -> PagedStoreConfig 
         // arguments, so every epoch's bitmap index is exercised and the
         // solution-set assertions prove it never changes an answer.
         index: IndexPolicy::FirstArg,
+        fault: None,
     }
 }
 

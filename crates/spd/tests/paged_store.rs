@@ -137,7 +137,7 @@ fn figure_1_trace_replay_smoke() {
     let cfg = paged_config(PolicyKind::Lru, 2, 2, program.db.len());
 
     // Live run, capturing the access stream via a tracing wrapper run.
-    let paged = PagedClauseStore::new(&program.db, cfg);
+    let paged = PagedClauseStore::new(&program.db, cfg.clone());
     let store = WeightStore::new(WeightParams::default());
     let mut local = HashMap::new();
     let mut view = WeightView::new(&mut local, &store);

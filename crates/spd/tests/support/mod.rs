@@ -47,6 +47,7 @@ pub fn paged_config(
         // first-argument index were recorded against full predicate
         // ranges. Indexed tests opt in with `.with_index(...)`.
         index: IndexPolicy::None,
+        fault: None,
     }
 }
 
@@ -154,17 +155,17 @@ impl<'a> RecordingSource<'a> {
 }
 
 impl ClauseSource for RecordingSource<'_> {
-    fn fetch_clause(&self, id: ClauseId) -> &Clause {
+    fn try_fetch_clause(&self, id: ClauseId) -> Result<&Clause, blog_logic::StoreError> {
         self.trace.lock().unwrap().push(id);
-        self.db.clause(id)
+        Ok(self.db.clause(id))
     }
 
-    fn candidate_clauses<'a>(
+    fn try_candidate_clauses<'a>(
         &'a self,
         goal: &Term,
         bindings: &dyn BindingLookup,
-    ) -> Cow<'a, [ClauseId]> {
-        self.db.candidates_for_resolved(goal, bindings)
+    ) -> Result<Cow<'a, [ClauseId]>, blog_logic::StoreError> {
+        Ok(self.db.candidates_for_resolved(goal, bindings))
     }
 
     fn clause_count(&self) -> usize {

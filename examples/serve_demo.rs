@@ -46,7 +46,7 @@ fn main() {
     for routing in [Routing::SessionAffinity, Routing::RoundRobin] {
         let server = QueryServer::new(
             &program.db,
-            store_config,
+            store_config.clone(),
             ServeConfig {
                 n_pools: 4,
                 routing,

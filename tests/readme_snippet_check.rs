@@ -1,8 +1,9 @@
 use b_log::serve::{
-    CacheConfig, CacheMode, QueryRequest, QueryServer, ServeConfig,
-    ServedFrom, SessionId, UpdateOp,
+    CacheConfig, CacheMode, FaultPlan, FaultSite, QueryRequest, QueryServer, RetryPolicy,
+    ServeConfig, ServedFrom, SessionId, UpdateOp,
 };
 use b_log::spd::PagedStoreConfig;
+use std::time::Duration;
 
 #[test]
 fn readme_serving_v2_snippet() {
@@ -25,4 +26,24 @@ fn readme_serving_v2_snippet() {
     assert_eq!(report.responses[1].stats.nodes_expanded, 0);
     assert_eq!(report.responses[2].outcome.solutions().len(), 3);
     assert_eq!(report.stats.cache.hits, 1);
+}
+
+#[test]
+fn readme_resilience_snippet() {
+    let program = b_log::logic::parse_program(b_log::workloads::PAPER_FIGURE_1).unwrap();
+    let config = ServeConfig {
+        fault: Some(FaultPlan::new(42).with_site(FaultSite::transient_read(0.3))),
+        retry: RetryPolicy {
+            max_retries: 50,
+            base_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(100),
+        },
+        ..ServeConfig::default()
+    };
+    let server = QueryServer::new(&program.db, PagedStoreConfig::default(), config);
+
+    let report = server.serve(vec![QueryRequest::new(1, "gf(sam, G)")]);
+    assert!(report.responses[0].outcome.is_completed());
+    assert!(report.stats.store.transient_faults > 0);
+    assert_eq!(report.responses[0].outcome.solutions().len(), 2);
 }
