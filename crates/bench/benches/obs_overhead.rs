@@ -1,0 +1,108 @@
+//! The `obs_overhead` group: what the telemetry primitives cost on the
+//! paths the serving layer puts them on. Three comparisons:
+//!
+//! - histogram recording + quantile readout vs the sort-based
+//!   percentile math it replaced (the T9/T12 stats path);
+//! - an always-on span tree per "request" vs the branch-on-`None` that
+//!   every instrumentation site compiles to when tracing is off — the
+//!   per-request cost the T14 experiment bounds end to end;
+//! - registry counter updates from concurrent threads (the
+//!   `record_into` path every stats struct uses).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use blog_obs::{Histogram, Registry, SpanId, TraceConfig, Tracer};
+
+/// Deterministic pseudo-latencies (ns scale, spread over ~6 decades).
+fn samples(n: u64) -> Vec<u64> {
+    (1..=n).map(|i| blog_obs::splitmix64(i) % 1_000_000_000).collect()
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    let values = samples(1024);
+    g.bench_function("histogram_record_1k_p99", |b| {
+        b.iter(|| {
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(black_box(v));
+            }
+            black_box(h.value_at_quantile(0.99))
+        })
+    });
+    g.bench_function("sorted_vec_1k_p99", |b| {
+        b.iter(|| {
+            let mut v = values.clone();
+            v.sort_unstable();
+            let rank = ((0.99 * v.len() as f64).ceil() as usize).clamp(1, v.len());
+            black_box(v[rank - 1])
+        })
+    });
+    g.finish();
+}
+
+/// One synthetic "request": a root-level attempt span, an engine span
+/// under it, and a couple of store events — the serving span taxonomy
+/// in miniature.
+fn traced_request(tracer: &Tracer, i: u64) {
+    if let Some(h) = tracer.start(i, "req") {
+        let attempt = h.span(SpanId::ROOT, "attempt0");
+        let engine = h.span(attempt.id(), "engine");
+        h.event(engine.id(), "cache_lookup", "miss");
+        h.event(engine.id(), "store_fault", "clause 7: transient");
+        engine.finish();
+        attempt.finish();
+        tracer.finish(h);
+    }
+    black_box(());
+}
+
+fn bench_tracing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    for (label, config) in [
+        ("trace_request_off", TraceConfig::off()),
+        ("trace_request_sampled_64", TraceConfig::sampled(64)),
+        ("trace_request_always_on", TraceConfig::always_on()),
+    ] {
+        let tracer = Tracer::new(config, 0xB10C);
+        let mut i = 0u64;
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                traced_request(&tracer, i);
+                i += 1;
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    for threads in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("registry_counter_adds_4k", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let reg = Registry::new();
+                    std::thread::scope(|scope| {
+                        for _ in 0..threads {
+                            scope.spawn(|| {
+                                let c = reg.counter("serve.completed");
+                                for _ in 0..4096 / threads {
+                                    c.inc();
+                                }
+                            });
+                        }
+                    });
+                    black_box(reg.counter("serve.completed").get())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_histogram, bench_tracing, bench_registry);
+criterion_main!(benches);

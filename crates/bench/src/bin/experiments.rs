@@ -21,24 +21,32 @@
 //! --writers=2 --requests=50`); given without experiment ids it implies
 //! `t10`. The T11 first-argument-index sweep, the T12 answer-cache
 //! sweep and the T13 chaos sweep honor `--requests` too (the CI smoke
-//! paths run `t11 --requests=50`, `t12 --requests=50` and `t13
-//! --requests=50`; capped T12/T13 runs also skip their headline asserts
-//! — too few arrivals for a stable p99 or availability estimate).
+//! paths run `t11 --requests=50`, `t12 --requests=50`, `t13
+//! --requests=50` and `t14 --requests=50`; capped T12/T13/T14 runs also
+//! skip their headline asserts — too few arrivals for a stable p99,
+//! availability or overhead estimate). `--stats-json` makes the T9
+//! sweep print its final point's full `ServeStats::to_json` document
+//! after the table; given without experiment ids it implies `t9`.
+//! `trace-dump` runs a small always-on traced serve and exports the
+//! flight recorder to `TRACE_DUMP.jsonl` (one trace per line) and
+//! `TRACE_DUMP_chrome.json` (chrome://tracing / Perfetto); it never
+//! runs as part of `all`.
 //! `--json[=PATH]` writes the machine-readable rows of the experiments
 //! that emit them — the T7 state sweep to `BENCH_T7_STATE.json`, the
 //! T8f frontier sweep to `BENCH_T8_FRONTIER.json`, the T9 serving sweep
 //! to `BENCH_T9_SERVE.json`, the T10 churn sweep to
 //! `BENCH_T10_MVCC.json`, the T11 index sweep to
 //! `BENCH_T11_INDEX.json`, the T12 cache sweep to
-//! `BENCH_T12_CACHE.json`, and the T13 chaos sweep to
-//! `BENCH_T13_CHAOS.json` (or all into `PATH`, keyed by section, when
+//! `BENCH_T12_CACHE.json`, the T13 chaos sweep to
+//! `BENCH_T13_CHAOS.json`, and the T14 telemetry-overhead sweep to
+//! `BENCH_T14_OBS.json` (or all into `PATH`, keyed by section, when
 //! an explicit path is given) — so PRs can record the perf trajectory
 //! as `BENCH_*.json` files.
 
 use blog_bench::report::Json;
 use blog_bench::{
     andp_exp, cache_exp, chaos_exp, figures, frontier_exp, index_exp, machine_exp, mvcc_exp,
-    serve_exp,
+    obs_exp, serve_exp,
     sessions_exp, spd_exp, state_exp, strategies, threads_exp,
 };
 use blog_spd::PolicyKind;
@@ -50,6 +58,7 @@ fn main() {
     let mut pools: Option<usize> = None;
     let mut requests: Option<usize> = None;
     let mut writers: Option<usize> = None;
+    let mut stats_json = false;
     let mut args: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         if let Some(spec) = arg.strip_prefix("--policy=") {
@@ -92,6 +101,8 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if arg == "--stats-json" {
+            stats_json = true;
         } else if arg == "--json" {
             json_path = Some("--default--".to_string());
         } else if let Some(path) = arg.strip_prefix("--json=") {
@@ -111,7 +122,7 @@ fn main() {
         if workers.is_some() {
             args.push("t8f".to_string());
         }
-        if pools.is_some() || requests.is_some() {
+        if pools.is_some() || requests.is_some() || stats_json {
             args.push("t9".to_string());
         }
         if writers.is_some() {
@@ -121,7 +132,13 @@ fn main() {
             && !args
                 .iter()
                 .any(|a| {
-                    a == "t8f" || a == "t9" || a == "t10" || a == "t11" || a == "t12" || a == "t13"
+                    a == "t8f"
+                        || a == "t9"
+                        || a == "t10"
+                        || a == "t11"
+                        || a == "t12"
+                        || a == "t13"
+                        || a == "t14"
                 })
         {
             args.push("t7".to_string());
@@ -139,11 +156,12 @@ fn main() {
                 || a == "t11"
                 || a == "t12"
                 || a == "t13"
+                || a == "t14"
                 || a == "all"
         })
     {
         eprintln!(
-            "--json: include t7, t8f, t9, t10, t11, t12 or t13 (the JSON-emitting experiments) in the id list"
+            "--json: include t7, t8f, t9, t10, t11, t12, t13 or t14 (the JSON-emitting experiments) in the id list"
         );
         std::process::exit(2);
     }
@@ -214,7 +232,7 @@ fn main() {
     });
     let mut t9_serve_rows: Vec<serve_exp::ServeRow> = Vec::new();
     section("t9", "serving sweep: offered load x pools x routing", &mut || {
-        t9_serve_rows = serve_exp::run_t9(pools, requests);
+        t9_serve_rows = serve_exp::run_t9(pools, requests, stats_json);
     });
     let mut t10_mvcc_rows: Vec<mvcc_exp::MvccRow> = Vec::new();
     section("t10", "MVCC churn: readers vs concurrent writers vs stop-the-world", &mut || {
@@ -232,6 +250,10 @@ fn main() {
     section("t13", "chaos: availability under injected faults + degraded serving", &mut || {
         t13_chaos_rows = chaos_exp::run_t13(requests);
     });
+    let mut t14_obs_rows: Vec<obs_exp::ObsRow> = Vec::new();
+    section("t14", "telemetry overhead: tracing off vs sampled vs always-on", &mut || {
+        t14_obs_rows = obs_exp::run_t14(requests);
+    });
     section("a1", "ablation: infinity placement", &mut || {
         sessions_exp::run_a1();
     });
@@ -245,9 +267,19 @@ fn main() {
         strategies::run_a4();
     });
 
+    // Explicit-only (never part of `all`): dumping trace files is a
+    // debugging action, not an experiment.
+    if args.iter().any(|a| a == "trace-dump") {
+        println!("================================================================");
+        println!("TRACE-DUMP — flight-recorder export (jsonl + chrome://tracing)");
+        println!("================================================================");
+        obs_exp::run_trace_dump();
+        ran += 1;
+    }
+
     if ran == 0 {
         eprintln!(
-            "unknown experiment id(s): {:?}\nknown: f1 f3 f4 w1 w2 t1 t2 t3 t4 t5 t6 t7 t8 t8f t9 t10 t11 t12 t13 a1 a2 a3 a4 (or no args for all)\nflags: --policy=<lru|2q|clock|fifo> (restricts the T6c sweep), --workers=<n> (restricts the T8f sweep), --pools=<n> / --requests=<n> (restrict the T9/T11/T12/T13 sweeps), --writers=<n> (restricts the T10 sweep), --json[=PATH] (write machine-readable rows)",
+            "unknown experiment id(s): {:?}\nknown: f1 f3 f4 w1 w2 t1 t2 t3 t4 t5 t6 t7 t8 t8f t9 t10 t11 t12 t13 t14 a1 a2 a3 a4 trace-dump (or no args for all; trace-dump only runs when named)\nflags: --policy=<lru|2q|clock|fifo> (restricts the T6c sweep), --workers=<n> (restricts the T8f sweep), --pools=<n> / --requests=<n> (restrict the T9/T11/T12/T13/T14 sweeps), --writers=<n> (restricts the T10 sweep), --stats-json (T9 prints its final ServeStats as JSON), --json[=PATH] (write machine-readable rows)",
             args
         );
         std::process::exit(2);
@@ -261,9 +293,10 @@ fn main() {
             && t11_index_rows.is_empty()
             && t12_cache_rows.is_empty()
             && t13_chaos_rows.is_empty()
+            && t14_obs_rows.is_empty()
         {
             eprintln!(
-                "--json: no JSON-emitting experiment ran (include t7, t8f, t9, t10, t11, t12 or t13)"
+                "--json: no JSON-emitting experiment ran (include t7, t8f, t9, t10, t11, t12, t13 or t14)"
             );
             std::process::exit(2);
         }
@@ -341,6 +374,15 @@ fn main() {
                     )]),
                 );
             }
+            if !t14_obs_rows.is_empty() {
+                write(
+                    "BENCH_T14_OBS.json",
+                    Json::Obj(vec![(
+                        "t14_obs".to_string(),
+                        obs_exp::rows_to_json(&t14_obs_rows),
+                    )]),
+                );
+            }
         } else {
             // Explicit path: one combined document, keyed by section.
             let mut fields = Vec::new();
@@ -384,6 +426,12 @@ fn main() {
                 fields.push((
                     "t13_chaos".to_string(),
                     chaos_exp::rows_to_json(&t13_chaos_rows),
+                ));
+            }
+            if !t14_obs_rows.is_empty() {
+                fields.push((
+                    "t14_obs".to_string(),
+                    obs_exp::rows_to_json(&t14_obs_rows),
                 ));
             }
             write(&path, Json::Obj(fields));

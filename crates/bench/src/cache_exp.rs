@@ -137,7 +137,7 @@ struct LogEntry {
     retracted: Vec<u32>,
 }
 
-fn mix(total: usize) -> TenantMix {
+pub(crate) fn mix(total: usize) -> TenantMix {
     TenantMix {
         n_tenants: N_TENANTS,
         queries_per_tenant: total.div_ceil(N_TENANTS),
@@ -184,7 +184,7 @@ fn poisson_schedule(n: usize, rate: f64, seed: u64) -> Vec<Duration> {
 /// answer cache for cache-on — so the measured window is steady state
 /// rather than cold start, and p99 measures queueing, not first-touch
 /// fills.
-fn warm(server: &QueryServer, originals: &[blog_workloads::TenantRequest]) {
+pub(crate) fn warm(server: &QueryServer, originals: &[blog_workloads::TenantRequest]) {
     let mut seen = std::collections::HashSet::new();
     let warmers: Vec<QueryRequest> = originals
         .iter()
@@ -197,7 +197,11 @@ fn warm(server: &QueryServer, originals: &[blog_workloads::TenantRequest]) {
 
 /// Open-loop run: submit `requests` on the Poisson schedule while the
 /// pools drain, then let the server finish the backlog.
-fn serve_poisson(server: &QueryServer, requests: Vec<QueryRequest>, rate: f64) -> ServeReport {
+pub(crate) fn serve_poisson(
+    server: &QueryServer,
+    requests: Vec<QueryRequest>,
+    rate: f64,
+) -> ServeReport {
     let schedule = poisson_schedule(requests.len(), rate, 0xD15EA5E);
     let (report, ()) = server.serve_open(move |s| {
         let t0 = s.started();
@@ -356,7 +360,7 @@ fn verify_against_oracle(
 }
 
 /// Sojourn (wait + service) percentiles over non-refused responses.
-fn sojourns_ms(report: &ServeReport) -> Vec<f64> {
+pub(crate) fn sojourns_ms(report: &ServeReport) -> Vec<f64> {
     report
         .responses
         .iter()
@@ -365,7 +369,7 @@ fn sojourns_ms(report: &ServeReport) -> Vec<f64> {
         .collect()
 }
 
-fn pctl(samples: &[f64], q: f64) -> f64 {
+pub(crate) fn pctl(samples: &[f64], q: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }

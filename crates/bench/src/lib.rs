@@ -22,6 +22,7 @@
 //! | T11 | [`index_exp`] | first-argument bitmap index: clause touches and faults per solution |
 //! | T12 | [`cache_exp`] | answer cache: open-loop sustainable rate, invalidation precision, governed admission |
 //! | T13 | [`chaos_exp`] | chaos: availability under injected faults, retries vs no-retry, degraded cache-only serving |
+//! | T14 | [`obs_exp`] | telemetry overhead: tracing off vs sampled vs always-on, p99 span breakdown |
 
 pub mod andp_exp;
 pub mod cache_exp;
@@ -31,6 +32,7 @@ pub mod frontier_exp;
 pub mod index_exp;
 pub mod machine_exp;
 pub mod mvcc_exp;
+pub mod obs_exp;
 pub mod report;
 pub mod serve_exp;
 pub mod sessions_exp;

@@ -1,0 +1,440 @@
+//! T14: telemetry overhead — what structured tracing costs the serving
+//! path, measured against the T12 serving mix.
+//!
+//! Observability that distorts the system it observes is worse than
+//! none: the histogram registry and the span tree exist to explain p99,
+//! so they must not *move* p99. This experiment prices the three
+//! operating points of [`TraceConfig`] under the T12 regime (Zipf-skewed
+//! tenants, drifting §5 walks, open-loop Poisson arrivals at a
+//! sustainable rate, the answer cache off so every request exercises the
+//! engine + store path):
+//!
+//! - **off** — [`TraceConfig::off()`]: every instrumentation site
+//!   compiles down to a branch on `None`. The baseline.
+//! - **sampled** — [`TraceConfig::sampled`]`(64)`: one request in 64
+//!   carries a full span tree into the flight recorder. The production
+//!   default; the headline assert is that its p50 regression stays
+//!   under [`MAX_SAMPLED_P50_OVERHEAD_PCT`].
+//! - **always-on** — [`TraceConfig::always_on()`]: every request traced.
+//!   The debugging posture; its cost is reported, not bounded.
+//!
+//! A mild deterministic latency-spike plan runs in *all three*
+//! configurations (identically, so the comparison stays apples to
+//! apples) to keep the store-stall lane of the span breakdown
+//! populated. After the sweep the always-on flight recorder is mined
+//! for the p99-slowest traced request and its time is attributed:
+//! queue wait vs engine vs store stalls vs retry backoff — the
+//! "explain the tail" readout the telemetry layer exists to produce.
+
+use blog_logic::Program;
+use blog_serve::tuning::working_set_store_config;
+use blog_serve::{
+    FaultPlan, FaultSite, QueryRequest, QueryServer, ServeConfig, TraceConfig, TraceRecord,
+};
+use blog_workloads::{tenant_mix_program, tenant_mix_requests, TenantRequest};
+
+use crate::cache_exp::{mix, pctl, serve_poisson, sojourns_ms, warm};
+use crate::report::{f2, Json, Table};
+
+/// Offered Poisson rate (req/s) — the lowest T12 sweep point, asserted
+/// sustainable there even with the cache off, so p50 here measures
+/// service time rather than queueing delay.
+pub const RATE: f64 = 100.0;
+
+/// Headline bound: sampled tracing may not move p50 by more than this.
+pub const MAX_SAMPLED_P50_OVERHEAD_PCT: f64 = 5.0;
+
+/// Absolute slack on the p50 bound (ms), absorbing scheduler and timer
+/// jitter at the sub-millisecond service times this mix produces — 5%
+/// of a 2 ms p50 is 100 µs, which one preemption can eat on its own.
+const P50_SLACK_MS: f64 = 0.25;
+
+/// Requests per configuration (capped by `--requests` on the CI smoke
+/// path, which also skips the headline assert — too few arrivals for a
+/// stable p50).
+const LOAD: usize = 600;
+
+/// Nanoseconds one simulated SPD fault tick stalls a serving thread
+/// (T12's value, so rows are comparable across the two experiments).
+const STALL_NS_PER_TICK: u64 = 2_000;
+
+/// Latency-spike injection: rate per store touch, extra ticks per hit.
+/// Mild on purpose — enough that the p99 trace shows a store-stall
+/// lane, not enough to dominate service time.
+const SPIKE_RATE: f64 = 0.02;
+const SPIKE_TICKS: u64 = 50;
+
+/// Flight-recorder ring for the traced runs: larger than the load, so
+/// the p99-slowest request is still in the ring when we mine it.
+const RING: usize = 2048;
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct ObsRow {
+    /// `off` / `sampled-64` / `always-on`.
+    pub mode: &'static str,
+    /// Sampling denominator (0 = tracing off).
+    pub sample_one_in: u32,
+    /// Offered Poisson rate, req/s.
+    pub offered_rps: f64,
+    /// Achieved rate over the whole run, req/s.
+    pub achieved_rps: f64,
+    /// Requests submitted.
+    pub requests: usize,
+    /// Wall-clock, seconds.
+    pub wall_s: f64,
+    /// Median sojourn (queue wait + service), ms.
+    pub p50_ms: f64,
+    /// p99 sojourn, ms.
+    pub p99_ms: f64,
+    /// p50 regression vs the `off` row, percent (0 for `off` itself).
+    pub overhead_p50_pct: f64,
+    /// p99 regression vs the `off` row, percent.
+    pub overhead_p99_pct: f64,
+    /// Traces the flight recorder holds after the run.
+    pub traced: usize,
+    /// Spans across those traces.
+    pub spans: u64,
+    /// Events across those traces.
+    pub events: u64,
+}
+
+fn t14_config(trace: TraceConfig) -> ServeConfig {
+    ServeConfig {
+        stall_ns_per_tick: STALL_NS_PER_TICK,
+        fault: Some(
+            FaultPlan::new(14).with_site(FaultSite::latency_spike(SPIKE_RATE, SPIKE_TICKS)),
+        ),
+        trace,
+        ..ServeConfig::default()
+    }
+}
+
+/// Run one configuration: fresh server, same warmup, same Poisson
+/// schedule. Returns the row (overheads zeroed — filled in once the
+/// `off` baseline is known) and the flight-recorder snapshot.
+fn measure_point(
+    p: &Program,
+    originals: &[TenantRequest],
+    mode: &'static str,
+    trace: TraceConfig,
+) -> (ObsRow, Vec<TraceRecord>) {
+    let requests: Vec<QueryRequest> = originals
+        .iter()
+        .map(|r| QueryRequest::new(r.tenant as u64, r.text.clone()).with_tenant(r.tenant as u32))
+        .collect();
+    let server = QueryServer::new(&p.db, working_set_store_config(p.db.len()), t14_config(trace));
+    warm(&server, originals);
+    // The warmup pass is traced too; the ring is sized to hold both
+    // passes, so the timed window's traces are everything recorded
+    // after the warmup snapshot point.
+    let warm_traced = server.tracer().recorder().len();
+    let report = serve_poisson(&server, requests, RATE);
+    let s = &report.stats;
+    assert_eq!(
+        s.completed + s.cancelled + s.rejected + s.overloaded,
+        s.requests,
+        "T14 outcome accounting must balance ({mode})"
+    );
+    assert_eq!(s.rejected, 0, "generated queries always parse");
+    assert_eq!(s.completed, s.requests, "no deadlines, no budget: all complete ({mode})");
+    let mut traces = server.tracer().recorder().snapshot();
+    let traces = traces.split_off(warm_traced.min(traces.len()));
+    for t in &traces {
+        t.well_formed()
+            .unwrap_or_else(|e| panic!("T14 {mode}: malformed trace {}: {e}", t.label));
+    }
+    let so = sojourns_ms(&report);
+    let row = ObsRow {
+        mode,
+        sample_one_in: trace.sample_one_in,
+        offered_rps: RATE,
+        achieved_rps: s.throughput_rps,
+        requests: s.requests,
+        wall_s: s.wall_s,
+        p50_ms: pctl(&so, 0.5),
+        p99_ms: pctl(&so, 0.99),
+        overhead_p50_pct: 0.0,
+        overhead_p99_pct: 0.0,
+        traced: traces.len(),
+        spans: traces.iter().map(|t| t.spans.len() as u64).sum(),
+        events: traces.iter().map(|t| t.events.len() as u64).sum(),
+    };
+    (row, traces)
+}
+
+/// Store-stall nanoseconds a trace witnessed: injected latency-spike
+/// ticks (evented as `latency_spike` with a `+<n> ticks` detail)
+/// converted at the run's stall rate.
+fn store_stall_ns(t: &TraceRecord) -> u64 {
+    t.events
+        .iter()
+        .filter(|e| e.name == "latency_spike")
+        .filter_map(|e| {
+            let (_, rest) = e.detail.rsplit_once('+')?;
+            rest.strip_suffix(" ticks")?.parse::<u64>().ok()
+        })
+        .sum::<u64>()
+        * STALL_NS_PER_TICK
+}
+
+/// Print the time breakdown of the p99-slowest traced request — the
+/// readout that tells queue pressure apart from engine work, store
+/// stalls and retry backoff without re-running anything.
+fn print_p99_breakdown(traces: &[TraceRecord]) {
+    if traces.is_empty() {
+        println!("(no traces recorded — nothing to break down)");
+        return;
+    }
+    let mut by_duration: Vec<&TraceRecord> = traces.iter().collect();
+    by_duration.sort_by_key(|t| t.duration_ns());
+    let rank = ((0.99 * by_duration.len() as f64).ceil() as usize).clamp(1, by_duration.len());
+    let t = by_duration[rank - 1];
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let total = t.duration_ns();
+    let queue = t.span_total_ns("queue_wait");
+    let engine: u64 = t
+        .spans
+        .iter()
+        .filter(|s| s.name == "engine")
+        .map(|s| s.end_ns - s.start_ns)
+        .sum();
+    let backoff = t.span_total_ns("backoff");
+    let stall = store_stall_ns(t);
+    let spikes = t.events.iter().filter(|e| e.name == "latency_spike").count();
+    let other = total.saturating_sub(queue + engine + backoff);
+    println!(
+        "p99-slowest traced request: {:?} — total {} ms over {} spans / {} events",
+        t.label,
+        f2(ms(total)),
+        t.spans.len(),
+        t.events.len()
+    );
+    println!(
+        "  queue {} ms | engine {} ms (of which store stalls {} ms across {} spikes) | \
+         backoff {} ms | other {} ms",
+        f2(ms(queue)),
+        f2(ms(engine)),
+        f2(ms(stall)),
+        spikes,
+        f2(ms(backoff)),
+        f2(ms(other))
+    );
+}
+
+fn overhead_pct(x: f64, baseline: f64) -> f64 {
+    if baseline > 0.0 {
+        (x - baseline) / baseline * 100.0
+    } else {
+        0.0
+    }
+}
+
+/// Run the T14 overhead sweep. `max_requests` caps the per-point load
+/// (the CI smoke path runs `t14 --requests=50`, which also skips the
+/// headline assert — 50 arrivals are too few for a stable p50).
+pub fn run_t14(max_requests: Option<usize>) -> Vec<ObsRow> {
+    let load = max_requests.unwrap_or(LOAD).max(8);
+    let full = load >= LOAD;
+    let m = mix(load);
+    let (p, metas) = tenant_mix_program(&m);
+    let originals = tenant_mix_requests(&m, &metas);
+
+    let configs: [(&'static str, TraceConfig); 3] = [
+        ("off", TraceConfig::off()),
+        ("sampled-64", TraceConfig::sampled(64).with_ring_capacity(RING)),
+        ("always-on", TraceConfig::always_on().with_ring_capacity(RING)),
+    ];
+    let mut rows = Vec::new();
+    let mut always_traces = Vec::new();
+    for (mode, trace) in configs {
+        let (row, traces) = measure_point(&p, &originals, mode, trace);
+        match mode {
+            "off" => assert_eq!(row.traced, 0, "tracing off must record nothing"),
+            "sampled-64" => assert!(
+                row.traced < row.requests,
+                "1-in-64 sampling must not trace every request"
+            ),
+            _ => {
+                assert_eq!(
+                    row.traced, row.requests,
+                    "always-on must trace every request (ring {RING} > load {load})"
+                );
+                always_traces = traces;
+            }
+        }
+        rows.push(row);
+    }
+    let (off_p50, off_p99) = (rows[0].p50_ms, rows[0].p99_ms);
+    for row in &mut rows[1..] {
+        row.overhead_p50_pct = overhead_pct(row.p50_ms, off_p50);
+        row.overhead_p99_pct = overhead_pct(row.p99_ms, off_p99);
+    }
+
+    let mut table = Table::new(&[
+        "mode", "1-in", "offered", "achieved", "p50 ms", "p99 ms", "p50 ovh", "p99 ovh",
+        "traced", "spans", "events",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.mode.to_string(),
+            r.sample_one_in.to_string(),
+            f2(r.offered_rps),
+            f2(r.achieved_rps),
+            f2(r.p50_ms),
+            f2(r.p99_ms),
+            format!("{:+.1}%", r.overhead_p50_pct),
+            format!("{:+.1}%", r.overhead_p99_pct),
+            r.traced.to_string(),
+            r.spans.to_string(),
+            r.events.to_string(),
+        ]);
+    }
+    table.print();
+    print_p99_breakdown(&always_traces);
+    println!(
+        "(sojourn percentiles over {load} Poisson arrivals at {} req/s per configuration; \
+         identical spike plan everywhere; bound: sampled p50 overhead < {}%)",
+        f2(RATE),
+        MAX_SAMPLED_P50_OVERHEAD_PCT
+    );
+
+    if full {
+        let sampled = &rows[1];
+        assert!(
+            sampled.p50_ms <= off_p50 * (1.0 + MAX_SAMPLED_P50_OVERHEAD_PCT / 100.0) + P50_SLACK_MS,
+            "telemetry overhead regression: sampled-64 p50 {} ms vs off {} ms exceeds \
+             {MAX_SAMPLED_P50_OVERHEAD_PCT}% (+{P50_SLACK_MS} ms jitter slack)",
+            sampled.p50_ms,
+            off_p50
+        );
+    }
+    rows
+}
+
+/// The T14 rows plus the headline summary as JSON (for
+/// `BENCH_T14_OBS.json`).
+pub fn rows_to_json(rows: &[ObsRow]) -> Json {
+    let arr = Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("mode".into(), Json::str(r.mode)),
+                    ("sample_one_in".into(), Json::int(r.sample_one_in as u64)),
+                    ("offered_rps".into(), Json::Num(r.offered_rps)),
+                    ("achieved_rps".into(), Json::Num(r.achieved_rps)),
+                    ("requests".into(), Json::int(r.requests as u64)),
+                    ("wall_s".into(), Json::Num(r.wall_s)),
+                    ("p50_ms".into(), Json::Num(r.p50_ms)),
+                    ("p99_ms".into(), Json::Num(r.p99_ms)),
+                    ("overhead_p50_pct".into(), Json::Num(r.overhead_p50_pct)),
+                    ("overhead_p99_pct".into(), Json::Num(r.overhead_p99_pct)),
+                    ("traced".into(), Json::int(r.traced as u64)),
+                    ("spans".into(), Json::int(r.spans)),
+                    ("events".into(), Json::int(r.events)),
+                ])
+            })
+            .collect(),
+    );
+    let find = |mode: &str| rows.iter().find(|r| r.mode == mode);
+    let summary = Json::Obj(vec![
+        ("offered_rps".into(), Json::Num(RATE)),
+        (
+            "max_sampled_p50_overhead_pct".into(),
+            Json::Num(MAX_SAMPLED_P50_OVERHEAD_PCT),
+        ),
+        (
+            "sampled_p50_overhead_pct".into(),
+            find("sampled-64").map_or(Json::Null, |r| Json::Num(r.overhead_p50_pct)),
+        ),
+        (
+            "always_on_p50_overhead_pct".into(),
+            find("always-on").map_or(Json::Null, |r| Json::Num(r.overhead_p50_pct)),
+        ),
+    ]);
+    Json::Obj(vec![("rows".into(), arr), ("summary".into(), summary)])
+}
+
+/// `experiments -- trace-dump`: run a small always-on traced serve and
+/// export the flight recorder both ways — JSON-lines (one trace per
+/// line, the grep-able archive format) and a chrome://tracing /
+/// Perfetto document. Returns the two paths written.
+pub fn run_trace_dump() -> (String, String) {
+    let m = mix(32);
+    let (p, metas) = tenant_mix_program(&m);
+    let originals = tenant_mix_requests(&m, &metas);
+    let requests: Vec<QueryRequest> = originals
+        .iter()
+        .map(|r| QueryRequest::new(r.tenant as u64, r.text.clone()).with_tenant(r.tenant as u32))
+        .collect();
+    let server = QueryServer::new(
+        &p.db,
+        working_set_store_config(p.db.len()),
+        t14_config(TraceConfig::always_on()),
+    );
+    let report = server.serve(requests);
+    assert_eq!(report.stats.rejected, 0, "generated queries always parse");
+    let traces = server.tracer().recorder().snapshot();
+    let jsonl_path = "TRACE_DUMP.jsonl".to_string();
+    let chrome_path = "TRACE_DUMP_chrome.json".to_string();
+    std::fs::write(&jsonl_path, blog_serve::to_jsonl(&traces)).expect("write jsonl dump");
+    std::fs::write(&chrome_path, blog_serve::to_chrome_trace(&traces))
+        .expect("write chrome dump");
+    let spans: usize = traces.iter().map(|t| t.spans.len()).sum();
+    let events: usize = traces.iter().map(|t| t.events.len()).sum();
+    println!(
+        "dumped {} traces ({spans} spans, {events} events) to {jsonl_path} and {chrome_path} \
+         (load the latter at chrome://tracing or ui.perfetto.dev)",
+        traces.len()
+    );
+    print_p99_breakdown(&traces);
+    (jsonl_path, chrome_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traced_point_records_well_formed_traces() {
+        let m = mix(16);
+        let (p, metas) = tenant_mix_program(&m);
+        let originals = tenant_mix_requests(&m, &metas);
+        let (row, traces) =
+            measure_point(&p, &originals, "always-on", TraceConfig::always_on());
+        assert_eq!(row.traced, row.requests);
+        assert_eq!(row.traced, traces.len());
+        assert!(row.spans > 0 && row.events > 0);
+        // Every trace carries the core span taxonomy.
+        for t in &traces {
+            assert!(t.span_total_ns("queue_wait") > 0, "queue_wait missing: {}", t.label);
+            assert!(
+                t.spans.iter().any(|s| s.name == "engine"),
+                "engine span missing: {}",
+                t.label
+            );
+        }
+    }
+
+    #[test]
+    fn off_point_records_nothing() {
+        let m = mix(16);
+        let (p, metas) = tenant_mix_program(&m);
+        let originals = tenant_mix_requests(&m, &metas);
+        let (row, traces) = measure_point(&p, &originals, "off", TraceConfig::off());
+        assert_eq!(row.traced, 0);
+        assert!(traces.is_empty());
+        assert_eq!(row.spans, 0);
+    }
+
+    #[test]
+    fn json_rows_render_with_summary() {
+        let m = mix(16);
+        let (p, metas) = tenant_mix_program(&m);
+        let originals = tenant_mix_requests(&m, &metas);
+        let (row, _) = measure_point(&p, &originals, "off", TraceConfig::off());
+        let json = rows_to_json(&[row]).render();
+        assert!(json.contains("\"mode\":\"off\""));
+        assert!(json.contains("\"max_sampled_p50_overhead_pct\":5"));
+    }
+}

@@ -61,104 +61,13 @@ impl Table {
     }
 }
 
-/// A minimal JSON value for the experiments binary's `--json` output.
-///
-/// The workspace's `serde` is an offline stub (see `vendor/README.md`), so
-/// machine-readable output is rendered by hand. The surface is just big
-/// enough for flat experiment-row tables — the `BENCH_*.json` perf
-/// trajectory files future PRs record.
-#[derive(Clone, Debug)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A number (rendered via Rust's shortest-roundtrip float formatting).
-    Num(f64),
-    /// A string (escaped on render).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// A string value.
-    pub fn str(s: impl Into<String>) -> Json {
-        Json::Str(s.into())
-    }
-
-    /// An integer value (exact for |n| ≤ 2^53, plenty for counters).
-    pub fn int(n: u64) -> Json {
-        Json::Num(n as f64)
-    }
-
-    /// Render to compact JSON text.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
-    fn write(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(x) => {
-                if x.is_finite() {
-                    // Integral values render without a trailing ".0".
-                    if x.fract() == 0.0 && x.abs() < 9e15 {
-                        out.push_str(&format!("{}", *x as i64));
-                    } else {
-                        out.push_str(&format!("{x}"));
-                    }
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            out.push_str(&format!("\\u{:04x}", c as u32));
-                        }
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    Json::Str(k.clone()).write(out);
-                    out.push(':');
-                    v.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
+/// The hand-rolled JSON value for the experiments binary's `--json`
+/// output, now shared with the whole workspace via `blog-obs` (the
+/// vendored `serde` is an offline stub — see `vendor/README.md`). The
+/// surface is just big enough for flat experiment-row tables — the
+/// `BENCH_*.json` perf trajectory files PRs record — plus the telemetry
+/// exports ([`blog_obs::Registry::to_json`], trace dumps).
+pub use blog_obs::Json;
 
 /// Format a float with 2 decimals.
 pub fn f2(x: f64) -> String {

@@ -177,8 +177,14 @@ fn measure_point(
 }
 
 /// Run the T9 sweep. `only_pools` / `max_requests` restrict the axes
-/// (the CI smoke path); `None` sweeps everything.
-pub fn run_t9(only_pools: Option<usize>, max_requests: Option<usize>) -> Vec<ServeRow> {
+/// (the CI smoke path); `None` sweeps everything. `stats_json` prints
+/// the final point's full [`ServeStats::to_json`] document after the
+/// table — the machine-readable snapshot dashboards scrape.
+pub fn run_t9(
+    only_pools: Option<usize>,
+    max_requests: Option<usize>,
+    stats_json: bool,
+) -> Vec<ServeRow> {
     let pools_axis: Vec<usize> = match only_pools {
         Some(n) => vec![n],
         None => POOL_SWEEP.to_vec(),
@@ -196,6 +202,7 @@ pub fn run_t9(only_pools: Option<usize>, max_requests: Option<usize>) -> Vec<Ser
     };
 
     let mut rows = Vec::new();
+    let mut last_stats: Option<ServeStats> = None;
     let mut table = Table::new(&[
         "requests", "pools", "routing", "wall ms", "req/s", "p50 ms", "p99 ms", "hit rate",
         "warm", "cold", "faults", "locks", "contended",
@@ -207,7 +214,8 @@ pub fn run_t9(only_pools: Option<usize>, max_requests: Option<usize>) -> Vec<Ser
         for &pools in &pools_axis {
             let mut per_routing: Vec<ServeRow> = Vec::new();
             for routing in [Routing::SessionAffinity, Routing::RoundRobin] {
-                let (row, _) = measure_point(&p, &mix, &metas, &mut truth, pools, routing);
+                let (row, stats) = measure_point(&p, &mix, &metas, &mut truth, pools, routing);
+                last_stats = Some(stats);
                 table.row(vec![
                     row.requests.to_string(),
                     row.pools.to_string(),
@@ -264,6 +272,11 @@ pub fn run_t9(only_pools: Option<usize>, max_requests: Option<usize>) -> Vec<Ser
         "(equivalence asserted per request: concurrent == sequential solution sets; \
          stall {STALL_NS_PER_TICK} ns/tick)"
     );
+    if stats_json {
+        if let Some(stats) = &last_stats {
+            println!("{}", stats.to_json().render());
+        }
+    }
     rows
 }
 

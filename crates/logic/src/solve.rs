@@ -75,6 +75,11 @@ pub struct SolveConfig {
     /// the measurable baseline. The trail-based depth-first engine never
     /// sprouts and ignores this.
     pub state_repr: StateRepr,
+    /// Span context of the request this solve belongs to (`None` — the
+    /// default — means untraced: every instrumentation site downstream
+    /// is a branch on `None`). Engines and executors parent their spans
+    /// and events (worker spans, frontier dive/steal events) under it.
+    pub trace: Option<blog_obs::SpanCtx>,
 }
 
 impl Default for SolveConfig {
@@ -84,6 +89,7 @@ impl Default for SolveConfig {
             max_depth: None,
             max_nodes: Some(10_000_000),
             state_repr: StateRepr::default(),
+            trace: None,
         }
     }
 }
@@ -117,6 +123,12 @@ impl SolveConfig {
     /// Set the search-state representation.
     pub fn with_state_repr(mut self, repr: StateRepr) -> Self {
         self.state_repr = repr;
+        self
+    }
+
+    /// Attach the request's span context (see [`SolveConfig::trace`]).
+    pub fn with_trace(mut self, trace: Option<blog_obs::SpanCtx>) -> Self {
+        self.trace = trace;
         self
     }
 }

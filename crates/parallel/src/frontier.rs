@@ -115,6 +115,20 @@ pub struct FrontierCounters {
     pub spurious_wakeups: u64,
 }
 
+impl blog_obs::RecordInto for FrontierCounters {
+    fn record_into(&self, registry: &blog_obs::Registry) {
+        registry.counter("frontier.steals").add(self.steals);
+        registry.counter("frontier.local").add(self.local);
+        registry.gauge("frontier.max_len").set(self.max_len as f64);
+        registry.counter("frontier.dives").add(self.dives);
+        registry.counter("frontier.shard_locks").add(self.shard_locks);
+        registry.counter("frontier.min_publishes").add(self.min_publishes);
+        registry
+            .counter("frontier.spurious_wakeups")
+            .add(self.spurious_wakeups);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Legacy global-mutex frontier (SharedHeap + LocalPools)
 // ---------------------------------------------------------------------------

@@ -267,6 +267,9 @@ fn step<S: ClauseSource + ?Sized>(
         if ctx.frontier.should_dive(w, min_bound) {
             *dives_left -= 1;
             out.dives += 1;
+            if let Some(t) = &ctx.config.solve.trace {
+                t.event("dive", format!("worker {w} bound {min_bound}"));
+            }
             let next = buf.swap_remove(min_idx);
             ctx.frontier.push_children_from(w, buf);
             return Step::Dive(next);
@@ -292,6 +295,15 @@ impl Drop for AbortOnPanic<'_> {
 
 fn worker_loop<S: ClauseSource + ?Sized>(ctx: &SharedCtx<'_, S>, w: usize) -> WorkerStats {
     let _abort_guard = AbortOnPanic(&ctx.frontier);
+    // One span per worker thread, parented under the request's engine
+    // span: the flight record shows each worker's busy interval, with
+    // its dive events nested by timestamp.
+    let _worker_span = ctx
+        .config
+        .solve
+        .trace
+        .as_ref()
+        .map(|t| t.span(format!("worker{w}")));
     let mut out = WorkerStats::default();
     let params = ctx.weights.params();
     // Reused across every expansion this worker performs.
@@ -373,6 +385,15 @@ pub fn par_best_first_with<S: ClauseSource + ?Sized>(
     let mut counters = ctx.frontier.counters();
     counters.dives = dives;
     stats.max_frontier = counters.max_len;
+    if let Some(t) = &config.solve.trace {
+        t.event(
+            "frontier",
+            format!(
+                "steals {} local {} dives {} max_len {}",
+                counters.steals, counters.local, counters.dives, counters.max_len
+            ),
+        );
+    }
 
     // Apply the deferred §5 updates from the per-worker logs, merged
     // deterministically: by worker id, then per-worker completion order.

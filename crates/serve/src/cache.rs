@@ -135,6 +135,25 @@ pub struct CacheStats {
     pub reserved_bytes: usize,
 }
 
+impl blog_obs::RecordInto for CacheStats {
+    fn record_into(&self, registry: &blog_obs::Registry) {
+        registry.counter("cache.lookups").add(self.lookups);
+        registry.counter("cache.hits").add(self.hits);
+        registry.counter("cache.fills").add(self.fills);
+        registry.counter("cache.invalidations").add(self.invalidations);
+        registry.counter("cache.expired").add(self.expired);
+        registry.counter("cache.evictions").add(self.evictions);
+        registry.counter("cache.skipped_fills").add(self.skipped_fills);
+        registry.counter("cache.overloaded").add(self.overloaded);
+        registry.gauge("cache.entries").set(self.entries as f64);
+        registry.gauge("cache.bytes").set(self.bytes as f64);
+        registry
+            .gauge("cache.reserved_bytes")
+            .set(self.reserved_bytes as f64);
+        registry.gauge("cache.hit_rate").set(self.hit_rate());
+    }
+}
+
 impl CacheStats {
     /// Hit rate over attempted lookups, in `[0, 1]`.
     pub fn hit_rate(&self) -> f64 {
@@ -142,6 +161,26 @@ impl CacheStats {
             return 0.0;
         }
         self.hits as f64 / self.lookups as f64
+    }
+
+    /// Every counter and gauge (plus the derived hit rate) as one JSON
+    /// object.
+    pub fn to_json(&self) -> blog_obs::Json {
+        use blog_obs::Json;
+        Json::Obj(vec![
+            ("lookups".into(), Json::int(self.lookups)),
+            ("hits".into(), Json::int(self.hits)),
+            ("fills".into(), Json::int(self.fills)),
+            ("invalidations".into(), Json::int(self.invalidations)),
+            ("expired".into(), Json::int(self.expired)),
+            ("evictions".into(), Json::int(self.evictions)),
+            ("skipped_fills".into(), Json::int(self.skipped_fills)),
+            ("overloaded".into(), Json::int(self.overloaded)),
+            ("entries".into(), Json::int(self.entries as u64)),
+            ("bytes".into(), Json::int(self.bytes as u64)),
+            ("reserved_bytes".into(), Json::int(self.reserved_bytes as u64)),
+            ("hit_rate".into(), Json::Num(self.hit_rate())),
+        ])
     }
 
     /// Counter-wise `after - before` (gauges keep their `after` value).

@@ -25,7 +25,14 @@ use crate::request::{
     Outcome, QueryRequest, QueryResponse, RetryAdvice, ServedFrom, UpdateOp, UpdateOutcome,
     UpdateRequest, UpdateResponse,
 };
-use crate::stats::{percentile_ms, warmth_splits, PoolReport, ServeReport, ServeStats};
+use crate::stats::{hist_ms, warmth_splits, PoolReport, ServeReport, ServeStats};
+
+use blog_obs::{SpanCtx, SpanId, TraceHandle, Tracer};
+
+/// Seed of the server's deterministic trace sampler: the same config
+/// and request sequence always sample the same requests with the same
+/// trace ids, so flight-recorder contents are reproducible.
+const TRACE_SEED: u64 = 0xB10C_0B5E_7E1E_A55E;
 
 /// Lock a mutex, recovering from poisoning.
 ///
@@ -203,6 +210,12 @@ pub struct ServeConfig {
     pub retry: RetryPolicy,
     /// Per-pool circuit breaker (see [`BreakerConfig`]).
     pub breaker: BreakerConfig,
+    /// Request tracing (see [`blog_obs::TraceConfig`]): sampled requests
+    /// record a span tree (queue wait → attempt → engine → store events
+    /// → cache) into the server's flight recorder
+    /// ([`QueryServer::tracer`]). Default off — every instrumentation
+    /// site reduces to a branch on `None`.
+    pub trace: blog_obs::TraceConfig,
 }
 
 impl Default for ServeConfig {
@@ -221,6 +234,7 @@ impl Default for ServeConfig {
             fault: None,
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
+            trace: blog_obs::TraceConfig::off(),
         }
     }
 }
@@ -232,6 +246,9 @@ struct Job {
     cancel: CancelToken,
     deadline: Option<Instant>,
     enqueued: Instant,
+    /// Trace handle when this request was sampled (created at
+    /// admission, so the root span covers queue wait too).
+    trace: Option<TraceHandle>,
 }
 
 /// One pool's open queue: jobs, a wakeup for its worker, and live
@@ -411,6 +428,15 @@ impl Submitter<'_> {
         if let Some(at) = deadline {
             lock_unpoisoned(&state.reaper_watch).push((at, cancel.clone()));
         }
+        // Sampling decision at admission, so the root span covers the
+        // queue wait; the handle rides in the job to the pool worker.
+        let trace = self
+            .server
+            .tracer
+            .start(idx as u64, format!("s{} {}", request.session.0, request.text));
+        if let Some(h) = &trace {
+            h.event(SpanId::ROOT, "admitted", format!("pool {pool}"));
+        }
         lock_unpoisoned(&state.progress).queued += 1;
         let q = &state.queues[pool];
         {
@@ -421,6 +447,7 @@ impl Submitter<'_> {
                 cancel,
                 deadline,
                 enqueued: now,
+                trace,
             });
             let depth = q.depth.fetch_add(1, Ordering::Relaxed) + 1;
             q.peak.fetch_max(depth, Ordering::Relaxed);
@@ -434,7 +461,16 @@ impl Submitter<'_> {
     /// answer cache is notified in commit order.
     pub fn update(&self, session: crate::SessionId, ops: &[UpdateOp]) -> UpdateResponse {
         let idx = self.state.next_update.fetch_add(1, Ordering::Relaxed);
-        let response = match self.server.apply_update(ops) {
+        // Updates sample from the same tracer as queries, in a disjoint
+        // index namespace (high bit set) so trace ids never collide.
+        let trace = self
+            .server
+            .tracer
+            .start((1 << 62) | idx as u64, format!("update s{}", session.0));
+        let response = match self
+            .server
+            .apply_update_traced(ops, trace.as_ref().map(|h| SpanCtx::new(h.clone(), SpanId::ROOT)))
+        {
             Ok((epoch, asserted)) => UpdateResponse {
                 request: idx,
                 session,
@@ -450,6 +486,9 @@ impl Submitter<'_> {
                 },
             },
         };
+        if let Some(h) = trace {
+            self.server.tracer.finish(h);
+        }
         lock_unpoisoned(&self.state.updates).push(response.clone());
         response
     }
@@ -509,6 +548,10 @@ pub struct QueryServer {
     breaker_opens: AtomicU64,
     breaker_reroutes: AtomicU64,
     degraded_cache_hits: AtomicU64,
+    /// Request tracing: deterministic sampler plus the flight recorder
+    /// completed traces land in (persists across batches, like every
+    /// other server-lifetime meter).
+    tracer: Tracer,
 }
 
 impl QueryServer {
@@ -552,6 +595,7 @@ impl QueryServer {
         let breakers = (0..config.n_pools)
             .map(|_| Mutex::new(BreakerState::Closed { consecutive: 0 }))
             .collect();
+        let config_trace = config.trace;
         QueryServer {
             weights,
             store,
@@ -565,6 +609,7 @@ impl QueryServer {
             breaker_opens: AtomicU64::new(0),
             breaker_reroutes: AtomicU64::new(0),
             degraded_cache_hits: AtomicU64::new(0),
+            tracer: Tracer::new(config_trace, TRACE_SEED),
         }
     }
 
@@ -583,6 +628,13 @@ impl QueryServer {
     /// The server's configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// The request tracer (sampler plus flight recorder). Snapshot its
+    /// [`recorder`](Tracer::recorder) after a run to inspect or export
+    /// the sampled requests' span trees.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Route one session id under the configured policy.
@@ -608,7 +660,7 @@ impl QueryServer {
     /// (closed, or open-and-cooled — the state moves to half-open and
     /// this request is the probe); `Some(remaining)` = the breaker is
     /// open for another `remaining`, serve degraded.
-    fn breaker_admit(&self, p: usize) -> Option<Duration> {
+    fn breaker_admit(&self, p: usize, trace: Option<&TraceHandle>) -> Option<Duration> {
         let mut state = lock_unpoisoned(&self.breakers[p]);
         match *state {
             BreakerState::Closed { .. } | BreakerState::HalfOpen => None,
@@ -616,6 +668,13 @@ impl QueryServer {
                 let elapsed = since.elapsed();
                 if elapsed >= self.config.breaker.cooldown {
                     *state = BreakerState::HalfOpen;
+                    if let Some(h) = trace {
+                        h.event(
+                            SpanId::ROOT,
+                            "breaker_half_open",
+                            format!("pool {p}: cooldown elapsed, this request probes"),
+                        );
+                    }
                     None
                 } else {
                     Some(self.config.breaker.cooldown - elapsed)
@@ -626,22 +685,34 @@ impl QueryServer {
 
     /// A request on pool `p` got a real answer out of storage: reset the
     /// failure streak (and close a half-open breaker — the probe passed).
-    fn breaker_success(&self, p: usize) {
-        *lock_unpoisoned(&self.breakers[p]) = BreakerState::Closed { consecutive: 0 };
+    fn breaker_success(&self, p: usize, trace: Option<&TraceHandle>) {
+        let mut state = lock_unpoisoned(&self.breakers[p]);
+        if matches!(*state, BreakerState::HalfOpen) {
+            if let Some(h) = trace {
+                h.event(
+                    SpanId::ROOT,
+                    "breaker_closed",
+                    format!("pool {p}: half-open probe succeeded"),
+                );
+            }
+        }
+        *state = BreakerState::Closed { consecutive: 0 };
     }
 
     /// A request on pool `p` was defeated by storage (retry budget
     /// exhausted, permanent fault, or engine panic): extend the streak,
     /// tripping the breaker at the threshold; a failed half-open probe
     /// re-opens immediately.
-    fn breaker_failure(&self, p: usize) {
+    fn breaker_failure(&self, p: usize, trace: Option<&TraceHandle>) {
         let mut state = lock_unpoisoned(&self.breakers[p]);
+        let mut opened = false;
         match *state {
             BreakerState::Closed { consecutive } => {
                 let consecutive = consecutive + 1;
                 if consecutive >= self.config.breaker.failure_threshold {
                     *state = BreakerState::Open { since: Instant::now() };
                     self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+                    opened = true;
                 } else {
                     *state = BreakerState::Closed { consecutive };
                 }
@@ -649,8 +720,18 @@ impl QueryServer {
             BreakerState::HalfOpen => {
                 *state = BreakerState::Open { since: Instant::now() };
                 self.breaker_opens.fetch_add(1, Ordering::Relaxed);
+                opened = true;
             }
             BreakerState::Open { .. } => {}
+        }
+        if opened {
+            if let Some(h) = trace {
+                h.event(
+                    SpanId::ROOT,
+                    "breaker_open",
+                    format!("pool {p}: failure streak hit the threshold"),
+                );
+            }
         }
     }
 
@@ -684,8 +765,23 @@ impl QueryServer {
         &self,
         ops: &[crate::request::UpdateOp],
     ) -> Result<(u64, Vec<ClauseId>), MvccError> {
+        self.apply_update_traced(ops, None)
+    }
+
+    /// [`apply_update`](Self::apply_update) with the commit reported
+    /// onto `trace`'s span tree: a `writer_wait` span while the update
+    /// serializes behind earlier writers, then the store's own
+    /// `commit_io` / `commit_install` spans and `retire` event (see
+    /// [`blog_spd::WriteTxn::with_trace`]).
+    pub fn apply_update_traced(
+        &self,
+        ops: &[crate::request::UpdateOp],
+        trace: Option<SpanCtx>,
+    ) -> Result<(u64, Vec<ClauseId>), MvccError> {
+        let wait_span = trace.as_ref().map(|t| t.span("writer_wait"));
         let _order = lock_unpoisoned(&self.update_order);
-        let mut txn = self.store.begin_write();
+        let mut txn = self.store.begin_write().with_trace(trace.clone());
+        drop(wait_span);
         let mut asserted = Vec::new();
         for op in ops {
             match op {
@@ -893,6 +989,7 @@ impl QueryServer {
                 .iter()
                 .map(|r| r.service.as_secs_f64() * 1e3)
                 .collect();
+            let pool_hist = hist_ms(&latencies);
             let after = self.store.pool_stats(p);
             let before = pools_before[p];
             per_pool.push(PoolReport {
@@ -900,8 +997,8 @@ impl QueryServer {
                 served: responses.len(),
                 queue_peak: queue_peaks[p],
                 nodes_expanded: responses.iter().map(|r| r.stats.nodes_expanded).sum(),
-                p50_ms: percentile_ms(&latencies, 0.5),
-                p99_ms: percentile_ms(&latencies, 0.99),
+                p50_ms: pool_hist.quantile_ms(0.5),
+                p99_ms: pool_hist.quantile_ms(0.99),
                 touches: blog_spd::PoolTouchStats {
                     accesses: after.accesses - before.accesses,
                     hits: after.hits - before.hits,
@@ -939,6 +1036,8 @@ impl QueryServer {
             .iter()
             .map(|r| r.queue_wait.as_secs_f64() * 1e3)
             .collect();
+        let service_hist = hist_ms(&service_ms);
+        let wait_hist = hist_ms(&wait_ms);
         let (warm, cold) = warmth_splits(&responses);
         let completed = responses.iter().filter(|r| r.outcome.is_completed()).count();
         let cancelled = responses
@@ -975,10 +1074,10 @@ impl QueryServer {
             degraded_cache_hits: self.degraded_cache_hits.load(Ordering::Relaxed)
                 - degraded_before,
             throughput_rps: if wall_s > 0.0 { total as f64 / wall_s } else { 0.0 },
-            p50_ms: percentile_ms(&service_ms, 0.5),
-            p99_ms: percentile_ms(&service_ms, 0.99),
-            wait_p50_ms: percentile_ms(&wait_ms, 0.5),
-            wait_p99_ms: percentile_ms(&wait_ms, 0.99),
+            p50_ms: service_hist.quantile_ms(0.5),
+            p99_ms: service_hist.quantile_ms(0.99),
+            wait_p50_ms: wait_hist.quantile_ms(0.5),
+            wait_p99_ms: wait_hist.quantile_ms(0.99),
             overflow_admissions: state.overflow.load(Ordering::Relaxed),
             commits: mvcc_after.commits - mvcc_before.commits,
             final_epoch: mvcc_after.committed_epoch,
@@ -1000,10 +1099,15 @@ impl QueryServer {
     }
 
     /// Execute one job on pool `p`.
-    fn execute(&self, p: usize, job: Job) -> QueryResponse {
+    fn execute(&self, p: usize, mut job: Job) -> QueryResponse {
         let started = Instant::now();
         let queue_wait = started - job.enqueued;
         let session = job.request.session;
+        if let Some(h) = &job.trace {
+            // Backdated to handle creation (= admission), ended now:
+            // the whole time this job sat in the pool queue.
+            h.span_at(SpanId::ROOT, "queue_wait", h.start_ns()).finish();
+        }
         let warm_before = lock_unpoisoned(&self.sessions)
             .get(&session.0)
             .is_some_and(|&home| home == p);
@@ -1015,6 +1119,9 @@ impl QueryServer {
         let shed = job.deadline.is_some_and(|at| started >= at) || job.cancel.is_cancelled();
         let (outcome, stats, epoch, served_from) = if shed {
             job.cancel.cancel();
+            if let Some(h) = &job.trace {
+                h.event(SpanId::ROOT, "shed", "deadline expired in queue");
+            }
             (
                 Outcome::Cancelled {
                     partial: Vec::new(),
@@ -1023,7 +1130,7 @@ impl QueryServer {
                 self.store.committed_epoch(),
                 ServedFrom::Engine,
             )
-        } else if let Some(remaining) = self.breaker_admit(p) {
+        } else if let Some(remaining) = self.breaker_admit(p, job.trace.as_ref()) {
             self.execute_degraded(p, &job, remaining)
         } else {
             self.execute_attempts(p, &job)
@@ -1040,6 +1147,21 @@ impl QueryServer {
             lock_unpoisoned(&self.sessions).insert(session.0, p);
         }
         let pool_after = self.store.pool_stats(p);
+        if let Some(h) = job.trace.take() {
+            let label = match &outcome {
+                Outcome::Completed { .. } => "completed",
+                Outcome::Cancelled { .. } => "cancelled",
+                Outcome::Rejected { .. } => "rejected",
+                Outcome::Failed { .. } => "failed",
+                Outcome::Overloaded { .. } => "overloaded",
+            };
+            h.event(
+                SpanId::ROOT,
+                "outcome",
+                format!("{label} from {served_from:?} epoch {epoch}"),
+            );
+            self.tracer.finish(h);
+        }
         QueryResponse {
             request: job.idx,
             session,
@@ -1072,6 +1194,13 @@ impl QueryServer {
         job: &Job,
         remaining: Duration,
     ) -> (Outcome, SearchStats, u64, ServedFrom) {
+        if let Some(h) = &job.trace {
+            h.event(
+                SpanId::ROOT,
+                "degraded",
+                format!("pool {p} breaker open for {remaining:?}; cache-only"),
+            );
+        }
         // Pinning a snapshot reads no pages: the symbol table and epoch
         // live in memory, so parse + cache lookup are safe against any
         // storage fault.
@@ -1100,7 +1229,15 @@ impl QueryServer {
                     max_solutions: solve.max_solutions,
                     max_depth: solve.max_depth,
                 });
-                match key.as_ref().and_then(|k| self.cache.lookup(k, epoch)) {
+                let hit = key.as_ref().and_then(|k| self.cache.lookup(k, epoch));
+                if let Some(h) = &job.trace {
+                    h.event(
+                        SpanId::ROOT,
+                        "cache_lookup",
+                        if hit.is_some() { "hit" } else { "miss" },
+                    );
+                }
+                match hit {
                     Some(solutions) => {
                         self.degraded_cache_hits.fetch_add(1, Ordering::Relaxed);
                         (
@@ -1139,8 +1276,13 @@ impl QueryServer {
     /// faulted or panicked attempt are discarded, never served as if
     /// they were the answer.
     fn execute_attempts(&self, p: usize, job: &Job) -> (Outcome, SearchStats, u64, ServedFrom) {
+        let h = job.trace.as_ref();
         let mut attempt: u32 = 0;
         loop {
+            // One span per attempt; everything the attempt does (parse,
+            // cache lookup, engine, store events) nests under it.
+            let attempt_span = h.map(|h| h.span(SpanId::ROOT, format!("attempt{attempt}")));
+            let attempt_id = attempt_span.as_ref().map_or(SpanId::ROOT, |g| g.id());
             // Pin the epoch *before* parsing: the query is admitted at
             // this snapshot, parsed against its symbol table (so text
             // mentioning vocabulary from a later epoch rejects, exactly
@@ -1153,8 +1295,10 @@ impl QueryServer {
                 .store
                 .begin_read()
                 .for_pool(p)
-                .with_stall(self.config.stall_ns_per_tick);
+                .with_stall(self.config.stall_ns_per_tick)
+                .with_trace(h.map(|h| SpanCtx::new(h.clone(), attempt_id)));
             let epoch = snap.epoch();
+            let parse_span = h.map(|h| h.span(attempt_id, "parse"));
             let query = match parse_query_symbols(snap.symbols(), &job.request.text) {
                 Err(e) => {
                     return (
@@ -1168,6 +1312,7 @@ impl QueryServer {
                 }
                 Ok(query) => query,
             };
+            drop(parse_span);
             let mut solve = self.config.solve.clone();
             if job.request.max_nodes.is_some() {
                 solve.max_nodes = job.request.max_nodes;
@@ -1184,6 +1329,15 @@ impl QueryServer {
                 max_depth: solve.max_depth,
             });
             let hit = key.as_ref().and_then(|k| self.cache.lookup(k, epoch));
+            if let Some(h) = h {
+                if key.is_some() {
+                    h.event(
+                        attempt_id,
+                        "cache_lookup",
+                        if hit.is_some() { "hit" } else { "miss" },
+                    );
+                }
+            }
             if let Some(solutions) = hit {
                 // Answer-cache hit: the engine is bypassed entirely; the
                 // cached set is provably the sequential solution set of
@@ -1203,6 +1357,12 @@ impl QueryServer {
             }
             let budget = solve.max_nodes;
             let cap = solve.max_solutions;
+            // The engine span also parents what runs *inside* the
+            // engine: per-worker spans and frontier events from the
+            // OR-parallel executor arrive through `solve.trace`.
+            let engine_span = h.map(|h| h.span(attempt_id, "engine"));
+            let engine_id = engine_span.as_ref().map_or(attempt_id, |g| g.id());
+            solve.trace = h.map(|h| SpanCtx::new(h.clone(), engine_id));
             // The engine runs behind a panic shield: an injected storage
             // panic (FaultKind::Panic) or any engine bug fails this
             // *attempt* instead of unwinding through the pool worker —
@@ -1244,6 +1404,7 @@ impl QueryServer {
                     (texts, r.stats, r.store_error)
                 }
             }));
+            drop(engine_span);
             let retry_left = attempt < self.config.retry.max_retries && !job.cancel.is_cancelled();
             match run {
                 Err(payload) => {
@@ -1255,10 +1416,15 @@ impl QueryServer {
                     if retry_left {
                         attempt += 1;
                         self.retries.fetch_add(1, Ordering::Relaxed);
+                        if let Some(h) = h {
+                            h.event(attempt_id, "retry", "engine panicked");
+                        }
+                        drop(attempt_span);
+                        let _backoff = h.map(|h| h.span(SpanId::ROOT, "backoff"));
                         std::thread::sleep(self.backoff_delay(job.idx, attempt));
                         continue;
                     }
-                    self.breaker_failure(p);
+                    self.breaker_failure(p, h);
                     return (
                         Outcome::Failed {
                             error: format!("engine panicked: {}", panic_text(&payload)),
@@ -1275,10 +1441,15 @@ impl QueryServer {
                     if e.is_transient() && retry_left {
                         attempt += 1;
                         self.retries.fetch_add(1, Ordering::Relaxed);
+                        if let Some(h) = h {
+                            h.event(attempt_id, "retry", format!("transient fault: {e}"));
+                        }
+                        drop(attempt_span);
+                        let _backoff = h.map(|h| h.span(SpanId::ROOT, "backoff"));
                         std::thread::sleep(self.backoff_delay(job.idx, attempt));
                         continue;
                     }
-                    self.breaker_failure(p);
+                    self.breaker_failure(p, h);
                     let advice = if e.is_transient() {
                         RetryAdvice::after(self.backoff_delay(job.idx, attempt + 1))
                     } else {
@@ -1295,7 +1466,7 @@ impl QueryServer {
                     );
                 }
                 Ok((mut texts, stats, None)) => {
-                    self.breaker_success(p);
+                    self.breaker_success(p, h);
                     texts.sort();
                     // Classify from what actually stopped the engine,
                     // not from the token alone: a reaper firing *after*
@@ -1323,6 +1494,13 @@ impl QueryServer {
                         && cap.is_none_or(|c| texts.len() < c);
                     if complete {
                         if let Some(k) = key {
+                            if let Some(h) = h {
+                                h.event(
+                                    attempt_id,
+                                    "cache_fill",
+                                    format!("{} solutions", texts.len()),
+                                );
+                            }
                             let solutions = Arc::new(texts.clone());
                             self.cache.fill(k, epoch, snap.recorded_deps(), solutions);
                         }

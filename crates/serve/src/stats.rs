@@ -129,6 +129,101 @@ pub struct ServeStats {
     pub cold: WarmthSplit,
 }
 
+impl ServeStats {
+    /// The whole aggregate picture as one JSON object (store and cache
+    /// blocks nested; per-pool slices as an array).
+    pub fn to_json(&self) -> blog_obs::Json {
+        use blog_obs::Json;
+        let split = |s: &WarmthSplit| {
+            Json::Obj(vec![
+                ("requests".into(), Json::int(s.requests as u64)),
+                ("accesses".into(), Json::int(s.accesses)),
+                ("hits".into(), Json::int(s.hits)),
+                ("hit_rate".into(), Json::Num(s.hit_rate())),
+            ])
+        };
+        Json::Obj(vec![
+            ("wall_s".into(), Json::Num(self.wall_s)),
+            ("requests".into(), Json::int(self.requests as u64)),
+            ("completed".into(), Json::int(self.completed as u64)),
+            ("cancelled".into(), Json::int(self.cancelled as u64)),
+            ("rejected".into(), Json::int(self.rejected as u64)),
+            ("overloaded".into(), Json::int(self.overloaded as u64)),
+            ("failed".into(), Json::int(self.failed as u64)),
+            ("retries".into(), Json::int(self.retries)),
+            ("breaker_opens".into(), Json::int(self.breaker_opens)),
+            ("breaker_reroutes".into(), Json::int(self.breaker_reroutes)),
+            (
+                "degraded_cache_hits".into(),
+                Json::int(self.degraded_cache_hits),
+            ),
+            ("throughput_rps".into(), Json::Num(self.throughput_rps)),
+            ("p50_ms".into(), Json::Num(self.p50_ms)),
+            ("p99_ms".into(), Json::Num(self.p99_ms)),
+            ("wait_p50_ms".into(), Json::Num(self.wait_p50_ms)),
+            ("wait_p99_ms".into(), Json::Num(self.wait_p99_ms)),
+            (
+                "overflow_admissions".into(),
+                Json::int(self.overflow_admissions),
+            ),
+            ("commits".into(), Json::int(self.commits)),
+            ("final_epoch".into(), Json::int(self.final_epoch)),
+            (
+                "per_pool".into(),
+                Json::Arr(
+                    self.per_pool
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("pool".into(), Json::int(p.pool as u64)),
+                                ("served".into(), Json::int(p.served as u64)),
+                                ("queue_peak".into(), Json::int(p.queue_peak as u64)),
+                                ("nodes_expanded".into(), Json::int(p.nodes_expanded)),
+                                ("p50_ms".into(), Json::Num(p.p50_ms)),
+                                ("p99_ms".into(), Json::Num(p.p99_ms)),
+                                ("accesses".into(), Json::int(p.touches.accesses)),
+                                ("hits".into(), Json::int(p.touches.hits)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("store".into(), self.store.to_json()),
+            ("cache".into(), self.cache.to_json()),
+            ("warm".into(), split(&self.warm)),
+            ("cold".into(), split(&self.cold)),
+        ])
+    }
+}
+
+impl blog_obs::RecordInto for ServeStats {
+    fn record_into(&self, registry: &blog_obs::Registry) {
+        registry.counter("serve.requests").add(self.requests as u64);
+        registry.counter("serve.completed").add(self.completed as u64);
+        registry.counter("serve.cancelled").add(self.cancelled as u64);
+        registry.counter("serve.rejected").add(self.rejected as u64);
+        registry.counter("serve.overloaded").add(self.overloaded as u64);
+        registry.counter("serve.failed").add(self.failed as u64);
+        registry.counter("serve.retries").add(self.retries);
+        registry.counter("serve.breaker_opens").add(self.breaker_opens);
+        registry
+            .counter("serve.breaker_reroutes")
+            .add(self.breaker_reroutes);
+        registry
+            .counter("serve.degraded_cache_hits")
+            .add(self.degraded_cache_hits);
+        registry.counter("serve.commits").add(self.commits);
+        registry
+            .counter("serve.overflow_admissions")
+            .add(self.overflow_admissions);
+        registry.gauge("serve.throughput_rps").set(self.throughput_rps);
+        registry.histogram("serve.p50_ms").record_ms(self.p50_ms);
+        registry.histogram("serve.p99_ms").record_ms(self.p99_ms);
+        self.store.record_into(registry);
+        self.cache.record_into(registry);
+    }
+}
+
 /// Everything a serve run returns.
 #[derive(Clone, Debug)]
 pub struct ServeReport {
@@ -141,9 +236,24 @@ pub struct ServeReport {
     pub stats: ServeStats,
 }
 
+/// Fold an unsorted millisecond sample into one log-linear
+/// [`blog_obs::Histogram`] — the shared percentile path of every serve
+/// report (pool latency, batch service, queue wait). Quantiles read
+/// back within one bucket width (≤ 1/32 relative) of the exact
+/// nearest-rank answer; see `histogram_agrees_with_sorted_percentiles`.
+pub(crate) fn hist_ms(samples: &[f64]) -> blog_obs::Histogram {
+    let h = blog_obs::Histogram::new();
+    for &ms in samples {
+        h.record_ms(ms);
+    }
+    h
+}
+
 /// `q`-quantile (0..=1) of an **unsorted** sample, by sorting a copy;
 /// 0.0 for an empty sample. Nearest-rank, so p99 of 10 samples is the
-/// largest.
+/// largest. Retained as the exact reference the histogram path is
+/// tested against (reports themselves go through [`hist_ms`]).
+#[cfg(test)]
 pub(crate) fn percentile_ms(samples: &[f64], q: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
@@ -189,6 +299,30 @@ mod tests {
         assert_eq!(percentile_ms(&[], 0.5), 0.0);
         // Unsorted input is handled.
         assert_eq!(percentile_ms(&[3.0, 1.0, 2.0], 0.5), 2.0);
+    }
+
+    #[test]
+    fn histogram_agrees_with_sorted_percentiles() {
+        // Latencies spanning several decades (0.01 ms .. ~10 s), in
+        // scrambled order — the shape a serve run actually produces.
+        let samples: Vec<f64> = (1..=500u64)
+            .map(|n| (blog_obs::splitmix64(n) % 1_000_000_000) as f64 / 1e5)
+            .collect();
+        let h = hist_ms(&samples);
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let exact = percentile_ms(&samples, q);
+            let approx = h.quantile_ms(q);
+            let exact_ns = (exact * 1e6).round() as u64;
+            let width_ns = blog_obs::registry::bucket_width(exact_ns);
+            let diff_ns = ((approx - exact) * 1e6).abs().round() as u64;
+            assert!(
+                diff_ns <= width_ns,
+                "q={q}: exact {exact} ms vs histogram {approx} ms \
+                 (diff {diff_ns} ns > bucket width {width_ns} ns)"
+            );
+        }
+        // Empty sample behaves like the sorted path.
+        assert_eq!(hist_ms(&[]).quantile_ms(0.5), 0.0);
     }
 
     #[test]

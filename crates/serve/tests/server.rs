@@ -890,3 +890,63 @@ fn breaker_reroutes_admissions_to_healthy_pools() {
         }
     }
 }
+
+#[test]
+fn breaker_storm_traces_the_full_transition_cycle() {
+    use blog_serve::TraceConfig;
+    let p = parse_program(FAMILY).unwrap();
+    // Every touch in [0, 3) faults: the first three requests each fail
+    // on their first clause fetch, tripping the single pool's breaker
+    // at the threshold (the T13 breaker-storm scenario).
+    let plan = FaultPlan::new(9).with_site(FaultSite::transient_read(1.0).between(0, 3));
+    let server = QueryServer::new(
+        &p.db,
+        store_cfg(p.db.len(), 4),
+        ServeConfig {
+            n_pools: 1,
+            fault: Some(plan),
+            retry: RetryPolicy::none(),
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_millis(50),
+            },
+            trace: TraceConfig::always_on(),
+            ..ServeConfig::default()
+        },
+    );
+    let storm = server.serve(vec![
+        QueryRequest::new(1, "gf(sam, G)"),
+        QueryRequest::new(2, "gf(sam, G)"),
+        QueryRequest::new(3, "gf(sam, G)"),
+    ]);
+    assert_eq!(storm.stats.failed, 3);
+    assert_eq!(storm.stats.breaker_opens, 1, "third consecutive failure trips");
+    std::thread::sleep(Duration::from_millis(60));
+    // Cooldown elapsed: the next request is the half-open probe; the
+    // storm window is spent, so it runs clean and closes the breaker.
+    let probe = server.serve(vec![QueryRequest::new(4, "gf(sam, G)")]);
+    assert_eq!(probe.stats.completed, 1);
+    assert_eq!(
+        probe.responses[0].outcome.solutions(),
+        sequential_solutions(&p, "gf(sam, G)")
+    );
+
+    // Every request was traced (sample 1-in-1); the breaker transition
+    // events across the flight recorder, in timestamp order, must spell
+    // the exact Closed -> Open -> HalfOpen -> Closed cycle.
+    let mut transitions: Vec<(u64, String)> = server
+        .tracer()
+        .recorder()
+        .snapshot()
+        .iter()
+        .flat_map(|t| t.events.iter().map(|e| (e.at_ns, e.name.clone())))
+        .filter(|(_, name)| name.starts_with("breaker_"))
+        .collect();
+    transitions.sort();
+    let names: Vec<&str> = transitions.iter().map(|(_, n)| n.as_str()).collect();
+    assert_eq!(names, ["breaker_open", "breaker_half_open", "breaker_closed"]);
+    // And the trees themselves are well-formed.
+    for t in server.tracer().recorder().snapshot() {
+        t.well_formed().expect("trace tree is well-formed");
+    }
+}

@@ -149,6 +149,7 @@ impl TrackCache {
                 TouchOutcome {
                     hit: true,
                     fault_ticks: 0,
+                    spike_ticks: 0,
                 }
             }
             crate::lru::Touch::Miss { evicted } => {
@@ -170,6 +171,7 @@ impl TrackCache {
                 TouchOutcome {
                     hit: false,
                     fault_ticks: ticks,
+                    spike_ticks: 0,
                 }
             }
         };
@@ -178,6 +180,7 @@ impl TrackCache {
             // in the outcome, so stall sleeps include them) and are
             // additionally broken out in the spike meters.
             outcome.fault_ticks += spike;
+            outcome.spike_ticks = spike;
             state.stats.fault_ticks += spike;
             state.stats.latency_spikes += 1;
             state.stats.latency_spike_ticks += spike;

@@ -368,6 +368,7 @@ impl MvccClauseStore {
             pool: None,
             stall_ns_per_tick: 0,
             deps: None,
+            trace: None,
         }
     }
 
@@ -387,6 +388,7 @@ impl MvccClauseStore {
             bitidx: (*v.bitidx).clone(),
             symbols: (*v.symbols).clone(),
             touched: BTreeSet::new(),
+            trace: None,
             _writer: guard,
         }
     }
@@ -531,6 +533,12 @@ pub struct Snapshot<'s> {
     /// touched predicates. Behind a mutex because the OR-parallel engine
     /// shares one snapshot across worker threads.
     deps: Option<Mutex<BTreeSet<(Sym, u32)>>>,
+    /// Span context of the request this snapshot serves (`None` — the
+    /// default — is untraced). With it set, injected store faults and
+    /// latency spikes surface as trace events on the request's span
+    /// tree, so a slow request's flight record shows *which* fetches
+    /// stalled it.
+    trace: Option<blog_obs::SpanCtx>,
 }
 
 impl<'s> Snapshot<'s> {
@@ -560,6 +568,14 @@ impl<'s> Snapshot<'s> {
     /// rule is the answer cache's invalidation contract.
     pub fn recording_deps(mut self) -> Self {
         self.deps = Some(Mutex::new(BTreeSet::new()));
+        self
+    }
+
+    /// This snapshot with store events (injected faults, latency
+    /// spikes) reported onto `trace`'s span tree. `None` (the default)
+    /// keeps every fetch untraced.
+    pub fn with_trace(mut self, trace: Option<blog_obs::SpanCtx>) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -635,7 +651,20 @@ impl ClauseSource for Snapshot<'_> {
         let outcome = self
             .store
             .cache
-            .try_touch(self.store.track_of(id), self.pool)?;
+            .try_touch(self.store.track_of(id), self.pool)
+            .inspect_err(|e| {
+                if let Some(t) = &self.trace {
+                    t.event("store_fault", format!("clause {}: {e}", id.0));
+                }
+            })?;
+        if let Some(t) = &self.trace {
+            if outcome.spike_ticks > 0 {
+                t.event(
+                    "latency_spike",
+                    format!("clause {}: +{} ticks", id.0, outcome.spike_ticks),
+                );
+            }
+        }
         if self.stall_ns_per_tick > 0 && outcome.fault_ticks > 0 {
             std::thread::sleep(std::time::Duration::from_nanos(
                 outcome.fault_ticks * self.stall_ns_per_tick,
@@ -729,6 +758,11 @@ pub struct WriteTxn<'s> {
     /// the commit's *touched set*, which an answer cache intersects with
     /// cached queries' dependency footprints to invalidate precisely.
     touched: BTreeSet<(Sym, u32)>,
+    /// Span context of the request this commit belongs to (`None` — the
+    /// default — is untraced). With it set, [`commit`](Self::commit)
+    /// records its write-I/O wait and install phases as spans and stash
+    /// retirement as an event.
+    trace: Option<blog_obs::SpanCtx>,
     _writer: MutexGuard<'s, ()>,
 }
 
@@ -753,6 +787,14 @@ impl WriteTxn<'_> {
     /// interned by [`assert_text`](Self::assert_text) so far).
     pub fn symbols(&self) -> &SymbolTable {
         &self.symbols
+    }
+
+    /// This transaction with its commit phases (write-I/O wait, version
+    /// install, stash retirement) reported onto `trace`'s span tree.
+    /// `None` (the default) keeps the commit untraced.
+    pub fn with_trace(mut self, trace: Option<blog_obs::SpanCtx>) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Head predicates of every assert and retract so far (sorted).
@@ -853,7 +895,9 @@ impl WriteTxn<'_> {
         let io_ticks = self.dirty.len() as u64 * store.cache.cost().track_load;
         let stall_ns = store.write_stall_ns_per_tick.load(Ordering::Relaxed);
         let io = std::time::Duration::from_nanos(io_ticks * stall_ns);
+        let trace = self.trace;
 
+        let io_span = trace.as_ref().map(|t| t.span("commit_io"));
         let _gate = match store.commit_mode {
             CommitMode::StopTheWorld => {
                 let gate = store.stw_gate.write().unwrap();
@@ -872,8 +916,12 @@ impl WriteTxn<'_> {
             }
         };
 
+        drop(io_span);
+
+        let install_span = trace.as_ref().map(|t| t.span("commit_install"));
         let mut v = store.versions();
         let new_epoch = v.committed + 1;
+        let retired_before = v.pages_retired;
         for (ti, page) in self.dirty {
             let slot = &mut v.pages[ti];
             let old = std::mem::replace(&mut slot.current, Arc::new(page));
@@ -889,6 +937,14 @@ impl WriteTxn<'_> {
         v.len = self.len;
         v.committed = new_epoch;
         v.retire();
+        if let Some(t) = &trace {
+            t.event(
+                "retire",
+                format!("epoch {new_epoch}: {} pages retired", v.pages_retired - retired_before),
+            );
+        }
+        drop(v);
+        drop(install_span);
         store.commits.fetch_add(1, Ordering::Relaxed);
         new_epoch
     }

@@ -147,6 +147,58 @@ impl PagedStoreStats {
         }
         self.hits as f64 / self.accesses as f64
     }
+
+    /// Every counter (plus the derived hit rate) as one JSON object.
+    pub fn to_json(&self) -> blog_obs::Json {
+        use blog_obs::Json;
+        Json::Obj(vec![
+            ("accesses".into(), Json::int(self.accesses)),
+            ("hits".into(), Json::int(self.hits)),
+            ("misses".into(), Json::int(self.misses)),
+            ("evictions".into(), Json::int(self.evictions)),
+            ("fault_ticks".into(), Json::int(self.fault_ticks)),
+            ("lock_acquisitions".into(), Json::int(self.lock_acquisitions)),
+            ("lock_contended".into(), Json::int(self.lock_contended)),
+            ("index_hits".into(), Json::int(self.index_hits)),
+            ("index_prunes".into(), Json::int(self.index_prunes)),
+            ("candidates_scanned".into(), Json::int(self.candidates_scanned)),
+            ("transient_faults".into(), Json::int(self.transient_faults)),
+            ("permanent_faults".into(), Json::int(self.permanent_faults)),
+            ("latency_spikes".into(), Json::int(self.latency_spikes)),
+            ("latency_spike_ticks".into(), Json::int(self.latency_spike_ticks)),
+            ("hit_rate".into(), Json::Num(self.hit_rate())),
+        ])
+    }
+}
+
+impl blog_obs::RecordInto for PagedStoreStats {
+    fn record_into(&self, registry: &blog_obs::Registry) {
+        registry.counter("store.accesses").add(self.accesses);
+        registry.counter("store.hits").add(self.hits);
+        registry.counter("store.misses").add(self.misses);
+        registry.counter("store.evictions").add(self.evictions);
+        registry.counter("store.fault_ticks").add(self.fault_ticks);
+        registry
+            .counter("store.lock_acquisitions")
+            .add(self.lock_acquisitions);
+        registry.counter("store.lock_contended").add(self.lock_contended);
+        registry.counter("store.index_hits").add(self.index_hits);
+        registry.counter("store.index_prunes").add(self.index_prunes);
+        registry
+            .counter("store.candidates_scanned")
+            .add(self.candidates_scanned);
+        registry
+            .counter("store.transient_faults")
+            .add(self.transient_faults);
+        registry
+            .counter("store.permanent_faults")
+            .add(self.permanent_faults);
+        registry.counter("store.latency_spikes").add(self.latency_spikes);
+        registry
+            .counter("store.latency_spike_ticks")
+            .add(self.latency_spike_ticks);
+        registry.gauge("store.hit_rate").set(self.hit_rate());
+    }
 }
 
 /// Per-pool slice of the store's touch counters, so a multi-pool server
@@ -183,6 +235,11 @@ pub struct TouchOutcome {
     /// load. A latency-simulating caller (the serving layer's
     /// [`PoolView`]) can convert these into a real stall.
     pub fault_ticks: u64,
+    /// The slice of [`fault_ticks`](Self::fault_ticks) an injected
+    /// latency spike contributed (zero without a [`FaultPlan`]), so
+    /// tracing callers can
+    /// tell a cold-cache miss from an injected slowdown.
+    pub spike_ticks: u64,
 }
 
 /// A [`ClauseDb`] served through a policy-driven track cache with SPD
@@ -336,6 +393,7 @@ impl<'a> PagedClauseStore<'a> {
             store: self,
             pool,
             stall_ns_per_tick: 0,
+            trace: None,
         }
     }
 
@@ -411,11 +469,15 @@ impl<'a> PagedClauseStore<'a> {
 /// as the paper's processors hide track-load latency. The sleep happens
 /// **after** the cache mutex is released; residency bookkeeping is never
 /// held across a stall.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct PoolView<'s, 'db> {
     store: &'s PagedClauseStore<'db>,
     pool: usize,
     stall_ns_per_tick: u64,
+    /// Span context of the request this view serves (`None` — the
+    /// default — is untraced). With it set, injected faults and latency
+    /// spikes surface as trace events.
+    trace: Option<blog_obs::SpanCtx>,
 }
 
 impl<'s, 'db> PoolView<'s, 'db> {
@@ -423,6 +485,14 @@ impl<'s, 'db> PoolView<'s, 'db> {
     /// nanoseconds per simulated tick (0 = no stall, accounting only).
     pub fn with_stall(mut self, ns_per_tick: u64) -> Self {
         self.stall_ns_per_tick = ns_per_tick;
+        self
+    }
+
+    /// This view with store events (injected faults, latency spikes)
+    /// reported onto `trace`'s span tree. `None` (the default) keeps
+    /// every fetch untraced.
+    pub fn with_trace(mut self, trace: Option<blog_obs::SpanCtx>) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -444,7 +514,22 @@ impl<'s, 'db> PoolView<'s, 'db> {
 
 impl ClauseSource for PoolView<'_, '_> {
     fn try_fetch_clause(&self, id: ClauseId) -> Result<&Clause, StoreError> {
-        let outcome = self.store.try_touch_clause_for_pool(id, Some(self.pool))?;
+        let outcome = self
+            .store
+            .try_touch_clause_for_pool(id, Some(self.pool))
+            .inspect_err(|e| {
+                if let Some(t) = &self.trace {
+                    t.event("store_fault", format!("clause {}: {e}", id.0));
+                }
+            })?;
+        if let Some(t) = &self.trace {
+            if outcome.spike_ticks > 0 {
+                t.event(
+                    "latency_spike",
+                    format!("clause {}: +{} ticks", id.0, outcome.spike_ticks),
+                );
+            }
+        }
         if self.stall_ns_per_tick > 0 && outcome.fault_ticks > 0 {
             std::thread::sleep(std::time::Duration::from_nanos(
                 outcome.fault_ticks * self.stall_ns_per_tick,

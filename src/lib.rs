@@ -14,6 +14,7 @@
 //! | [`parallel`] | `blog-parallel` | real-thread OR-parallel and AND-parallel execution |
 //! | [`workloads`] | `blog-workloads` | generators: families, DAGs, N-queens, map coloring, sessions |
 //! | [`serve`] | `blog-serve` | multi-session query server over one shared paged store |
+//! | [`obs`] | `blog-obs` | telemetry: metrics registry, span traces, flight recorder |
 //!
 //! ## Quickstart
 //!
@@ -36,6 +37,7 @@
 
 pub use blog_core as core;
 pub use blog_logic as logic;
+pub use blog_obs as obs;
 pub use blog_machine as machine;
 pub use blog_parallel as parallel;
 pub use blog_serve as serve;

@@ -1,6 +1,6 @@
 use b_log::serve::{
     CacheConfig, CacheMode, FaultPlan, FaultSite, QueryRequest, QueryServer, RetryPolicy,
-    ServeConfig, ServedFrom, SessionId, UpdateOp,
+    ServeConfig, ServedFrom, SessionId, TraceConfig, UpdateOp,
 };
 use b_log::spd::PagedStoreConfig;
 use std::time::Duration;
@@ -26,6 +26,25 @@ fn readme_serving_v2_snippet() {
     assert_eq!(report.responses[1].stats.nodes_expanded, 0);
     assert_eq!(report.responses[2].outcome.solutions().len(), 3);
     assert_eq!(report.stats.cache.hits, 1);
+}
+
+#[test]
+fn readme_telemetry_snippet() {
+    let program = b_log::logic::parse_program(b_log::workloads::PAPER_FIGURE_1).unwrap();
+    let config = ServeConfig {
+        trace: TraceConfig::always_on(),
+        ..ServeConfig::default()
+    };
+    let server = QueryServer::new(&program.db, PagedStoreConfig::default(), config);
+    let report = server.serve(vec![QueryRequest::new(1, "gf(sam, G)")]);
+
+    let traces = server.tracer().recorder().snapshot();
+    let t = &traces[0];
+    assert!(t.well_formed().is_ok());
+    assert!(t.span_total_ns("queue_wait") > 0);
+    assert!(t.spans.iter().any(|s| s.name == "engine"));
+    println!("{}", b_log::serve::to_jsonl(&traces));
+    assert!(report.stats.to_json().render().contains("\"p50_ms\""));
 }
 
 #[test]
